@@ -1,0 +1,18 @@
+//! Ablations: the Fig. 10 stress under historical vs fixed dispatcher,
+//! plus the blocking-vs-non-blocking checkpoint comparison.
+
+use criterion::{black_box, Criterion};
+use failmpi_experiments::figures::ablation;
+
+fn main() {
+    let mut c: Criterion = failmpi_bench::experiment_criterion();
+    let mut cfg = ablation::Config::smoke();
+    cfg.threads = 1;
+    c.bench_function("ablation/dispatcher_smoke", |b| {
+        b.iter(|| black_box(ablation::dispatcher(&cfg)))
+    });
+    c.bench_function("ablation/checkpoint_style_smoke", |b| {
+        b.iter(|| black_box(ablation::checkpoint_style(&cfg)))
+    });
+    c.final_summary();
+}

@@ -1,0 +1,15 @@
+//! The delay-after-checkpoint sweep (the paper's Sec. 6 planned
+//! measurement), smoke fidelity.
+
+use criterion::{black_box, Criterion};
+use failmpi_experiments::figures::delay;
+
+fn main() {
+    let mut c: Criterion = failmpi_bench::experiment_criterion();
+    let mut cfg = delay::Config::smoke();
+    cfg.threads = 1;
+    c.bench_function("delay/offset_sweep_smoke", |b| {
+        b.iter(|| black_box(delay::run(&cfg)))
+    });
+    c.final_summary();
+}

@@ -1,0 +1,15 @@
+//! Figure 11 (state-synchronized faults before localMPI_setCommand),
+//! smoke fidelity: every historical-dispatcher run freezes.
+
+use criterion::{black_box, Criterion};
+use failmpi_experiments::figures::fig11;
+
+fn main() {
+    let mut c: Criterion = failmpi_bench::experiment_criterion();
+    let mut cfg = fig11::smoke_config();
+    cfg.threads = 1;
+    c.bench_function("fig11/state_sync_smoke", |b| {
+        b.iter(|| black_box(fig11::run(&cfg)))
+    });
+    c.final_summary();
+}

@@ -1,0 +1,15 @@
+//! Figure 5 (impact of fault frequency), smoke fidelity: the full sweep —
+//! no-fault baseline plus three fault intervals, several seeds each.
+
+use criterion::{black_box, Criterion};
+use failmpi_experiments::figures::fig5;
+
+fn main() {
+    let mut c: Criterion = failmpi_bench::experiment_criterion();
+    let mut cfg = fig5::Config::smoke();
+    cfg.threads = 1; // criterion wants single-threaded, reproducible work
+    c.bench_function("fig5/frequency_sweep_smoke", |b| {
+        b.iter(|| black_box(fig5::run(&cfg)))
+    });
+    c.final_summary();
+}

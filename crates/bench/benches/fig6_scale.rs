@@ -1,0 +1,15 @@
+//! Figure 6 (impact of scale), smoke fidelity: fault-free and faulty
+//! series at two scales.
+
+use criterion::{black_box, Criterion};
+use failmpi_experiments::figures::fig6;
+
+fn main() {
+    let mut c: Criterion = failmpi_bench::experiment_criterion();
+    let mut cfg = fig6::Config::smoke();
+    cfg.threads = 1;
+    c.bench_function("fig6/scale_sweep_smoke", |b| {
+        b.iter(|| black_box(fig6::run(&cfg)))
+    });
+    c.final_summary();
+}

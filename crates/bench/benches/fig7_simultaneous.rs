@@ -1,0 +1,14 @@
+//! Figure 7 (impact of simultaneous faults), smoke fidelity: burst sweep.
+
+use criterion::{black_box, Criterion};
+use failmpi_experiments::figures::fig7;
+
+fn main() {
+    let mut c: Criterion = failmpi_bench::experiment_criterion();
+    let mut cfg = fig7::Config::smoke();
+    cfg.threads = 1;
+    c.bench_function("fig7/burst_sweep_smoke", |b| {
+        b.iter(|| black_box(fig7::run(&cfg)))
+    });
+    c.final_summary();
+}

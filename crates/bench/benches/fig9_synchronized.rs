@@ -1,0 +1,15 @@
+//! Figure 9 (synchronized faults at the first recovery wave), smoke
+//! fidelity.
+
+use criterion::{black_box, Criterion};
+use failmpi_experiments::figures::fig9;
+
+fn main() {
+    let mut c: Criterion = failmpi_bench::experiment_criterion();
+    let mut cfg = fig9::Config::smoke();
+    cfg.threads = 1;
+    c.bench_function("fig9/synchronized_smoke", |b| {
+        b.iter(|| black_box(fig9::run(&cfg)))
+    });
+    c.final_summary();
+}

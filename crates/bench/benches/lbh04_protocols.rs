@@ -1,0 +1,14 @@
+//! The [LBH+04] protocol comparison (Vcl vs V2), smoke fidelity.
+
+use criterion::{black_box, Criterion};
+use failmpi_experiments::figures::lbh04;
+
+fn main() {
+    let mut c: Criterion = failmpi_bench::experiment_criterion();
+    let mut cfg = lbh04::Config::smoke();
+    cfg.threads = 1;
+    c.bench_function("lbh04/protocol_sweep_smoke", |b| {
+        b.iter(|| black_box(lbh04::run(&cfg)))
+    });
+    c.final_summary();
+}

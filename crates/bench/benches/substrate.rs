@@ -1,0 +1,49 @@
+//! Substrate microbenches: raw event throughput of the simulation kernel,
+//! FAIL compilation, and a fault-free MPICH-Vcl run — the costs every
+//! experiment above is built from.
+
+use criterion::{black_box, Criterion};
+use failmpi_sim::{Engine, Model, Scheduler, SimDuration, SimTime};
+use failmpi_mpichv::{run_standalone, VclConfig};
+use failmpi_workloads::{bt_programs, BtClass};
+
+struct Ping {
+    left: u64,
+}
+impl Model for Ping {
+    type Event = ();
+    fn handle(&mut self, _: SimTime, _: (), sched: &mut Scheduler<()>) {
+        if self.left > 0 {
+            self.left -= 1;
+            sched.after(SimDuration::from_micros(1), ());
+        }
+    }
+}
+
+fn main() {
+    let mut c: Criterion = failmpi_bench::experiment_criterion();
+    c.bench_function("substrate/engine_100k_events", |b| {
+        b.iter(|| {
+            let mut e = Engine::new(Ping { left: 100_000 });
+            e.schedule(SimTime::ZERO, ());
+            e.run(SimTime::MAX);
+            black_box(e.events_handled())
+        })
+    });
+    c.bench_function("substrate/fail_compile_fig10", |b| {
+        let src = include_str!("../../core/scenarios/fig10_state_sync.fail");
+        b.iter(|| black_box(failmpi_core::compile(black_box(src)).unwrap()))
+    });
+    c.bench_function("substrate/vcl_fault_free_bt_s_9ranks", |b| {
+        b.iter(|| {
+            let cfg = VclConfig::small(9, SimDuration::from_secs(2));
+            black_box(run_standalone(
+                cfg,
+                bt_programs(&BtClass::S, 9),
+                7,
+                SimTime::from_secs(300),
+            ))
+        })
+    });
+    c.final_summary();
+}

@@ -1,0 +1,23 @@
+//! Table 1: render the capability matrix and verify the FAIL-FCI column by
+//! compiling + deploying an expressive scenario (the work behind the
+//! "yes" cells).
+
+use criterion::black_box;
+use failmpi_core::{compile, Deployment, FailRuntime};
+use failmpi_experiments::criteria;
+
+fn main() {
+    let mut c = failmpi_bench::experiment_criterion();
+    c.bench_function("table1/render", |b| {
+        b.iter(|| black_box(criteria::render()))
+    });
+    let src = include_str!("../../core/scenarios/fig10_state_sync.fail");
+    c.bench_function("table1/compile_and_deploy", |b| {
+        b.iter(|| {
+            let s = compile(black_box(src)).unwrap();
+            let d = Deployment::from_suggested(&s).unwrap();
+            black_box(FailRuntime::new(&s, d, &[]).unwrap())
+        })
+    });
+    c.final_summary();
+}

@@ -1,0 +1,21 @@
+//! # failmpi-bench — benchmark support
+//!
+//! The criterion benches in `benches/` regenerate each table and figure of
+//! the paper at the seconds-scale smoke fidelity (the binaries in
+//! `failmpi-experiments` run the paper-scale versions). This library holds
+//! the shared helpers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use criterion::Criterion;
+
+/// Criterion configured for whole-experiment benches: each iteration runs
+/// entire simulated experiments, so a small sample count keeps wall time
+/// reasonable while still reporting stable medians.
+pub fn experiment_criterion() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(3))
+}

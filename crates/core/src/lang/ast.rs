@@ -1,0 +1,223 @@
+//! Abstract syntax of FAIL scenarios (name-based; resolution happens in
+//! [`crate::lang::compile`]).
+
+/// A whole source file.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ScenarioAst {
+    /// `param NAME = default;` declarations.
+    pub params: Vec<ParamAst>,
+    /// Daemon classes.
+    pub daemons: Vec<DaemonAst>,
+    /// `instance NAME = CLASS;` deployment sugar.
+    pub instances: Vec<InstanceAst>,
+    /// `group NAME[len] = CLASS;` deployment sugar.
+    pub groups: Vec<GroupAst>,
+}
+
+/// A scenario parameter with its default value.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParamAst {
+    /// Parameter name.
+    pub name: String,
+    /// Default value (a constant expression).
+    pub default: ExprAst,
+    /// Source line.
+    pub line: u32,
+}
+
+/// One `daemon CLASS { … }`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DaemonAst {
+    /// Class name.
+    pub name: String,
+    /// Daemon-level `int` variables with initializers.
+    pub vars: Vec<VarDeclAst>,
+    /// `probe NAME;` declarations: read-only views of the strained
+    /// application's internal state, updated by the host (the paper's
+    /// Sec. 6 planned feature).
+    pub probes: Vec<ProbeDeclAst>,
+    /// Automaton nodes, in source order (first = initial).
+    pub nodes: Vec<NodeAst>,
+    /// Source line.
+    pub line: u32,
+}
+
+/// An `int NAME = expr;` declaration (daemon level or `always`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VarDeclAst {
+    /// Variable name.
+    pub name: String,
+    /// Initializer.
+    pub init: ExprAst,
+    /// Source line.
+    pub line: u32,
+}
+
+/// A `probe NAME;` declaration.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProbeDeclAst {
+    /// Probe name (host-updated; readable in expressions; watchable with
+    /// `onchange(NAME)`).
+    pub name: String,
+    /// Source line.
+    pub line: u32,
+}
+
+/// A `timer NAME = expr;` declaration (armed on node entry).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TimerDeclAst {
+    /// Timer name (referenced as a guard).
+    pub name: String,
+    /// Delay in seconds.
+    pub delay: ExprAst,
+    /// Source line.
+    pub line: u32,
+}
+
+/// A `node N:` block.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NodeAst {
+    /// The node's numeric label (paper scenarios use arbitrary labels,
+    /// e.g. node 11 in Fig. 10).
+    pub label: i64,
+    /// `always int …` declarations re-evaluated on every node entry.
+    pub always: Vec<VarDeclAst>,
+    /// Timers armed on every node entry.
+    pub timers: Vec<TimerDeclAst>,
+    /// Guarded transitions, in priority order.
+    pub transitions: Vec<TransitionAst>,
+    /// Source line.
+    pub line: u32,
+}
+
+/// One `guard && cond… -> action, …;` transition.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TransitionAst {
+    /// The event guard.
+    pub guard: GuardAst,
+    /// Extra boolean conditions (`&&`-joined).
+    pub conds: Vec<ExprAst>,
+    /// Actions executed in order when the transition fires.
+    pub actions: Vec<ActionAst>,
+    /// Source line.
+    pub line: u32,
+}
+
+/// Transition guards.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GuardAst {
+    /// `?msg` — reception of a FAIL message.
+    Recv(String),
+    /// `onload` — a process registered with this daemon (FAIL-MPI trigger).
+    OnLoad,
+    /// `onexit` — the controlled process exited normally (FAIL-MPI trigger).
+    OnExit,
+    /// `onerror` — the controlled process died abnormally (FAIL-MPI
+    /// trigger).
+    OnError,
+    /// A declared timer expired.
+    Timer(String),
+    /// `before(func)` — the controlled process is about to call `func`.
+    Before(String),
+    /// `onchange(probe)` — the host updated the probe to a new value.
+    Change(String),
+}
+
+/// Transition actions.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ActionAst {
+    /// `!msg(dest)` — send a FAIL message.
+    Send {
+        /// Message name.
+        msg: String,
+        /// Destination daemon.
+        dest: DestAst,
+    },
+    /// `goto N`.
+    Goto(i64),
+    /// `halt` — kill the controlled process.
+    Halt,
+    /// `stop` — suspend the controlled process.
+    Stop,
+    /// `continue` — resume the controlled process (or let it run).
+    Continue,
+    /// `var = expr`.
+    Assign(String, ExprAst),
+}
+
+/// Message destinations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DestAst {
+    /// A named daemon instance (e.g. `P1`).
+    Instance(String),
+    /// An indexed group member (e.g. `G1[ran]`).
+    Group(String, ExprAst),
+    /// `FAIL_SENDER` — whoever sent the message that fired this transition.
+    Sender,
+}
+
+/// Integer/boolean expressions. Comparisons yield 0/1.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ExprAst {
+    /// Integer literal.
+    Int(i64),
+    /// Variable or parameter reference (resolved by the compiler).
+    Name(String),
+    /// `FAIL_RANDOM(lo, hi)` — uniform inclusive random integer.
+    Rand(Box<ExprAst>, Box<ExprAst>),
+    /// Binary operation.
+    Bin(BinOp, Box<ExprAst>, Box<ExprAst>),
+    /// Unary negation.
+    Neg(Box<ExprAst>),
+}
+
+/// Binary operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `==`
+    Eq,
+    /// `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&` (inside parenthesised expressions)
+    And,
+}
+
+/// `instance NAME = CLASS;`
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct InstanceAst {
+    /// Instance name (addressable as a destination).
+    pub name: String,
+    /// Daemon class.
+    pub class: String,
+    /// Source line.
+    pub line: u32,
+}
+
+/// `group NAME[len] = CLASS;`
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GroupAst {
+    /// Group name (addressable as `NAME[i]`).
+    pub name: String,
+    /// Number of instances.
+    pub len: u32,
+    /// Daemon class of every member.
+    pub class: String,
+    /// Source line.
+    pub line: u32,
+}

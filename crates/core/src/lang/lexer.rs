@@ -1,0 +1,352 @@
+//! Tokenizer for FAIL source text.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Tok {
+    /// An identifier or keyword.
+    Ident(String),
+    /// An integer literal.
+    Int(i64),
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `:`
+    Colon,
+    /// `;`
+    Semi,
+    /// `,`
+    Comma,
+    /// `->`
+    Arrow,
+    /// `!`
+    Bang,
+    /// `?`
+    Question,
+    /// `&&`
+    AndAnd,
+    /// `==`
+    EqEq,
+    /// `<>`
+    Ne,
+    /// `<=`
+    Le,
+    /// `>=`
+    Ge,
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+    /// `=`
+    Eq,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "{s}"),
+            Tok::Int(n) => write!(f, "{n}"),
+            Tok::LBrace => write!(f, "{{"),
+            Tok::RBrace => write!(f, "}}"),
+            Tok::LParen => write!(f, "("),
+            Tok::RParen => write!(f, ")"),
+            Tok::LBracket => write!(f, "["),
+            Tok::RBracket => write!(f, "]"),
+            Tok::Colon => write!(f, ":"),
+            Tok::Semi => write!(f, ";"),
+            Tok::Comma => write!(f, ","),
+            Tok::Arrow => write!(f, "->"),
+            Tok::Bang => write!(f, "!"),
+            Tok::Question => write!(f, "?"),
+            Tok::AndAnd => write!(f, "&&"),
+            Tok::EqEq => write!(f, "=="),
+            Tok::Ne => write!(f, "<>"),
+            Tok::Le => write!(f, "<="),
+            Tok::Ge => write!(f, ">="),
+            Tok::Lt => write!(f, "<"),
+            Tok::Gt => write!(f, ">"),
+            Tok::Eq => write!(f, "="),
+            Tok::Plus => write!(f, "+"),
+            Tok::Minus => write!(f, "-"),
+            Tok::Star => write!(f, "*"),
+            Tok::Slash => write!(f, "/"),
+        }
+    }
+}
+
+/// A token with its source position.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Spanned {
+    /// The token.
+    pub tok: Tok,
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based source column of the token start.
+    pub col: u32,
+}
+
+/// A lexical error.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LexError {
+    /// Human-readable message.
+    pub message: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based source column.
+    pub col: u32,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenizes FAIL source. Supports `//` line and `/* */` block comments.
+pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
+    let bytes = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    let (mut line, mut col) = (1u32, 1u32);
+
+    macro_rules! advance {
+        () => {{
+            if bytes[i] == b'\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+            i += 1;
+        }};
+    }
+
+    while i < bytes.len() {
+        let c = bytes[i];
+        let (tline, tcol) = (line, col);
+        match c {
+            b' ' | b'\t' | b'\r' | b'\n' => advance!(),
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    advance!();
+                }
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                advance!();
+                advance!();
+                loop {
+                    if i + 1 >= bytes.len() {
+                        return Err(LexError {
+                            message: "unterminated block comment".into(),
+                            line: tline,
+                            col: tcol,
+                        });
+                    }
+                    if bytes[i] == b'*' && bytes[i + 1] == b'/' {
+                        advance!();
+                        advance!();
+                        break;
+                    }
+                    advance!();
+                }
+            }
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    advance!();
+                }
+                out.push(Spanned {
+                    tok: Tok::Ident(src[start..i].to_string()),
+                    line: tline,
+                    col: tcol,
+                });
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    advance!();
+                }
+                let text = &src[start..i];
+                let n = text.parse::<i64>().map_err(|_| LexError {
+                    message: format!("integer literal `{text}` out of range"),
+                    line: tline,
+                    col: tcol,
+                })?;
+                out.push(Spanned {
+                    tok: Tok::Int(n),
+                    line: tline,
+                    col: tcol,
+                });
+            }
+            _ => {
+                // Byte-wise two-character operator check: the source may
+                // contain arbitrary (multi-byte) garbage, so never slice
+                // the &str at a byte offset here.
+                let two: Option<(u8, u8)> = bytes
+                    .get(i + 1)
+                    .map(|&b| (c, b));
+                let (tok, len) = match two {
+                    Some((b'-', b'>')) => (Tok::Arrow, 2),
+                    Some((b'&', b'&')) => (Tok::AndAnd, 2),
+                    Some((b'=', b'=')) => (Tok::EqEq, 2),
+                    Some((b'<', b'>')) => (Tok::Ne, 2),
+                    Some((b'<', b'=')) => (Tok::Le, 2),
+                    Some((b'>', b'=')) => (Tok::Ge, 2),
+                    _ => match c {
+                        b'{' => (Tok::LBrace, 1),
+                        b'}' => (Tok::RBrace, 1),
+                        b'(' => (Tok::LParen, 1),
+                        b')' => (Tok::RParen, 1),
+                        b'[' => (Tok::LBracket, 1),
+                        b']' => (Tok::RBracket, 1),
+                        b':' => (Tok::Colon, 1),
+                        b';' => (Tok::Semi, 1),
+                        b',' => (Tok::Comma, 1),
+                        b'!' => (Tok::Bang, 1),
+                        b'?' => (Tok::Question, 1),
+                        b'<' => (Tok::Lt, 1),
+                        b'>' => (Tok::Gt, 1),
+                        b'=' => (Tok::Eq, 1),
+                        b'+' => (Tok::Plus, 1),
+                        b'-' => (Tok::Minus, 1),
+                        b'*' => (Tok::Star, 1),
+                        b'/' => (Tok::Slash, 1),
+                        _ => {
+                            let ch = src[i..].chars().next().expect("in bounds");
+                            return Err(LexError {
+                                message: format!("unexpected character `{ch}`"),
+                                line: tline,
+                                col: tcol,
+                            });
+                        }
+                    },
+                };
+                for _ in 0..len {
+                    advance!();
+                }
+                out.push(Spanned {
+                    tok,
+                    line: tline,
+                    col: tcol,
+                });
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|s| s.tok).collect()
+    }
+
+    #[test]
+    fn lexes_a_transition() {
+        assert_eq!(
+            toks("?ok && nb > 1 -> !crash(G1[ran]), goto 2;"),
+            vec![
+                Tok::Question,
+                Tok::Ident("ok".into()),
+                Tok::AndAnd,
+                Tok::Ident("nb".into()),
+                Tok::Gt,
+                Tok::Int(1),
+                Tok::Arrow,
+                Tok::Bang,
+                Tok::Ident("crash".into()),
+                Tok::LParen,
+                Tok::Ident("G1".into()),
+                Tok::LBracket,
+                Tok::Ident("ran".into()),
+                Tok::RBracket,
+                Tok::RParen,
+                Tok::Comma,
+                Tok::Ident("goto".into()),
+                Tok::Int(2),
+                Tok::Semi,
+            ]
+        );
+    }
+
+    #[test]
+    fn two_char_operators_win_over_single() {
+        assert_eq!(
+            toks("a <> b <= c >= d == e -> f"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Ne,
+                Tok::Ident("b".into()),
+                Tok::Le,
+                Tok::Ident("c".into()),
+                Tok::Ge,
+                Tok::Ident("d".into()),
+                Tok::EqEq,
+                Tok::Ident("e".into()),
+                Tok::Arrow,
+                Tok::Ident("f".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            toks("a // whole line\nb /* inline */ c"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Ident("b".into()),
+                Tok::Ident("c".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn positions_are_tracked() {
+        let ts = lex("ab\n  cd").unwrap();
+        assert_eq!((ts[0].line, ts[0].col), (1, 1));
+        assert_eq!((ts[1].line, ts[1].col), (2, 3));
+    }
+
+    #[test]
+    fn unterminated_comment_errors() {
+        let err = lex("a /* b").unwrap_err();
+        assert!(err.message.contains("unterminated"));
+    }
+
+    #[test]
+    fn bad_character_errors() {
+        let err = lex("a $ b").unwrap_err();
+        assert!(err.message.contains("unexpected character"));
+        assert_eq!(err.col, 3);
+    }
+
+    #[test]
+    fn huge_integer_errors() {
+        assert!(lex("99999999999999999999").is_err());
+    }
+}

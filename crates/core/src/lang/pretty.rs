@@ -1,0 +1,224 @@
+//! Pretty-printer: renders a FAIL AST back to canonical source text.
+//!
+//! `parse(pretty(parse(src)))` is the identity on ASTs (verified by
+//! property tests), which makes the printer usable for scenario
+//! normalisation, diffing, and tooling round-trips.
+
+use std::fmt::Write;
+
+use super::ast::*;
+
+fn prec(op: BinOp) -> u8 {
+    match op {
+        BinOp::And => 1,
+        BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => 2,
+        BinOp::Add | BinOp::Sub => 3,
+        BinOp::Mul | BinOp::Div => 4,
+    }
+}
+
+fn op_str(op: BinOp) -> &'static str {
+    match op {
+        BinOp::Add => "+",
+        BinOp::Sub => "-",
+        BinOp::Mul => "*",
+        BinOp::Div => "/",
+        BinOp::Eq => "==",
+        BinOp::Ne => "<>",
+        BinOp::Lt => "<",
+        BinOp::Le => "<=",
+        BinOp::Gt => ">",
+        BinOp::Ge => ">=",
+        BinOp::And => "&&",
+    }
+}
+
+/// Renders an expression, parenthesising only where precedence demands.
+pub fn expr(e: &ExprAst) -> String {
+    let mut s = String::new();
+    emit_expr(e, 0, &mut s);
+    s
+}
+
+fn emit_expr(e: &ExprAst, min_prec: u8, out: &mut String) {
+    match e {
+        ExprAst::Int(n) => write!(out, "{n}").unwrap(),
+        ExprAst::Name(n) => out.push_str(n),
+        ExprAst::Rand(lo, hi) => {
+            out.push_str("FAIL_RANDOM(");
+            emit_expr(lo, 0, out);
+            out.push_str(", ");
+            emit_expr(hi, 0, out);
+            out.push(')');
+        }
+        ExprAst::Neg(x) => {
+            out.push('-');
+            // Unary binds tightest; parenthesise non-primary operands.
+            match **x {
+                ExprAst::Int(_) | ExprAst::Name(_) | ExprAst::Rand(..) => {
+                    emit_expr(x, 0, out)
+                }
+                _ => {
+                    out.push('(');
+                    emit_expr(x, 0, out);
+                    out.push(')');
+                }
+            }
+        }
+        ExprAst::Bin(op, a, b) => {
+            let p = prec(*op);
+            let need = p < min_prec;
+            if need {
+                out.push('(');
+            }
+            emit_expr(a, p, out);
+            write!(out, " {} ", op_str(*op)).unwrap();
+            // Left-associative grammar: the right operand needs one level
+            // more to force parentheses on equal precedence.
+            emit_expr(b, p + 1, out);
+            if need {
+                out.push(')');
+            }
+        }
+    }
+}
+
+fn dest(d: &DestAst) -> String {
+    match d {
+        DestAst::Instance(n) => n.clone(),
+        DestAst::Group(g, idx) => format!("{g}[{}]", expr(idx)),
+        DestAst::Sender => "FAIL_SENDER".to_string(),
+    }
+}
+
+fn action(a: &ActionAst) -> String {
+    match a {
+        ActionAst::Send { msg, dest: d } => format!("!{msg}({})", dest(d)),
+        ActionAst::Goto(n) => format!("goto {n}"),
+        ActionAst::Halt => "halt".to_string(),
+        ActionAst::Stop => "stop".to_string(),
+        ActionAst::Continue => "continue".to_string(),
+        ActionAst::Assign(v, e) => format!("{v} = {}", expr(e)),
+    }
+}
+
+fn guard(g: &GuardAst) -> String {
+    match g {
+        GuardAst::Recv(m) => format!("?{m}"),
+        GuardAst::OnLoad => "onload".to_string(),
+        GuardAst::OnExit => "onexit".to_string(),
+        GuardAst::OnError => "onerror".to_string(),
+        GuardAst::Timer(t) => t.clone(),
+        GuardAst::Before(f) => format!("before({f})"),
+        GuardAst::Change(v) => format!("onchange({v})"),
+    }
+}
+
+/// Renders a whole scenario in canonical form.
+pub fn scenario(ast: &ScenarioAst) -> String {
+    let mut out = String::new();
+    for p in &ast.params {
+        writeln!(out, "param {} = {};", p.name, expr(&p.default)).unwrap();
+    }
+    if !ast.params.is_empty() {
+        out.push('\n');
+    }
+    for d in &ast.daemons {
+        writeln!(out, "daemon {} {{", d.name).unwrap();
+        for v in &d.vars {
+            writeln!(out, "  int {} = {};", v.name, expr(&v.init)).unwrap();
+        }
+        for pr in &d.probes {
+            writeln!(out, "  probe {};", pr.name).unwrap();
+        }
+        for n in &d.nodes {
+            writeln!(out, "  node {}:", n.label).unwrap();
+            for v in &n.always {
+                writeln!(out, "    always int {} = {};", v.name, expr(&v.init)).unwrap();
+            }
+            for t in &n.timers {
+                writeln!(out, "    timer {} = {};", t.name, expr(&t.delay)).unwrap();
+            }
+            for t in &n.transitions {
+                let mut line = guard(&t.guard);
+                for c in &t.conds {
+                    write!(line, " && {}", expr(c)).unwrap();
+                }
+                line.push_str(" -> ");
+                line.push_str(
+                    &t.actions
+                        .iter()
+                        .map(action)
+                        .collect::<Vec<_>>()
+                        .join(", "),
+                );
+                writeln!(out, "    {line};").unwrap();
+            }
+        }
+        out.push_str("}\n\n");
+    }
+    for i in &ast.instances {
+        writeln!(out, "instance {} = {};", i.name, i.class).unwrap();
+    }
+    for g in &ast.groups {
+        writeln!(out, "group {}[{}] = {};", g.name, g.len, g.class).unwrap();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lang::parser::parse;
+
+    fn roundtrip(src: &str) {
+        let ast1 = parse(src).unwrap();
+        let printed = scenario(&ast1);
+        let ast2 = parse(&printed).unwrap_or_else(|e| panic!("reparse failed: {e}\n{printed}"));
+        // Line numbers differ; compare the normalised prints instead.
+        assert_eq!(printed, scenario(&ast2), "print not a fixpoint:\n{printed}");
+    }
+
+    #[test]
+    fn roundtrips_all_paper_scenarios() {
+        for src in [
+            include_str!("../../scenarios/fig4_generic_nodes.fail"),
+            include_str!("../../scenarios/fig5_frequency.fail"),
+            include_str!("../../scenarios/fig7_simultaneous.fail"),
+            include_str!("../../scenarios/fig8_synchronized.fail"),
+            include_str!("../../scenarios/fig10_state_sync.fail"),
+            include_str!("../../scenarios/delay_injection.fail"),
+        ] {
+            roundtrip(src);
+        }
+    }
+
+    #[test]
+    fn precedence_is_preserved() {
+        // (1 + 2) * 3 must keep its parentheses; 1 + 2 * 3 must not gain any.
+        let src = "param A = (1 + 2) * 3; param B = 1 + 2 * 3;";
+        let printed = scenario(&parse(src).unwrap());
+        assert!(printed.contains("param A = (1 + 2) * 3;"), "{printed}");
+        assert!(printed.contains("param B = 1 + 2 * 3;"), "{printed}");
+        roundtrip(src);
+    }
+
+    #[test]
+    fn left_associativity_is_preserved() {
+        // 10 - (3 - 2) ≠ 10 - 3 - 2: the printer must keep the grouping.
+        let src = "param A = 10 - (3 - 2); param B = 10 - 3 - 2;";
+        let printed = scenario(&parse(src).unwrap());
+        assert!(printed.contains("param A = 10 - (3 - 2);"), "{printed}");
+        assert!(printed.contains("param B = 10 - 3 - 2;"), "{printed}");
+        roundtrip(src);
+    }
+
+    #[test]
+    fn negation_parenthesises_compounds() {
+        let src = "param A = -(1 + 2); param B = -7;";
+        let printed = scenario(&parse(src).unwrap());
+        assert!(printed.contains("param A = -(1 + 2);"), "{printed}");
+        assert!(printed.contains("param B = -7;"), "{printed}");
+        roundtrip(src);
+    }
+}

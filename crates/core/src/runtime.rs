@@ -1,0 +1,1110 @@
+//! The FAIL-MPI injection runtime: executes one automaton instance per
+//! machine (plus free-standing coordinators) and drives the system under
+//! test through abstract actions.
+//!
+//! The runtime is host-agnostic: it never touches a network or a process
+//! table. The embedding world feeds it [`FailInput`]s and must apply every
+//! returned [`FailAction`]; `failmpi-experiments` provides the binding to
+//! the simulated MPICH-Vcl cluster.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::Arc;
+
+use failmpi_sim::{SimDuration, SimRng};
+
+use crate::lang::compile::{Action, Dest, Guard, Scenario};
+
+/// An error building a runtime.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RuntimeError(pub String);
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+/// Maps daemon instances to the world: named instances (the paper's `P1`)
+/// and groups (the paper's `G1`, one member per cluster machine).
+#[derive(Clone, Debug, Default)]
+pub struct Deployment {
+    names: Vec<String>,
+    classes: Vec<String>,
+    groups: Vec<(String, Vec<usize>)>,
+}
+
+impl Deployment {
+    /// An empty deployment.
+    pub fn new() -> Self {
+        Deployment::default()
+    }
+
+    /// Adds a daemon instance of `class`; returns its index.
+    pub fn add_instance(&mut self, name: &str, class: &str) -> Result<usize, RuntimeError> {
+        if self.names.iter().any(|n| n == name) {
+            return Err(RuntimeError(format!("duplicate instance `{name}`")));
+        }
+        self.names.push(name.to_string());
+        self.classes.push(class.to_string());
+        Ok(self.names.len() - 1)
+    }
+
+    /// Registers `members` (instance indices) as group `name`.
+    pub fn add_group(&mut self, name: &str, members: Vec<usize>) -> Result<(), RuntimeError> {
+        if self.groups.iter().any(|(n, _)| n == name) {
+            return Err(RuntimeError(format!("duplicate group `{name}`")));
+        }
+        for &m in &members {
+            if m >= self.names.len() {
+                return Err(RuntimeError(format!(
+                    "group `{name}` references unknown instance #{m}"
+                )));
+            }
+        }
+        self.groups.push((name.to_string(), members));
+        Ok(())
+    }
+
+    /// Builds a deployment from the scenario's `instance` / `group` sugar.
+    /// Group members are named `NAME[i]`.
+    pub fn from_suggested(scenario: &Scenario) -> Result<Self, RuntimeError> {
+        let mut d = Deployment::new();
+        for (name, class_idx) in &scenario.suggested.instances {
+            d.add_instance(name, &scenario.classes[*class_idx].name)?;
+        }
+        for (name, len, class_idx) in &scenario.suggested.groups {
+            let class = &scenario.classes[*class_idx].name;
+            let mut members = Vec::new();
+            for i in 0..*len {
+                members.push(d.add_instance(&format!("{name}[{i}]"), class)?);
+            }
+            d.add_group(name, members)?;
+        }
+        Ok(d)
+    }
+
+    /// Number of instances.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// `true` when no instances exist.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Index of the named instance.
+    pub fn instance_index(&self, name: &str) -> Option<usize> {
+        self.names.iter().position(|n| n == name)
+    }
+
+    /// Members of the named group.
+    pub fn group(&self, name: &str) -> Option<&[usize]> {
+        self.groups
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, m)| m.as_slice())
+    }
+}
+
+/// Inputs the embedding world feeds to the runtime.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FailInput {
+    /// A previously armed timer fired. Stale generations are ignored.
+    Timer {
+        /// Instance whose timer fired.
+        instance: usize,
+        /// Timer slot within the class.
+        timer: usize,
+        /// Node-entry generation the timer was armed in.
+        gen: u64,
+    },
+    /// A FAIL message arrived (the world delivers [`FailAction::SendMsg`]
+    /// back here, after whatever latency it models).
+    Msg {
+        /// Sender instance.
+        from: usize,
+        /// Recipient instance.
+        to: usize,
+        /// Message slot.
+        msg: usize,
+    },
+    /// A process registered with this machine's daemon (`onload`).
+    OnLoad {
+        /// The machine's instance.
+        instance: usize,
+        /// Opaque process handle.
+        proc: u64,
+    },
+    /// The controlled process exited normally (`onexit`).
+    OnExit {
+        /// The machine's instance.
+        instance: usize,
+        /// Opaque process handle.
+        proc: u64,
+    },
+    /// The controlled process died abnormally (`onerror`).
+    OnError {
+        /// The machine's instance.
+        instance: usize,
+        /// Opaque process handle.
+        proc: u64,
+    },
+    /// The controlled process hit an armed breakpoint and is held.
+    Breakpoint {
+        /// The machine's instance.
+        instance: usize,
+        /// Opaque process handle.
+        proc: u64,
+        /// Function name (matched against `before(...)` guards).
+        func: String,
+    },
+    /// The host updated a `probe` variable (the paper's Sec. 6 planned
+    /// feature: reading internal state of the strained application).
+    /// Fires `onchange(probe)` transitions when the value actually changed.
+    Probe {
+        /// The observing instance.
+        instance: usize,
+        /// Probe slot (see [`FailRuntime::probe_slot`]).
+        probe: usize,
+        /// New value.
+        value: i64,
+    },
+}
+
+/// Actions the embedding world must apply.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FailAction {
+    /// Deliver `msg` from one daemon to another (after transport latency),
+    /// then feed it back as [`FailInput::Msg`].
+    SendMsg {
+        /// Sender instance.
+        from: usize,
+        /// Recipient instance.
+        to: usize,
+        /// Message slot.
+        msg: usize,
+    },
+    /// Schedule [`FailInput::Timer`] after `delay`.
+    ArmTimer {
+        /// Owning instance.
+        instance: usize,
+        /// Timer slot.
+        timer: usize,
+        /// Generation to echo back.
+        gen: u64,
+        /// Delay until expiry.
+        delay: SimDuration,
+    },
+    /// Kill the process (crash injection).
+    Halt {
+        /// Opaque process handle.
+        proc: u64,
+    },
+    /// Suspend the process (SIGSTOP).
+    Stop {
+        /// Opaque process handle.
+        proc: u64,
+    },
+    /// Resume the process (SIGCONT / release a hold).
+    Continue {
+        /// Opaque process handle.
+        proc: u64,
+    },
+    /// Arm a debugger breakpoint.
+    ArmBreakpoint {
+        /// Opaque process handle.
+        proc: u64,
+        /// Function to intercept.
+        func: String,
+    },
+    /// Remove every breakpoint on the process.
+    DisarmBreakpoints {
+        /// Opaque process handle.
+        proc: u64,
+    },
+    /// Let a process held at a breakpoint proceed.
+    ReleaseBreakpoint {
+        /// Opaque process handle.
+        proc: u64,
+    },
+}
+
+#[derive(Debug)]
+struct Inst {
+    class: usize,
+    node: usize,
+    vars: Vec<i64>,
+    inbox: VecDeque<(usize, usize)>,
+    entry_gen: u64,
+    controlled: Option<u64>,
+    /// Breakpoints currently armed on the controlled process.
+    armed: bool,
+}
+
+/// The executing scenario: one state-machine instance per deployment slot.
+#[derive(Debug)]
+pub struct FailRuntime {
+    scenario: Arc<Scenario>,
+    params: Vec<i64>,
+    deployment: Deployment,
+    instance_class: Vec<usize>,
+    instances: Vec<Inst>,
+}
+
+impl FailRuntime {
+    /// Builds a runtime for `scenario` under `deployment`, overriding the
+    /// listed parameters (the paper's meta-variables `X`, `N`, …).
+    pub fn new(
+        scenario: &Scenario,
+        deployment: Deployment,
+        param_overrides: &[(&str, i64)],
+    ) -> Result<Self, RuntimeError> {
+        let mut params = scenario.param_defaults.clone();
+        for (name, value) in param_overrides {
+            match scenario.param_names.iter().position(|p| p == name) {
+                Some(i) => params[i] = *value,
+                None => return Err(RuntimeError(format!("unknown param `{name}`"))),
+            }
+        }
+        let mut instance_class = Vec::new();
+        for (name, class) in deployment.names.iter().zip(&deployment.classes) {
+            match scenario.class_id(class) {
+                Some(ci) => instance_class.push(ci),
+                None => {
+                    return Err(RuntimeError(format!(
+                        "instance `{name}`: unknown daemon `{class}`"
+                    )))
+                }
+            }
+        }
+        for name in &scenario.referenced_instances {
+            if deployment.instance_index(name).is_none() {
+                return Err(RuntimeError(format!(
+                    "scenario sends to unbound instance `{name}`"
+                )));
+            }
+        }
+        for name in &scenario.referenced_groups {
+            if deployment.group(name).is_none() {
+                return Err(RuntimeError(format!(
+                    "scenario sends to unbound group `{name}`"
+                )));
+            }
+        }
+        let instances = instance_class
+            .iter()
+            .map(|&ci| Inst {
+                class: ci,
+                node: 0,
+                vars: vec![0; scenario.classes[ci].var_names.len()],
+                inbox: VecDeque::new(),
+                entry_gen: 0,
+                controlled: None,
+                armed: false,
+            })
+            .collect();
+        Ok(FailRuntime {
+            scenario: Arc::new(scenario.clone()),
+            params,
+            deployment,
+            instance_class,
+            instances,
+        })
+    }
+
+    /// The compiled scenario.
+    pub fn scenario(&self) -> &Scenario {
+        &self.scenario
+    }
+
+    /// The deployment map.
+    pub fn deployment(&self) -> &Deployment {
+        &self.deployment
+    }
+
+    /// Number of instances.
+    pub fn len(&self) -> usize {
+        self.instances.len()
+    }
+
+    /// `true` when no instances exist.
+    pub fn is_empty(&self) -> bool {
+        self.instances.is_empty()
+    }
+
+    /// The numeric label of the node `instance` currently sits in.
+    pub fn current_node_label(&self, instance: usize) -> i64 {
+        let inst = &self.instances[instance];
+        self.scenario.classes[inst.class].nodes[inst.node].label
+    }
+
+    /// The process controlled by `instance`, if any.
+    pub fn controlled(&self, instance: usize) -> Option<u64> {
+        self.instances[instance].controlled
+    }
+
+    /// The variable slot behind a declared probe of `instance`'s class.
+    pub fn probe_slot(&self, instance: usize, name: &str) -> Option<usize> {
+        let class = &self.scenario.classes[self.instance_class[instance]];
+        class
+            .probes
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, slot)| slot)
+    }
+
+    /// Current value of a variable (tests/diagnostics).
+    pub fn var(&self, instance: usize, name: &str) -> Option<i64> {
+        let inst = &self.instances[instance];
+        let slot = self.scenario.classes[inst.class]
+            .var_names
+            .iter()
+            .position(|v| v == name)?;
+        Some(inst.vars[slot])
+    }
+
+    /// Initializes every instance: daemon-level variables, the initial
+    /// node's `always` declarations and timers. Returns the arming actions.
+    pub fn start(&mut self, rng: &mut SimRng) -> Vec<FailAction> {
+        let mut out = Vec::new();
+        let scenario = Arc::clone(&self.scenario);
+        for i in 0..self.instances.len() {
+            let class = &scenario.classes[self.instance_class[i]];
+            for (slot, e) in &class.var_init {
+                let v = e.eval(&self.instances[i].vars, &self.params, rng);
+                self.instances[i].vars[*slot] = v;
+            }
+            self.enter_node(i, 0, rng, &mut out);
+        }
+        out
+    }
+
+    /// Attaches to an *already running* process by its identifier — the
+    /// second FAIL-MPI extension of paper Sec. 4: "it is possible to attach
+    /// to a process that is already running, so that processes that were
+    /// not created from a command line argument (such as those obtained by
+    /// fork system calls) can also be used in the FAIL-MPI framework. This
+    /// requires simply to register with the FAIL-MPI daemon using the
+    /// process identifier as an argument."
+    ///
+    /// Attachment is observationally identical to a launch registration:
+    /// it raises the instance's `onload` trigger and takes control of the
+    /// process.
+    pub fn attach(&mut self, instance: usize, proc: u64, rng: &mut SimRng) -> Vec<FailAction> {
+        self.feed(FailInput::OnLoad { instance, proc }, rng)
+    }
+
+    /// Feeds one input; returns the actions it provoked.
+    pub fn feed(&mut self, input: FailInput, rng: &mut SimRng) -> Vec<FailAction> {
+        let mut out = Vec::new();
+        match input {
+            FailInput::Timer {
+                instance,
+                timer,
+                gen,
+            } => {
+                if gen != self.instances[instance].entry_gen {
+                    return out; // stale: the node was re-entered since
+                }
+                self.try_fire(
+                    instance,
+                    |g| matches!(g, Guard::Timer(t) if *t == timer),
+                    None,
+                    rng,
+                    &mut out,
+                );
+            }
+            FailInput::Msg { from, to, msg } => {
+                self.instances[to].inbox.push_back((from, msg));
+                self.drain_inbox(to, rng, &mut out);
+            }
+            FailInput::OnLoad { instance, proc } => {
+                self.instances[instance].controlled = Some(proc);
+                self.instances[instance].armed = false;
+                let fired = self.try_fire(
+                    instance,
+                    |g| matches!(g, Guard::OnLoad),
+                    None,
+                    rng,
+                    &mut out,
+                );
+                if !fired {
+                    // Even without a transition, the node may want its
+                    // breakpoints on the newly controlled process.
+                    self.sync_breakpoints(instance, &mut out);
+                }
+            }
+            FailInput::OnExit { instance, proc } | FailInput::OnError { instance, proc } => {
+                if self.instances[instance].controlled != Some(proc) {
+                    return out; // a stale lifecycle event
+                }
+                self.instances[instance].controlled = None;
+                self.instances[instance].armed = false;
+                let want_exit = matches!(input, FailInput::OnExit { .. });
+                self.try_fire(
+                    instance,
+                    |g| {
+                        if want_exit {
+                            matches!(g, Guard::OnExit)
+                        } else {
+                            matches!(g, Guard::OnError)
+                        }
+                    },
+                    None,
+                    rng,
+                    &mut out,
+                );
+            }
+            FailInput::Probe {
+                instance,
+                probe,
+                value,
+            } => {
+                let old = self.instances[instance].vars[probe];
+                self.instances[instance].vars[probe] = value;
+                if old != value {
+                    self.try_fire(
+                        instance,
+                        |g| matches!(g, Guard::Change(p) if *p == probe),
+                        None,
+                        rng,
+                        &mut out,
+                    );
+                }
+            }
+            FailInput::Breakpoint {
+                instance,
+                proc,
+                func,
+            } => {
+                if self.instances[instance].controlled != Some(proc) {
+                    out.push(FailAction::ReleaseBreakpoint { proc });
+                    return out;
+                }
+                let fired = self.try_fire(
+                    instance,
+                    |g| matches!(g, Guard::Before(f) if *f == func),
+                    None,
+                    rng,
+                    &mut out,
+                );
+                // Unless the transition killed the process (halt), the held
+                // process must proceed — a debugger never leaves it hanging.
+                if self.instances[instance].controlled == Some(proc) {
+                    out.push(FailAction::ReleaseBreakpoint { proc });
+                } else if !fired {
+                    out.push(FailAction::ReleaseBreakpoint { proc });
+                }
+            }
+        }
+        out
+    }
+
+    /// Tries the current node's transitions in order; fires the first whose
+    /// guard matches `pred` and whose conditions hold. Returns whether one
+    /// fired.
+    fn try_fire(
+        &mut self,
+        i: usize,
+        pred: impl Fn(&Guard) -> bool,
+        sender: Option<usize>,
+        rng: &mut SimRng,
+        out: &mut Vec<FailAction>,
+    ) -> bool {
+        let scenario = Arc::clone(&self.scenario);
+        let inst = &self.instances[i];
+        let node = &scenario.classes[inst.class].nodes[inst.node];
+        for (t, trans) in node.transitions.iter().enumerate() {
+            if !pred(&trans.guard) {
+                continue;
+            }
+            let vars = &self.instances[i].vars;
+            if trans
+                .conds
+                .iter()
+                .all(|c| c.eval(vars, &self.params, rng) != 0)
+            {
+                self.fire(i, self.instances[i].node, t, sender, rng, out);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Executes transition `t` of node `n` on instance `i`.
+    fn fire(
+        &mut self,
+        i: usize,
+        n: usize,
+        t: usize,
+        sender: Option<usize>,
+        rng: &mut SimRng,
+        out: &mut Vec<FailAction>,
+    ) {
+        let scenario = Arc::clone(&self.scenario);
+        let class = self.instance_class[i];
+        let actions = &scenario.classes[class].nodes[n].transitions[t].actions;
+        let mut next = None;
+        for a in actions {
+            match a {
+                Action::Send { msg, dest } => {
+                    let to = match dest {
+                        Dest::Instance(name) => self
+                            .deployment
+                            .instance_index(name)
+                            .expect("validated at build"),
+                        Dest::Group(name, idx) => {
+                            let members =
+                                self.deployment.group(name).expect("validated at build");
+                            let k =
+                                idx.eval(&self.instances[i].vars, &self.params, rng);
+                            let Ok(k) = usize::try_from(k) else {
+                                panic!("negative group index {k} into `{name}`");
+                            };
+                            assert!(
+                                k < members.len(),
+                                "group index {k} out of bounds for `{name}` (len {})",
+                                members.len()
+                            );
+                            members[k]
+                        }
+                        Dest::Sender => sender.expect("compiler guarantees a sender"),
+                    };
+                    out.push(FailAction::SendMsg {
+                        from: i,
+                        to,
+                        msg: *msg,
+                    });
+                }
+                Action::Goto(node) => next = Some(*node),
+                Action::Halt => {
+                    if let Some(p) = self.instances[i].controlled.take() {
+                        if self.instances[i].armed {
+                            out.push(FailAction::DisarmBreakpoints { proc: p });
+                            self.instances[i].armed = false;
+                        }
+                        out.push(FailAction::Halt { proc: p });
+                    }
+                }
+                Action::Stop => {
+                    if let Some(p) = self.instances[i].controlled {
+                        out.push(FailAction::Stop { proc: p });
+                    }
+                }
+                Action::Continue => {
+                    if let Some(p) = self.instances[i].controlled {
+                        out.push(FailAction::Continue { proc: p });
+                    }
+                }
+                Action::Assign(slot, e) => {
+                    let v = e.eval(&self.instances[i].vars, &self.params, rng);
+                    self.instances[i].vars[*slot] = v;
+                }
+            }
+        }
+        match next {
+            Some(node) => self.enter_node(i, node, rng, out),
+            None => self.sync_breakpoints(i, out),
+        }
+    }
+
+    /// Node entry: bump the timer generation, evaluate `always`
+    /// declarations, arm timers, sync breakpoints, re-scan the inbox.
+    fn enter_node(&mut self, i: usize, node: usize, rng: &mut SimRng, out: &mut Vec<FailAction>) {
+        let scenario = Arc::clone(&self.scenario);
+        let class = self.instance_class[i];
+        {
+            let inst = &mut self.instances[i];
+            inst.node = node;
+            inst.entry_gen += 1;
+        }
+        let nd = &scenario.classes[class].nodes[node];
+        for (slot, e) in &nd.always {
+            let v = e.eval(&self.instances[i].vars, &self.params, rng);
+            self.instances[i].vars[*slot] = v;
+        }
+        for (timer, e) in &nd.timers {
+            let secs = e.eval(&self.instances[i].vars, &self.params, rng).max(0);
+            out.push(FailAction::ArmTimer {
+                instance: i,
+                timer: *timer,
+                gen: self.instances[i].entry_gen,
+                delay: SimDuration::from_secs(secs as u64),
+            });
+        }
+        self.sync_breakpoints(i, out);
+        self.drain_inbox(i, rng, out);
+    }
+
+    /// Arms/disarms debugger breakpoints so they match the current node's
+    /// `before(...)` guards and the currently controlled process.
+    fn sync_breakpoints(&mut self, i: usize, out: &mut Vec<FailAction>) {
+        let scenario = Arc::clone(&self.scenario);
+        let inst = &self.instances[i];
+        let node = &scenario.classes[inst.class].nodes[inst.node];
+        let funcs: Vec<&String> = node
+            .transitions
+            .iter()
+            .filter_map(|t| match &t.guard {
+                Guard::Before(f) => Some(f),
+                _ => None,
+            })
+            .collect();
+        let want = !funcs.is_empty() && inst.controlled.is_some();
+        match (inst.armed, want) {
+            (false, true) => {
+                let proc = inst.controlled.expect("checked");
+                for f in funcs {
+                    out.push(FailAction::ArmBreakpoint {
+                        proc,
+                        func: f.clone(),
+                    });
+                }
+                self.instances[i].armed = true;
+            }
+            (true, false) => {
+                if let Some(proc) = inst.controlled {
+                    out.push(FailAction::DisarmBreakpoints { proc });
+                }
+                self.instances[i].armed = false;
+            }
+            _ => {}
+        }
+    }
+
+    /// Re-scans the inbox (FIFO) for a message the current node can
+    /// consume; keeps firing until nothing matches.
+    fn drain_inbox(&mut self, i: usize, rng: &mut SimRng, out: &mut Vec<FailAction>) {
+        loop {
+            let scenario = Arc::clone(&self.scenario);
+            let inst = &self.instances[i];
+            let node = &scenario.classes[inst.class].nodes[inst.node];
+            let mut fired = false;
+            'scan: for idx in 0..inst.inbox.len() {
+                let (from, msg) = inst.inbox[idx];
+                for (t, trans) in node.transitions.iter().enumerate() {
+                    if !matches!(trans.guard, Guard::Recv(m) if m == msg) {
+                        continue;
+                    }
+                    if trans
+                        .conds
+                        .iter()
+                        .all(|c| c.eval(&inst.vars, &self.params, rng) != 0)
+                    {
+                        let n = inst.node;
+                        self.instances[i].inbox.remove(idx);
+                        self.fire(i, n, t, Some(from), rng, out);
+                        fired = true;
+                        break 'scan;
+                    }
+                }
+            }
+            if !fired {
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lang::compile::compile;
+
+    const FIG4: &str = r#"
+        daemon ADV2 {
+          node 1:
+            onload -> continue, goto 2;
+            ?crash -> !no(P1), goto 1;
+          node 2:
+            onexit -> goto 1;
+            onerror -> goto 1;
+            onload -> continue, goto 2;
+            ?crash -> !ok(P1), halt, goto 1;
+        }
+        daemon Sink { node 1: ?never -> goto 1; }
+        instance P1 = Sink;
+        group G1[2] = ADV2;
+    "#;
+
+    fn rt(src: &str, overrides: &[(&str, i64)]) -> FailRuntime {
+        let s = compile(src).unwrap();
+        let d = Deployment::from_suggested(&s).unwrap();
+        FailRuntime::new(&s, d, overrides).unwrap()
+    }
+
+    #[test]
+    fn fig4_no_process_answers_no() {
+        let mut r = rt(FIG4, &[]);
+        let mut rng = SimRng::new(1);
+        r.start(&mut rng);
+        let g10 = r.deployment().instance_index("G1[0]").unwrap();
+        let p1 = r.deployment().instance_index("P1").unwrap();
+        let crash = r.scenario().message_id("crash").unwrap();
+        let no = r.scenario().message_id("no").unwrap();
+        let acts = r.feed(
+            FailInput::Msg {
+                from: p1,
+                to: g10,
+                msg: crash,
+            },
+            &mut rng,
+        );
+        assert_eq!(
+            acts,
+            vec![FailAction::SendMsg {
+                from: g10,
+                to: p1,
+                msg: no
+            }]
+        );
+        assert_eq!(r.current_node_label(g10), 1);
+    }
+
+    #[test]
+    fn fig4_loaded_process_is_halted_on_crash() {
+        let mut r = rt(FIG4, &[]);
+        let mut rng = SimRng::new(1);
+        r.start(&mut rng);
+        let g10 = r.deployment().instance_index("G1[0]").unwrap();
+        let p1 = r.deployment().instance_index("P1").unwrap();
+        let crash = r.scenario().message_id("crash").unwrap();
+        let ok = r.scenario().message_id("ok").unwrap();
+
+        let acts = r.feed(
+            FailInput::OnLoad {
+                instance: g10,
+                proc: 77,
+            },
+            &mut rng,
+        );
+        // `continue` on the freshly loaded process, then goto 2.
+        assert!(acts.contains(&FailAction::Continue { proc: 77 }));
+        assert_eq!(r.current_node_label(g10), 2);
+        assert_eq!(r.controlled(g10), Some(77));
+
+        let acts = r.feed(
+            FailInput::Msg {
+                from: p1,
+                to: g10,
+                msg: crash,
+            },
+            &mut rng,
+        );
+        assert_eq!(
+            acts,
+            vec![
+                FailAction::SendMsg {
+                    from: g10,
+                    to: p1,
+                    msg: ok
+                },
+                FailAction::Halt { proc: 77 },
+            ]
+        );
+        assert_eq!(r.current_node_label(g10), 1);
+        assert_eq!(r.controlled(g10), None);
+    }
+
+    #[test]
+    fn fig4_exit_and_error_return_to_waiting() {
+        let mut r = rt(FIG4, &[]);
+        let mut rng = SimRng::new(1);
+        r.start(&mut rng);
+        let g = r.deployment().instance_index("G1[1]").unwrap();
+        r.feed(
+            FailInput::OnLoad {
+                instance: g,
+                proc: 5,
+            },
+            &mut rng,
+        );
+        assert_eq!(r.current_node_label(g), 2);
+        r.feed(
+            FailInput::OnExit {
+                instance: g,
+                proc: 5,
+            },
+            &mut rng,
+        );
+        assert_eq!(r.current_node_label(g), 1);
+        assert_eq!(r.controlled(g), None);
+        // Reload and die abnormally.
+        r.feed(
+            FailInput::OnLoad {
+                instance: g,
+                proc: 6,
+            },
+            &mut rng,
+        );
+        r.feed(
+            FailInput::OnError {
+                instance: g,
+                proc: 6,
+            },
+            &mut rng,
+        );
+        assert_eq!(r.current_node_label(g), 1);
+    }
+
+    const ADV1: &str = r#"
+        param X = 50;
+        param N = 1;
+        daemon ADV1 {
+          node 1:
+            always int ran = FAIL_RANDOM(0, N);
+            timer g_timer = X;
+            g_timer -> !crash(G1[ran]), goto 2;
+          node 2:
+            always int ran = FAIL_RANDOM(0, N);
+            ?ok -> goto 1;
+            ?no -> !crash(G1[ran]), goto 2;
+        }
+        daemon Node { node 1: ?crash -> !no(P1), goto 1; }
+        instance P1 = ADV1;
+        group G1[2] = Node;
+    "#;
+
+    #[test]
+    fn adv1_timer_cycle() {
+        let mut r = rt(ADV1, &[("X", 7)]);
+        let mut rng = SimRng::new(3);
+        let acts = r.start(&mut rng);
+        // P1's timer armed with the overridden delay.
+        let arm = acts
+            .iter()
+            .find_map(|a| match a {
+                FailAction::ArmTimer { instance, gen, delay, .. } => {
+                    Some((*instance, *gen, *delay))
+                }
+                _ => None,
+            })
+            .expect("timer armed");
+        assert_eq!(arm.2, SimDuration::from_secs(7));
+        let p1 = r.deployment().instance_index("P1").unwrap();
+        assert_eq!(arm.0, p1);
+
+        // Fire the timer: P1 sends crash to a random G1 member, enters 2.
+        let acts = r.feed(
+            FailInput::Timer {
+                instance: p1,
+                timer: 0,
+                gen: arm.1,
+            },
+            &mut rng,
+        );
+        let crash = r.scenario().message_id("crash").unwrap();
+        assert!(matches!(
+            acts[0],
+            FailAction::SendMsg { from, msg, .. } if from == p1 && msg == crash
+        ));
+        assert_eq!(r.current_node_label(p1), 2);
+
+        // `no` answer: immediately re-crash another member, stay in 2.
+        let no = r.scenario().message_id("no").unwrap();
+        let acts = r.feed(
+            FailInput::Msg {
+                from: 1,
+                to: p1,
+                msg: no,
+            },
+            &mut rng,
+        );
+        assert!(matches!(acts[0], FailAction::SendMsg { msg, .. } if msg == crash));
+        assert_eq!(r.current_node_label(p1), 2);
+
+        // `ok`: back to node 1, which re-arms the timer with a new gen.
+        let ok = r.scenario().message_id("ok").unwrap();
+        let acts = r.feed(
+            FailInput::Msg {
+                from: 1,
+                to: p1,
+                msg: ok,
+            },
+            &mut rng,
+        );
+        assert!(acts.iter().any(|a| matches!(
+            a,
+            FailAction::ArmTimer { gen, .. } if *gen > arm.1
+        )));
+        assert_eq!(r.current_node_label(p1), 1);
+    }
+
+    #[test]
+    fn stale_timer_generation_is_ignored() {
+        let mut r = rt(ADV1, &[]);
+        let mut rng = SimRng::new(3);
+        let acts = r.start(&mut rng);
+        let p1 = r.deployment().instance_index("P1").unwrap();
+        let gen = acts
+            .iter()
+            .find_map(|a| match a {
+                FailAction::ArmTimer { gen, .. } => Some(*gen),
+                _ => None,
+            })
+            .unwrap();
+        // An obsolete generation does nothing.
+        let acts = r.feed(
+            FailInput::Timer {
+                instance: p1,
+                timer: 0,
+                gen: gen + 10,
+            },
+            &mut rng,
+        );
+        assert!(acts.is_empty());
+        assert_eq!(r.current_node_label(p1), 1);
+    }
+
+    #[test]
+    fn guard_conditions_select_transitions() {
+        let src = r#"
+            daemon A {
+              int nb = 2;
+              node 1:
+                ?go && nb > 1 -> nb = nb - 1, goto 1;
+                ?go && nb <= 1 -> !done(P), goto 2;
+              node 2:
+                ?never -> goto 2;
+            }
+            daemon Sink { node 1: ?x -> goto 1; }
+            instance P = Sink;
+            instance A1 = A;
+        "#;
+        let mut r = rt(src, &[]);
+        let mut rng = SimRng::new(1);
+        r.start(&mut rng);
+        let a = r.deployment().instance_index("A1").unwrap();
+        let go = r.scenario().message_id("go").unwrap();
+        assert_eq!(r.var(a, "nb"), Some(2));
+        let acts = r.feed(FailInput::Msg { from: 0, to: a, msg: go }, &mut rng);
+        assert!(acts.is_empty());
+        assert_eq!(r.var(a, "nb"), Some(1));
+        let acts = r.feed(FailInput::Msg { from: 0, to: a, msg: go }, &mut rng);
+        assert_eq!(acts.len(), 1);
+        assert_eq!(r.current_node_label(a), 2);
+    }
+
+    #[test]
+    fn unmatched_messages_queue_until_the_node_changes() {
+        let src = r#"
+            daemon A {
+              node 1:
+                ?first -> goto 2;
+              node 2:
+                ?second -> !done(P), goto 2;
+            }
+            daemon Sink { node 1: ?x -> goto 1; }
+            instance P = Sink;
+            instance A1 = A;
+        "#;
+        let mut r = rt(src, &[]);
+        let mut rng = SimRng::new(1);
+        r.start(&mut rng);
+        let a = r.deployment().instance_index("A1").unwrap();
+        let first = r.scenario().message_id("first").unwrap();
+        let second = r.scenario().message_id("second").unwrap();
+        // `second` arrives early: node 1 cannot consume it.
+        let acts = r.feed(FailInput::Msg { from: 0, to: a, msg: second }, &mut rng);
+        assert!(acts.is_empty());
+        // `first` moves to node 2, whose entry re-scan consumes the queued
+        // `second`.
+        let acts = r.feed(FailInput::Msg { from: 0, to: a, msg: first }, &mut rng);
+        assert_eq!(acts.len(), 1);
+        assert!(matches!(acts[0], FailAction::SendMsg { .. }));
+    }
+
+    #[test]
+    fn breakpoint_guard_arms_fires_and_halts() {
+        let src = r#"
+            daemon G {
+              node 1:
+                onload -> continue, goto 2;
+              node 2:
+                ?crash -> !ok(P), continue, goto 3;
+              node 3:
+                before(localMPI_setCommand) -> halt, goto 4;
+              node 4:
+                onload -> continue, goto 4;
+            }
+            daemon Sink { node 1: ?x -> goto 1; }
+            instance P = Sink;
+            instance g0 = G;
+        "#;
+        let mut r = rt(src, &[]);
+        let mut rng = SimRng::new(1);
+        r.start(&mut rng);
+        let g = r.deployment().instance_index("g0").unwrap();
+        let crash = r.scenario().message_id("crash").unwrap();
+        r.feed(FailInput::OnLoad { instance: g, proc: 9 }, &mut rng);
+        let acts = r.feed(FailInput::Msg { from: 0, to: g, msg: crash }, &mut rng);
+        // Entering node 3 arms the breakpoint on the controlled process.
+        assert!(acts.contains(&FailAction::ArmBreakpoint {
+            proc: 9,
+            func: "localMPI_setCommand".into()
+        }));
+        let acts = r.feed(
+            FailInput::Breakpoint {
+                instance: g,
+                proc: 9,
+                func: "localMPI_setCommand".into(),
+            },
+            &mut rng,
+        );
+        assert!(acts.contains(&FailAction::Halt { proc: 9 }));
+        // Halted: no release (the process is gone).
+        assert!(!acts.iter().any(|a| matches!(a, FailAction::ReleaseBreakpoint { .. })));
+        assert_eq!(r.current_node_label(g), 4);
+    }
+
+    #[test]
+    fn unmatched_breakpoint_releases_the_process() {
+        let src = r#"
+            daemon G {
+              node 1:
+                onload -> stop, goto 2;
+              node 2:
+                ?never -> goto 2;
+            }
+            daemon Sink { node 1: ?x -> goto 1; }
+            instance P = Sink;
+            instance g0 = G;
+        "#;
+        let mut r = rt(src, &[]);
+        let mut rng = SimRng::new(1);
+        r.start(&mut rng);
+        let g = r.deployment().instance_index("g0").unwrap();
+        let acts = r.feed(FailInput::OnLoad { instance: g, proc: 4 }, &mut rng);
+        assert!(acts.contains(&FailAction::Stop { proc: 4 }));
+        // A breakpoint hit with no matching guard must not hang the app.
+        let acts = r.feed(
+            FailInput::Breakpoint {
+                instance: g,
+                proc: 4,
+                func: "anything".into(),
+            },
+            &mut rng,
+        );
+        assert_eq!(acts, vec![FailAction::ReleaseBreakpoint { proc: 4 }]);
+    }
+
+    #[test]
+    fn unbound_references_rejected_at_build() {
+        let s = compile("daemon A { node 1: ?x -> !m(P9), goto 1; }").unwrap();
+        let d = Deployment::new();
+        let e = FailRuntime::new(&s, d, &[]).unwrap_err();
+        assert!(e.0.contains("unbound instance `P9`"), "{e}");
+    }
+
+    #[test]
+    fn unknown_param_override_rejected() {
+        let s = compile("param X = 1; daemon A { node 1: ?x -> goto 1; }").unwrap();
+        let d = Deployment::new();
+        let e = FailRuntime::new(&s, d, &[("Y", 2)]).unwrap_err();
+        assert!(e.0.contains("unknown param"), "{e}");
+    }
+}

@@ -1,0 +1,229 @@
+//! Property-based tests for the FAIL language and runtime.
+
+use failmpi_core::lang::parser::parse;
+use failmpi_core::lang::{compile::compile_ast, pretty};
+use failmpi_core::{compile, Deployment, FailAction, FailInput, FailRuntime};
+use failmpi_sim::SimRng;
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------
+// Random scenario generation
+// ---------------------------------------------------------------------
+
+/// Source text of a random-but-valid daemon class over a fixed alphabet of
+/// messages, `n_nodes` nodes and the variable `v`.
+fn gen_daemon(name: &str, n_nodes: usize, picks: &[u8]) -> String {
+    let msgs = ["alpha", "beta", "gamma"];
+    let mut src = format!("daemon {name} {{\n  int v = 0;\n");
+    let mut p = picks.iter().copied().cycle();
+    let mut next = move || p.next().unwrap_or(0);
+    for node in 1..=n_nodes {
+        src.push_str(&format!("  node {node}:\n"));
+        if next() % 3 == 0 {
+            src.push_str(&format!("    timer t = {};\n", 1 + next() % 50));
+            let target = 1 + next() as usize % n_nodes;
+            src.push_str(&format!("    t -> v = v + 1, goto {target};\n"));
+        }
+        let n_trans = 1 + next() % 3;
+        for _ in 0..n_trans {
+            let guard = match next() % 5 {
+                0 => format!("?{}", msgs[next() as usize % 3]),
+                1 => "onload".to_string(),
+                2 => "onexit".to_string(),
+                3 => "onerror".to_string(),
+                _ => format!("?{} && v <> {}", msgs[next() as usize % 3], next() % 4),
+            };
+            let target = 1 + next() as usize % n_nodes;
+            let action = match next() % 5 {
+                0 => format!("!{}(P1), goto {target}", msgs[next() as usize % 3]),
+                1 => format!("halt, goto {target}"),
+                2 => format!("continue, goto {target}"),
+                3 => format!("v = FAIL_RANDOM(0, 9), goto {target}"),
+                _ => format!("goto {target}"),
+            };
+            src.push_str(&format!("    {guard} -> {action};\n"));
+        }
+    }
+    src.push_str("}\n");
+    src
+}
+
+fn gen_scenario(n_nodes: usize, picks: &[u8]) -> String {
+    let mut src = gen_daemon("Machine", n_nodes, picks);
+    src.push_str("daemon Coord { node 1: ?alpha -> goto 1; ?beta -> goto 1; ?gamma -> goto 1; }\n");
+    src.push_str("instance P1 = Coord;\ninstance M0 = Machine;\ninstance M1 = Machine;\n");
+    src
+}
+
+proptest! {
+    /// Generated scenarios always parse, pretty-print to a parseable
+    /// fixpoint, and compile.
+    #[test]
+    fn generated_scenarios_roundtrip_and_compile(
+        n_nodes in 1usize..5,
+        picks in proptest::collection::vec(any::<u8>(), 8..64),
+    ) {
+        let src = gen_scenario(n_nodes, &picks);
+        let ast = parse(&src).unwrap_or_else(|e| panic!("parse: {e}\n{src}"));
+        let printed = pretty::scenario(&ast);
+        let ast2 = parse(&printed).unwrap_or_else(|e| panic!("reparse: {e}\n{printed}"));
+        prop_assert_eq!(&printed, &pretty::scenario(&ast2));
+        compile_ast(&ast).unwrap_or_else(|e| panic!("compile: {e}\n{src}"));
+    }
+
+    /// Feeding arbitrary valid inputs never panics, never emits actions on
+    /// processes the runtime does not control, and keeps the controlled-
+    /// process bookkeeping consistent (a halt clears control).
+    #[test]
+    fn runtime_never_wedges_under_random_inputs(
+        n_nodes in 1usize..5,
+        picks in proptest::collection::vec(any::<u8>(), 8..64),
+        inputs in proptest::collection::vec((any::<u8>(), any::<u8>(), any::<u8>()), 0..60),
+        seed: u64,
+    ) {
+        let src = gen_scenario(n_nodes, &picks);
+        let scenario = compile(&src).expect("generated scenario compiles");
+        let deployment = Deployment::from_suggested(&scenario).expect("deploys");
+        let mut rt = FailRuntime::new(&scenario, deployment, &[]).expect("binds");
+        let mut rng = SimRng::new(seed);
+        rt.start(&mut rng);
+        let n = rt.len();
+        let n_msgs = rt.scenario().messages.len();
+        let mut live_pid: Vec<Option<u64>> = vec![None; n];
+        let mut next_pid = 100u64;
+        for (sel, a, b) in inputs {
+            let inst = a as usize % n;
+            let input = match sel % 6 {
+                0 if n_msgs > 0 => FailInput::Msg {
+                    from: b as usize % n,
+                    to: inst,
+                    msg: b as usize % n_msgs,
+                },
+                1 => {
+                    next_pid += 1;
+                    live_pid[inst] = Some(next_pid);
+                    FailInput::OnLoad { instance: inst, proc: next_pid }
+                }
+                2 => match live_pid[inst] {
+                    Some(p) => { live_pid[inst] = None; FailInput::OnExit { instance: inst, proc: p } }
+                    None => continue,
+                },
+                3 => match live_pid[inst] {
+                    Some(p) => { live_pid[inst] = None; FailInput::OnError { instance: inst, proc: p } }
+                    None => continue,
+                },
+                4 => FailInput::Timer { instance: inst, timer: 0, gen: b as u64 },
+                _ => match live_pid[inst] {
+                    Some(p) => FailInput::Breakpoint {
+                        instance: inst,
+                        proc: p,
+                        func: "localMPI_setCommand".into(),
+                    },
+                    None => continue,
+                },
+            };
+            let actions = rt.feed(input, &mut rng);
+            for act in &actions {
+                match act {
+                    FailAction::Halt { proc }
+                    | FailAction::Stop { proc }
+                    | FailAction::Continue { proc }
+                    | FailAction::ArmBreakpoint { proc, .. }
+                    | FailAction::DisarmBreakpoints { proc }
+                    | FailAction::ReleaseBreakpoint { proc } => {
+                        // Only processes the harness actually registered.
+                        prop_assert!(*proc > 100 && *proc <= next_pid, "ghost pid {proc}");
+                    }
+                    FailAction::SendMsg { from, to, msg } => {
+                        prop_assert!(*from < n && *to < n && *msg < n_msgs);
+                    }
+                    FailAction::ArmTimer { instance, .. } => prop_assert!(*instance < n),
+                }
+                // A halt means the runtime dropped control of the pid.
+                if let FailAction::Halt { proc } = act {
+                    let holder = (0..n).find(|&i| rt.controlled(i) == Some(*proc));
+                    prop_assert!(holder.is_none(), "halted pid still controlled");
+                    live_pid[inst] = None;
+                }
+            }
+        }
+    }
+
+    /// Identical seeds and input sequences produce identical action streams
+    /// (the determinism the experiment harness depends on).
+    #[test]
+    fn runtime_is_deterministic(
+        picks in proptest::collection::vec(any::<u8>(), 8..32),
+        inputs in proptest::collection::vec((any::<u8>(), any::<u8>()), 0..30),
+        seed: u64,
+    ) {
+        let src = gen_scenario(3, &picks);
+        let scenario = compile(&src).expect("compiles");
+        let run = || {
+            let d = Deployment::from_suggested(&scenario).expect("deploys");
+            let mut rt = FailRuntime::new(&scenario, d, &[]).expect("binds");
+            let mut rng = SimRng::new(seed);
+            let mut all = rt.start(&mut rng);
+            let n = rt.len();
+            let n_msgs = rt.scenario().messages.len().max(1);
+            for &(a, b) in &inputs {
+                let input = if a % 2 == 0 {
+                    FailInput::Msg { from: b as usize % n, to: a as usize % n, msg: b as usize % n_msgs }
+                } else {
+                    FailInput::OnLoad { instance: a as usize % n, proc: 1000 + b as u64 }
+                };
+                all.extend(rt.feed(input, &mut rng));
+            }
+            all
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    /// Parameter overrides reach timer arming: a scenario timer armed with
+    /// param X always matches the override.
+    #[test]
+    fn param_overrides_govern_timers(x in 1i64..10_000) {
+        let src = "param X = 50;\n\
+                   daemon A { node 1: timer t = X; t -> goto 1; }\n\
+                   instance A0 = A;";
+        let scenario = compile(src).expect("compiles");
+        let d = Deployment::from_suggested(&scenario).expect("deploys");
+        let mut rt = FailRuntime::new(&scenario, d, &[("X", x)]).expect("binds");
+        let mut rng = SimRng::new(1);
+        let acts = rt.start(&mut rng);
+        let armed = acts.iter().find_map(|a| match a {
+            FailAction::ArmTimer { delay, .. } => Some(*delay),
+            _ => None,
+        });
+        prop_assert_eq!(armed, Some(failmpi_sim::SimDuration::from_secs(x as u64)));
+    }
+}
+
+proptest! {
+    /// The lexer and parser are total: arbitrary bytes never panic, they
+    /// either parse or produce a positioned error.
+    #[test]
+    fn frontend_never_panics(src in "\\PC*") {
+        let _ = failmpi_core::lang::parser::parse(&src);
+    }
+
+    /// Arbitrary ASCII-ish soup with FAIL-flavoured tokens also never
+    /// panics (denser coverage of the grammar's error paths).
+    #[test]
+    fn fail_flavoured_soup_never_panics(
+        words in proptest::collection::vec(
+            proptest::sample::select(vec![
+                "daemon", "node", "int", "always", "timer", "param", "goto",
+                "halt", "stop", "continue", "onload", "onexit", "onerror",
+                "before", "FAIL_RANDOM", "FAIL_SENDER", "{", "}", "(", ")",
+                "[", "]", ":", ";", ",", "->", "!", "?", "&&", "==", "<>",
+                "x", "G1", "P1", "1", "42", "=", "+", "-",
+            ]),
+            0..40,
+        )
+    ) {
+        let src = words.join(" ");
+        let _ = failmpi_core::lang::parser::parse(&src);
+        let _ = failmpi_core::compile(&src);
+    }
+}

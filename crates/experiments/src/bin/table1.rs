@@ -1,0 +1,7 @@
+//! Prints Table 1 (Sec. 2.1): the fault-injector capability matrix.
+
+use failmpi_experiments::criteria;
+
+fn main() {
+    print!("{}", criteria::render());
+}

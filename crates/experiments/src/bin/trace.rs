@@ -1,0 +1,104 @@
+//! `trace` — run one experiment under a FAIL scenario and print its
+//! execution timeline (the paper's trace-analysis workflow as a command).
+//!
+//! ```sh
+//! trace <scenario.fail> [--adversary CLASS] [--machines CLASS]
+//!       [--ranks N] [--seed S] [--param NAME=VALUE]... [--lifecycle]
+//!       [--smoke]
+//! ```
+
+use failmpi_sim::{SimDuration, SimTime};
+use failmpi_mpichv::VclConfig;
+use failmpi_workloads::BtClass;
+
+use failmpi_experiments::harness::{run_one_keeping_cluster, ExperimentSpec, InjectionSpec, Workload};
+use failmpi_experiments::timeline::{render, TimelineOptions};
+
+fn die(msg: &str) -> ! {
+    eprintln!("trace: {msg}");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let Some(path) = args.next() else {
+        die("usage: trace <scenario.fail> [--adversary C] [--machines C] [--ranks N] [--seed S] [--param N=V]... [--lifecycle] [--smoke]");
+    };
+    let mut adversary = "ADV1".to_string();
+    let mut machines = "ADVnodes".to_string();
+    let mut ranks = 4u32;
+    let mut seed = 1u64;
+    let mut params: Vec<(String, i64)> = Vec::new();
+    let mut lifecycle = false;
+    let mut smoke = true;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--adversary" => adversary = args.next().unwrap_or_else(|| die("--adversary needs a class")),
+            "--machines" => machines = args.next().unwrap_or_else(|| die("--machines needs a class")),
+            "--ranks" => {
+                ranks = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--ranks needs a number"))
+            }
+            "--seed" => {
+                seed = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--seed needs a number"))
+            }
+            "--param" => {
+                let kv = args.next().unwrap_or_else(|| die("--param needs NAME=VALUE"));
+                let (k, v) = kv.split_once('=').unwrap_or_else(|| die("--param needs NAME=VALUE"));
+                let v: i64 = v.parse().unwrap_or_else(|_| die("--param value must be an integer"));
+                params.push((k.to_string(), v));
+            }
+            "--lifecycle" => lifecycle = true,
+            "--smoke" => smoke = true,
+            "--paper" => smoke = false,
+            other => die(&format!("unknown flag `{other}`")),
+        }
+    }
+    let src = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
+
+    let (cluster, class, timeout) = if smoke {
+        let mut c = VclConfig::small(ranks, SimDuration::from_secs(2));
+        c.ssh_stagger = SimDuration::from_millis(20);
+        c.restart_overhead = SimDuration::from_millis(400);
+        c.terminate_delay = SimDuration::from_millis(30);
+        (c, BtClass::S, 90)
+    } else {
+        let mut c = VclConfig::default();
+        c.n_ranks = ranks;
+        c.n_compute_hosts = ranks as usize + 4;
+        (c, BtClass::B, 1500)
+    };
+    let mut inj = InjectionSpec::new(&src, &adversary, &machines);
+    for (k, v) in &params {
+        inj = inj.with_param(k, *v);
+    }
+    let spec = ExperimentSpec {
+        cluster,
+        workload: Workload::Bt(class),
+        injection: Some(inj),
+        timeout: SimTime::from_secs(timeout),
+        freeze_window: SimDuration::from_secs(timeout / 10),
+        seed,
+    };
+    let (record, cluster) = run_one_keeping_cluster(&spec);
+    print!(
+        "{}",
+        render(
+            &cluster,
+            TimelineOptions {
+                collapse_progress: true,
+                lifecycle,
+            }
+        )
+    );
+    println!(
+        "\nverdict: {:?} ({} faults injected, {} recoveries, {} waves committed)",
+        record.outcome, record.faults_injected, record.recoveries, record.waves_committed
+    );
+}

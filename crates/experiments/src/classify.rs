@@ -1,0 +1,111 @@
+//! Run classification, mechanising the paper's trace analysis:
+//!
+//! > "we distinguish between experiments that do not progress anymore due
+//! > to the high failure frequency … and experiments that do not progress
+//! > due to a bug in the fault tolerant implementation. The difference
+//! > between the two kinds of experiments is done by analysing the
+//! > execution trace."
+
+use failmpi_sim::{RunOutcome, SimDuration, SimTime};
+use failmpi_mpichv::{Cluster, VclEvent};
+
+/// The silence threshold: a run that reached its timeout without any
+/// recovery/restart/progress activity in this final window is *frozen*
+/// (buggy), not merely stalled. Stalled runs keep detecting failures and
+/// restarting recoveries (the paper's rollback/crash cycle), so their gaps
+/// stay below the largest fault interval (65 s) plus a recovery; frozen
+/// runs go silent forever.
+pub const FREEZE_WINDOW: SimDuration = SimDuration::from_secs(150);
+
+/// Paper-faithful run outcomes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Outcome {
+    /// The benchmark ran to completion.
+    Completed {
+        /// Total execution time.
+        time: SimTime,
+    },
+    /// Timeout with ongoing fault/recovery activity: the failure frequency
+    /// is too high for any progress (green bars in the paper's figures).
+    NonTerminating,
+    /// Timeout (or premature quiescence) with the system frozen: a bug in
+    /// the fault-tolerant implementation (red bars in the paper's figures).
+    Buggy,
+}
+
+impl Outcome {
+    /// Completed-run time, if any.
+    pub fn time(&self) -> Option<SimTime> {
+        match self {
+            Outcome::Completed { time } => Some(*time),
+            _ => None,
+        }
+    }
+
+    /// `true` for [`Outcome::Buggy`].
+    pub fn is_buggy(&self) -> bool {
+        matches!(self, Outcome::Buggy)
+    }
+
+    /// `true` for [`Outcome::NonTerminating`].
+    pub fn is_non_terminating(&self) -> bool {
+        matches!(self, Outcome::NonTerminating)
+    }
+}
+
+fn is_liveness_event(k: &VclEvent) -> bool {
+    matches!(
+        k,
+        VclEvent::RecoveryStarted { .. }
+            | VclEvent::RankResumed { .. }
+            | VclEvent::AppProgress { .. }
+            | VclEvent::WaveCommitted { .. }
+            | VclEvent::LaunchRetried { .. }
+            | VclEvent::DaemonRegistered { .. }
+    )
+}
+
+/// Classifies a finished engine run over `cluster`, using `freeze_window`
+/// as the silence threshold (see [`FREEZE_WINDOW`] for the paper scale).
+pub fn classify(
+    cluster: &Cluster,
+    engine_outcome: RunOutcome,
+    end: SimTime,
+    timeout: SimTime,
+    freeze_window: SimDuration,
+) -> Outcome {
+    if cluster.is_complete() {
+        return Outcome::Completed { time: end };
+    }
+    // Quiescence before the timeout with an incomplete job: nothing can
+    // ever happen again — definitionally frozen.
+    if engine_outcome == RunOutcome::Quiescent {
+        return Outcome::Buggy;
+    }
+    let last_liveness = cluster
+        .trace()
+        .last_matching(is_liveness_event)
+        .map_or(SimTime::ZERO, |e| e.at);
+    if timeout.saturating_since(last_liveness) > freeze_window {
+        Outcome::Buggy
+    } else {
+        Outcome::NonTerminating
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcome_accessors() {
+        let c = Outcome::Completed {
+            time: SimTime::from_secs(5),
+        };
+        assert_eq!(c.time(), Some(SimTime::from_secs(5)));
+        assert!(!c.is_buggy());
+        assert!(Outcome::Buggy.is_buggy());
+        assert!(Outcome::NonTerminating.is_non_terminating());
+        assert_eq!(Outcome::Buggy.time(), None);
+    }
+}

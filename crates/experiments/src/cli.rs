@@ -1,0 +1,90 @@
+//! Minimal argument handling shared by the figure binaries.
+
+/// Options common to every figure binary.
+#[derive(Clone, Debug, Default)]
+pub struct Options {
+    /// Run the seconds-scale smoke configuration instead of paper scale.
+    pub smoke: bool,
+    /// Override the per-point run count.
+    pub runs: Option<usize>,
+    /// Override the worker-thread count.
+    pub threads: Option<usize>,
+    /// Write the figure data as JSON to this path.
+    pub json: Option<String>,
+}
+
+impl Options {
+    /// Parses `args` (without the program name). Returns `Err(usage)` on
+    /// unknown flags.
+    pub fn parse(args: impl Iterator<Item = String>) -> Result<Options, String> {
+        let mut o = Options::default();
+        let mut args = args.peekable();
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--smoke" => o.smoke = true,
+                "--runs" => {
+                    o.runs = Some(
+                        args.next()
+                            .and_then(|v| v.parse().ok())
+                            .ok_or("--runs needs a number")?,
+                    )
+                }
+                "--threads" => {
+                    o.threads = Some(
+                        args.next()
+                            .and_then(|v| v.parse().ok())
+                            .ok_or("--threads needs a number")?,
+                    )
+                }
+                "--json" => o.json = Some(args.next().ok_or("--json needs a path")?),
+                "--help" | "-h" => {
+                    return Err("usage: [--smoke] [--runs N] [--threads N] [--json PATH]"
+                        .to_string())
+                }
+                other => return Err(format!("unknown flag `{other}`")),
+            }
+        }
+        Ok(o)
+    }
+
+    /// Writes `data` as JSON if `--json` was given.
+    pub fn maybe_write_json<T: serde::Serialize>(&self, data: &T) -> std::io::Result<()> {
+        if let Some(path) = &self.json {
+            let json = serde_json::to_string_pretty(data).expect("serializable");
+            std::fs::write(path, json)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Options, String> {
+        Options::parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn parses_flags() {
+        let o = parse(&["--smoke", "--runs", "3", "--threads", "2", "--json", "x.json"]).unwrap();
+        assert!(o.smoke);
+        assert_eq!(o.runs, Some(3));
+        assert_eq!(o.threads, Some(2));
+        assert_eq!(o.json.as_deref(), Some("x.json"));
+    }
+
+    #[test]
+    fn rejects_unknown() {
+        assert!(parse(&["--bogus"]).is_err());
+        assert!(parse(&["--runs"]).is_err());
+        assert!(parse(&["--runs", "abc"]).is_err());
+    }
+
+    #[test]
+    fn empty_is_default() {
+        let o = parse(&[]).unwrap();
+        assert!(!o.smoke);
+        assert_eq!(o.runs, None);
+    }
+}

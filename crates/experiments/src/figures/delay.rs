@@ -1,0 +1,169 @@
+//! Beyond the paper: the delay-after-checkpoint experiment its Sec. 6
+//! wanted to run.
+//!
+//! The paper attributes Fig. 6's "apparently chaotic" faulty times to the
+//! phase of each fault relative to the last checkpoint wave, and proposes
+//! to "precisely measure the date of failure injection as compared to the
+//! date of the last checkpoint wave, and measure the impact of this delay
+//! on the total execution time" — blocked then on reading the strained
+//! program's variables, "a planned feature of FAIL-MPI".
+//!
+//! This reproduction implements that feature (`probe` variables +
+//! `onchange` triggers; see `failmpi-core`) and runs the experiment: one
+//! fault injected exactly D seconds after the first wave commit, D swept
+//! across the checkpoint period. The expected signal — execution time
+//! rising linearly with D (work since the snapshot is lost) and collapsing
+//! once D crosses the next commit — is precisely the mechanism behind the
+//! paper's Fig. 5 resonance and Fig. 6 variance.
+
+use serde::Serialize;
+
+use failmpi_mpichv::DispatcherMode;
+use failmpi_workloads::BtClass;
+
+use super::{cluster_config, fmt_time, spec, DELAY_SRC};
+use crate::harness::InjectionSpec;
+use crate::stats::PointSummary;
+use crate::sweep::{run_all, seeded};
+
+/// Sweep parameters.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Workload class.
+    pub class: BtClass,
+    /// MPI ranks.
+    pub n_ranks: u32,
+    /// Compute machines.
+    pub n_hosts: usize,
+    /// Checkpoint wave period, seconds.
+    pub wave_secs: u64,
+    /// Delays after the wave commit to sweep, seconds.
+    pub delays_s: Vec<u64>,
+    /// Runs per point.
+    pub runs: usize,
+    /// Experiment timeout, seconds.
+    pub timeout_s: u64,
+    /// Worker threads (0 = all cores).
+    pub threads: usize,
+    /// Base seed.
+    pub base_seed: u64,
+    /// Scale the recovery constants down for seconds-scale runs.
+    pub miniature: bool,
+}
+
+impl Config {
+    /// Paper-scale parameters: one fault, delays across the 30 s period.
+    pub fn paper() -> Self {
+        Config {
+            class: BtClass::B,
+            n_ranks: 49,
+            n_hosts: 53,
+            wave_secs: 30,
+            delays_s: vec![0, 5, 10, 15, 20, 25],
+            runs: 5,
+            timeout_s: 1500,
+            threads: 0,
+            base_seed: 0xDE1A,
+            miniature: false,
+        }
+    }
+
+    /// A seconds-scale miniature.
+    pub fn smoke() -> Self {
+        Config {
+            class: BtClass::S,
+            n_ranks: 4,
+            n_hosts: 6,
+            wave_secs: 2,
+            delays_s: vec![0, 1],
+            runs: 3,
+            timeout_s: 90,
+            threads: 0,
+            base_seed: 0xDE1A,
+            miniature: true,
+        }
+    }
+}
+
+/// One delay value.
+#[derive(Clone, Debug, Serialize)]
+pub struct Point {
+    /// Seconds between the wave commit and the fault.
+    pub delay_s: u64,
+    /// Aggregated results.
+    pub summary: PointSummary,
+}
+
+/// The regenerated (new) figure.
+#[derive(Clone, Debug, Serialize)]
+pub struct Data {
+    /// Wave period, for reference.
+    pub wave_secs: u64,
+    /// The fault-free baseline.
+    pub baseline: PointSummary,
+    /// Points in delay order.
+    pub points: Vec<Point>,
+}
+
+/// Runs the sweep.
+pub fn run(cfg: &Config) -> Data {
+    let mut cluster =
+        cluster_config(cfg.n_ranks, cfg.n_hosts, cfg.wave_secs, DispatcherMode::Historical);
+    if cfg.miniature {
+        super::miniaturize(&mut cluster);
+    }
+    let base = spec(
+        cluster,
+        cfg.class.clone(),
+        None,
+        cfg.timeout_s,
+        cfg.base_seed,
+    );
+    let baseline = PointSummary::from_runs(&run_all(&seeded(&base, cfg.runs), cfg.threads));
+    let mut points = Vec::new();
+    for (k, &d) in cfg.delays_s.iter().enumerate() {
+        let mut s = base.clone();
+        s.seed += 1_000 * (k as u64 + 1);
+        s.injection = Some(
+            InjectionSpec::new(DELAY_SRC, "ADV1", "ADVnodes")
+                .with_param("D", d as i64)
+                .with_param("N", cfg.n_hosts as i64 - 1),
+        );
+        let records = run_all(&seeded(&s, cfg.runs), cfg.threads);
+        points.push(Point {
+            delay_s: d,
+            summary: PointSummary::from_runs(&records),
+        });
+    }
+    Data {
+        wave_secs: cfg.wave_secs,
+        baseline,
+        points,
+    }
+}
+
+/// Renders the sweep.
+pub fn render(data: &Data) -> String {
+    let mut out = format!(
+        "Delay sweep — fault injected D seconds after the first wave commit\n\
+         (the paper's Sec. 6 planned measurement; wave period {} s)\n\
+         delay        exec time (s)      excess over no-fault (s)\n",
+        data.wave_secs
+    );
+    let base = data.baseline.mean_time_s.unwrap_or(0.0);
+    out.push_str(&format!(
+        "no fault  {}   {:>10}\n",
+        fmt_time(data.baseline.mean_time_s, data.baseline.std_time_s),
+        "—"
+    ));
+    for p in &data.points {
+        let excess = p.summary.mean_time_s.map(|t| t - base);
+        out.push_str(&format!(
+            "D = {:>3}s  {}   {:>10}\n",
+            p.delay_s,
+            fmt_time(p.summary.mean_time_s, p.summary.std_time_s),
+            excess.map_or("—".to_string(), |e| format!("{e:+.1}")),
+        ));
+    }
+    out
+}

@@ -1,0 +1,160 @@
+//! Figure 5 — impact of fault frequency.
+//!
+//! BT class B on 49 processes over 53 machines; the Fig. 5(a) scenario
+//! injects one fault every X seconds for X ∈ {65, 60, 55, 50, 45, 40},
+//! checkpoint waves every 30 s, 1500 s timeout, 6 runs per point. The
+//! figure reports mean execution time of terminated runs plus the
+//! percentages of non-terminating and buggy runs.
+
+use serde::Serialize;
+
+use failmpi_mpichv::DispatcherMode;
+use failmpi_workloads::BtClass;
+
+use super::{cluster_config, fmt_time, spec, FIG5_SRC};
+use crate::harness::InjectionSpec;
+use crate::stats::PointSummary;
+use crate::sweep::{run_all, seeded};
+
+/// Sweep parameters.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Workload class.
+    pub class: BtClass,
+    /// MPI ranks.
+    pub n_ranks: u32,
+    /// Compute machines (the `G1` group size).
+    pub n_hosts: usize,
+    /// Checkpoint wave period, seconds.
+    pub wave_secs: u64,
+    /// Fault intervals to sweep, seconds.
+    pub intervals_s: Vec<u64>,
+    /// Runs per point.
+    pub runs: usize,
+    /// Experiment timeout, seconds.
+    pub timeout_s: u64,
+    /// Worker threads (0 = all cores).
+    pub threads: usize,
+    /// Base seed.
+    pub base_seed: u64,
+    /// Scale the recovery constants down for seconds-scale runs.
+    pub miniature: bool,
+}
+
+impl Config {
+    /// The paper's parameters.
+    pub fn paper() -> Self {
+        Config {
+            class: BtClass::B,
+            n_ranks: 49,
+            n_hosts: 53,
+            wave_secs: 30,
+            intervals_s: vec![65, 60, 55, 50, 45, 40],
+            runs: 6,
+            timeout_s: 1500,
+            threads: 0,
+            base_seed: 0x5105,
+            miniature: false,
+        }
+    }
+
+    /// A seconds-scale miniature with the same shape (class S, 4 ranks).
+    pub fn smoke() -> Self {
+        Config {
+            class: BtClass::S,
+            n_ranks: 4,
+            n_hosts: 6,
+            wave_secs: 2,
+            intervals_s: vec![4, 3, 2],
+            runs: 3,
+            timeout_s: 90,
+            threads: 0,
+            base_seed: 0x5105,
+            miniature: true,
+        }
+    }
+}
+
+/// One x-position of the figure.
+#[derive(Clone, Debug, Serialize)]
+pub struct Point {
+    /// Point label (`no faults` or `every Ns`).
+    pub label: String,
+    /// Fault interval, if faults are injected.
+    pub interval_s: Option<u64>,
+    /// Aggregated results.
+    pub summary: PointSummary,
+}
+
+/// The regenerated figure.
+#[derive(Clone, Debug, Serialize)]
+pub struct Data {
+    /// Workload class name.
+    pub class: String,
+    /// Rank count.
+    pub n_ranks: u32,
+    /// Points in sweep order.
+    pub points: Vec<Point>,
+}
+
+/// Runs the sweep.
+pub fn run(cfg: &Config) -> Data {
+    let mut points = Vec::new();
+    let class_name = cfg.class.name.to_string();
+    let base = |seed| {
+        let mut cluster =
+            cluster_config(cfg.n_ranks, cfg.n_hosts, cfg.wave_secs, DispatcherMode::Historical);
+        if cfg.miniature {
+            super::miniaturize(&mut cluster);
+        }
+        spec(cluster, cfg.class.clone(), None, cfg.timeout_s, seed)
+    };
+    // No-fault baseline.
+    let specs = seeded(&base(cfg.base_seed), cfg.runs);
+    let records = run_all(&specs, cfg.threads);
+    points.push(Point {
+        label: "no faults".into(),
+        interval_s: None,
+        summary: PointSummary::from_runs(&records),
+    });
+    // One fault every X seconds.
+    for (k, &x) in cfg.intervals_s.iter().enumerate() {
+        let inj = InjectionSpec::new(FIG5_SRC, "ADV1", "ADVnodes")
+            .with_param("X", x as i64)
+            .with_param("N", cfg.n_hosts as i64 - 1);
+        let mut s = base(cfg.base_seed + 1000 * (k as u64 + 1));
+        s.injection = Some(inj);
+        let specs = seeded(&s, cfg.runs);
+        let records = run_all(&specs, cfg.threads);
+        points.push(Point {
+            label: format!("every {x} sec"),
+            interval_s: Some(x),
+            summary: PointSummary::from_runs(&records),
+        });
+    }
+    Data {
+        class: class_name,
+        n_ranks: cfg.n_ranks,
+        points,
+    }
+}
+
+/// Renders the figure as the paper's series.
+pub fn render(data: &Data) -> String {
+    let mut out = format!(
+        "Figure 5 — impact of fault frequency (BT class {}, {} ranks)\n\
+         point            exec time (s)      %non-term   %buggy   faults/run\n",
+        data.class, data.n_ranks,
+    );
+    for p in &data.points {
+        out.push_str(&format!(
+            "{:<14} {}   {:>8.1}  {:>7.1}   {:>8.1}\n",
+            p.label,
+            fmt_time(p.summary.mean_time_s, p.summary.std_time_s),
+            p.summary.pct_non_terminating(),
+            p.summary.pct_buggy(),
+            p.summary.mean_faults,
+        ));
+    }
+    out
+}

@@ -1,0 +1,156 @@
+//! Figure 6 — impact of scale.
+//!
+//! BT class B at 25, 36, 49 and 64 processes (BT needs a square count),
+//! one fault every 50 seconds, the same number of checkpoint servers at
+//! every scale, 5 runs per point. The figure reports the fault-free and
+//! faulty execution times per scale plus the outcome percentages — and the
+//! paper's analysis highlights the higher per-rank checkpoint-image size at
+//! 25 ranks and the growing variance with scale.
+
+use serde::Serialize;
+
+use failmpi_mpichv::DispatcherMode;
+use failmpi_workloads::BtClass;
+
+use super::{cluster_config, fmt_time, spec, FIG5_SRC};
+use crate::harness::InjectionSpec;
+use crate::stats::PointSummary;
+use crate::sweep::{run_all, seeded};
+
+/// Sweep parameters.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Workload class.
+    pub class: BtClass,
+    /// Rank counts to sweep (perfect squares).
+    pub scales: Vec<u32>,
+    /// Spare machines added on top of each scale.
+    pub spares: usize,
+    /// Checkpoint wave period, seconds.
+    pub wave_secs: u64,
+    /// Fault interval, seconds.
+    pub interval_s: u64,
+    /// Runs per point.
+    pub runs: usize,
+    /// Experiment timeout, seconds.
+    pub timeout_s: u64,
+    /// Worker threads (0 = all cores).
+    pub threads: usize,
+    /// Base seed.
+    pub base_seed: u64,
+    /// Scale the recovery constants down for seconds-scale runs.
+    pub miniature: bool,
+}
+
+impl Config {
+    /// The paper's parameters.
+    pub fn paper() -> Self {
+        Config {
+            class: BtClass::B,
+            scales: vec![25, 36, 49, 64],
+            spares: 4,
+            wave_secs: 30,
+            interval_s: 50,
+            runs: 5,
+            timeout_s: 1500,
+            threads: 0,
+            base_seed: 0x6106,
+            miniature: false,
+        }
+    }
+
+    /// A seconds-scale miniature (classes S at 4 and 9 ranks).
+    pub fn smoke() -> Self {
+        Config {
+            class: BtClass::S,
+            scales: vec![4, 9],
+            spares: 2,
+            wave_secs: 2,
+            interval_s: 2,
+            runs: 3,
+            timeout_s: 90,
+            threads: 0,
+            base_seed: 0x6106,
+            miniature: true,
+        }
+    }
+}
+
+/// Results at one scale.
+#[derive(Clone, Debug, Serialize)]
+pub struct Point {
+    /// Rank count.
+    pub n_ranks: u32,
+    /// Fault-free runs.
+    pub fault_free: PointSummary,
+    /// Runs with one fault every `interval_s`.
+    pub faulty: PointSummary,
+}
+
+/// The regenerated figure.
+#[derive(Clone, Debug, Serialize)]
+pub struct Data {
+    /// Fault interval used for the faulty series.
+    pub interval_s: u64,
+    /// Points in scale order.
+    pub points: Vec<Point>,
+}
+
+/// Runs the sweep.
+pub fn run(cfg: &Config) -> Data {
+    let mut points = Vec::new();
+    for (k, &n) in cfg.scales.iter().enumerate() {
+        let hosts = n as usize + cfg.spares;
+        let mut cluster = cluster_config(n, hosts, cfg.wave_secs, DispatcherMode::Historical);
+        if cfg.miniature {
+            super::miniaturize(&mut cluster);
+        }
+        let base = spec(
+            cluster,
+            cfg.class.clone(),
+            None,
+            cfg.timeout_s,
+            cfg.base_seed + 10_000 * k as u64,
+        );
+        let fault_free =
+            PointSummary::from_runs(&run_all(&seeded(&base, cfg.runs), cfg.threads));
+        let mut faulty_spec = base.clone();
+        faulty_spec.seed += 5_000;
+        faulty_spec.injection = Some(
+            InjectionSpec::new(FIG5_SRC, "ADV1", "ADVnodes")
+                .with_param("X", cfg.interval_s as i64)
+                .with_param("N", hosts as i64 - 1),
+        );
+        let faulty =
+            PointSummary::from_runs(&run_all(&seeded(&faulty_spec, cfg.runs), cfg.threads));
+        points.push(Point {
+            n_ranks: n,
+            fault_free,
+            faulty,
+        });
+    }
+    Data {
+        interval_s: cfg.interval_s,
+        points,
+    }
+}
+
+/// Renders the figure as the paper's series.
+pub fn render(data: &Data) -> String {
+    let mut out = format!(
+        "Figure 6 — impact of scale (one fault every {} s)\n\
+         ranks   no-fault time (s)    faulty time (s)      %non-term   %buggy\n",
+        data.interval_s
+    );
+    for p in &data.points {
+        out.push_str(&format!(
+            "BT {:<4} {}  {}   {:>8.1}  {:>7.1}\n",
+            p.n_ranks,
+            fmt_time(p.fault_free.mean_time_s, p.fault_free.std_time_s),
+            fmt_time(p.faulty.mean_time_s, p.faulty.std_time_s),
+            p.faulty.pct_non_terminating(),
+            p.faulty.pct_buggy(),
+        ));
+    }
+    out
+}

@@ -1,0 +1,151 @@
+//! Figure 7 — impact of simultaneous faults.
+//!
+//! BT class B on 49 processes; every 50 s the Fig. 7(a) scenario crashes a
+//! burst of X machines (re-picking on negative acknowledgements), X ∈
+//! {1..5}, 6 runs per point. The paper observes buggy (frozen-in-recovery)
+//! executions appearing around 5 simultaneous faults.
+
+use serde::Serialize;
+
+use failmpi_mpichv::DispatcherMode;
+use failmpi_workloads::BtClass;
+
+use super::{cluster_config, fmt_time, spec, FIG7_SRC};
+use crate::harness::InjectionSpec;
+use crate::stats::PointSummary;
+use crate::sweep::{run_all, seeded};
+
+/// Sweep parameters.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Workload class.
+    pub class: BtClass,
+    /// MPI ranks.
+    pub n_ranks: u32,
+    /// Compute machines.
+    pub n_hosts: usize,
+    /// Checkpoint wave period, seconds.
+    pub wave_secs: u64,
+    /// Seconds between bursts.
+    pub period_s: u64,
+    /// Burst sizes to sweep.
+    pub bursts: Vec<u32>,
+    /// Runs per point.
+    pub runs: usize,
+    /// Experiment timeout, seconds.
+    pub timeout_s: u64,
+    /// Worker threads (0 = all cores).
+    pub threads: usize,
+    /// Base seed.
+    pub base_seed: u64,
+    /// Scale the recovery constants down for seconds-scale runs.
+    pub miniature: bool,
+}
+
+impl Config {
+    /// The paper's parameters.
+    pub fn paper() -> Self {
+        Config {
+            class: BtClass::B,
+            n_ranks: 49,
+            n_hosts: 53,
+            wave_secs: 30,
+            period_s: 50,
+            bursts: vec![1, 2, 3, 4, 5],
+            runs: 6,
+            timeout_s: 1500,
+            threads: 0,
+            base_seed: 0x7107,
+            miniature: false,
+        }
+    }
+
+    /// A seconds-scale miniature.
+    pub fn smoke() -> Self {
+        Config {
+            class: BtClass::S,
+            n_ranks: 4,
+            n_hosts: 6,
+            wave_secs: 2,
+            period_s: 4,
+            bursts: vec![1, 2],
+            runs: 3,
+            timeout_s: 90,
+            threads: 0,
+            base_seed: 0x7107,
+            miniature: true,
+        }
+    }
+}
+
+/// One burst size of the figure.
+#[derive(Clone, Debug, Serialize)]
+pub struct Point {
+    /// Simultaneous faults per burst.
+    pub burst: u32,
+    /// Aggregated results.
+    pub summary: PointSummary,
+}
+
+/// The regenerated figure.
+#[derive(Clone, Debug, Serialize)]
+pub struct Data {
+    /// Burst period, seconds.
+    pub period_s: u64,
+    /// Points in burst order.
+    pub points: Vec<Point>,
+}
+
+/// Runs the sweep.
+pub fn run(cfg: &Config) -> Data {
+    let mut points = Vec::new();
+    for (k, &x) in cfg.bursts.iter().enumerate() {
+        let inj = InjectionSpec::new(FIG7_SRC, "ADV1", "ADVnodes")
+            .with_param("X", x as i64)
+            .with_param("T", cfg.period_s as i64)
+            .with_param("N", cfg.n_hosts as i64 - 1);
+        let mut cluster =
+            cluster_config(cfg.n_ranks, cfg.n_hosts, cfg.wave_secs, DispatcherMode::Historical);
+        if cfg.miniature {
+            super::miniaturize(&mut cluster);
+        }
+        let mut s = spec(
+            cluster,
+            cfg.class.clone(),
+            Some(inj),
+            cfg.timeout_s,
+            cfg.base_seed + 10_000 * k as u64,
+        );
+        s.seed += x as u64;
+        let records = run_all(&seeded(&s, cfg.runs), cfg.threads);
+        points.push(Point {
+            burst: x,
+            summary: PointSummary::from_runs(&records),
+        });
+    }
+    Data {
+        period_s: cfg.period_s,
+        points,
+    }
+}
+
+/// Renders the figure as the paper's series.
+pub fn render(data: &Data) -> String {
+    let mut out = format!(
+        "Figure 7 — impact of simultaneous faults (bursts every {} s)\n\
+         burst      exec time (s)      %non-term   %buggy   faults/run\n",
+        data.period_s
+    );
+    for p in &data.points {
+        out.push_str(&format!(
+            "{:<2} fault{} {}   {:>8.1}  {:>7.1}   {:>8.1}\n",
+            p.burst,
+            if p.burst == 1 { " " } else { "s" },
+            fmt_time(p.summary.mean_time_s, p.summary.std_time_s),
+            p.summary.pct_non_terminating(),
+            p.summary.pct_buggy(),
+            p.summary.mean_faults,
+        ));
+    }
+    out
+}

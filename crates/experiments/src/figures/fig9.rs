@@ -1,0 +1,168 @@
+//! Figure 9 — impact of synchronized faults.
+//!
+//! Two faults per run: the first at a random machine after T seconds, the
+//! second targeted at the first communication daemon that respawns in the
+//! recovery wave (its machine's second `onload`, per the Fig. 8 scenario).
+//! Swept over the four BT scales; the paper finds *some* buggy executions
+//! at every scale — the second fault races the daemon's registration with
+//! the dispatcher, and only post-registration hits trigger the bug.
+
+use serde::Serialize;
+
+use failmpi_mpichv::DispatcherMode;
+use failmpi_workloads::BtClass;
+
+use super::{cluster_config, fmt_time, spec, FIG8_SRC};
+use crate::harness::InjectionSpec;
+use crate::stats::PointSummary;
+use crate::sweep::{run_all, seeded};
+
+/// Sweep parameters.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Workload class.
+    pub class: BtClass,
+    /// Rank counts to sweep.
+    pub scales: Vec<u32>,
+    /// Spare machines on top of each scale.
+    pub spares: usize,
+    /// Checkpoint wave period, seconds.
+    pub wave_secs: u64,
+    /// Seconds before the first fault.
+    pub first_fault_s: u64,
+    /// Runs per point.
+    pub runs: usize,
+    /// Experiment timeout, seconds.
+    pub timeout_s: u64,
+    /// Worker threads (0 = all cores).
+    pub threads: usize,
+    /// Base seed.
+    pub base_seed: u64,
+    /// Dispatcher variant (Historical reproduces the paper).
+    pub mode: DispatcherMode,
+    /// Scale the recovery constants down for seconds-scale runs.
+    pub miniature: bool,
+}
+
+impl Config {
+    /// The paper's parameters.
+    pub fn paper() -> Self {
+        Config {
+            class: BtClass::B,
+            scales: vec![25, 36, 49, 64],
+            spares: 4,
+            wave_secs: 30,
+            first_fault_s: 50,
+            runs: 16,
+            timeout_s: 1500,
+            threads: 0,
+            base_seed: 0x9109,
+            mode: DispatcherMode::Historical,
+            miniature: false,
+        }
+    }
+
+    /// A seconds-scale miniature.
+    pub fn smoke() -> Self {
+        Config {
+            class: BtClass::S,
+            scales: vec![4, 9],
+            spares: 2,
+            wave_secs: 2,
+            first_fault_s: 2,
+            runs: 4,
+            timeout_s: 90,
+            threads: 0,
+            base_seed: 0x9109,
+            mode: DispatcherMode::Historical,
+            miniature: true,
+        }
+    }
+}
+
+/// Results at one scale.
+#[derive(Clone, Debug, Serialize)]
+pub struct Point {
+    /// Rank count.
+    pub n_ranks: u32,
+    /// Fault-free baseline.
+    pub fault_free: PointSummary,
+    /// Runs with the two synchronized faults.
+    pub synchronized: PointSummary,
+}
+
+/// The regenerated figure.
+#[derive(Clone, Debug, Serialize)]
+pub struct Data {
+    /// Points in scale order.
+    pub points: Vec<Point>,
+}
+
+/// The scenario source this figure runs (override point for Fig. 11).
+pub(crate) fn run_with_scenario(
+    cfg: &Config,
+    src: &str,
+    adversary: &str,
+    machine: &str,
+) -> Data {
+    let mut points = Vec::new();
+    for (k, &n) in cfg.scales.iter().enumerate() {
+        let hosts = n as usize + cfg.spares;
+        let mut cluster = cluster_config(n, hosts, cfg.wave_secs, cfg.mode);
+        if cfg.miniature {
+            super::miniaturize(&mut cluster);
+        }
+        let base = spec(
+            cluster,
+            cfg.class.clone(),
+            None,
+            cfg.timeout_s,
+            cfg.base_seed + 10_000 * k as u64,
+        );
+        let fault_free =
+            PointSummary::from_runs(&run_all(&seeded(&base, cfg.runs), cfg.threads));
+        let mut sync_spec = base.clone();
+        sync_spec.seed += 5_000;
+        sync_spec.injection = Some(
+            InjectionSpec::new(src, adversary, machine)
+                .with_param("T", cfg.first_fault_s as i64)
+                .with_param("N", hosts as i64 - 1),
+        );
+        let synchronized =
+            PointSummary::from_runs(&run_all(&seeded(&sync_spec, cfg.runs), cfg.threads));
+        points.push(Point {
+            n_ranks: n,
+            fault_free,
+            synchronized,
+        });
+    }
+    Data { points }
+}
+
+/// Runs the sweep with the Fig. 8 scenario.
+pub fn run(cfg: &Config) -> Data {
+    run_with_scenario(cfg, FIG8_SRC, "ADV1", "ADVnodes")
+}
+
+/// Renders the figure as the paper's series.
+pub fn render(data: &Data) -> String {
+    render_titled(data, "Figure 9 — impact of synchronized faults (2 faults)")
+}
+
+pub(crate) fn render_titled(data: &Data, title: &str) -> String {
+    let mut out = format!(
+        "{title}\n\
+         ranks   no-fault time (s)    sync-fault time (s)   %non-term   %buggy\n",
+    );
+    for p in &data.points {
+        out.push_str(&format!(
+            "BT {:<4} {}  {}    {:>8.1}  {:>7.1}\n",
+            p.n_ranks,
+            fmt_time(p.fault_free.mean_time_s, p.fault_free.std_time_s),
+            fmt_time(p.synchronized.mean_time_s, p.synchronized.std_time_s),
+            p.synchronized.pct_non_terminating(),
+            p.synchronized.pct_buggy(),
+        ));
+    }
+    out
+}

@@ -1,0 +1,503 @@
+//! The FAIL-MPI ↔ MPICH-Vcl binding: one simulation world running the
+//! cluster under a FAIL scenario, exactly as Fig. 3 of the paper deploys
+//! one FAIL-MPI daemon per machine plus a coordinator (`P1`).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use failmpi_core::{compile, Deployment, FailAction, FailInput, FailRuntime};
+use failmpi_net::{HostId, ProcId};
+use failmpi_sim::{Engine, Model, RunOutcome, Scheduler, SimDuration, SimRng, SimTime};
+use failmpi_mpi::Program;
+use failmpi_mpichv::{Cluster, Ev, Hook, InstrumentedFn, TrafficStats, VclConfig, VclEvent};
+use failmpi_workloads::{bt_programs_noisy, BtClass};
+
+/// What the cluster computes. FAIL-MPI is application-agnostic (its whole
+/// point is decoupling the injector from the system under test), and so is
+/// this harness: any per-rank op-program set can go under fire.
+#[derive(Clone, Debug)]
+pub enum Workload {
+    /// The paper's NAS BT pattern, with per-run compute noise.
+    Bt(BtClass),
+    /// Caller-supplied per-rank programs (length must equal `n_ranks`).
+    Fixed(Vec<Arc<Program>>),
+}
+
+impl Workload {
+    /// Iterations/progress ceiling, where known (diagnostics).
+    pub fn bt_class(&self) -> Option<&BtClass> {
+        match self {
+            Workload::Bt(c) => Some(c),
+            Workload::Fixed(_) => None,
+        }
+    }
+}
+
+use crate::classify::{classify, Outcome};
+
+/// How a FAIL scenario is attached to the cluster.
+#[derive(Clone, Debug)]
+pub struct InjectionSpec {
+    /// FAIL source text (see `failmpi-core/scenarios/*.fail`).
+    pub scenario_src: String,
+    /// Daemon class of the central coordinator instance `P1`.
+    pub adversary_class: String,
+    /// Daemon class controlling each compute machine (`G1` members).
+    pub machine_class: String,
+    /// Parameter overrides (the paper's `X`, `N`, `T`).
+    pub params: Vec<(String, i64)>,
+    /// Base latency of FAIL messages between daemons.
+    pub fail_latency: SimDuration,
+    /// Upper bound of the uniform extra latency per FAIL message. This
+    /// jitter decides the fault-vs-registration race behind the partial
+    /// bugginess of Fig. 9.
+    pub fail_jitter_max: SimDuration,
+}
+
+impl InjectionSpec {
+    /// Standard transport parameters for a scenario with the given classes.
+    pub fn new(src: &str, adversary: &str, machine: &str) -> Self {
+        InjectionSpec {
+            scenario_src: src.to_string(),
+            adversary_class: adversary.to_string(),
+            machine_class: machine.to_string(),
+            params: Vec::new(),
+            fail_latency: SimDuration::from_millis(4),
+            fail_jitter_max: SimDuration::from_millis(7),
+        }
+    }
+
+    /// Adds a parameter override.
+    pub fn with_param(mut self, name: &str, value: i64) -> Self {
+        self.params.push((name.to_string(), value));
+        self
+    }
+}
+
+/// One experiment: a cluster, a workload, an optional scenario, a seed.
+#[derive(Clone, Debug)]
+pub struct ExperimentSpec {
+    /// Cluster configuration.
+    pub cluster: VclConfig,
+    /// The application under test (ranks come from `cluster.n_ranks`).
+    pub workload: Workload,
+    /// Fault scenario, if any.
+    pub injection: Option<InjectionSpec>,
+    /// The paper's experiment timeout (1500 s).
+    pub timeout: SimTime,
+    /// Silence threshold for the frozen-vs-stalled classification
+    /// ([`crate::classify::FREEZE_WINDOW`] at paper scale; scale it down
+    /// with the timeout for miniatures).
+    pub freeze_window: SimDuration,
+    /// Experiment seed.
+    pub seed: u64,
+}
+
+impl ExperimentSpec {
+    /// A fault-free paper-scale run.
+    pub fn fault_free(n_ranks: u32, class: BtClass, seed: u64) -> Self {
+        let mut cluster = VclConfig::default();
+        cluster.n_ranks = n_ranks;
+        cluster.n_compute_hosts = n_ranks as usize + 4;
+        ExperimentSpec {
+            cluster,
+            workload: Workload::Bt(class),
+            injection: None,
+            timeout: SimTime::from_secs(1500),
+            freeze_window: crate::classify::FREEZE_WINDOW,
+            seed,
+        }
+    }
+}
+
+/// What happened in one run.
+#[derive(Clone, Debug)]
+pub struct RunRecord {
+    /// Classified outcome.
+    pub outcome: Outcome,
+    /// Virtual instant the run ended (completion or timeout).
+    pub end: SimTime,
+    /// Faults actually injected (FAIL `halt` actions applied).
+    pub faults_injected: u32,
+    /// Recoveries the dispatcher started.
+    pub recoveries: usize,
+    /// Checkpoint waves committed.
+    pub waves_committed: usize,
+    /// Highest application iteration reached by any rank.
+    pub max_progress: u32,
+    /// Bytes sent, by traffic class (protocol-overhead accounting).
+    pub traffic: TrafficStats,
+}
+
+enum WEv {
+    C(Ev),
+    FailTimer { instance: usize, timer: usize, gen: u64 },
+    FailMsg { from: usize, to: usize, msg: usize },
+}
+
+/// Host-readable application state exposed as FAIL `probe` variables — the
+/// paper's Sec. 6 planned feature ("the FAIL language and FAIL-MPI tool
+/// should be able to read … internal variables of the stressed
+/// application"). Scenarios declare `probe <name>;` and react with
+/// `onchange(<name>)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum ProbeKind {
+    /// `probe committed_wave;` — the last globally committed wave.
+    CommittedWave,
+    /// `probe epoch;` — the current execution epoch (recoveries so far).
+    Epoch,
+}
+
+impl ProbeKind {
+    fn of_name(name: &str) -> Option<ProbeKind> {
+        match name {
+            "committed_wave" => Some(ProbeKind::CommittedWave),
+            "epoch" => Some(ProbeKind::Epoch),
+            _ => None,
+        }
+    }
+}
+
+struct FailSide {
+    rt: FailRuntime,
+    rng: SimRng,
+    latency: SimDuration,
+    jitter_max: SimDuration,
+    host_instance: HashMap<HostId, usize>,
+    halts: u32,
+    /// `(instance, var slot, kind, last pushed value)` per declared probe.
+    probes: Vec<(usize, usize, ProbeKind, i64)>,
+}
+
+struct World {
+    cluster: Cluster,
+    fail: Option<FailSide>,
+}
+
+fn func_name(f: InstrumentedFn) -> &'static str {
+    match f {
+        InstrumentedFn::LocalMpiSetCommand => "localMPI_setCommand",
+    }
+}
+
+fn func_of_name(name: &str) -> Option<InstrumentedFn> {
+    match name {
+        "localMPI_setCommand" => Some(InstrumentedFn::LocalMpiSetCommand),
+        _ => None,
+    }
+}
+
+impl World {
+    fn apply(
+        &mut self,
+        now: SimTime,
+        actions: Vec<FailAction>,
+        sched: &mut Scheduler<WEv>,
+    ) {
+        let Some(fail) = self.fail.as_mut() else {
+            return;
+        };
+        for a in actions {
+            match a {
+                FailAction::SendMsg { from, to, msg } => {
+                    let jitter = SimDuration::from_micros(
+                        fail.rng.below(fail.jitter_max.as_micros().max(1)),
+                    );
+                    sched.at(
+                        now + fail.latency + jitter,
+                        WEv::FailMsg { from, to, msg },
+                    );
+                }
+                FailAction::ArmTimer {
+                    instance,
+                    timer,
+                    gen,
+                    delay,
+                } => {
+                    sched.at(now + delay, WEv::FailTimer { instance, timer, gen });
+                }
+                FailAction::Halt { proc } => {
+                    fail.halts += 1;
+                    self.cluster.fail_halt(now, ProcId(proc as u32));
+                }
+                FailAction::Stop { proc } => {
+                    self.cluster.fail_stop(now, ProcId(proc as u32));
+                }
+                FailAction::Continue { proc } | FailAction::ReleaseBreakpoint { proc } => {
+                    self.cluster.fail_continue(now, ProcId(proc as u32));
+                }
+                FailAction::ArmBreakpoint { proc, func } => {
+                    if let Some(f) = func_of_name(&func) {
+                        self.cluster.arm_breakpoint(ProcId(proc as u32), f);
+                    }
+                }
+                FailAction::DisarmBreakpoints { proc } => {
+                    self.cluster.clear_breakpoints(ProcId(proc as u32));
+                }
+            }
+        }
+    }
+
+    /// Pushes application-state probes into the FAIL runtime when the
+    /// observed values changed.
+    fn pump_probes(&mut self, now: SimTime, sched: &mut Scheduler<WEv>) {
+        let Some(fail) = self.fail.as_mut() else {
+            return;
+        };
+        if fail.probes.is_empty() {
+            return;
+        }
+        let committed = self.cluster.committed_wave().map_or(0, |w| w as i64);
+        let epoch = self.cluster.epoch() as i64;
+        let mut fired = Vec::new();
+        for (instance, slot, kind, last) in fail.probes.iter_mut() {
+            let value = match kind {
+                ProbeKind::CommittedWave => committed,
+                ProbeKind::Epoch => epoch,
+            };
+            if value != *last {
+                *last = value;
+                fired.push(FailInput::Probe {
+                    instance: *instance,
+                    probe: *slot,
+                    value,
+                });
+            }
+        }
+        for input in fired {
+            let fail = self.fail.as_mut().expect("checked");
+            let acts = fail.rt.feed(input, &mut fail.rng);
+            self.apply(now, acts, sched);
+        }
+    }
+
+    /// Converts cluster hooks into FAIL inputs until quiescent.
+    fn pump_hooks(&mut self, now: SimTime, sched: &mut Scheduler<WEv>) {
+        loop {
+            let hooks = self.cluster.take_hooks();
+            if hooks.is_empty() {
+                return;
+            }
+            for h in hooks {
+                let Some(fail) = self.fail.as_mut() else {
+                    continue;
+                };
+                let input = match h {
+                    Hook::OnLoad { host, proc } => fail
+                        .host_instance
+                        .get(&host)
+                        .map(|&i| FailInput::OnLoad {
+                            instance: i,
+                            proc: proc.0 as u64,
+                        }),
+                    Hook::OnExit { host, proc } => fail
+                        .host_instance
+                        .get(&host)
+                        .map(|&i| FailInput::OnExit {
+                            instance: i,
+                            proc: proc.0 as u64,
+                        }),
+                    Hook::OnError { host, proc } => fail
+                        .host_instance
+                        .get(&host)
+                        .map(|&i| FailInput::OnError {
+                            instance: i,
+                            proc: proc.0 as u64,
+                        }),
+                    Hook::Breakpoint { host, proc, func } => fail
+                        .host_instance
+                        .get(&host)
+                        .map(|&i| FailInput::Breakpoint {
+                            instance: i,
+                            proc: proc.0 as u64,
+                            func: func_name(func).to_string(),
+                        }),
+                };
+                if let Some(input) = input {
+                    let acts = fail.rt.feed(input, &mut fail.rng);
+                    self.apply(now, acts, sched);
+                }
+            }
+        }
+    }
+}
+
+impl Model for World {
+    type Event = WEv;
+
+    fn handle(&mut self, now: SimTime, ev: WEv, sched: &mut Scheduler<WEv>) {
+        match ev {
+            WEv::C(e) => self.cluster.dispatch(now, e),
+            WEv::FailTimer {
+                instance,
+                timer,
+                gen,
+            } => {
+                if let Some(fail) = self.fail.as_mut() {
+                    let acts = fail.rt.feed(
+                        FailInput::Timer {
+                            instance,
+                            timer,
+                            gen,
+                        },
+                        &mut fail.rng,
+                    );
+                    self.apply(now, acts, sched);
+                }
+            }
+            WEv::FailMsg { from, to, msg } => {
+                if let Some(fail) = self.fail.as_mut() {
+                    let acts = fail.rt.feed(FailInput::Msg { from, to, msg }, &mut fail.rng);
+                    self.apply(now, acts, sched);
+                }
+            }
+        }
+        self.pump_hooks(now, sched);
+        self.pump_probes(now, sched);
+        for (t, e) in self.cluster.take_outputs() {
+            sched.at(t, WEv::C(e));
+        }
+    }
+
+    fn finished(&self) -> bool {
+        self.cluster.is_complete()
+    }
+}
+
+/// Relative compute noise baked into every experiment workload (models OS
+/// and cache jitter of real compute phases; see `bt_programs_noisy`).
+pub const COMPUTE_NOISE: f64 = 0.03;
+
+/// Builds per-rank programs for the spec's workload (seeded compute noise
+/// for BT; fixed programs verbatim).
+pub fn programs_for(spec: &ExperimentSpec) -> Vec<Arc<Program>> {
+    match &spec.workload {
+        Workload::Bt(class) => {
+            bt_programs_noisy(class, spec.cluster.n_ranks, spec.seed, COMPUTE_NOISE)
+        }
+        Workload::Fixed(programs) => programs.clone(),
+    }
+}
+
+/// Runs one experiment to completion or timeout and classifies it.
+pub fn run_one(spec: &ExperimentSpec) -> RunRecord {
+    run_one_keeping_cluster(spec).0
+}
+
+/// Like [`run_one`], additionally returning the final cluster state (for
+/// trace validation and post-mortem inspection).
+pub fn run_one_keeping_cluster(spec: &ExperimentSpec) -> (RunRecord, Cluster) {
+    let programs = programs_for(spec);
+    let cluster = Cluster::new(spec.cluster.clone(), programs, spec.seed);
+
+    let fail = spec.injection.as_ref().map(|inj| {
+        let scenario =
+            compile(&inj.scenario_src).expect("scenario in spec must compile");
+        let mut deployment = Deployment::new();
+        deployment
+            .add_instance("P1", &inj.adversary_class)
+            .expect("fresh deployment");
+        let mut members = Vec::new();
+        let mut host_instance = HashMap::new();
+        for i in 0..cluster.n_compute_hosts() {
+            let idx = deployment
+                .add_instance(&format!("G1[{i}]"), &inj.machine_class)
+                .expect("fresh deployment");
+            members.push(idx);
+            host_instance.insert(cluster.compute_host(i), idx);
+        }
+        deployment.add_group("G1", members).expect("fresh group");
+        let params: Vec<(&str, i64)> =
+            inj.params.iter().map(|(n, v)| (n.as_str(), *v)).collect();
+        let rt = FailRuntime::new(&scenario, deployment, &params)
+            .expect("scenario deploys");
+        // Wire up every declared probe the harness knows how to feed.
+        let mut probes = Vec::new();
+        for instance in 0..rt.len() {
+            for kind_name in ["committed_wave", "epoch"] {
+                if let Some(slot) = rt.probe_slot(instance, kind_name) {
+                    let kind = ProbeKind::of_name(kind_name).expect("known name");
+                    probes.push((instance, slot, kind, 0i64));
+                }
+            }
+        }
+        FailSide {
+            rt,
+            rng: SimRng::new(spec.seed).derive(0xFA11),
+            latency: inj.fail_latency,
+            jitter_max: inj.fail_jitter_max,
+            host_instance,
+            halts: 0,
+            probes,
+        }
+    });
+
+    let mut engine = Engine::new(World { cluster, fail });
+    // Initial cluster events.
+    for (t, e) in engine.model_mut().cluster.take_outputs() {
+        engine.schedule(t, WEv::C(e));
+    }
+    // Initial FAIL actions (timer arming at t = 0).
+    if engine.model().fail.is_some() {
+        let start_actions = {
+            let fail = engine.model_mut().fail.as_mut().expect("checked");
+            fail.rt.start(&mut fail.rng)
+        };
+        for a in start_actions {
+            match a {
+                FailAction::ArmTimer {
+                    instance,
+                    timer,
+                    gen,
+                    delay,
+                } => engine.schedule(
+                    SimTime::ZERO + delay,
+                    WEv::FailTimer {
+                        instance,
+                        timer,
+                        gen,
+                    },
+                ),
+                FailAction::SendMsg { from, to, msg } => {
+                    engine.schedule(SimTime::ZERO, WEv::FailMsg { from, to, msg })
+                }
+                other => panic!("unexpected start action {other:?}"),
+            }
+        }
+    }
+
+    let engine_outcome = engine.run(spec.timeout);
+    let end = engine.now();
+    let world = engine.into_model();
+    let outcome = classify(
+        &world.cluster,
+        engine_outcome,
+        end,
+        spec.timeout,
+        spec.freeze_window,
+    );
+    let trace = world.cluster.trace();
+    let recoveries = trace.count(|k| matches!(k, VclEvent::RecoveryStarted { .. }));
+    let waves_committed = trace.count(|k| matches!(k, VclEvent::WaveCommitted { .. }));
+    let max_progress = trace
+        .filtered(|k| matches!(k, VclEvent::AppProgress { .. }))
+        .map(|e| match e.kind {
+            VclEvent::AppProgress { iter, .. } => iter,
+            _ => unreachable!(),
+        })
+        .max()
+        .unwrap_or(0);
+    let record = RunRecord {
+        outcome,
+        end,
+        faults_injected: world.fail.as_ref().map_or(0, |f| f.halts),
+        recoveries,
+        waves_committed,
+        max_progress,
+        traffic: world.cluster.traffic(),
+    };
+    (record, world.cluster)
+}
+
+/// The engine outcome of a run (exposed for tests that need raw outcomes).
+pub type EngineOutcome = RunOutcome;

@@ -1,0 +1,37 @@
+//! # failmpi-experiments — the paper's evaluation, regenerated
+//!
+//! This crate binds the two halves of the reproduction together — the
+//! FAIL-MPI injection middleware (`failmpi-core`) and the simulated
+//! MPICH-Vcl deployment (`failmpi-mpichv`) — and drives every experiment of
+//! the paper's Sec. 5:
+//!
+//! | id | content | module |
+//! |----|---------|--------|
+//! | Table 1 | fault-injector capability matrix | [`criteria`] |
+//! | Fig. 5 | impact of fault frequency | [`figures::fig5`] |
+//! | Fig. 6 | impact of scale | [`figures::fig6`] |
+//! | Fig. 7 | impact of simultaneous faults | [`figures::fig7`] |
+//! | Fig. 9 | synchronized faults (first recovery wave) | [`figures::fig9`] |
+//! | Fig. 11 | state-synchronized faults (`localMPI_setCommand`) | [`figures::fig11`] |
+//! | — | dispatcher & checkpoint-style ablations | [`figures::ablation`] |
+//!
+//! Each figure has a binary of the same name (`cargo run --release -p
+//! failmpi-experiments --bin fig5`) printing the series the paper plots,
+//! and a smoke-scale variant used by tests and criterion benches.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod classify;
+pub mod cli;
+pub mod criteria;
+pub mod figures;
+pub mod harness;
+pub mod invariants;
+pub mod timeline;
+pub mod stats;
+pub mod sweep;
+
+pub use classify::Outcome;
+pub use harness::{run_one, run_one_keeping_cluster, ExperimentSpec, InjectionSpec, RunRecord, Workload};
+pub use invariants::validate_trace;

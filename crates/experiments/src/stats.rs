@@ -1,0 +1,136 @@
+//! Summary statistics over run records.
+
+use serde::Serialize;
+
+use failmpi_sim::SimTime;
+
+use crate::harness::RunRecord;
+
+/// Aggregate of one experiment point (one bar/marker in a paper figure).
+#[derive(Clone, Debug, PartialEq, Serialize)]
+pub struct PointSummary {
+    /// Number of runs at this point.
+    pub runs: usize,
+    /// Mean execution time of the *completed* runs, in seconds (the paper
+    /// averages only terminated experiments).
+    pub mean_time_s: Option<f64>,
+    /// Sample standard deviation of the completed times, in seconds.
+    pub std_time_s: Option<f64>,
+    /// Fastest completed run, in seconds.
+    pub min_time_s: Option<f64>,
+    /// Slowest completed run, in seconds (with `min`, the spread behind
+    /// the paper's "apparently chaotic" Fig. 6 observation).
+    pub max_time_s: Option<f64>,
+    /// Fraction of runs classified non-terminating (0–1).
+    pub non_terminating: f64,
+    /// Fraction of runs classified buggy (0–1).
+    pub buggy: f64,
+    /// Mean number of faults injected per run.
+    pub mean_faults: f64,
+}
+
+impl PointSummary {
+    /// Summarises a set of runs of the same experiment point.
+    pub fn from_runs(records: &[RunRecord]) -> Self {
+        let n = records.len().max(1) as f64;
+        let times: Vec<f64> = records
+            .iter()
+            .filter_map(|r| r.outcome.time())
+            .map(SimTime::as_secs_f64)
+            .collect();
+        let (mean, std) = mean_std(&times);
+        PointSummary {
+            runs: records.len(),
+            mean_time_s: mean,
+            std_time_s: std,
+            min_time_s: times.iter().copied().reduce(f64::min),
+            max_time_s: times.iter().copied().reduce(f64::max),
+            non_terminating: records
+                .iter()
+                .filter(|r| r.outcome.is_non_terminating())
+                .count() as f64
+                / n,
+            buggy: records.iter().filter(|r| r.outcome.is_buggy()).count() as f64 / n,
+            mean_faults: records.iter().map(|r| r.faults_injected as f64).sum::<f64>() / n,
+        }
+    }
+
+    /// Percentage (0–100) of non-terminating runs.
+    pub fn pct_non_terminating(&self) -> f64 {
+        self.non_terminating * 100.0
+    }
+
+    /// Percentage (0–100) of buggy runs.
+    pub fn pct_buggy(&self) -> f64 {
+        self.buggy * 100.0
+    }
+}
+
+/// Mean and sample standard deviation; `None`s when empty / singleton.
+pub fn mean_std(xs: &[f64]) -> (Option<f64>, Option<f64>) {
+    if xs.is_empty() {
+        return (None, None);
+    }
+    let n = xs.len() as f64;
+    let mean = xs.iter().sum::<f64>() / n;
+    if xs.len() < 2 {
+        return (Some(mean), None);
+    }
+    let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0);
+    (Some(mean), Some(var.sqrt()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classify::Outcome;
+
+    fn rec(outcome: Outcome, faults: u32) -> RunRecord {
+        RunRecord {
+            outcome,
+            end: SimTime::from_secs(0),
+            faults_injected: faults,
+            recoveries: 0,
+            waves_committed: 0,
+            max_progress: 0,
+            traffic: Default::default(),
+        }
+    }
+
+    #[test]
+    fn mean_std_basics() {
+        assert_eq!(mean_std(&[]), (None, None));
+        assert_eq!(mean_std(&[4.0]), (Some(4.0), None));
+        let (m, s) = mean_std(&[1.0, 3.0]);
+        assert_eq!(m, Some(2.0));
+        assert!((s.unwrap() - 2f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_counts_outcomes() {
+        let runs = vec![
+            rec(Outcome::Completed { time: SimTime::from_secs(100) }, 2),
+            rec(Outcome::Completed { time: SimTime::from_secs(200) }, 3),
+            rec(Outcome::NonTerminating, 30),
+            rec(Outcome::Buggy, 1),
+        ];
+        let s = PointSummary::from_runs(&runs);
+        assert_eq!(s.runs, 4);
+        assert_eq!(s.mean_time_s, Some(150.0));
+        assert_eq!(s.min_time_s, Some(100.0));
+        assert_eq!(s.max_time_s, Some(200.0));
+        assert_eq!(s.pct_non_terminating(), 25.0);
+        assert_eq!(s.pct_buggy(), 25.0);
+        assert_eq!(s.mean_faults, 9.0);
+    }
+
+    #[test]
+    fn summary_of_empty_is_degenerate() {
+        let s = PointSummary::from_runs(&[]);
+        assert_eq!(s.runs, 0);
+        assert_eq!(s.mean_time_s, None);
+        assert_eq!(s.min_time_s, None);
+        assert_eq!(s.max_time_s, None);
+        assert_eq!(s.pct_buggy(), 0.0);
+    }
+}

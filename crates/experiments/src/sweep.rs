@@ -1,0 +1,93 @@
+//! Parallel execution of independent experiment runs.
+//!
+//! Each simulation is strictly single-threaded and deterministic; the
+//! parallelism of the harness lives *across* runs: a work-stealing pool of
+//! OS threads drains the spec list. Results come back in spec order.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use crate::harness::{run_one, ExperimentSpec, RunRecord};
+
+/// Runs every spec, using up to `threads` worker threads (0 = all cores).
+pub fn run_all(specs: &[ExperimentSpec], threads: usize) -> Vec<RunRecord> {
+    let threads = if threads == 0 {
+        std::thread::available_parallelism().map_or(4, |n| n.get())
+    } else {
+        threads
+    }
+    .min(specs.len().max(1));
+
+    if threads <= 1 || specs.len() <= 1 {
+        return specs.iter().map(run_one).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let results: Vec<Mutex<Option<RunRecord>>> =
+        specs.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= specs.len() {
+                    return;
+                }
+                let record = run_one(&specs[i]);
+                *results[i].lock().expect("poisoned result slot") = Some(record);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|m| m.into_inner().expect("poisoned").expect("worker filled it"))
+        .collect()
+}
+
+/// Expands one spec into `runs` seeded copies (seed, seed+1, …).
+pub fn seeded(spec: &ExperimentSpec, runs: usize) -> Vec<ExperimentSpec> {
+    (0..runs as u64)
+        .map(|k| {
+            let mut s = spec.clone();
+            s.seed = spec.seed.wrapping_add(k);
+            s
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use failmpi_sim::{SimDuration, SimTime};
+    use failmpi_mpichv::VclConfig;
+    use failmpi_workloads::BtClass;
+
+    fn tiny_spec(seed: u64) -> ExperimentSpec {
+        ExperimentSpec {
+            cluster: VclConfig::small(4, SimDuration::from_secs(2)),
+            workload: crate::harness::Workload::Bt(BtClass::S),
+            injection: None,
+            timeout: SimTime::from_secs(150),
+            freeze_window: SimDuration::from_secs(15),
+            seed,
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let specs = seeded(&tiny_spec(1), 4);
+        let serial = run_all(&specs, 1);
+        let parallel = run_all(&specs, 4);
+        for (a, b) in serial.iter().zip(&parallel) {
+            assert_eq!(a.outcome, b.outcome);
+            assert_eq!(a.end, b.end);
+            assert_eq!(a.waves_committed, b.waves_committed);
+        }
+    }
+
+    #[test]
+    fn seeded_increments() {
+        let specs = seeded(&tiny_spec(10), 3);
+        let seeds: Vec<u64> = specs.iter().map(|s| s.seed).collect();
+        assert_eq!(seeds, vec![10, 11, 12]);
+    }
+}

@@ -1,0 +1,202 @@
+//! Human-readable execution timelines.
+//!
+//! The paper's authors classified runs and located the dispatcher bug "by
+//! analysing the execution trace"; this module renders our traces the way
+//! a person wants to read them — one line per event, indented recovery
+//! epochs, progress collapsed into ranges.
+
+use std::fmt::Write;
+
+use failmpi_sim::TraceEntry;
+use failmpi_mpichv::{Cluster, VclEvent};
+
+/// Rendering options.
+#[derive(Clone, Copy, Debug)]
+pub struct TimelineOptions {
+    /// Collapse consecutive `AppProgress` records into `iter a..b` ranges.
+    pub collapse_progress: bool,
+    /// Skip per-daemon spawn/registration noise.
+    pub lifecycle: bool,
+}
+
+impl Default for TimelineOptions {
+    fn default() -> Self {
+        TimelineOptions {
+            collapse_progress: true,
+            lifecycle: false,
+        }
+    }
+}
+
+fn flush_progress(
+    out: &mut String,
+    pending: &mut Option<(f64, f64, u32, u32)>,
+) {
+    if let Some((t0, t1, lo, hi)) = pending.take() {
+        if lo == hi {
+            writeln!(out, "{t0:10.3}s  progress      iter {lo}").unwrap();
+        } else {
+            writeln!(
+                out,
+                "{t0:10.3}s  progress      iter {lo}..{hi} (until {t1:.3}s)"
+            )
+            .unwrap();
+        }
+    }
+}
+
+/// Renders the cluster's trace as a timeline.
+pub fn render(cluster: &Cluster, opts: TimelineOptions) -> String {
+    let mut out = String::new();
+    let mut pending: Option<(f64, f64, u32, u32)> = None;
+    for TraceEntry { at, kind } in cluster.trace().entries() {
+        let t = at.as_secs_f64();
+        if opts.collapse_progress {
+            if let VclEvent::AppProgress { iter, .. } = kind {
+                pending = Some(match pending {
+                    None => (t, t, *iter, *iter),
+                    Some((t0, _, lo, hi)) => (t0, t, lo.min(*iter), hi.max(*iter)),
+                });
+                continue;
+            }
+        }
+        flush_progress(&mut out, &mut pending);
+        let line = match kind {
+            VclEvent::DaemonSpawned { rank, epoch, host } => {
+                if !opts.lifecycle {
+                    continue;
+                }
+                format!("spawn         rank {rank} epoch {epoch} on {host:?}")
+            }
+            VclEvent::DaemonRegistered { rank, epoch } => {
+                if !opts.lifecycle {
+                    continue;
+                }
+                format!("register      rank {rank} epoch {epoch}")
+            }
+            VclEvent::RunStarted { epoch } => format!("run start     epoch {epoch}"),
+            VclEvent::RankResumed { rank, from_wave } => {
+                if !opts.lifecycle {
+                    continue;
+                }
+                match from_wave {
+                    Some(w) => format!("resume        rank {rank} from wave {w}"),
+                    None => format!("resume        rank {rank} from scratch"),
+                }
+            }
+            VclEvent::AppProgress { rank, iter } => {
+                format!("progress      rank {rank} iter {iter}")
+            }
+            VclEvent::WaveStarted { wave } => format!("wave start    #{wave}"),
+            VclEvent::LocalCheckpointDone { .. } => continue,
+            VclEvent::WaveCommitted { wave } => format!("wave commit   #{wave}"),
+            VclEvent::FailureDetected {
+                rank,
+                epoch,
+                during_recovery,
+            } => {
+                if *during_recovery {
+                    format!("FAILURE       rank {rank} epoch {epoch}  ** during recovery: the bug window **")
+                } else {
+                    format!("failure       rank {rank} epoch {epoch}")
+                }
+            }
+            VclEvent::RecoveryStarted { epoch } => format!("recovery      -> epoch {epoch}"),
+            VclEvent::LaunchRetried { rank, epoch } => {
+                format!("ssh retry     rank {rank} epoch {epoch} (died unregistered)")
+            }
+            VclEvent::RankFinalized { rank } => {
+                if !opts.lifecycle {
+                    continue;
+                }
+                format!("finalize      rank {rank}")
+            }
+            VclEvent::JobComplete => "JOB COMPLETE".to_string(),
+        };
+        writeln!(out, "{t:10.3}s  {line}").unwrap();
+    }
+    flush_progress(&mut out, &mut pending);
+    if !cluster.is_complete() {
+        writeln!(
+            out,
+            "{:>10}   (run did not complete — see the classifier verdict)",
+            "…"
+        )
+        .unwrap();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figures::{FIG10_SRC, FIG5_SRC};
+    use crate::harness::{run_one_keeping_cluster, ExperimentSpec, InjectionSpec, Workload};
+    use failmpi_sim::{SimDuration, SimTime};
+    use failmpi_mpichv::VclConfig;
+    use failmpi_workloads::BtClass;
+
+    fn spec(seed: u64) -> ExperimentSpec {
+        let mut cluster = VclConfig::small(4, SimDuration::from_secs(2));
+        cluster.ssh_stagger = SimDuration::from_millis(20);
+        cluster.restart_overhead = SimDuration::from_millis(400);
+        cluster.terminate_delay = SimDuration::from_millis(30);
+        ExperimentSpec {
+            cluster,
+            workload: Workload::Bt(BtClass::S),
+            injection: None,
+            timeout: SimTime::from_secs(90),
+            freeze_window: SimDuration::from_secs(9),
+            seed,
+        }
+    }
+
+    #[test]
+    fn clean_timeline_reads_start_to_complete() {
+        let (_, cluster) = run_one_keeping_cluster(&spec(1));
+        let text = render(&cluster, TimelineOptions::default());
+        assert!(text.contains("run start     epoch 0"), "{text}");
+        assert!(text.contains("wave commit"), "{text}");
+        assert!(text.contains("JOB COMPLETE"), "{text}");
+        assert!(!text.contains("failure"), "{text}");
+        // Progress collapsed, not one line per iteration per rank.
+        assert!(text.lines().count() < 30, "{text}");
+    }
+
+    #[test]
+    fn frozen_timeline_shows_the_bug_window() {
+        let mut s = spec(2);
+        s.injection = Some(
+            InjectionSpec::new(FIG10_SRC, "ADV1", "ADVG1")
+                .with_param("T", 2)
+                .with_param("N", 5),
+        );
+        let (rec, cluster) = run_one_keeping_cluster(&s);
+        assert!(rec.outcome.is_buggy());
+        let text = render(&cluster, TimelineOptions::default());
+        assert!(text.contains("** during recovery: the bug window **"), "{text}");
+        assert!(text.contains("did not complete"), "{text}");
+        assert!(!text.contains("JOB COMPLETE"), "{text}");
+    }
+
+    #[test]
+    fn lifecycle_mode_shows_spawns() {
+        let mut s = spec(3);
+        s.injection = Some(
+            InjectionSpec::new(FIG5_SRC, "ADV1", "ADVnodes")
+                .with_param("X", 4)
+                .with_param("N", 5),
+        );
+        let (_, cluster) = run_one_keeping_cluster(&s);
+        let with = render(
+            &cluster,
+            TimelineOptions {
+                collapse_progress: true,
+                lifecycle: true,
+            },
+        );
+        let without = render(&cluster, TimelineOptions::default());
+        assert!(with.contains("spawn"), "{with}");
+        assert!(with.lines().count() > without.lines().count());
+    }
+}

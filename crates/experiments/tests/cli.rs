@@ -1,0 +1,95 @@
+//! Integration tests for the CLI binaries (`failc` and the figure
+//! binaries' argument handling), driven through the compiled executables.
+
+use std::process::Command;
+
+fn failc() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_failc"))
+}
+
+#[test]
+fn failc_compiles_the_paper_scenarios() {
+    for name in [
+        "fig4_generic_nodes",
+        "fig5_frequency",
+        "fig7_simultaneous",
+        "fig8_synchronized",
+        "fig10_state_sync",
+    ] {
+        let path = format!(
+            "{}/../core/scenarios/{name}.fail",
+            env!("CARGO_MANIFEST_DIR")
+        );
+        let out = failc().arg(&path).output().expect("failc runs");
+        assert!(out.status.success(), "{name}: {out:?}");
+        let stdout = String::from_utf8(out.stdout).expect("utf8");
+        assert!(stdout.contains("daemon"), "{name}: {stdout}");
+        assert!(stdout.contains("messages:"), "{name}: {stdout}");
+    }
+}
+
+#[test]
+fn failc_emits_rust() {
+    let path = format!(
+        "{}/../core/scenarios/fig10_state_sync.fail",
+        env!("CARGO_MANIFEST_DIR")
+    );
+    let out = failc()
+        .arg(&path)
+        .arg("--emit-rust")
+        .output()
+        .expect("failc runs");
+    assert!(out.status.success());
+    let code = String::from_utf8(out.stdout).expect("utf8");
+    assert!(code.contains("pub fn build_scenario() -> Scenario"));
+    assert!(code.contains("Guard::Before(\"localMPI_setCommand\""));
+}
+
+#[test]
+fn failc_reports_compile_errors_with_position() {
+    let dir = std::env::temp_dir().join("failmpi-cli-test");
+    std::fs::create_dir_all(&dir).expect("tmpdir");
+    let bad = dir.join("bad.fail");
+    std::fs::write(&bad, "daemon A { node 1: ?x -> goto 7; }").expect("write");
+    let out = failc().arg(&bad).output().expect("failc runs");
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).expect("utf8");
+    assert!(err.contains("unknown node 7"), "{err}");
+    assert!(err.contains("line 1"), "{err}");
+}
+
+#[test]
+fn failc_usage_on_bad_args() {
+    let out = failc().output().expect("failc runs");
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).expect("utf8");
+    assert!(err.contains("usage"), "{err}");
+}
+
+#[test]
+fn fig5_binary_smoke_runs_and_writes_json() {
+    let dir = std::env::temp_dir().join("failmpi-cli-test");
+    std::fs::create_dir_all(&dir).expect("tmpdir");
+    let json = dir.join("fig5.json");
+    let out = Command::new(env!("CARGO_BIN_EXE_fig5"))
+        .args(["--smoke", "--runs", "1", "--json"])
+        .arg(&json)
+        .output()
+        .expect("fig5 runs");
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).expect("utf8");
+    assert!(stdout.contains("Figure 5"), "{stdout}");
+    let data: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&json).expect("json written"))
+            .expect("valid json");
+    assert!(data["points"].as_array().expect("points").len() >= 2);
+}
+
+#[test]
+fn figure_binaries_reject_unknown_flags() {
+    let out = Command::new(env!("CARGO_BIN_EXE_fig11"))
+        .arg("--frobnicate")
+        .output()
+        .expect("fig11 runs");
+    assert!(!out.status.success());
+}

@@ -1,0 +1,233 @@
+//! Collective operations lowered to point-to-point ops.
+//!
+//! MPICH implements collectives in its protocol layer on top of the channel
+//! interface; this module does the moral equivalent at program-construction
+//! time. Every function returns the op sequence *for one rank* out of `n`;
+//! generating the sequence for each rank yields a matched, deadlock-free
+//! communication pattern (verified by the [`crate::lockstep`] executor in
+//! this module's tests).
+
+use crate::program::Op;
+use crate::types::{Rank, Tag};
+
+/// Size of a zero-payload control message on the wire (header only).
+const CTRL_BYTES: u64 = 8;
+
+/// Dissemination barrier (Hensgen–Finkel–Manber): ⌈log₂ n⌉ rounds; in round
+/// `k`, rank `r` sends to `(r + 2^k) mod n` and receives from
+/// `(r + n − 2^k) mod n`. Works for any `n`, including non-powers of two.
+pub fn barrier(rank: Rank, n: u32, tag: Tag) -> Vec<Op> {
+    exchange_rounds(rank, n, tag, CTRL_BYTES)
+}
+
+/// All-reduce with the communication shape of a dissemination/butterfly
+/// exchange: same partners as [`barrier`], `bytes` of payload per round.
+/// (The arithmetic combine is not modelled — only traffic matters here.)
+pub fn allreduce(rank: Rank, n: u32, bytes: u64, tag: Tag) -> Vec<Op> {
+    exchange_rounds(rank, n, tag, bytes)
+}
+
+fn exchange_rounds(rank: Rank, n: u32, tag: Tag, bytes: u64) -> Vec<Op> {
+    let mut ops = Vec::new();
+    if n <= 1 {
+        return ops;
+    }
+    let r = rank.0;
+    let mut dist = 1u32;
+    while dist < n {
+        let to = Rank((r + dist) % n);
+        let from = Rank((r + n - dist % n) % n);
+        ops.push(Op::Send { to, tag, bytes });
+        ops.push(Op::Recv { from, tag });
+        dist = dist.saturating_mul(2);
+    }
+    ops
+}
+
+/// Binomial-tree broadcast from `root`: non-roots receive from their tree
+/// parent, then every rank forwards to its tree children.
+pub fn bcast(rank: Rank, root: Rank, n: u32, bytes: u64, tag: Tag) -> Vec<Op> {
+    let mut ops = Vec::new();
+    if n <= 1 {
+        return ops;
+    }
+    let relative = (rank.0 + n - root.0 % n) % n;
+    let mut mask = 1u32;
+    while mask < n {
+        if relative & mask != 0 {
+            let src = Rank((relative - mask + root.0) % n);
+            ops.push(Op::Recv { from: src, tag });
+            break;
+        }
+        mask <<= 1;
+    }
+    mask >>= 1;
+    while mask > 0 {
+        if relative + mask < n {
+            let dst = Rank((relative + mask + root.0) % n);
+            ops.push(Op::Send {
+                to: dst,
+                tag,
+                bytes,
+            });
+        }
+        mask >>= 1;
+    }
+    ops
+}
+
+/// Binomial-tree reduction to `root`: the exact mirror of [`bcast`] —
+/// every rank receives from its tree children (in reverse order), then
+/// non-roots send to their tree parent.
+pub fn reduce(rank: Rank, root: Rank, n: u32, bytes: u64, tag: Tag) -> Vec<Op> {
+    let mut ops = Vec::new();
+    if n <= 1 {
+        return ops;
+    }
+    let relative = (rank.0 + n - root.0 % n) % n;
+    // Find this rank's parent bit (same walk as bcast).
+    let mut parent_mask = 1u32;
+    while parent_mask < n {
+        if relative & parent_mask != 0 {
+            break;
+        }
+        parent_mask <<= 1;
+    }
+    // Children contributed in reverse order of the bcast send order.
+    let mut mask = 1u32;
+    let limit = parent_mask.min(n);
+    while mask < limit {
+        if relative + mask < n {
+            let child = Rank((relative + mask + root.0) % n);
+            ops.push(Op::Recv { from: child, tag });
+        }
+        mask <<= 1;
+    }
+    if parent_mask < n {
+        let parent = Rank((relative - parent_mask + root.0) % n);
+        ops.push(Op::Send {
+            to: parent,
+            tag,
+            bytes,
+        });
+    }
+    ops
+}
+
+/// Ring all-gather: `n − 1` rounds of sending to the right neighbour and
+/// receiving from the left one.
+pub fn allgather_ring(rank: Rank, n: u32, bytes: u64, tag: Tag) -> Vec<Op> {
+    let mut ops = Vec::new();
+    if n <= 1 {
+        return ops;
+    }
+    let right = Rank((rank.0 + 1) % n);
+    let left = Rank((rank.0 + n - 1) % n);
+    for _ in 0..(n - 1) {
+        ops.push(Op::Send {
+            to: right,
+            tag,
+            bytes,
+        });
+        ops.push(Op::Recv { from: left, tag });
+    }
+    ops
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lockstep;
+    use crate::program::Program;
+    use std::sync::Arc;
+
+    /// Builds one program per rank from a per-rank lowering.
+    fn programs(n: u32, f: impl Fn(Rank) -> Vec<Op>) -> Vec<Arc<Program>> {
+        (0..n)
+            .map(|r| {
+                let mut ops = f(Rank(r));
+                ops.push(Op::Finalize);
+                Program::new(ops, 0)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn barrier_completes_for_all_sizes() {
+        for n in [1u32, 2, 3, 4, 5, 7, 8, 25, 36, 49, 64] {
+            let ps = programs(n, |r| barrier(r, n, Tag(1)));
+            let stats = lockstep::run(&ps).unwrap_or_else(|d| panic!("n={n}: {d:?}"));
+            if n > 1 {
+                let rounds = (n as f64).log2().ceil() as u64;
+                assert_eq!(stats.total_messages, rounds * n as u64, "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn allreduce_completes_and_carries_payload() {
+        for n in [2u32, 3, 49] {
+            let ps = programs(n, |r| allreduce(r, n, 1000, Tag(2)));
+            let stats = lockstep::run(&ps).expect("allreduce deadlocked");
+            assert_eq!(stats.total_bytes % 1000, 0);
+            assert!(stats.total_bytes > 0);
+        }
+    }
+
+    #[test]
+    fn bcast_reaches_everyone_exactly_once() {
+        for n in [2u32, 3, 5, 8, 13, 49] {
+            for root in [0u32, 1, n - 1] {
+                let ps = programs(n, |r| bcast(r, Rank(root), n, 500, Tag(3)));
+                let stats =
+                    lockstep::run(&ps).unwrap_or_else(|d| panic!("n={n} root={root}: {d:?}"));
+                // A broadcast over n ranks moves exactly n−1 messages.
+                assert_eq!(stats.total_messages, (n - 1) as u64, "n={n} root={root}");
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_mirrors_bcast() {
+        for n in [2u32, 3, 5, 8, 13, 49] {
+            for root in [0u32, 2 % n] {
+                let ps = programs(n, |r| reduce(r, Rank(root), n, 500, Tag(4)));
+                let stats =
+                    lockstep::run(&ps).unwrap_or_else(|d| panic!("n={n} root={root}: {d:?}"));
+                assert_eq!(stats.total_messages, (n - 1) as u64, "n={n} root={root}");
+            }
+        }
+    }
+
+    #[test]
+    fn allgather_ring_moves_n_minus_1_rounds() {
+        for n in [2u32, 3, 7] {
+            let ps = programs(n, |r| allgather_ring(r, n, 100, Tag(5)));
+            let stats = lockstep::run(&ps).expect("ring deadlocked");
+            assert_eq!(stats.total_messages, (n as u64) * (n as u64 - 1));
+        }
+    }
+
+    #[test]
+    fn single_rank_collectives_are_empty() {
+        assert!(barrier(Rank(0), 1, Tag(0)).is_empty());
+        assert!(allreduce(Rank(0), 1, 10, Tag(0)).is_empty());
+        assert!(bcast(Rank(0), Rank(0), 1, 10, Tag(0)).is_empty());
+        assert!(reduce(Rank(0), Rank(0), 1, 10, Tag(0)).is_empty());
+        assert!(allgather_ring(Rank(0), 1, 10, Tag(0)).is_empty());
+    }
+
+    #[test]
+    fn chained_collectives_do_not_cross_deadlock() {
+        let n = 7u32;
+        let ps = programs(n, |r| {
+            let mut ops = barrier(r, n, Tag(1));
+            ops.extend(allreduce(r, n, 64, Tag(2)));
+            ops.extend(bcast(r, Rank(3), n, 64, Tag(3)));
+            ops.extend(reduce(r, Rank(3), n, 64, Tag(4)));
+            ops.extend(barrier(r, n, Tag(5)));
+            ops
+        });
+        lockstep::run(&ps).expect("chained collectives deadlocked");
+    }
+}

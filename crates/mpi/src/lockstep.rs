@@ -1,0 +1,159 @@
+//! A non-fault-tolerant reference executor for op-programs.
+//!
+//! Runs a set of per-rank programs to completion under idealised conditions
+//! (infinite buffering, zero time): every send is delivered instantly and
+//! computation is free. This is *not* a performance model — it proves that a
+//! workload is deadlock-free and message-matched before it runs under the
+//! fault-tolerant runtime, and it computes the traffic statistics used by
+//! tests and workload calibration.
+
+use std::sync::Arc;
+
+use crate::interp::{Action, Interp};
+use crate::program::Program;
+use crate::types::{Rank, Tag};
+
+/// Traffic statistics of a completed lockstep run.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RunStats {
+    /// Total point-to-point messages sent.
+    pub total_messages: u64,
+    /// Total payload bytes sent.
+    pub total_bytes: u64,
+    /// Final progress marker per rank.
+    pub progress: Vec<u32>,
+    /// Total compute time per rank, in microseconds.
+    pub compute_us: Vec<u64>,
+}
+
+/// A deadlock report: every non-finalized rank with what it waits for.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Deadlock {
+    /// `(blocked rank, awaited source, awaited tag)` triples.
+    pub waiting: Vec<(Rank, Rank, Tag)>,
+}
+
+/// Executes one program per rank to completion.
+///
+/// Returns the traffic statistics, or the set of blocked receives if the
+/// programs deadlock (including the "lost message" case where a receive
+/// waits for a send that never happens).
+pub fn run(programs: &[Arc<Program>]) -> Result<RunStats, Deadlock> {
+    let mut interps: Vec<Interp> = programs
+        .iter()
+        .enumerate()
+        .map(|(r, p)| Interp::new(Rank(r as u32), Arc::clone(p)))
+        .collect();
+    let n = interps.len();
+    let mut stats = RunStats {
+        progress: vec![0; n],
+        compute_us: vec![0; n],
+        ..RunStats::default()
+    };
+    let mut made_progress = true;
+    while made_progress {
+        made_progress = false;
+        for r in 0..n {
+            loop {
+                // Split-borrow dance: step rank r, deliver to its target.
+                match interps[r].step() {
+                    Action::Send { to, tag, bytes } => {
+                        stats.total_messages += 1;
+                        stats.total_bytes += bytes;
+                        let dst = to.0 as usize;
+                        assert!(dst < n, "send to nonexistent {to:?}");
+                        assert_ne!(dst, r, "self-send from {to:?}");
+                        interps[dst].deliver(Rank(r as u32), tag, bytes);
+                        made_progress = true;
+                    }
+                    Action::Busy(d) => {
+                        stats.compute_us[r] += d.as_micros();
+                        made_progress = true;
+                    }
+                    Action::Progress(p) => {
+                        stats.progress[r] = stats.progress[r].max(p);
+                        made_progress = true;
+                    }
+                    Action::Blocked { .. } => break,
+                    Action::Finalized => break,
+                }
+            }
+        }
+        if interps.iter().all(Interp::is_finalized) {
+            return Ok(stats);
+        }
+    }
+    let waiting = interps
+        .iter_mut()
+        .filter(|i| !i.is_finalized())
+        .map(|i| match i.step() {
+            Action::Blocked { from, tag } => (i.rank(), from, tag),
+            other => unreachable!("stuck rank not blocked: {other:?}"),
+        })
+        .collect();
+    Err(Deadlock { waiting })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::ProgramBuilder;
+    use failmpi_sim::SimDuration;
+
+    #[test]
+    fn ping_pong_completes() {
+        let p0 = ProgramBuilder::new(0)
+            .send(Rank(1), Tag(0), 100)
+            .recv(Rank(1), Tag(1))
+            .progress(1)
+            .finalize();
+        let p1 = ProgramBuilder::new(0)
+            .recv(Rank(0), Tag(0))
+            .send(Rank(0), Tag(1), 200)
+            .progress(1)
+            .finalize();
+        let stats = run(&[p0, p1]).expect("ping-pong deadlocked");
+        assert_eq!(stats.total_messages, 2);
+        assert_eq!(stats.total_bytes, 300);
+        assert_eq!(stats.progress, vec![1, 1]);
+    }
+
+    #[test]
+    fn lost_message_reports_deadlock() {
+        let p0 = ProgramBuilder::new(0).recv(Rank(1), Tag(9)).finalize();
+        let p1 = ProgramBuilder::new(0).finalize();
+        let err = run(&[p0, p1]).unwrap_err();
+        assert_eq!(err.waiting, vec![(Rank(0), Rank(1), Tag(9))]);
+    }
+
+    #[test]
+    fn mutual_wait_reports_both() {
+        let p0 = ProgramBuilder::new(0)
+            .recv(Rank(1), Tag(0))
+            .send(Rank(1), Tag(1), 1)
+            .finalize();
+        let p1 = ProgramBuilder::new(0)
+            .recv(Rank(0), Tag(1))
+            .send(Rank(0), Tag(0), 1)
+            .finalize();
+        let err = run(&[p0, p1]).unwrap_err();
+        assert_eq!(err.waiting.len(), 2);
+    }
+
+    #[test]
+    fn compute_time_is_accumulated() {
+        let p = ProgramBuilder::new(0)
+            .compute(SimDuration::from_secs(2))
+            .compute(SimDuration::from_millis(500))
+            .finalize();
+        let stats = run(&[p]).unwrap();
+        assert_eq!(stats.compute_us, vec![2_500_000]);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonexistent")]
+    fn send_out_of_range_panics() {
+        let p = ProgramBuilder::new(0).send(Rank(5), Tag(0), 1).finalize();
+        let _ = run(&[p]);
+    }
+}

@@ -1,0 +1,198 @@
+//! Op-programs: the per-rank instruction stream of a virtual MPI process.
+
+use std::sync::Arc;
+
+use failmpi_sim::SimDuration;
+
+use crate::types::{Rank, Tag};
+
+/// One instruction of a virtual MPI process.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Op {
+    /// Pure local computation for the given span of CPU time.
+    Compute(SimDuration),
+    /// Buffered (eager) send: completes as soon as the message is handed to
+    /// the local communication daemon, like a small `MPI_Send` under the
+    /// eager protocol.
+    Send {
+        /// Destination rank.
+        to: Rank,
+        /// Message tag.
+        tag: Tag,
+        /// Payload size for the bandwidth model.
+        bytes: u64,
+    },
+    /// Blocking receive of a `(from, tag)`-matching message.
+    Recv {
+        /// Source rank.
+        from: Rank,
+        /// Message tag.
+        tag: Tag,
+    },
+    /// Application progress marker (e.g. "iteration k finished"); recorded
+    /// in the execution trace and used by the harness to distinguish a
+    /// stalled run from a progressing one.
+    Progress(u32),
+    /// `MPI_Finalize`: the process is done.
+    Finalize,
+}
+
+/// An immutable per-rank program plus the metadata the checkpointing layer
+/// needs (resident image size).
+#[derive(Debug)]
+pub struct Program {
+    ops: Vec<Op>,
+    image_bytes: u64,
+}
+
+impl Program {
+    /// Wraps a raw op list. `image_bytes` is the size of this process'
+    /// checkpoint image (its resident data footprint).
+    pub fn new(ops: Vec<Op>, image_bytes: u64) -> Arc<Self> {
+        Arc::new(Program { ops, image_bytes })
+    }
+
+    /// The instruction stream.
+    pub fn ops(&self) -> &[Op] {
+        &self.ops
+    }
+
+    /// Checkpoint image size of this process.
+    pub fn image_bytes(&self) -> u64 {
+        self.image_bytes
+    }
+
+    /// Whether the program's final op is `Finalize` (well-formed programs
+    /// always end that way).
+    pub fn is_well_formed(&self) -> bool {
+        matches!(self.ops.last(), Some(Op::Finalize))
+            && self
+                .ops
+                .iter()
+                .rev()
+                .skip(1)
+                .all(|op| !matches!(op, Op::Finalize))
+    }
+}
+
+/// Convenience builder for op-programs.
+///
+/// ```
+/// use failmpi_mpi::{ProgramBuilder, Rank, Tag};
+/// use failmpi_sim::SimDuration;
+///
+/// let p = ProgramBuilder::new(4 << 20)
+///     .compute(SimDuration::from_millis(10))
+///     .send(Rank(1), Tag(0), 1024)
+///     .recv(Rank(1), Tag(1))
+///     .progress(1)
+///     .finalize();
+/// assert!(p.is_well_formed());
+/// assert_eq!(p.ops().len(), 5);
+/// ```
+#[derive(Debug, Default)]
+pub struct ProgramBuilder {
+    ops: Vec<Op>,
+    image_bytes: u64,
+}
+
+impl ProgramBuilder {
+    /// Starts a program whose checkpoint image is `image_bytes` long.
+    pub fn new(image_bytes: u64) -> Self {
+        ProgramBuilder {
+            ops: Vec::new(),
+            image_bytes,
+        }
+    }
+
+    /// Appends a compute phase.
+    pub fn compute(mut self, d: SimDuration) -> Self {
+        self.ops.push(Op::Compute(d));
+        self
+    }
+
+    /// Appends an eager send.
+    pub fn send(mut self, to: Rank, tag: Tag, bytes: u64) -> Self {
+        self.ops.push(Op::Send { to, tag, bytes });
+        self
+    }
+
+    /// Appends a blocking receive.
+    pub fn recv(mut self, from: Rank, tag: Tag) -> Self {
+        self.ops.push(Op::Recv { from, tag });
+        self
+    }
+
+    /// Appends a send-then-receive exchange with one partner each way.
+    pub fn sendrecv(self, to: Rank, stag: Tag, bytes: u64, from: Rank, rtag: Tag) -> Self {
+        self.send(to, stag, bytes).recv(from, rtag)
+    }
+
+    /// Appends a progress marker.
+    pub fn progress(mut self, n: u32) -> Self {
+        self.ops.push(Op::Progress(n));
+        self
+    }
+
+    /// Appends raw ops (used by collective lowering).
+    pub fn extend(mut self, ops: impl IntoIterator<Item = Op>) -> Self {
+        self.ops.extend(ops);
+        self
+    }
+
+    /// Terminates with `Finalize` and freezes the program.
+    pub fn finalize(mut self) -> Arc<Program> {
+        self.ops.push(Op::Finalize);
+        Program::new(self.ops, self.image_bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_assembles_ops_in_order() {
+        let p = ProgramBuilder::new(100)
+            .compute(SimDuration::from_secs(1))
+            .send(Rank(2), Tag(5), 64)
+            .recv(Rank(2), Tag(6))
+            .finalize();
+        assert_eq!(
+            p.ops(),
+            &[
+                Op::Compute(SimDuration::from_secs(1)),
+                Op::Send {
+                    to: Rank(2),
+                    tag: Tag(5),
+                    bytes: 64
+                },
+                Op::Recv {
+                    from: Rank(2),
+                    tag: Tag(6)
+                },
+                Op::Finalize,
+            ]
+        );
+        assert_eq!(p.image_bytes(), 100);
+    }
+
+    #[test]
+    fn well_formedness_requires_single_trailing_finalize() {
+        let good = ProgramBuilder::new(0).progress(1).finalize();
+        assert!(good.is_well_formed());
+        let no_finalize = Program::new(vec![Op::Progress(1)], 0);
+        assert!(!no_finalize.is_well_formed());
+        let double = Program::new(vec![Op::Finalize, Op::Finalize], 0);
+        assert!(!double.is_well_formed());
+    }
+
+    #[test]
+    fn sendrecv_lowers_to_send_then_recv() {
+        let p = ProgramBuilder::new(0)
+            .sendrecv(Rank(1), Tag(1), 10, Rank(3), Tag(2))
+            .finalize();
+        assert!(matches!(p.ops()[0], Op::Send { to: Rank(1), .. }));
+        assert!(matches!(p.ops()[1], Op::Recv { from: Rank(3), .. }));
+    }
+}

@@ -1,0 +1,53 @@
+//! Rank and tag newtypes.
+
+use std::fmt;
+
+/// An MPI rank within the (single, world) communicator.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Rank(pub u32);
+
+/// A message tag. Collective lowering reserves the upper tag space
+/// (see [`Tag::COLLECTIVE_BASE`]); applications should stay below it.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Tag(pub u16);
+
+impl Tag {
+    /// First tag value reserved for lowered collectives.
+    pub const COLLECTIVE_BASE: Tag = Tag(0x8000);
+
+    /// `true` when this tag belongs to the collective-reserved space.
+    pub fn is_collective(self) -> bool {
+        self.0 >= Self::COLLECTIVE_BASE.0
+    }
+}
+
+impl fmt::Debug for Rank {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rank{}", self.0)
+    }
+}
+
+impl fmt::Display for Rank {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl fmt::Debug for Tag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tag{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collective_tag_space() {
+        assert!(!Tag(0).is_collective());
+        assert!(!Tag(0x7FFF).is_collective());
+        assert!(Tag(0x8000).is_collective());
+        assert!(Tag::COLLECTIVE_BASE.is_collective());
+    }
+}

@@ -1,0 +1,146 @@
+//! Property-based tests for the virtual MPI layer: the checkpointing
+//! contract (clone = image, restore = rollback) and collective soundness.
+
+use std::sync::Arc;
+
+use failmpi_mpi::{collectives, lockstep, Action, Interp, Op, Program, Rank, Tag};
+use failmpi_sim::SimDuration;
+use proptest::prelude::*;
+
+/// Strategy: a random straight-line program over 2 ranks' worth of traffic.
+fn random_ops(len: usize, picks: &[u8]) -> Vec<Op> {
+    let mut ops = Vec::new();
+    let mut p = picks.iter().copied().cycle();
+    let mut next = move || p.next().unwrap_or(0);
+    for _ in 0..len {
+        ops.push(match next() % 4 {
+            0 => Op::Compute(SimDuration::from_millis(1 + next() as u64 % 50)),
+            1 => Op::Send {
+                to: Rank(1),
+                tag: Tag(next() as u16 % 3),
+                bytes: 1 + next() as u64 % 1000,
+            },
+            2 => Op::Recv {
+                from: Rank(1),
+                tag: Tag(next() as u16 % 3),
+            },
+            _ => Op::Progress(next() as u32 % 100),
+        });
+    }
+    ops.push(Op::Finalize);
+    ops
+}
+
+/// Drives an interpreter with a deterministic message oracle: whenever it
+/// blocks on `(from, tag)`, deliver exactly that message. Returns the full
+/// visible action trace.
+fn drive(mut i: Interp, budget: usize) -> Vec<Action> {
+    let mut trace = Vec::new();
+    for _ in 0..budget {
+        let a = i.step();
+        match &a {
+            Action::Blocked { from, tag } => {
+                i.deliver(*from, *tag, 7);
+                trace.push(a);
+            }
+            Action::Finalized => {
+                trace.push(a);
+                break;
+            }
+            _ => trace.push(a),
+        }
+    }
+    trace
+}
+
+proptest! {
+    /// The checkpointing contract: a clone taken at any prefix point
+    /// replays exactly the suffix the original executed — byte-identical
+    /// sends, identical progress. This is what makes Chandy–Lamport
+    /// rollback sound in the runtime above.
+    #[test]
+    fn snapshot_replays_identically(
+        len in 1usize..40,
+        cut in 0usize..60,
+        picks in proptest::collection::vec(any::<u8>(), 4..64),
+    ) {
+        let program = Program::new(random_ops(len, &picks), 1000);
+        let mut original = Interp::new(Rank(0), Arc::clone(&program));
+        // Execute `cut` visible actions, then snapshot.
+        let mut prefix = Vec::new();
+        for _ in 0..cut {
+            let a = original.step();
+            match &a {
+                Action::Blocked { from, tag } => original.deliver(*from, *tag, 7),
+                Action::Finalized => break,
+                _ => {}
+            }
+            prefix.push(a);
+        }
+        let snapshot = original.clone();
+        let suffix_original = drive(original, 500);
+        let suffix_restored = drive(snapshot, 500);
+        prop_assert_eq!(suffix_original, suffix_restored);
+    }
+
+    /// Image accounting: image bytes = program footprint + queued payloads,
+    /// monotone under delivery, restored exactly by rollback.
+    #[test]
+    fn image_bytes_track_inbox(
+        footprint in 0u64..1_000_000,
+        deliveries in proptest::collection::vec(1u64..10_000, 0..20),
+    ) {
+        let program = Program::new(vec![Op::Finalize], footprint);
+        let mut i = Interp::new(Rank(0), program);
+        let mut expected = footprint;
+        for (k, &b) in deliveries.iter().enumerate() {
+            i.deliver(Rank(1), Tag(k as u16), b);
+            expected += b;
+            prop_assert_eq!(i.image_bytes(), expected);
+        }
+        let snap = i.clone();
+        prop_assert_eq!(snap.image_bytes(), expected);
+    }
+
+    /// Every lowered collective is message-matched and deadlock-free for
+    /// arbitrary rank counts and roots (the lockstep executor proves it).
+    #[test]
+    fn collectives_complete_for_any_size(n in 1u32..30, root in 0u32..30, bytes in 1u64..10_000) {
+        let root = Rank(root % n);
+        let build = |f: &dyn Fn(Rank) -> Vec<Op>| -> Vec<Arc<Program>> {
+            (0..n)
+                .map(|r| {
+                    let mut ops = f(Rank(r));
+                    ops.push(Op::Finalize);
+                    Program::new(ops, 0)
+                })
+                .collect()
+        };
+        lockstep::run(&build(&|r| collectives::barrier(r, n, Tag(1))))
+            .map_err(|d| TestCaseError::fail(format!("barrier: {d:?}")))?;
+        lockstep::run(&build(&|r| collectives::bcast(r, root, n, bytes, Tag(2))))
+            .map_err(|d| TestCaseError::fail(format!("bcast: {d:?}")))?;
+        lockstep::run(&build(&|r| collectives::reduce(r, root, n, bytes, Tag(3))))
+            .map_err(|d| TestCaseError::fail(format!("reduce: {d:?}")))?;
+        lockstep::run(&build(&|r| collectives::allreduce(r, n, bytes, Tag(4))))
+            .map_err(|d| TestCaseError::fail(format!("allreduce: {d:?}")))?;
+    }
+
+    /// bcast and reduce move exactly n−1 messages whatever the root.
+    #[test]
+    fn tree_collectives_are_minimal(n in 2u32..40, root in 0u32..40) {
+        let root = Rank(root % n);
+        for f in [collectives::bcast, collectives::reduce] {
+            let programs: Vec<Arc<Program>> = (0..n)
+                .map(|r| {
+                    let mut ops = f(Rank(r), root, n, 100, Tag(9));
+                    ops.push(Op::Finalize);
+                    Program::new(ops, 0)
+                })
+                .collect();
+            let stats = lockstep::run(&programs)
+                .map_err(|d| TestCaseError::fail(format!("{d:?}")))?;
+            prop_assert_eq!(stats.total_messages, (n - 1) as u64);
+        }
+    }
+}

@@ -1,0 +1,680 @@
+//! The whole MPICH-Vcl deployment as one simulation model.
+//!
+//! [`Cluster`] owns the network, the dispatcher, the checkpoint scheduler,
+//! the checkpoint servers and one [`VNode`] per rank (Fig. 2(b) of the
+//! paper), routes every event to the right component, and exposes the
+//! process-control surface the FAIL-MPI middleware drives: kill, suspend,
+//! resume, breakpoints, and lifecycle hooks.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+use failmpi_net::{CloseReason, Gated, HostId, NetEvent, Network, ProcId};
+use failmpi_sim::{Engine, Model, RunOutcome, Scheduler, SimRng, SimTime, TraceLog};
+use failmpi_mpi::{Program, Rank};
+
+use crate::config::VclConfig;
+use crate::ctx::{Addrs, Cmd, Ctx, DiskStore, TrafficStats};
+use crate::dispatcher::Dispatcher;
+use crate::event::{ports, Ev};
+use crate::scheduler::CkptScheduler;
+use crate::server::CkptServer;
+use crate::trace::{Hook, InstrumentedFn, VclEvent};
+use crate::vnode::{Phase, VNode};
+
+/// Which component a process incarnates.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Role {
+    Dispatcher,
+    Scheduler,
+    Server(usize),
+    Daemon(u32),
+}
+
+/// Builds the borrow-split component context inline (a method would borrow
+/// all of `self` and conflict with the component being called).
+macro_rules! ctx {
+    ($self:ident, $now:expr) => {
+        Ctx {
+            now: $now,
+            cfg: &$self.cfg,
+            addrs: &$self.addrs,
+            net: &mut $self.net,
+            out: &mut $self.out,
+            tracelog: &mut $self.tracelog,
+            hooks: &mut $self.hooks,
+            cmds: &mut $self.cmds,
+            disk: &mut $self.disk,
+            rng: &mut $self.rng,
+            breakpoints: &$self.breakpoints,
+            traffic: &mut $self.traffic,
+        }
+    };
+}
+
+/// A full simulated MPICH-Vcl deployment.
+pub struct Cluster {
+    cfg: VclConfig,
+    addrs: Addrs,
+    net: Network<crate::wire::Wire>,
+    tracelog: TraceLog<VclEvent>,
+    out: Vec<(SimTime, Ev)>,
+    hooks: Vec<Hook>,
+    cmds: Vec<Cmd>,
+    rng: SimRng,
+    disk: DiskStore,
+    traffic: TrafficStats,
+    breakpoints: HashMap<ProcId, HashSet<InstrumentedFn>>,
+    dispatcher: Dispatcher,
+    scheduler: CkptScheduler,
+    servers: Vec<CkptServer>,
+    vnodes: Vec<Option<VNode>>,
+    role_of: HashMap<ProcId, Role>,
+    programs: Vec<Arc<Program>>,
+}
+
+impl Cluster {
+    /// Builds the deployment and issues the initial launches. Drain the
+    /// startup events with [`Cluster::take_outputs`] and schedule them.
+    pub fn new(cfg: VclConfig, programs: Vec<Arc<Program>>, seed: u64) -> Self {
+        cfg.validate().expect("invalid VclConfig");
+        assert_eq!(
+            programs.len(),
+            cfg.n_ranks as usize,
+            "one program per rank required"
+        );
+        let mut net = Network::new(cfg.net.clone());
+        let dispatcher_host = net.add_host();
+        let scheduler_host = net.add_host();
+        let server_hosts = net.add_hosts(cfg.n_ckpt_servers);
+        let compute_hosts = net.add_hosts(cfg.n_compute_hosts);
+        let addrs = Addrs {
+            dispatcher_host,
+            scheduler_host,
+            server_hosts: server_hosts.clone(),
+            compute_hosts: compute_hosts.clone(),
+        };
+
+        let mut role_of = HashMap::new();
+        let dispatcher_proc = net.spawn_process(dispatcher_host);
+        net.listen(dispatcher_proc, ports::DISPATCHER);
+        role_of.insert(dispatcher_proc, Role::Dispatcher);
+
+        let scheduler_proc = net.spawn_process(scheduler_host);
+        net.listen(scheduler_proc, ports::SCHEDULER);
+        role_of.insert(scheduler_proc, Role::Scheduler);
+
+        let mut servers = Vec::new();
+        for (i, &h) in server_hosts.iter().enumerate() {
+            let p = net.spawn_process(h);
+            net.listen(p, ports::server(i));
+            role_of.insert(p, Role::Server(i));
+            servers.push(CkptServer::new(p, i));
+        }
+
+        let n = cfg.n_ranks as usize;
+        let dispatcher = Dispatcher::new(
+            dispatcher_proc,
+            cfg.dispatcher,
+            cfg.protocol,
+            compute_hosts[..n].to_vec(),
+            compute_hosts[n..].to_vec(),
+        );
+        let scheduler = CkptScheduler::new(scheduler_proc, cfg.n_ranks, cfg.n_ckpt_servers);
+
+        let tracelog = if cfg.record_trace {
+            TraceLog::new()
+        } else {
+            TraceLog::disabled()
+        };
+        let mut cluster = Cluster {
+            rng: SimRng::new(seed).derive(0xC1),
+            cfg,
+            addrs,
+            net,
+            tracelog,
+            out: Vec::new(),
+            hooks: Vec::new(),
+            cmds: Vec::new(),
+            disk: DiskStore::default(),
+            traffic: TrafficStats::default(),
+            breakpoints: HashMap::new(),
+            dispatcher,
+            scheduler,
+            servers,
+            vnodes: (0..n).map(|_| None).collect(),
+            role_of,
+            programs,
+        };
+        let now = SimTime::ZERO;
+        {
+            let mut ctx = ctx!(cluster, now);
+            cluster.scheduler.boot(&mut ctx);
+        }
+        {
+            let mut ctx = ctx!(cluster, now);
+            cluster.dispatcher.launch_all(&mut ctx);
+        }
+        cluster
+            .out
+            .push((now + cluster.cfg.checkpoint_period, Ev::SchedTick));
+        cluster.flush(now);
+        cluster
+    }
+
+    // ------------------------------------------------------------------
+    // Event handling
+    // ------------------------------------------------------------------
+
+    /// Handles one event; afterwards, drain [`Cluster::take_outputs`] into
+    /// the scheduler and [`Cluster::take_hooks`] into the injection layer.
+    pub fn dispatch(&mut self, now: SimTime, ev: Ev) {
+        self.route(now, ev);
+        self.flush(now);
+    }
+
+    fn route(&mut self, now: SimTime, ev: Ev) {
+        match ev {
+            Ev::Net(nev) => match self.net.gate(nev) {
+                Gated::Deliver(nev) => self.route_net(now, nev),
+                Gated::Buffered | Gated::Dropped => {}
+            },
+            Ev::ComputeDone { rank, proc, gen } => {
+                if self.net.is_suspended(proc) {
+                    if let Some(v) = self.vnode_mut(rank, proc) {
+                        v.on_compute_done_suspended(gen);
+                    }
+                    return;
+                }
+                let Some(mut v) = self.take_vnode(rank, proc) else {
+                    return;
+                };
+                v.on_compute_done(gen, &mut ctx!(self, now));
+                self.put_vnode(rank, v);
+            }
+            Ev::SchedTick => {
+                self.scheduler.on_tick(&mut ctx!(self, now));
+                self.out.push((now + self.cfg.checkpoint_period, Ev::SchedTick));
+            }
+            Ev::SpawnDaemon { rank, host, epoch } => self.spawn_daemon(now, rank, host, epoch),
+            Ev::BootConnect { rank, proc } => {
+                if self.net.is_suspended(proc) {
+                    // A stopped process cannot run its init; poll.
+                    self.out.push((
+                        now + failmpi_sim::SimDuration::from_millis(10),
+                        Ev::BootConnect { rank, proc },
+                    ));
+                    return;
+                }
+                let Some(mut v) = self.take_vnode(rank, proc) else {
+                    return;
+                };
+                v.connect_services(&mut ctx!(self, now));
+                self.put_vnode(rank, v);
+            }
+            Ev::ServerWriteDone { server, conn, rank, wave } => {
+                let proc = self.servers[server].proc;
+                let mut srv = std::mem::replace(&mut self.servers[server], CkptServer::new(proc, server));
+                srv.on_write_done(conn, rank, wave, &mut ctx!(self, now));
+                self.servers[server] = srv;
+            }
+            Ev::RestoreDone { rank, proc } => {
+                if self.net.is_suspended(proc) {
+                    self.out.push((
+                        now + failmpi_sim::SimDuration::from_millis(10),
+                        Ev::RestoreDone { rank, proc },
+                    ));
+                    return;
+                }
+                let Some(mut v) = self.take_vnode(rank, proc) else {
+                    return;
+                };
+                v.on_restore_done(&mut ctx!(self, now));
+                self.put_vnode(rank, v);
+            }
+            Ev::SelfCkpt { rank, proc } => {
+                if self.net.is_suspended(proc) {
+                    self.out.push((
+                        now + failmpi_sim::SimDuration::from_millis(10),
+                        Ev::SelfCkpt { rank, proc },
+                    ));
+                    return;
+                }
+                let Some(mut v) = self.take_vnode(rank, proc) else {
+                    return;
+                };
+                v.on_self_ckpt(&mut ctx!(self, now));
+                self.put_vnode(rank, v);
+            }
+            Ev::DaemonExit { rank, proc, normal } => {
+                if self.vnode_mut(rank, proc).is_some() {
+                    self.exit_process(now, proc, normal);
+                }
+            }
+            Ev::DiskLoaded { rank, proc } => {
+                if self.net.is_suspended(proc) {
+                    // A stopped process cannot finish its disk read; poll.
+                    self.out.push((
+                        now + failmpi_sim::SimDuration::from_millis(10),
+                        Ev::DiskLoaded { rank, proc },
+                    ));
+                    return;
+                }
+                let Some(mut v) = self.take_vnode(rank, proc) else {
+                    return;
+                };
+                v.on_disk_loaded(&mut ctx!(self, now));
+                self.put_vnode(rank, v);
+            }
+            Ev::LaunchFailed { rank, epoch } => {
+                self.dispatcher
+                    .on_launch_failed(rank, epoch, &mut ctx!(self, now));
+            }
+            Ev::RetryPeerConnect { rank, proc, peer } => {
+                if self.net.is_suspended(proc) {
+                    self.out.push((
+                        now + failmpi_sim::SimDuration::from_millis(10),
+                        Ev::RetryPeerConnect { rank, proc, peer },
+                    ));
+                    return;
+                }
+                let Some(mut v) = self.take_vnode(rank, proc) else {
+                    return;
+                };
+                v.retry_peer_connect(peer, &mut ctx!(self, now));
+                self.put_vnode(rank, v);
+            }
+        }
+    }
+
+    fn route_net(&mut self, now: SimTime, nev: NetEvent<crate::wire::Wire>) {
+        let recipient = nev.recipient();
+        let Some(&role) = self.role_of.get(&recipient) else {
+            return; // stale event for a dead incarnation
+        };
+        match role {
+            Role::Dispatcher => match nev {
+                NetEvent::Delivered { conn, payload, .. } => {
+                    self.dispatcher.on_msg(conn, payload, &mut ctx!(self, now));
+                }
+                NetEvent::Closed { conn, reason, .. } => {
+                    let died = reason == CloseReason::PeerDied;
+                    self.dispatcher.on_closed(conn, died, &mut ctx!(self, now));
+                }
+                _ => {}
+            },
+            Role::Scheduler => match nev {
+                NetEvent::Accepted { conn, .. } => self.scheduler.on_daemon_conn(conn),
+                NetEvent::ConnEstablished { conn, token, .. } => {
+                    self.scheduler.on_conn_established(conn, token);
+                }
+                NetEvent::Delivered { payload, .. } => {
+                    self.scheduler.on_msg(payload, &mut ctx!(self, now));
+                }
+                NetEvent::Closed { conn, .. } => self.scheduler.on_closed(conn),
+                _ => {}
+            },
+            Role::Server(i) => {
+                if let NetEvent::Delivered { conn, payload, .. } = nev {
+                    let mut server = std::mem::replace(
+                        &mut self.servers[i],
+                        CkptServer::new(recipient, i),
+                    );
+                    server.on_msg(conn, payload, &mut ctx!(self, now));
+                    self.servers[i] = server;
+                }
+            }
+            Role::Daemon(r) => {
+                let rank = Rank(r);
+                let Some(mut v) = self.take_vnode(rank, recipient) else {
+                    return;
+                };
+                match nev {
+                    NetEvent::ConnEstablished { conn, token, .. } => {
+                        v.on_conn_established(conn, token, &mut ctx!(self, now));
+                    }
+                    NetEvent::Accepted { conn, peer, port, .. } => {
+                        // Mesh accept: the identity exchange is resolved via
+                        // the role table (the real daemons exchange a hello).
+                        if port == ports::daemon(rank) {
+                            if let Some(&Role::Daemon(pr)) = self.role_of.get(&peer) {
+                                v.on_peer_accepted(conn, Rank(pr), &mut ctx!(self, now));
+                            }
+                        }
+                    }
+                    NetEvent::Delivered { conn, payload, .. } => {
+                        v.on_msg(conn, payload, &mut ctx!(self, now));
+                    }
+                    NetEvent::Closed { conn, .. } => v.on_closed(conn),
+                    NetEvent::ConnectFailed { token, .. } => {
+                        v.on_connect_failed(token, &mut ctx!(self, now));
+                    }
+                }
+                self.put_vnode(rank, v);
+            }
+        }
+    }
+
+    /// Temporarily removes the vnode for `(rank, proc)` so it can be called
+    /// with a context borrowing the rest of the cluster.
+    fn take_vnode(&mut self, rank: Rank, proc: ProcId) -> Option<VNode> {
+        let slot = self.vnodes.get_mut(rank.0 as usize)?;
+        if slot.as_ref().is_some_and(|v| v.proc == proc) {
+            slot.take()
+        } else {
+            None
+        }
+    }
+
+    fn put_vnode(&mut self, rank: Rank, v: VNode) {
+        self.vnodes[rank.0 as usize] = Some(v);
+    }
+
+    fn vnode_mut(&mut self, rank: Rank, proc: ProcId) -> Option<&mut VNode> {
+        self.vnodes
+            .get_mut(rank.0 as usize)?
+            .as_mut()
+            .filter(|v| v.proc == proc)
+    }
+
+    fn spawn_daemon(&mut self, now: SimTime, rank: Rank, host: HostId, epoch: u32) {
+        if !self.dispatcher.expects_spawn(rank, epoch) {
+            return; // launch superseded by a newer recovery
+        }
+        // A lingering incarnation from a superseded epoch must not share
+        // the rank slot; the relaunch replaces it (its death is abnormal
+        // from the injection layer's point of view).
+        if let Some(old) = &self.vnodes[rank.0 as usize] {
+            if self.net.is_alive(old.proc) {
+                let (p, h) = (old.proc, old.host);
+                self.net.kill(now, p);
+                self.role_of.remove(&p);
+                self.breakpoints.remove(&p);
+                self.hooks.push(Hook::OnError { host: h, proc: p });
+            }
+        }
+        let proc = self.net.spawn_process(host);
+        self.role_of.insert(proc, Role::Daemon(rank.0));
+        let mut v = VNode::new(
+            rank,
+            proc,
+            host,
+            epoch,
+            Arc::clone(&self.programs[rank.0 as usize]),
+            self.cfg.n_ranks,
+        );
+        self.tracelog
+            .record(now, VclEvent::DaemonSpawned { rank, epoch, host });
+        // FAIL-MPI registration: the self-deploying runtime registers every
+        // launched process with the local injection daemon.
+        self.hooks.push(Hook::OnLoad { host, proc });
+        v.boot(&mut ctx!(self, now));
+        let init = failmpi_sim::SimDuration::from_micros(
+            self.rng.below(self.cfg.init_delay_max.as_micros().max(1)),
+        );
+        self.out.push((now + init, Ev::BootConnect { rank, proc }));
+        self.put_vnode(rank, v);
+    }
+
+    fn flush(&mut self, now: SimTime) {
+        loop {
+            let cmds = std::mem::take(&mut self.cmds);
+            if cmds.is_empty() {
+                break;
+            }
+            for cmd in cmds {
+                match cmd {
+                    Cmd::SpawnDaemon {
+                        rank,
+                        host,
+                        epoch,
+                        extra_delay,
+                    } => {
+                        let jitter_us = self.rng.below(
+                            self.cfg.boot_jitter_max.as_micros().max(1),
+                        );
+                        let delay = self.cfg.ssh_spawn_delay
+                            + extra_delay
+                            + failmpi_sim::SimDuration::from_micros(jitter_us);
+                        self.out.push((now + delay, Ev::SpawnDaemon { rank, host, epoch }));
+                    }
+                    Cmd::ExitProcess { proc, normal } => {
+                        self.exit_process(now, proc, normal);
+                    }
+                }
+            }
+        }
+        for (t, ev) in self.net.take_events() {
+            self.out.push((t, Ev::Net(ev)));
+        }
+    }
+
+    /// Common death path for daemons (ordered exits and injected kills).
+    fn kill_daemon(&mut self, now: SimTime, proc: ProcId, hook: Option<bool>) {
+        if !self.net.is_alive(proc) {
+            return;
+        }
+        let Some(&Role::Daemon(r)) = self.role_of.get(&proc) else {
+            return;
+        };
+        let rank = Rank(r);
+        let host = self.net.host_of(proc);
+        let epoch = self
+            .vnode_mut(rank, proc)
+            .map(|v| {
+                v.phase = Phase::Dead;
+                v.epoch
+            })
+            .unwrap_or(0);
+        // Pre-registration death: the dispatcher's ssh notices the launch
+        // failure (there is no control stream whose closure could tell it).
+        let registered = self.dispatcher.is_registered(rank);
+        self.net.kill(now, proc);
+        self.role_of.remove(&proc);
+        self.breakpoints.remove(&proc);
+        if !registered {
+            self.out.push((
+                now + self.cfg.net.latency,
+                Ev::LaunchFailed { rank, epoch },
+            ));
+        }
+        match hook {
+            Some(true) => self.hooks.push(Hook::OnExit { host, proc }),
+            Some(false) => self.hooks.push(Hook::OnError { host, proc }),
+            None => {} // injected halt: the injector already knows
+        }
+    }
+
+    fn exit_process(&mut self, now: SimTime, proc: ProcId, normal: bool) {
+        self.kill_daemon(now, proc, Some(normal));
+    }
+
+    // ------------------------------------------------------------------
+    // Injection-layer surface (driven by the FAIL-MPI middleware)
+    // ------------------------------------------------------------------
+
+    /// Kills a controlled process (the `halt` action / crash injection).
+    /// Silent: the injecting daemon performed it, so no lifecycle hook.
+    pub fn fail_halt(&mut self, now: SimTime, proc: ProcId) {
+        self.kill_daemon(now, proc, None);
+        self.flush(now);
+    }
+
+    /// Suspends a controlled process (`stop`, SIGSTOP semantics).
+    pub fn fail_stop(&mut self, _now: SimTime, proc: ProcId) {
+        self.net.suspend(proc);
+    }
+
+    /// Resumes a controlled process (`continue`): flushes buffered inbound
+    /// events, releases a breakpoint hold, and re-arms pending compute.
+    pub fn fail_continue(&mut self, now: SimTime, proc: ProcId) {
+        for ev in self.net.resume(proc) {
+            self.out.push((now, Ev::Net(ev)));
+        }
+        if let Some(&Role::Daemon(r)) = self.role_of.get(&proc) {
+            let rank = Rank(r);
+            if let Some(mut v) = self.take_vnode(rank, proc) {
+                if v.held_at_set_command {
+                    v.do_set_command(&mut ctx!(self, now));
+                }
+                if v.pending_wake {
+                    v.pending_wake = false;
+                    v.pump(&mut ctx!(self, now));
+                }
+                self.put_vnode(rank, v);
+            }
+        }
+        self.flush(now);
+    }
+
+    /// Arms a debugger breakpoint on `func` for `proc`.
+    pub fn arm_breakpoint(&mut self, proc: ProcId, func: InstrumentedFn) {
+        self.breakpoints.entry(proc).or_default().insert(func);
+    }
+
+    /// Clears all breakpoints for `proc`.
+    pub fn clear_breakpoints(&mut self, proc: ProcId) {
+        self.breakpoints.remove(&proc);
+    }
+
+    // ------------------------------------------------------------------
+    // Observation surface
+    // ------------------------------------------------------------------
+
+    /// Drains the events produced since the last call (feed to the engine).
+    pub fn take_outputs(&mut self) -> Vec<(SimTime, Ev)> {
+        std::mem::take(&mut self.out)
+    }
+
+    /// Drains the lifecycle/breakpoint hooks produced since the last call.
+    pub fn take_hooks(&mut self) -> Vec<Hook> {
+        std::mem::take(&mut self.hooks)
+    }
+
+    /// Whether the job completed (all ranks finalized, shutdown sent).
+    pub fn is_complete(&self) -> bool {
+        self.dispatcher.job_complete()
+    }
+
+    /// The execution trace.
+    pub fn trace(&self) -> &TraceLog<VclEvent> {
+        &self.tracelog
+    }
+
+    /// The compute machine at injection index `i` (the paper's `G1[i]`).
+    pub fn compute_host(&self, i: usize) -> HostId {
+        self.addrs.compute_hosts[i]
+    }
+
+    /// Number of compute machines (the `G1` group size).
+    pub fn n_compute_hosts(&self) -> usize {
+        self.addrs.compute_hosts.len()
+    }
+
+    /// The configuration this cluster runs under.
+    pub fn config(&self) -> &VclConfig {
+        &self.cfg
+    }
+
+    /// Application progress of `rank` (diagnostic).
+    pub fn progress_of(&self, rank: Rank) -> u32 {
+        self.vnodes[rank.0 as usize]
+            .as_ref()
+            .map_or(0, VNode::progress)
+    }
+
+    /// The last globally committed checkpoint wave (diagnostic).
+    pub fn committed_wave(&self) -> Option<u32> {
+        self.scheduler.committed()
+    }
+
+    /// Whether a checkpoint wave is currently collecting acks (diagnostic).
+    pub fn wave_in_progress(&self) -> bool {
+        self.scheduler.wave_in_progress()
+    }
+
+    /// The committed wave as known by checkpoint server `idx` (diagnostic).
+    pub fn server_committed(&self, idx: usize) -> Option<u32> {
+        self.servers[idx].committed()
+    }
+
+    /// Images currently staged on checkpoint server `idx` (bounded by
+    /// 2 × ranks under the two-file retention scheme).
+    pub fn server_staged_count(&self, idx: usize) -> usize {
+        self.servers[idx].staged_count()
+    }
+
+    /// Checkpoint images currently on `rank`'s machine disk (bounded by 2
+    /// under the two-file alternation).
+    pub fn disk_image_count(&self, rank: Rank) -> usize {
+        let host = self.dispatcher.machine_of(rank);
+        self.disk.count(host, rank)
+    }
+
+    /// The current execution epoch (0 = no recovery yet).
+    pub fn epoch(&self) -> u32 {
+        self.dispatcher.epoch()
+    }
+
+    /// Whether a recovery is currently in flight.
+    pub fn recovery_active(&self) -> bool {
+        self.dispatcher.recovery_active()
+    }
+
+    /// Whether `proc` is alive.
+    pub fn is_alive(&self, proc: ProcId) -> bool {
+        self.net.is_alive(proc)
+    }
+
+    /// Whether `proc` is suspended.
+    pub fn is_suspended(&self, proc: ProcId) -> bool {
+        self.net.is_suspended(proc)
+    }
+
+    /// Bytes sent so far, by traffic class (application vs checkpoint vs
+    /// control) — the standard lens for fault-tolerance protocol overhead.
+    pub fn traffic(&self) -> TrafficStats {
+        self.traffic
+    }
+}
+
+/// [`Model`] wrapper running a cluster without fault injection.
+pub struct ClusterModel {
+    /// The wrapped deployment.
+    pub cluster: Cluster,
+}
+
+impl Model for ClusterModel {
+    type Event = Ev;
+
+    fn handle(&mut self, now: SimTime, ev: Ev, sched: &mut Scheduler<Ev>) {
+        self.cluster.dispatch(now, ev);
+        for (t, e) in self.cluster.take_outputs() {
+            sched.at(t, e);
+        }
+        self.cluster.take_hooks(); // nobody is injecting
+    }
+
+    fn finished(&self) -> bool {
+        self.cluster.is_complete()
+    }
+}
+
+/// Runs a deployment with no fault injection until completion or
+/// `deadline`; returns the engine outcome and the final cluster state.
+pub fn run_standalone(
+    cfg: VclConfig,
+    programs: Vec<Arc<Program>>,
+    seed: u64,
+    deadline: SimTime,
+) -> (RunOutcome, SimTime, Cluster) {
+    let mut cluster = Cluster::new(cfg, programs, seed);
+    let initial = cluster.take_outputs();
+    let mut engine = Engine::new(ClusterModel { cluster });
+    for (t, e) in initial {
+        engine.schedule(t, e);
+    }
+    let outcome = engine.run(deadline);
+    let at = engine.now();
+    (outcome, at, engine.into_model().cluster)
+}

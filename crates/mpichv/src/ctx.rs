@@ -1,0 +1,207 @@
+//! The per-call context handed to every cluster component, plus the local
+//! checkpoint disk store.
+
+use std::collections::{HashMap, HashSet};
+
+use failmpi_net::{ConnId, HostId, Network, ProcId};
+use failmpi_sim::{SimDuration, SimRng, SimTime, TraceLog};
+use failmpi_mpi::{Interp, Rank};
+
+use crate::config::VclConfig;
+use crate::event::Ev;
+use crate::trace::{Hook, InstrumentedFn, VclEvent};
+use crate::wire::Wire;
+
+/// Static addressing of the deployment (who lives where).
+#[derive(Clone, Debug)]
+pub(crate) struct Addrs {
+    pub dispatcher_host: HostId,
+    pub scheduler_host: HostId,
+    pub server_hosts: Vec<HostId>,
+    pub compute_hosts: Vec<HostId>,
+}
+
+impl Addrs {
+    /// The checkpoint server index serving `rank` (static modulo mapping).
+    pub fn server_for(&self, rank: Rank) -> usize {
+        rank.0 as usize % self.server_hosts.len()
+    }
+}
+
+/// Deferred structural operations components cannot perform themselves.
+#[derive(Debug)]
+pub(crate) enum Cmd {
+    /// ssh-launch a daemon (dispatcher-issued).
+    SpawnDaemon {
+        rank: Rank,
+        host: HostId,
+        epoch: u32,
+        extra_delay: SimDuration,
+    },
+    /// A daemon terminates itself (on `Terminate` or `Shutdown` orders).
+    ExitProcess { proc: ProcId, normal: bool },
+}
+
+/// Byte counters by traffic class, for protocol-overhead accounting.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TrafficStats {
+    /// Application payload bytes (MPI messages, incl. V2 replays).
+    pub app_bytes: u64,
+    /// Checkpoint bytes (images, logged channel state, restores).
+    pub ckpt_bytes: u64,
+    /// Everything else (registration, markers, acks, orders).
+    pub control_bytes: u64,
+}
+
+impl TrafficStats {
+    /// Total bytes across all classes.
+    pub fn total(&self) -> u64 {
+        self.app_bytes + self.ckpt_bytes + self.control_bytes
+    }
+}
+
+/// Mutable cluster facilities handed to a component for one event.
+pub(crate) struct Ctx<'a> {
+    pub now: SimTime,
+    pub cfg: &'a VclConfig,
+    pub addrs: &'a Addrs,
+    pub net: &'a mut Network<Wire>,
+    pub out: &'a mut Vec<(SimTime, Ev)>,
+    pub tracelog: &'a mut TraceLog<VclEvent>,
+    pub hooks: &'a mut Vec<Hook>,
+    pub cmds: &'a mut Vec<Cmd>,
+    pub disk: &'a mut DiskStore,
+    pub rng: &'a mut SimRng,
+    /// Debugger breakpoints armed by the injection layer, read-only here.
+    pub breakpoints: &'a HashMap<ProcId, HashSet<InstrumentedFn>>,
+    /// Byte counters by traffic class.
+    pub traffic: &'a mut TrafficStats,
+}
+
+impl Ctx<'_> {
+    /// Whether the injection layer armed a breakpoint on `func` for `proc`.
+    pub fn hooks_armed_for(&self, proc: ProcId, func: InstrumentedFn) -> bool {
+        self.breakpoints
+            .get(&proc)
+            .is_some_and(|set| set.contains(&func))
+    }
+
+    /// Sends `wire` from `from` over `conn`, charging its wire size and
+    /// accounting it to its traffic class.
+    pub fn send(&mut self, conn: ConnId, from: ProcId, wire: Wire) -> bool {
+        let bytes = wire.wire_bytes();
+        match &wire {
+            Wire::AppMsg { .. } => self.traffic.app_bytes += bytes,
+            Wire::CkptImage { .. }
+            | Wire::CkptLogged { .. }
+            | Wire::Image { .. }
+            | Wire::Logs { .. } => self.traffic.ckpt_bytes += bytes,
+            _ => self.traffic.control_bytes += bytes,
+        }
+        self.net.send(self.now, conn, from, wire, bytes)
+    }
+
+    /// Schedules a cluster event after `delay`.
+    pub fn sched(&mut self, delay: SimDuration, ev: Ev) {
+        self.out.push((self.now + delay, ev));
+    }
+
+    /// Records a trace event at the current instant.
+    pub fn trace(&mut self, kind: VclEvent) {
+        self.tracelog.record(self.now, kind);
+    }
+}
+
+/// One image written by the fork-checkpoint to a host's local disk.
+#[derive(Clone, Debug)]
+pub(crate) struct DiskImage {
+    pub wave: u32,
+    pub interp: Interp,
+    /// The write completes at this instant; earlier reads see nothing (an
+    /// interrupted write is unusable, exactly like a torn checkpoint file).
+    pub ready_at: SimTime,
+}
+
+/// Per-host checkpoint files. The paper's runtime alternates two files per
+/// rank; we keep at most the two newest images per `(host, rank)`.
+#[derive(Debug, Default)]
+pub(crate) struct DiskStore {
+    images: HashMap<(HostId, Rank), Vec<DiskImage>>,
+}
+
+impl DiskStore {
+    /// Begins writing `interp` for `(host, rank, wave)`; readable once the
+    /// disk write finishes at `ready_at`.
+    pub fn store(&mut self, host: HostId, rank: Rank, wave: u32, interp: Interp, ready_at: SimTime) {
+        let slot = self.images.entry((host, rank)).or_default();
+        slot.push(DiskImage {
+            wave,
+            interp,
+            ready_at,
+        });
+        // Two-file alternation: only the two newest images survive.
+        if slot.len() > 2 {
+            slot.remove(0);
+        }
+    }
+
+    /// A fully written image of exactly `wave`, if this host has one.
+    pub fn get(&self, host: HostId, rank: Rank, wave: u32, now: SimTime) -> Option<&DiskImage> {
+        self.images
+            .get(&(host, rank))?
+            .iter()
+            .find(|img| img.wave == wave && img.ready_at <= now)
+    }
+
+    /// Number of images stored for `(host, rank)` (diagnostic).
+    pub fn count(&self, host: HostId, rank: Rank) -> usize {
+        self.images.get(&(host, rank)).map_or(0, Vec::len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use failmpi_mpi::ProgramBuilder;
+
+    fn interp() -> Interp {
+        Interp::new(Rank(0), ProgramBuilder::new(100).finalize())
+    }
+
+    #[test]
+    fn disk_keeps_two_newest() {
+        let mut d = DiskStore::default();
+        let h = HostId(1);
+        for w in 1..=4 {
+            d.store(h, Rank(0), w, interp(), SimTime::from_secs(w as u64));
+        }
+        assert_eq!(d.count(h, Rank(0)), 2);
+        let now = SimTime::from_secs(100);
+        assert!(d.get(h, Rank(0), 1, now).is_none());
+        assert!(d.get(h, Rank(0), 2, now).is_none());
+        assert!(d.get(h, Rank(0), 3, now).is_some());
+        assert!(d.get(h, Rank(0), 4, now).is_some());
+    }
+
+    #[test]
+    fn torn_write_is_invisible() {
+        let mut d = DiskStore::default();
+        let h = HostId(1);
+        d.store(h, Rank(0), 1, interp(), SimTime::from_secs(10));
+        assert!(d.get(h, Rank(0), 1, SimTime::from_secs(9)).is_none());
+        assert!(d.get(h, Rank(0), 1, SimTime::from_secs(10)).is_some());
+    }
+
+    #[test]
+    fn server_mapping_is_modulo() {
+        let addrs = Addrs {
+            dispatcher_host: HostId(0),
+            scheduler_host: HostId(1),
+            server_hosts: vec![HostId(2), HostId(3)],
+            compute_hosts: vec![],
+        };
+        assert_eq!(addrs.server_for(Rank(0)), 0);
+        assert_eq!(addrs.server_for(Rank(1)), 1);
+        assert_eq!(addrs.server_for(Rank(2)), 0);
+    }
+}

@@ -1,0 +1,160 @@
+//! Identifier newtypes and the network event vocabulary.
+
+use std::fmt;
+
+/// A physical machine in the simulated cluster.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct HostId(pub u16);
+
+/// A (unix) process running on some host. Ids are never reused within a
+/// simulation, so a `ProcId` also identifies one *incarnation* of a task.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ProcId(pub u32);
+
+/// A TCP port on a host.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Port(pub u16);
+
+/// One established stream between two processes.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ConnId(pub u64);
+
+impl fmt::Debug for HostId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "host{}", self.0)
+    }
+}
+impl fmt::Debug for ProcId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pid{}", self.0)
+    }
+}
+impl fmt::Debug for Port {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, ":{}", self.0)
+    }
+}
+impl fmt::Debug for ConnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "conn{}", self.0)
+    }
+}
+
+/// Why a connection ended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CloseReason {
+    /// The peer closed the stream deliberately.
+    Graceful,
+    /// The peer process died (task killed); this is the failure-detection
+    /// signal MPICH-V's dispatcher relies on ("a failure is assumed after
+    /// any unexpected socket closure").
+    PeerDied,
+    /// The local process' host was removed from the simulation.
+    LocalReset,
+}
+
+/// An event delivered by the network to exactly one process.
+///
+/// `P` is the logical payload type chosen by the embedding world.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum NetEvent<P> {
+    /// A `connect` initiated by `proc` (correlated by `token`) succeeded.
+    ConnEstablished {
+        /// The new stream.
+        conn: ConnId,
+        /// The event's recipient (the initiator).
+        proc: ProcId,
+        /// The accepting process.
+        peer: ProcId,
+        /// Caller-supplied correlation token from `connect`.
+        token: u64,
+    },
+    /// A listener owned by `proc` accepted a new stream.
+    Accepted {
+        /// The new stream.
+        conn: ConnId,
+        /// The event's recipient (the acceptor).
+        proc: ProcId,
+        /// The initiating process.
+        peer: ProcId,
+        /// The local port that accepted.
+        port: Port,
+    },
+    /// A `connect` initiated by `proc` failed (no listener / dead host).
+    ConnectFailed {
+        /// The event's recipient (the initiator).
+        proc: ProcId,
+        /// Target host of the failed attempt.
+        host: HostId,
+        /// Target port of the failed attempt.
+        port: Port,
+        /// Caller-supplied correlation token from `connect`.
+        token: u64,
+    },
+    /// A message arrived on `conn`.
+    Delivered {
+        /// The stream it arrived on.
+        conn: ConnId,
+        /// The event's recipient.
+        proc: ProcId,
+        /// The sending process.
+        from: ProcId,
+        /// Logical payload.
+        payload: P,
+        /// Size used for the bandwidth model.
+        bytes: u64,
+    },
+    /// The stream was closed by the other side (or reset).
+    Closed {
+        /// The stream that closed.
+        conn: ConnId,
+        /// The event's recipient.
+        proc: ProcId,
+        /// Why it closed.
+        reason: CloseReason,
+    },
+}
+
+impl<P> NetEvent<P> {
+    /// The process this event must be delivered to.
+    pub fn recipient(&self) -> ProcId {
+        match *self {
+            NetEvent::ConnEstablished { proc, .. }
+            | NetEvent::Accepted { proc, .. }
+            | NetEvent::ConnectFailed { proc, .. }
+            | NetEvent::Delivered { proc, .. }
+            | NetEvent::Closed { proc, .. } => proc,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recipient_extraction() {
+        let ev: NetEvent<()> = NetEvent::Closed {
+            conn: ConnId(1),
+            proc: ProcId(7),
+            reason: CloseReason::PeerDied,
+        };
+        assert_eq!(ev.recipient(), ProcId(7));
+        let ev: NetEvent<u32> = NetEvent::Delivered {
+            conn: ConnId(2),
+            proc: ProcId(9),
+            from: ProcId(1),
+            payload: 5,
+            bytes: 100,
+        };
+        assert_eq!(ev.recipient(), ProcId(9));
+    }
+
+    #[test]
+    fn debug_formats() {
+        assert_eq!(format!("{:?}", HostId(3)), "host3");
+        assert_eq!(format!("{:?}", ProcId(4)), "pid4");
+        assert_eq!(format!("{:?}", Port(80)), ":80");
+        assert_eq!(format!("{:?}", ConnId(5)), "conn5");
+    }
+}

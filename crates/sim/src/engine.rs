@@ -1,0 +1,320 @@
+//! The event loop: [`Model`], [`Scheduler`], and [`Engine`].
+
+use crate::queue::EventQueue;
+use crate::time::{SimDuration, SimTime};
+
+/// The world under simulation.
+///
+/// A model receives every event together with the current virtual time and a
+/// [`Scheduler`] used to emit follow-up events. The model is plain mutable
+/// state — the engine never clones it and never calls it re-entrantly.
+pub trait Model {
+    /// The event vocabulary of this world.
+    type Event;
+
+    /// Handles one event. `now` is the instant the event was scheduled for.
+    fn handle(&mut self, now: SimTime, event: Self::Event, sched: &mut Scheduler<Self::Event>);
+
+    /// Reports whether the simulation reached its goal state. The engine's
+    /// [`Engine::run`] loop stops as soon as this returns `true` (checked
+    /// after every handled event). Defaults to `false`, i.e. run until
+    /// quiescence or deadline.
+    fn finished(&self) -> bool {
+        false
+    }
+}
+
+/// Event sink handed to [`Model::handle`]; buffers newly scheduled events
+/// until the current event finishes, then merges them into the engine queue.
+pub struct Scheduler<E> {
+    now: SimTime,
+    pending: Vec<(SimTime, E)>,
+}
+
+impl<E> Scheduler<E> {
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules `event` at the absolute instant `at`. Instants in the past
+    /// are clamped to `now` (the event still runs, immediately after the
+    /// current one).
+    pub fn at(&mut self, at: SimTime, event: E) {
+        self.pending.push((at.max(self.now), event));
+    }
+
+    /// Schedules `event` after `delay`.
+    pub fn after(&mut self, delay: SimDuration, event: E) {
+        self.pending.push((self.now + delay, event));
+    }
+
+    /// Schedules `event` to run immediately after the current one.
+    pub fn immediate(&mut self, event: E) {
+        self.pending.push((self.now, event));
+    }
+}
+
+/// Why a [`Engine::run`] call returned.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// [`Model::finished`] returned true.
+    Finished,
+    /// The event queue drained before the deadline.
+    Quiescent,
+    /// The deadline was reached with events still pending.
+    DeadlineReached,
+    /// The per-run event budget was exhausted (runaway-model guard).
+    EventBudgetExhausted,
+}
+
+/// The simulation driver: owns the clock, the event queue and the model.
+pub struct Engine<M: Model> {
+    model: M,
+    queue: EventQueue<M::Event>,
+    now: SimTime,
+    handled: u64,
+    event_budget: u64,
+}
+
+impl<M: Model> Engine<M> {
+    /// Default cap on handled events per engine, preventing a buggy model
+    /// from looping forever in zero virtual time.
+    pub const DEFAULT_EVENT_BUDGET: u64 = 500_000_000;
+
+    /// Wraps `model` with an empty queue at time zero.
+    pub fn new(model: M) -> Self {
+        Engine {
+            model,
+            queue: EventQueue::new(),
+            now: SimTime::ZERO,
+            handled: 0,
+            event_budget: Self::DEFAULT_EVENT_BUDGET,
+        }
+    }
+
+    /// Replaces the runaway guard (events handled before giving up).
+    pub fn set_event_budget(&mut self, budget: u64) {
+        self.event_budget = budget;
+    }
+
+    /// Schedules an initial event from outside the model.
+    pub fn schedule(&mut self, at: SimTime, event: M::Event) {
+        self.queue.push(at.max(self.now), event);
+    }
+
+    /// Current virtual time (the instant of the last handled event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events handled so far.
+    pub fn events_handled(&self) -> u64 {
+        self.handled
+    }
+
+    /// Number of events currently pending.
+    pub fn events_pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Shared view of the model.
+    pub fn model(&self) -> &M {
+        &self.model
+    }
+
+    /// Exclusive view of the model (for external stimulus between runs).
+    pub fn model_mut(&mut self) -> &mut M {
+        &mut self.model
+    }
+
+    /// Consumes the engine, returning the model.
+    pub fn into_model(self) -> M {
+        self.model
+    }
+
+    /// Handles the single earliest event, if any. Returns `false` when the
+    /// queue is empty or the next event lies beyond `deadline` (the clock
+    /// is *not* advanced past the deadline in that case).
+    pub fn step(&mut self, deadline: SimTime) -> bool {
+        match self.queue.peek_time() {
+            Some(t) if t <= deadline => {}
+            _ => return false,
+        }
+        let (at, ev) = self.queue.pop().expect("peeked entry vanished");
+        debug_assert!(at >= self.now, "time went backwards");
+        self.now = at;
+        self.handled += 1;
+        let mut sched = Scheduler {
+            now: at,
+            pending: Vec::new(),
+        };
+        self.model.handle(at, ev, &mut sched);
+        for (t, e) in sched.pending {
+            self.queue.push(t, e);
+        }
+        true
+    }
+
+    /// Runs until the model reports [`Model::finished`], the queue drains, the
+    /// deadline passes, or the event budget runs out.
+    pub fn run(&mut self, deadline: SimTime) -> RunOutcome {
+        loop {
+            if self.model.finished() {
+                return RunOutcome::Finished;
+            }
+            if self.handled >= self.event_budget {
+                return RunOutcome::EventBudgetExhausted;
+            }
+            if !self.step(deadline) {
+                return if self.queue.is_empty() {
+                    RunOutcome::Quiescent
+                } else {
+                    RunOutcome::DeadlineReached
+                };
+            }
+        }
+    }
+
+    /// Runs ignoring [`Model::finished`], until quiescence or deadline.
+    /// Handy for unit tests of sub-components.
+    pub fn run_to_quiescence(&mut self, deadline: SimTime) -> RunOutcome {
+        loop {
+            if self.handled >= self.event_budget {
+                return RunOutcome::EventBudgetExhausted;
+            }
+            if !self.step(deadline) {
+                return if self.queue.is_empty() {
+                    RunOutcome::Quiescent
+                } else {
+                    RunOutcome::DeadlineReached
+                };
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Echo {
+        seen: Vec<(SimTime, u32)>,
+        finish_at: Option<u32>,
+    }
+
+    impl Model for Echo {
+        type Event = u32;
+        fn handle(&mut self, now: SimTime, ev: u32, sched: &mut Scheduler<u32>) {
+            self.seen.push((now, ev));
+            if ev > 0 && ev % 2 == 0 {
+                sched.after(SimDuration::from_secs(1), ev / 2);
+            }
+        }
+        fn finished(&self) -> bool {
+            match self.finish_at {
+                Some(n) => self.seen.iter().any(|&(_, e)| e == n),
+                None => false,
+            }
+        }
+    }
+
+    fn engine() -> Engine<Echo> {
+        Engine::new(Echo {
+            seen: Vec::new(),
+            finish_at: None,
+        })
+    }
+
+    #[test]
+    fn events_run_in_time_order() {
+        let mut e = engine();
+        e.schedule(SimTime::from_secs(5), 5);
+        e.schedule(SimTime::from_secs(1), 1);
+        e.schedule(SimTime::from_secs(3), 3);
+        assert_eq!(e.run(SimTime::MAX), RunOutcome::Quiescent);
+        let evs: Vec<u32> = e.model().seen.iter().map(|&(_, v)| v).collect();
+        assert_eq!(evs, vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn model_spawned_events_cascade() {
+        let mut e = engine();
+        e.schedule(SimTime::ZERO, 8);
+        e.run(SimTime::MAX);
+        let evs: Vec<u32> = e.model().seen.iter().map(|&(_, v)| v).collect();
+        assert_eq!(evs, vec![8, 4, 2, 1]);
+        assert_eq!(e.now(), SimTime::from_secs(3));
+    }
+
+    #[test]
+    fn deadline_pauses_without_losing_events() {
+        let mut e = engine();
+        e.schedule(SimTime::from_secs(10), 1);
+        assert_eq!(e.run(SimTime::from_secs(5)), RunOutcome::DeadlineReached);
+        assert_eq!(e.events_pending(), 1);
+        assert_eq!(e.run(SimTime::MAX), RunOutcome::Quiescent);
+        assert_eq!(e.model().seen.len(), 1);
+    }
+
+    #[test]
+    fn finished_stops_early() {
+        let mut e = Engine::new(Echo {
+            seen: Vec::new(),
+            finish_at: Some(4),
+        });
+        e.schedule(SimTime::ZERO, 8);
+        assert_eq!(e.run(SimTime::MAX), RunOutcome::Finished);
+        // 8 handled, then 4 handled; loop notices finished before handling 2.
+        assert_eq!(e.model().seen.len(), 2);
+        assert_eq!(e.events_pending(), 1);
+    }
+
+    #[test]
+    fn event_budget_guards_runaway() {
+        struct Loopy;
+        impl Model for Loopy {
+            type Event = ();
+            fn handle(&mut self, _: SimTime, _: (), sched: &mut Scheduler<()>) {
+                sched.immediate(());
+            }
+        }
+        let mut e = Engine::new(Loopy);
+        e.set_event_budget(1000);
+        e.schedule(SimTime::ZERO, ());
+        assert_eq!(e.run(SimTime::MAX), RunOutcome::EventBudgetExhausted);
+        assert_eq!(e.events_handled(), 1000);
+    }
+
+    #[test]
+    fn past_events_clamp_to_now() {
+        struct Backwards {
+            times: Vec<SimTime>,
+        }
+        impl Model for Backwards {
+            type Event = bool;
+            fn handle(&mut self, now: SimTime, first: bool, sched: &mut Scheduler<bool>) {
+                self.times.push(now);
+                if first {
+                    // Deliberately try to schedule in the past.
+                    sched.at(SimTime::ZERO, false);
+                }
+            }
+        }
+        let mut e = Engine::new(Backwards { times: Vec::new() });
+        e.schedule(SimTime::from_secs(9), true);
+        e.run(SimTime::MAX);
+        assert_eq!(
+            e.model().times,
+            vec![SimTime::from_secs(9), SimTime::from_secs(9)]
+        );
+    }
+
+    #[test]
+    fn step_respects_deadline_exactly() {
+        let mut e = engine();
+        e.schedule(SimTime::from_secs(5), 1);
+        assert!(!e.step(SimTime::from_secs(4)));
+        assert!(e.step(SimTime::from_secs(5)));
+    }
+}

@@ -1,0 +1,233 @@
+//! Deterministic random number generation for simulations.
+//!
+//! [`SimRng`] is a seeded xoshiro256++-style generator (implemented locally so
+//! that streams are stable across `rand` version bumps). It offers exactly the
+//! primitives the FAIL runtime and the experiment harness need: uniform
+//! integers in a range (the semantics of `FAIL_RANDOM(a, b)` from the paper),
+//! floats in `[0, 1)`, and derived independent streams so that, e.g., fault
+//! injection randomness is decoupled from workload jitter.
+
+/// A small, fast, deterministic PRNG (xoshiro256++).
+#[derive(Clone, Debug)]
+pub struct SimRng {
+    s: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl SimRng {
+    /// Creates a generator from a 64-bit seed. Equal seeds give equal streams.
+    pub fn new(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        SimRng { s }
+    }
+
+    /// Derives an independent stream: the `label` distinguishes subsystems
+    /// seeded from the same experiment seed.
+    pub fn derive(&self, label: u64) -> SimRng {
+        // Mix the current state with the label through splitmix so derived
+        // streams differ even for labels 0 and 1.
+        let mut sm = self.s[0] ^ self.s[2].rotate_left(17) ^ label.wrapping_mul(0xA24B_AED4_963E_E407);
+        SimRng::new(splitmix64(&mut sm))
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform integer in `[0, bound)` via Lemire's multiply-shift rejection.
+    ///
+    /// Panics if `bound == 0`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "SimRng::below(0)");
+        // Unbiased: reject values in the short final stripe.
+        let threshold = bound.wrapping_neg() % bound;
+        loop {
+            let r = self.next_u64();
+            let (hi, lo) = {
+                let wide = (r as u128) * (bound as u128);
+                ((wide >> 64) as u64, wide as u64)
+            };
+            if lo >= threshold {
+                return hi;
+            }
+        }
+    }
+
+    /// Uniform integer in the inclusive range `[lo, hi]`.
+    ///
+    /// This is the semantics of the paper's `FAIL_RANDOM(lo, hi)`.
+    /// Panics if `lo > hi`.
+    pub fn range_inclusive(&mut self, lo: i64, hi: i64) -> i64 {
+        assert!(lo <= hi, "SimRng::range_inclusive: lo > hi");
+        let span = (hi as i128 - lo as i128 + 1) as u128;
+        if span > u64::MAX as u128 {
+            // Full 64-bit span: any u64 reinterpreted works.
+            return self.next_u64() as i64;
+        }
+        lo.wrapping_add(self.below(span as u64) as i64)
+    }
+
+    /// Uniform float in `[0, 1)` with 53-bit precision.
+    pub fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.f64() < p
+    }
+
+    /// Picks a uniformly random element of `slice`, `None` when empty.
+    pub fn pick<'a, T>(&mut self, slice: &'a [T]) -> Option<&'a T> {
+        if slice.is_empty() {
+            None
+        } else {
+            Some(&slice[self.below(slice.len() as u64) as usize])
+        }
+    }
+
+    /// In-place Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.below(i as u64 + 1) as usize;
+            slice.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SimRng::new(42);
+        let mut b = SimRng::new(42);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SimRng::new(1);
+        let mut b = SimRng::new(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn derived_streams_are_independent() {
+        let root = SimRng::new(7);
+        let mut a = root.derive(0);
+        let mut b = root.derive(1);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut rng = SimRng::new(9);
+        for bound in [1u64, 2, 3, 7, 53, 1024] {
+            for _ in 0..500 {
+                assert!(rng.below(bound) < bound);
+            }
+        }
+    }
+
+    #[test]
+    fn below_covers_small_range() {
+        let mut rng = SimRng::new(11);
+        let mut seen = [false; 5];
+        for _ in 0..500 {
+            seen[rng.below(5) as usize] = true;
+        }
+        assert!(seen.iter().all(|&x| x));
+    }
+
+    #[test]
+    fn range_inclusive_hits_both_ends() {
+        let mut rng = SimRng::new(13);
+        let (mut lo_seen, mut hi_seen) = (false, false);
+        for _ in 0..2000 {
+            let v = rng.range_inclusive(-3, 3);
+            assert!((-3..=3).contains(&v));
+            lo_seen |= v == -3;
+            hi_seen |= v == 3;
+        }
+        assert!(lo_seen && hi_seen);
+    }
+
+    #[test]
+    fn range_inclusive_singleton() {
+        let mut rng = SimRng::new(15);
+        for _ in 0..10 {
+            assert_eq!(rng.range_inclusive(5, 5), 5);
+        }
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = SimRng::new(17);
+        for _ in 0..1000 {
+            let x = rng.f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn f64_roughly_uniform() {
+        let mut rng = SimRng::new(19);
+        let n = 10_000;
+        let mean: f64 = (0..n).map(|_| rng.f64()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn pick_and_shuffle() {
+        let mut rng = SimRng::new(21);
+        assert_eq!(rng.pick::<u8>(&[]), None);
+        let items = [10, 20, 30];
+        for _ in 0..50 {
+            assert!(items.contains(rng.pick(&items).unwrap()));
+        }
+        let mut v: Vec<u32> = (0..100).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "shuffle of 100 elements left them sorted");
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = SimRng::new(23);
+        assert!(!(0..100).any(|_| rng.chance(0.0)));
+        assert!((0..100).all(|_| rng.chance(1.0)));
+    }
+}

@@ -1,0 +1,110 @@
+//! Property-based tests for the simulation kernel.
+
+use failmpi_sim::{Engine, EventQueue, Model, Scheduler, SimDuration, SimRng, SimTime};
+use proptest::prelude::*;
+
+proptest! {
+    /// Popping the event queue yields entries sorted by (time, push order).
+    #[test]
+    fn queue_pops_sorted(times in proptest::collection::vec(0u64..1_000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.push(SimTime::from_micros(t), i);
+        }
+        let mut last: Option<(SimTime, usize)> = None;
+        while let Some((t, idx)) = q.pop() {
+            if let Some((lt, lidx)) = last {
+                prop_assert!(t > lt || (t == lt && idx > lidx),
+                    "out of order: {t:?}#{idx} after {lt:?}#{lidx}");
+            }
+            last = Some((t, idx));
+        }
+    }
+
+    /// The queue returns exactly the multiset of pushed payloads.
+    #[test]
+    fn queue_preserves_payloads(times in proptest::collection::vec(0u64..100, 0..100)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.push(SimTime::from_micros(t), i);
+        }
+        let mut got: Vec<usize> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        got.sort_unstable();
+        prop_assert_eq!(got, (0..times.len()).collect::<Vec<_>>());
+    }
+
+    /// FAIL_RANDOM semantics: inclusive bounds, full coverage in expectation.
+    #[test]
+    fn rng_range_inclusive_in_bounds(seed: u64, lo in -1000i64..1000, span in 0i64..100) {
+        let mut rng = SimRng::new(seed);
+        let hi = lo + span;
+        for _ in 0..64 {
+            let v = rng.range_inclusive(lo, hi);
+            prop_assert!(v >= lo && v <= hi);
+        }
+    }
+
+    /// Same seed ⇒ identical stream; chance/pick/shuffle consume deterministically.
+    #[test]
+    fn rng_is_reproducible(seed: u64) {
+        let mut a = SimRng::new(seed);
+        let mut b = SimRng::new(seed);
+        for _ in 0..32 {
+            prop_assert_eq!(a.next_u64(), b.next_u64());
+        }
+        prop_assert_eq!(a.f64().to_bits(), b.f64().to_bits());
+        prop_assert_eq!(a.below(97), b.below(97));
+    }
+
+    /// Engine clock is non-decreasing over any schedule of initial events.
+    #[test]
+    fn engine_clock_monotone(times in proptest::collection::vec(0u64..10_000, 1..100)) {
+        struct Watch { times: Vec<SimTime> }
+        impl Model for Watch {
+            type Event = u8;
+            fn handle(&mut self, now: SimTime, _: u8, _: &mut Scheduler<u8>) {
+                self.times.push(now);
+            }
+        }
+        let mut e = Engine::new(Watch { times: Vec::new() });
+        for &t in &times {
+            e.schedule(SimTime::from_micros(t), 0);
+        }
+        e.run(SimTime::MAX);
+        let seen = &e.model().times;
+        prop_assert_eq!(seen.len(), times.len());
+        for w in seen.windows(2) {
+            prop_assert!(w[0] <= w[1]);
+        }
+    }
+
+    /// A chain of follow-up events advances time by exactly the sum of delays.
+    #[test]
+    fn engine_accumulates_delays(delays in proptest::collection::vec(1u64..1_000_000, 1..50)) {
+        struct Chain { delays: Vec<u64>, next: usize }
+        impl Model for Chain {
+            type Event = ();
+            fn handle(&mut self, _: SimTime, _: (), sched: &mut Scheduler<()>) {
+                if self.next < self.delays.len() {
+                    sched.after(SimDuration::from_micros(self.delays[self.next]), ());
+                    self.next += 1;
+                }
+            }
+        }
+        let total: u64 = delays.iter().sum();
+        let mut e = Engine::new(Chain { delays, next: 0 });
+        e.schedule(SimTime::ZERO, ());
+        e.run(SimTime::MAX);
+        prop_assert_eq!(e.now(), SimTime::from_micros(total));
+    }
+
+    /// SimTime/SimDuration arithmetic round-trips.
+    #[test]
+    fn time_arithmetic_roundtrip(base in 0u64..u32::MAX as u64, d in 0u64..u32::MAX as u64) {
+        let t = SimTime::from_micros(base);
+        let dur = SimDuration::from_micros(d);
+        prop_assert_eq!((t + dur) - t, dur);
+        prop_assert_eq!((t + dur).saturating_since(t), dur);
+        prop_assert_eq!(t.until(t + dur), Some(dur));
+    }
+}

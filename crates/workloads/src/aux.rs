@@ -1,0 +1,221 @@
+//! Auxiliary workload patterns for examples and tests.
+//!
+//! These are much smaller than BT and exercise different communication
+//! shapes: a token ring (sequential dependency chain), a 1D stencil
+//! (nearest-neighbour halo exchange), and a master–worker farm (the
+//! non-SPMD style the paper's Sec. 3 mentions MPI is often used for).
+
+use std::sync::Arc;
+
+use failmpi_mpi::{Op, Program, Rank, Tag};
+use failmpi_sim::SimDuration;
+
+/// A token circulating around an `n`-process ring `laps` times. Rank 0
+/// injects the token; every hop costs `hop_compute` of local work.
+pub fn ring_programs(
+    n: u32,
+    laps: u32,
+    token_bytes: u64,
+    hop_compute: SimDuration,
+    image_bytes: u64,
+) -> Vec<Arc<Program>> {
+    assert!(n >= 2, "a ring needs at least 2 ranks");
+    let tag = Tag(1);
+    (0..n)
+        .map(|r| {
+            let right = Rank((r + 1) % n);
+            let left = Rank((r + n - 1) % n);
+            let mut ops = Vec::new();
+            for lap in 1..=laps {
+                if r == 0 {
+                    ops.push(Op::Compute(hop_compute));
+                    ops.push(Op::Send {
+                        to: right,
+                        tag,
+                        bytes: token_bytes,
+                    });
+                    ops.push(Op::Recv { from: left, tag });
+                    ops.push(Op::Progress(lap));
+                } else {
+                    ops.push(Op::Recv { from: left, tag });
+                    ops.push(Op::Compute(hop_compute));
+                    ops.push(Op::Send {
+                        to: right,
+                        tag,
+                        bytes: token_bytes,
+                    });
+                    ops.push(Op::Progress(lap));
+                }
+            }
+            ops.push(Op::Finalize);
+            Program::new(ops, image_bytes)
+        })
+        .collect()
+}
+
+/// A 1D Jacobi-style stencil: each iteration computes, then exchanges halos
+/// with both line neighbours (non-periodic: the ends have one neighbour).
+pub fn stencil_programs(
+    n: u32,
+    iterations: u32,
+    halo_bytes: u64,
+    iter_compute: SimDuration,
+    image_bytes: u64,
+) -> Vec<Arc<Program>> {
+    assert!(n >= 1);
+    let tag_l = Tag(2); // message travelling left
+    let tag_r = Tag(3); // message travelling right
+    (0..n)
+        .map(|r| {
+            let mut ops = Vec::new();
+            for iter in 1..=iterations {
+                ops.push(Op::Compute(iter_compute));
+                if r + 1 < n {
+                    ops.push(Op::Send {
+                        to: Rank(r + 1),
+                        tag: tag_r,
+                        bytes: halo_bytes,
+                    });
+                }
+                if r > 0 {
+                    ops.push(Op::Send {
+                        to: Rank(r - 1),
+                        tag: tag_l,
+                        bytes: halo_bytes,
+                    });
+                }
+                if r > 0 {
+                    ops.push(Op::Recv {
+                        from: Rank(r - 1),
+                        tag: tag_r,
+                    });
+                }
+                if r + 1 < n {
+                    ops.push(Op::Recv {
+                        from: Rank(r + 1),
+                        tag: tag_l,
+                    });
+                }
+                ops.push(Op::Progress(iter));
+            }
+            ops.push(Op::Finalize);
+            Program::new(ops, image_bytes)
+        })
+        .collect()
+}
+
+/// A master–worker farm: rank 0 hands `tasks` work units to `n − 1` workers
+/// round-robin; each worker computes `task_compute` per unit and returns a
+/// result. Static scheduling keeps programs deterministic.
+pub fn master_worker_programs(
+    n: u32,
+    tasks: u32,
+    task_bytes: u64,
+    result_bytes: u64,
+    task_compute: SimDuration,
+    image_bytes: u64,
+) -> Vec<Arc<Program>> {
+    assert!(n >= 2, "master–worker needs at least one worker");
+    let t_task = Tag(4);
+    let t_result = Tag(5);
+    let workers = n - 1;
+    (0..n)
+        .map(|r| {
+            let mut ops = Vec::new();
+            if r == 0 {
+                // Master: send every task, then collect every result in the
+                // same round-robin order.
+                for t in 0..tasks {
+                    ops.push(Op::Send {
+                        to: Rank(1 + t % workers),
+                        tag: t_task,
+                        bytes: task_bytes,
+                    });
+                }
+                for t in 0..tasks {
+                    ops.push(Op::Recv {
+                        from: Rank(1 + t % workers),
+                        tag: t_result,
+                    });
+                    ops.push(Op::Progress(t + 1));
+                }
+            } else {
+                let mine = (0..tasks).filter(|t| 1 + t % workers == r).count() as u32;
+                for t in 1..=mine {
+                    ops.push(Op::Recv {
+                        from: Rank(0),
+                        tag: t_task,
+                    });
+                    ops.push(Op::Compute(task_compute));
+                    ops.push(Op::Send {
+                        to: Rank(0),
+                        tag: t_result,
+                        bytes: result_bytes,
+                    });
+                    ops.push(Op::Progress(t));
+                }
+            }
+            ops.push(Op::Finalize);
+            Program::new(ops, image_bytes)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use failmpi_mpi::lockstep;
+
+    fn ms(v: u64) -> SimDuration {
+        SimDuration::from_millis(v)
+    }
+
+    #[test]
+    fn ring_completes_all_laps() {
+        for n in [2u32, 3, 8] {
+            let ps = ring_programs(n, 5, 64, ms(1), 1000);
+            let stats = lockstep::run(&ps).unwrap_or_else(|d| panic!("n={n}: {d:?}"));
+            assert!(stats.progress.iter().all(|&p| p == 5));
+            assert_eq!(stats.total_messages, 5 * n as u64);
+        }
+    }
+
+    #[test]
+    fn stencil_completes_including_edges() {
+        for n in [1u32, 2, 7] {
+            let ps = stencil_programs(n, 4, 128, ms(1), 1000);
+            let stats = lockstep::run(&ps).unwrap_or_else(|d| panic!("n={n}: {d:?}"));
+            assert!(stats.progress.iter().all(|&p| p == 4));
+            if n > 1 {
+                // Interior links: (n−1) bidirectional exchanges per iter.
+                assert_eq!(stats.total_messages, 4 * 2 * (n as u64 - 1));
+            } else {
+                assert_eq!(stats.total_messages, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn master_worker_covers_all_tasks() {
+        let ps = master_worker_programs(4, 10, 256, 64, ms(2), 1000);
+        let stats = lockstep::run(&ps).expect("farm deadlocked");
+        // 10 tasks out + 10 results back.
+        assert_eq!(stats.total_messages, 20);
+        assert_eq!(stats.progress[0], 10);
+        // Workers got ⌈10/3⌉, …
+        assert_eq!(stats.progress[1..].iter().max(), Some(&4));
+    }
+
+    #[test]
+    fn master_worker_uneven_division() {
+        let ps = master_worker_programs(3, 7, 1, 1, ms(0), 0);
+        let stats = lockstep::run(&ps).unwrap();
+        assert_eq!(stats.total_messages, 14);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn ring_of_one_rejected() {
+        let _ = ring_programs(1, 1, 1, ms(1), 0);
+    }
+}

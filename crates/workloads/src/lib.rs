@@ -1,0 +1,25 @@
+//! # failmpi-workloads — op-program generators
+//!
+//! The paper drives all experiments with the NAS Parallel Benchmarks BT
+//! (Block Tridiagonal) kernel, class B, on 25–64 processes. [`bt`]
+//! generates op-programs with BT's communication/computation/footprint
+//! shape; [`aux`] provides smaller patterns (ring, stencil, master–worker)
+//! used by examples and tests.
+//!
+//! ```
+//! use failmpi_workloads::{bt_programs, BtClass};
+//!
+//! let programs = bt_programs(&BtClass::B, 49);
+//! assert_eq!(programs.len(), 49);
+//! // Class B's footprint divides across ranks: ~30 MB images at 49 ranks,
+//! // the property behind the paper's Fig. 6 analysis.
+//! assert_eq!(programs[0].image_bytes(), 1_500_000_000 / 49);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aux;
+pub mod bt;
+
+pub use bt::{bt_programs, bt_programs_noisy, BtClass};

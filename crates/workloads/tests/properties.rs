@@ -1,0 +1,63 @@
+//! Property tests: every generated workload is deadlock-free and
+//! message-matched for arbitrary parameters.
+
+use failmpi_sim::SimDuration;
+use failmpi_workloads::{aux, bt, bt_programs_noisy};
+use failmpi_mpi::lockstep;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn bt_any_square_any_noise_completes(
+        q in 1u32..9,
+        seed: u64,
+        noise in 0.0f64..0.3,
+    ) {
+        let n = q * q;
+        let ps = bt_programs_noisy(&bt::BtClass::S, n, seed, noise);
+        let stats = lockstep::run(&ps)
+            .map_err(|d| TestCaseError::fail(format!("{d:?}")))?;
+        prop_assert!(stats.progress.iter().all(|&p| p == bt::BtClass::S.iterations));
+    }
+
+    #[test]
+    fn bt_noise_keeps_compute_within_bounds(q in 2u32..6, seed: u64) {
+        let n = q * q;
+        let noise = 0.05;
+        let clean = lockstep::run(&bt_programs_noisy(&bt::BtClass::S, n, 0, 0.0)).unwrap();
+        let noisy = lockstep::run(&bt_programs_noisy(&bt::BtClass::S, n, seed, noise)).unwrap();
+        for (c, x) in clean.compute_us.iter().zip(&noisy.compute_us) {
+            // Run factor ±5% and per-phase ±5% compose to at most ~±10.3%.
+            let lo = *c as f64 * (1.0 - noise).powi(2) - 100.0;
+            let hi = *c as f64 * (1.0 + noise).powi(2) + 100.0;
+            prop_assert!((lo..=hi).contains(&(*x as f64)), "{x} not in [{lo}, {hi}]");
+        }
+    }
+
+    #[test]
+    fn ring_completes_for_any_shape(n in 2u32..12, laps in 1u32..20) {
+        let ps = aux::ring_programs(n, laps, 64, SimDuration::from_millis(1), 0);
+        let stats = lockstep::run(&ps)
+            .map_err(|d| TestCaseError::fail(format!("{d:?}")))?;
+        prop_assert_eq!(stats.total_messages, (laps as u64) * n as u64);
+        prop_assert!(stats.progress.iter().all(|&p| p == laps));
+    }
+
+    #[test]
+    fn stencil_completes_for_any_shape(n in 1u32..12, iters in 1u32..20) {
+        let ps = aux::stencil_programs(n, iters, 64, SimDuration::from_millis(1), 0);
+        let stats = lockstep::run(&ps)
+            .map_err(|d| TestCaseError::fail(format!("{d:?}")))?;
+        if n > 1 {
+            prop_assert_eq!(stats.total_messages, iters as u64 * 2 * (n as u64 - 1));
+        }
+    }
+
+    #[test]
+    fn master_worker_completes_for_any_shape(n in 2u32..10, tasks in 0u32..50) {
+        let ps = aux::master_worker_programs(n, tasks, 8, 8, SimDuration::from_millis(1), 0);
+        let stats = lockstep::run(&ps)
+            .map_err(|d| TestCaseError::fail(format!("{d:?}")))?;
+        prop_assert_eq!(stats.total_messages, 2 * tasks as u64);
+    }
+}

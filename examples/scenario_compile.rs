@@ -1,0 +1,98 @@
+//! The FCI compiler pipeline as a library: parse a FAIL scenario, inspect
+//! the compiled automata, emit the generated Rust source (the paper's
+//! "compiler generates C++ sources" step), and dry-run the automaton
+//! against synthetic events without any cluster.
+//!
+//! ```sh
+//! cargo run --release --example scenario_compile
+//! ```
+
+use failmpi::core::lang::codegen;
+use failmpi::prelude::*;
+use failmpi::sim::SimRng;
+
+const SRC: &str = r#"
+// A bespoke scenario: crash the job's most loaded machine twice, 10 s
+// apart, then watch. (Here "most loaded" is simply machine 0.)
+daemon Adversary {
+  int shots = 2;
+  node 1:
+    timer t = 10;
+    t && shots > 0 -> !crash(G[0]), shots = shots - 1, goto 2;
+    t && shots <= 0 -> goto 3;
+  node 2:
+    ?ok -> goto 1;
+    ?no -> goto 1;
+  node 3:
+}
+
+daemon Machine {
+  node 1:
+    onload -> continue, goto 2;
+    ?crash -> !no(P), goto 1;
+  node 2:
+    onexit -> goto 1;
+    onerror -> goto 1;
+    ?crash -> !ok(P), halt, goto 1;
+}
+
+instance P = Adversary;
+group G[3] = Machine;
+"#;
+
+fn main() {
+    // Parse + compile.
+    let scenario = compile(SRC).expect("scenario compiles");
+    println!("== compiled automata ==");
+    for class in &scenario.classes {
+        let transitions: usize = class.nodes.iter().map(|n| n.transitions.len()).sum();
+        println!(
+            "daemon {:<10} {} nodes, {} transitions, vars [{}], timers [{}]",
+            class.name,
+            class.nodes.len(),
+            transitions,
+            class.var_names.join(", "),
+            class.timer_names.join(", ")
+        );
+    }
+
+    // The code-generation step (what FCI shipped to every machine).
+    let generated = codegen::generate(&scenario);
+    println!(
+        "\n== generated Rust (first 12 lines of {} total) ==",
+        generated.lines().count()
+    );
+    for line in generated.lines().take(12) {
+        println!("{line}");
+    }
+
+    // Deploy and dry-run against synthetic events — no cluster needed.
+    let deployment = Deployment::from_suggested(&scenario).expect("deploys");
+    let mut rt = FailRuntime::new(&scenario, deployment, &[]).expect("binds");
+    let mut rng = SimRng::new(7);
+    println!("\n== dry run ==");
+    let actions = rt.start(&mut rng);
+    println!("start: {actions:?}");
+
+    let g0 = rt.deployment().instance_index("G[0]").unwrap();
+    let p = rt.deployment().instance_index("P").unwrap();
+    let actions = rt.feed(FailInput::OnLoad { instance: g0, proc: 4242 }, &mut rng);
+    println!("onload(G[0], pid 4242): {actions:?}");
+
+    // Fire the adversary's timer: it must order the crash of machine 0.
+    let actions = rt.feed(
+        FailInput::Timer {
+            instance: p,
+            timer: 0,
+            gen: 1,
+        },
+        &mut rng,
+    );
+    println!("timer(P): {actions:?}");
+
+    let crash = rt.scenario().message_id("crash").unwrap();
+    let actions = rt.feed(FailInput::Msg { from: p, to: g0, msg: crash }, &mut rng);
+    println!("crash -> G[0]: {actions:?}");
+    assert!(actions.iter().any(|a| matches!(a, FailAction::Halt { proc: 4242 })));
+    println!("\npid 4242 was halted — the scenario does what it says.");
+}

@@ -1,0 +1,142 @@
+//! FAIL-MPI is application-agnostic: the same scenarios strain arbitrary
+//! MPI communication patterns, not just BT. These tests run the auxiliary
+//! workloads (token ring, 1D stencil, master–worker) under injection.
+
+use std::sync::Arc;
+
+use failmpi::experiments::figures::FIG5_SRC;
+use failmpi::prelude::*;
+use failmpi::workloads::aux;
+
+fn mini_spec(n: u32, programs: Vec<Arc<Program>>, seed: u64) -> ExperimentSpec {
+    let mut cluster = VclConfig::small(n, SimDuration::from_secs(2));
+    cluster.ssh_stagger = SimDuration::from_millis(20);
+    cluster.restart_overhead = SimDuration::from_millis(400);
+    cluster.terminate_delay = SimDuration::from_millis(30);
+    ExperimentSpec {
+        cluster,
+        workload: Workload::Fixed(programs),
+        injection: None,
+        timeout: SimTime::from_secs(120),
+        freeze_window: SimDuration::from_secs(12),
+        seed,
+    }
+}
+
+fn one_fault_every(spec: &mut ExperimentSpec, interval: i64) {
+    let n_hosts = spec.cluster.n_compute_hosts;
+    spec.injection = Some(
+        InjectionSpec::new(FIG5_SRC, "ADV1", "ADVnodes")
+            .with_param("X", interval)
+            .with_param("N", n_hosts as i64 - 1),
+    );
+}
+
+#[test]
+fn token_ring_survives_faults() {
+    // 50 laps with 100 ms of work per hop: ~20 s of sequential-dependency
+    // chain — the worst case for rollback (any lost token stalls everyone).
+    let programs = aux::ring_programs(
+        4,
+        50,
+        4 << 10,
+        SimDuration::from_millis(100),
+        10 << 20,
+    );
+    let clean = run_one(&mini_spec(4, programs.clone(), 5));
+    let t_clean = clean.outcome.time().expect("ring completes clean");
+
+    let mut spec = mini_spec(4, programs, 5);
+    one_fault_every(&mut spec, 8);
+    let faulty = run_one(&spec);
+    assert!(faulty.faults_injected >= 1);
+    let t_faulty = faulty.outcome.time().expect("ring survives faults");
+    assert!(t_faulty > t_clean);
+    assert_eq!(faulty.max_progress, 50, "every lap completed");
+}
+
+#[test]
+fn stencil_survives_faults() {
+    let programs = aux::stencil_programs(
+        6,
+        40,
+        64 << 10,
+        SimDuration::from_millis(120),
+        16 << 20,
+    );
+    let mut spec = mini_spec(6, programs, 6);
+    one_fault_every(&mut spec, 4);
+    let rec = run_one(&spec);
+    assert!(rec.faults_injected >= 1, "no fault landed");
+    assert!(
+        matches!(rec.outcome, Outcome::Completed { .. }),
+        "stencil under faults: {:?}",
+        rec.outcome
+    );
+    assert_eq!(rec.max_progress, 40);
+}
+
+#[test]
+fn master_worker_survives_a_master_or_worker_crash() {
+    // The non-SPMD style the paper's Sec. 3 calls out. Rollback must also
+    // restore the master's bookkeeping consistently.
+    let programs = aux::master_worker_programs(
+        4,
+        60,
+        32 << 10,
+        8 << 10,
+        SimDuration::from_millis(150),
+        12 << 20,
+    );
+    let mut spec = mini_spec(4, programs, 7);
+    one_fault_every(&mut spec, 2);
+    let rec = run_one(&spec);
+    assert!(rec.faults_injected >= 1);
+    assert!(
+        matches!(rec.outcome, Outcome::Completed { .. }),
+        "farm under faults: {:?}",
+        rec.outcome
+    );
+    assert_eq!(rec.max_progress, 60, "all tasks accounted for");
+}
+
+#[test]
+fn rollback_preserves_ring_token_semantics() {
+    // A deterministic single fault mid-run: after recovery the ring must
+    // still deliver exactly `laps` progress markers per rank — no lap may
+    // be lost or duplicated by the replayed channel state.
+    let programs = aux::ring_programs(
+        3,
+        30,
+        1 << 10,
+        SimDuration::from_millis(80),
+        8 << 20,
+    );
+    let src = r#"
+        daemon OneShot {
+          node 1:
+            timer t = 3;
+            t -> !crash(G1[1]), goto 2;
+          node 2:
+            ?ok -> goto 3;
+            ?no -> goto 3;
+          node 3:
+        }
+        daemon Ctl {
+          node 1:
+            onload -> continue, goto 2;
+            ?crash -> !no(P1), goto 1;
+          node 2:
+            onexit -> goto 1;
+            onerror -> goto 1;
+            onload -> continue, goto 2;
+            ?crash -> !ok(P1), halt, goto 1;
+        }
+    "#;
+    let mut spec = mini_spec(3, programs, 8);
+    spec.injection = Some(InjectionSpec::new(src, "OneShot", "Ctl"));
+    let rec = run_one(&spec);
+    assert!(matches!(rec.outcome, Outcome::Completed { .. }));
+    assert_eq!(rec.faults_injected, 1);
+    assert_eq!(rec.max_progress, 30);
+}
