@@ -494,9 +494,7 @@ impl FailRuntime {
                 );
                 // Unless the transition killed the process (halt), the held
                 // process must proceed — a debugger never leaves it hanging.
-                if self.instances[instance].controlled == Some(proc) {
-                    out.push(FailAction::ReleaseBreakpoint { proc });
-                } else if !fired {
+                if self.instances[instance].controlled == Some(proc) || !fired {
                     out.push(FailAction::ReleaseBreakpoint { proc });
                 }
             }

@@ -1,0 +1,201 @@
+//! `soak` — the determinism & schedule-robustness soak driver.
+//!
+//! Runs a small suite of smoke-scale scenarios, each of which is
+//! (1) double-run under the canonical FIFO schedule to detect any
+//! nondeterminism, and (2) swept across perturbed same-instant event
+//! orderings ([`failmpi_sim::TieBreak::Seeded`]) with the trace
+//! invariants validated on every run. The Fig. 10 dispatcher stress runs
+//! under both dispatcher variants, asserting the paper's claim across the
+//! whole interleaving sample: the historical dispatcher freezes on every
+//! schedule, the fixed one on none.
+//!
+//! Exits non-zero on any divergence, invariant violation, or broken
+//! classification expectation, so CI can run it as a smoke gate:
+//!
+//! ```text
+//! cargo run --release -p failmpi-experiments --bin soak -- --runs 25 --json soak.json
+//! ```
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+use serde::Serialize;
+
+use failmpi_experiments::robustness::{
+    fault_free_smoke_spec, fig10_stress_spec, perturb,
+};
+use failmpi_experiments::{run_one, ExperimentSpec};
+use failmpi_mpichv::DispatcherMode;
+
+/// What every perturbed run of one scenario must classify as, if pinned.
+enum Expect {
+    /// Every run must land in this class.
+    All(&'static str),
+    /// No run may land in this class.
+    Never(&'static str),
+}
+
+struct Scenario {
+    name: &'static str,
+    spec: ExperimentSpec,
+    expect: Expect,
+}
+
+#[derive(Serialize)]
+struct ScenarioReport {
+    name: String,
+    runs: usize,
+    divergences: usize,
+    invariant_violations: usize,
+    distinct_schedules: usize,
+    histogram: BTreeMap<String, usize>,
+    expectation_met: bool,
+}
+
+#[derive(Serialize)]
+struct SoakReport {
+    runs_per_scenario: usize,
+    base_seed: u64,
+    total_runs: usize,
+    total_divergences: usize,
+    total_invariant_violations: usize,
+    passed: bool,
+    scenarios: Vec<ScenarioReport>,
+}
+
+struct Options {
+    runs: usize,
+    seed: u64,
+    json: Option<String>,
+}
+
+fn parse(args: impl Iterator<Item = String>) -> Result<Options, String> {
+    let mut o = Options {
+        runs: 25,
+        seed: 0x50AC,
+        json: None,
+    };
+    let mut args = args.peekable();
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--runs" => {
+                o.runs = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--runs needs a number")?
+            }
+            "--seed" => {
+                o.seed = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--seed needs a number")?
+            }
+            "--json" => o.json = Some(args.next().ok_or("--json needs a path")?),
+            "--help" | "-h" => {
+                return Err("usage: soak [--runs N] [--seed S] [--json PATH]".to_string())
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(o)
+}
+
+/// Double-runs the canonical (FIFO) schedule; 1 on fingerprint mismatch.
+fn divergences(spec: &ExperimentSpec) -> usize {
+    let a = run_one(spec).fingerprint;
+    let b = run_one(spec).fingerprint;
+    usize::from(a != b)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse(std::env::args().skip(1)) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let scenarios = vec![
+        Scenario {
+            name: "fault-free",
+            spec: fault_free_smoke_spec(opts.seed),
+            expect: Expect::All("completed"),
+        },
+        Scenario {
+            name: "fig10-buggy",
+            spec: fig10_stress_spec(DispatcherMode::Historical, opts.seed),
+            expect: Expect::All("buggy"),
+        },
+        Scenario {
+            name: "fig10-fixed",
+            spec: fig10_stress_spec(DispatcherMode::Fixed, opts.seed),
+            expect: Expect::Never("buggy"),
+        },
+    ];
+
+    let mut reports = Vec::new();
+    for sc in &scenarios {
+        let divergences = divergences(&sc.spec);
+        let report = perturb(sc.name, &sc.spec, opts.runs);
+        let violations = report.violations().count();
+        let expectation_met = match sc.expect {
+            Expect::All(class) => report.count(class) == report.outcomes.len(),
+            Expect::Never(class) => report.count(class) == 0,
+        };
+        println!(
+            "{:<12} runs {:>3}  divergences {}  violations {}  schedules {:>3}  {:?}{}",
+            sc.name,
+            report.outcomes.len(),
+            divergences,
+            violations,
+            report.distinct_schedules,
+            report.histogram,
+            if expectation_met { "" } else { "  ** EXPECTATION BROKEN **" },
+        );
+        reports.push(ScenarioReport {
+            name: sc.name.to_string(),
+            runs: report.outcomes.len(),
+            divergences,
+            invariant_violations: violations,
+            distinct_schedules: report.distinct_schedules,
+            histogram: report.histogram,
+            expectation_met,
+        });
+    }
+
+    let total_runs: usize = reports.iter().map(|r| r.runs + 2).sum();
+    let total_divergences: usize = reports.iter().map(|r| r.divergences).sum();
+    let total_violations: usize = reports.iter().map(|r| r.invariant_violations).sum();
+    let passed = total_divergences == 0
+        && total_violations == 0
+        && reports.iter().all(|r| r.expectation_met);
+    let soak = SoakReport {
+        runs_per_scenario: opts.runs,
+        base_seed: opts.seed,
+        total_runs,
+        total_divergences,
+        total_invariant_violations: total_violations,
+        passed,
+        scenarios: reports,
+    };
+    println!(
+        "soak: {} runs, {} divergences, {} invariant violations — {}",
+        soak.total_runs,
+        soak.total_divergences,
+        soak.total_invariant_violations,
+        if passed { "PASS" } else { "FAIL" },
+    );
+    if let Some(path) = &opts.json {
+        let json = serde_json::to_string_pretty(&soak).expect("serializable");
+        if let Err(e) = std::fs::write(path, json) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if passed {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -85,6 +85,7 @@ fn main() {
         timeout: SimTime::from_secs(timeout),
         freeze_window: SimDuration::from_secs(timeout / 10),
         seed,
+        tie_break: failmpi_sim::TieBreak::Fifo,
     };
     let (record, cluster) = run_one_keeping_cluster(&spec);
     print!(

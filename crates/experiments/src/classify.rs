@@ -6,7 +6,7 @@
 //! > between the two kinds of experiments is done by analysing the
 //! > execution trace."
 
-use failmpi_sim::{RunOutcome, SimDuration, SimTime};
+use failmpi_sim::{RunOutcome, SimDuration, SimTime, TraceEntry};
 use failmpi_mpichv::{Cluster, VclEvent};
 
 /// The silence threshold: a run that reached its timeout without any
@@ -74,7 +74,28 @@ pub fn classify(
     timeout: SimTime,
     freeze_window: SimDuration,
 ) -> Outcome {
-    if cluster.is_complete() {
+    classify_entries(
+        cluster.trace().entries(),
+        cluster.is_complete(),
+        engine_outcome,
+        end,
+        timeout,
+        freeze_window,
+    )
+}
+
+/// The trace-level core of [`classify`] — the same analysis over bare
+/// entries, so tests can classify hand-built traces without running a
+/// cluster.
+pub fn classify_entries(
+    entries: &[TraceEntry<VclEvent>],
+    complete: bool,
+    engine_outcome: RunOutcome,
+    end: SimTime,
+    timeout: SimTime,
+    freeze_window: SimDuration,
+) -> Outcome {
+    if complete {
         return Outcome::Completed { time: end };
     }
     // Quiescence before the timeout with an incomplete job: nothing can
@@ -82,9 +103,10 @@ pub fn classify(
     if engine_outcome == RunOutcome::Quiescent {
         return Outcome::Buggy;
     }
-    let last_liveness = cluster
-        .trace()
-        .last_matching(is_liveness_event)
+    let last_liveness = entries
+        .iter()
+        .rev()
+        .find(|e| is_liveness_event(&e.kind))
         .map_or(SimTime::ZERO, |e| e.at);
     if timeout.saturating_since(last_liveness) > freeze_window {
         Outcome::Buggy
@@ -96,6 +118,110 @@ pub fn classify(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use failmpi_mpi::Rank;
+
+    fn e(at_s: u64, kind: VclEvent) -> TraceEntry<VclEvent> {
+        TraceEntry {
+            at: SimTime::from_secs(at_s),
+            kind,
+        }
+    }
+
+    const TIMEOUT: SimTime = SimTime::from_secs(1500);
+    const WINDOW: SimDuration = FREEZE_WINDOW;
+
+    #[test]
+    fn complete_job_classifies_completed() {
+        let trace = vec![
+            e(0, VclEvent::RunStarted { epoch: 0 }),
+            e(90, VclEvent::RankFinalized { rank: Rank(0) }),
+            e(91, VclEvent::JobComplete),
+        ];
+        let out = classify_entries(
+            &trace,
+            true,
+            RunOutcome::Finished,
+            SimTime::from_secs(91),
+            TIMEOUT,
+            WINDOW,
+        );
+        assert_eq!(
+            out,
+            Outcome::Completed {
+                time: SimTime::from_secs(91)
+            }
+        );
+    }
+
+    #[test]
+    fn ongoing_recovery_activity_classifies_non_terminating() {
+        // The paper's rollback/crash cycle: failures and recoveries keep
+        // arriving right up to the timeout.
+        let mut trace = vec![e(0, VclEvent::RunStarted { epoch: 0 })];
+        for epoch in 1..=20 {
+            trace.push(e(
+                70 * epoch as u64,
+                VclEvent::FailureDetected {
+                    rank: Rank(1),
+                    epoch: epoch - 1,
+                    during_recovery: false,
+                },
+            ));
+            trace.push(e(70 * epoch as u64 + 5, VclEvent::RecoveryStarted { epoch }));
+        }
+        let out = classify_entries(
+            &trace,
+            false,
+            RunOutcome::DeadlineReached,
+            TIMEOUT,
+            TIMEOUT,
+            WINDOW,
+        );
+        assert_eq!(out, Outcome::NonTerminating);
+    }
+
+    #[test]
+    fn long_silence_classifies_buggy() {
+        // One early recovery, then nothing for >150 s before the timeout:
+        // the Fig. 10 freeze signature.
+        let trace = vec![
+            e(0, VclEvent::RunStarted { epoch: 0 }),
+            e(
+                50,
+                VclEvent::FailureDetected {
+                    rank: Rank(1),
+                    epoch: 0,
+                    during_recovery: false,
+                },
+            ),
+            e(55, VclEvent::RecoveryStarted { epoch: 1 }),
+        ];
+        let out = classify_entries(
+            &trace,
+            false,
+            RunOutcome::DeadlineReached,
+            TIMEOUT,
+            TIMEOUT,
+            WINDOW,
+        );
+        assert_eq!(out, Outcome::Buggy);
+    }
+
+    #[test]
+    fn premature_quiescence_classifies_buggy() {
+        // The queue drained with the job incomplete — frozen by definition,
+        // however recent the last liveness event was.
+        let trace = vec![e(10, VclEvent::RecoveryStarted { epoch: 1 })];
+        let out = classify_entries(
+            &trace,
+            false,
+            RunOutcome::Quiescent,
+            SimTime::from_secs(11),
+            TIMEOUT,
+            WINDOW,
+        );
+        assert_eq!(out, Outcome::Buggy);
+    }
 
     #[test]
     fn outcome_accessors() {

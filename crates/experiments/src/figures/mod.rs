@@ -39,12 +39,13 @@ pub(crate) fn cluster_config(
     wave_secs: u64,
     mode: DispatcherMode,
 ) -> VclConfig {
-    let mut cfg = VclConfig::default();
-    cfg.n_ranks = n_ranks;
-    cfg.n_compute_hosts = n_hosts;
-    cfg.checkpoint_period = SimDuration::from_secs(wave_secs);
-    cfg.dispatcher = mode;
-    cfg
+    VclConfig {
+        n_ranks,
+        n_compute_hosts: n_hosts,
+        checkpoint_period: SimDuration::from_secs(wave_secs),
+        dispatcher: mode,
+        ..VclConfig::default()
+    }
 }
 
 /// Scales the recovery-time constants down for seconds-scale miniatures
@@ -75,6 +76,7 @@ pub(crate) fn spec(
         // the paper-scale 150 s window at the paper's 1500 s timeout.
         freeze_window: SimDuration::from_secs(timeout_s / 10),
         seed,
+        tie_break: failmpi_sim::TieBreak::Fifo,
     }
 }
 

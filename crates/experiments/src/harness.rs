@@ -7,7 +7,10 @@ use std::sync::Arc;
 
 use failmpi_core::{compile, Deployment, FailAction, FailInput, FailRuntime};
 use failmpi_net::{HostId, ProcId};
-use failmpi_sim::{Engine, Model, RunOutcome, Scheduler, SimDuration, SimRng, SimTime};
+use failmpi_sim::{
+    Engine, Fingerprint, FingerprintEvent, JournalEntry, Model, RunOutcome, Scheduler,
+    SimDuration, SimRng, SimTime, TieBreak,
+};
 use failmpi_mpi::Program;
 use failmpi_mpichv::{Cluster, Ev, Hook, InstrumentedFn, TrafficStats, VclConfig, VclEvent};
 use failmpi_workloads::{bt_programs_noisy, BtClass};
@@ -91,14 +94,20 @@ pub struct ExperimentSpec {
     pub freeze_window: SimDuration,
     /// Experiment seed.
     pub seed: u64,
+    /// How the engine orders same-instant events. [`TieBreak::Fifo`] is
+    /// the canonical schedule; [`TieBreak::Seeded`] perturbs it for the
+    /// schedule-robustness sweeps (see `failmpi-testkit`).
+    pub tie_break: TieBreak,
 }
 
 impl ExperimentSpec {
     /// A fault-free paper-scale run.
     pub fn fault_free(n_ranks: u32, class: BtClass, seed: u64) -> Self {
-        let mut cluster = VclConfig::default();
-        cluster.n_ranks = n_ranks;
-        cluster.n_compute_hosts = n_ranks as usize + 4;
+        let cluster = VclConfig {
+            n_ranks,
+            n_compute_hosts: n_ranks as usize + 4,
+            ..VclConfig::default()
+        };
         ExperimentSpec {
             cluster,
             workload: Workload::Bt(class),
@@ -106,7 +115,14 @@ impl ExperimentSpec {
             timeout: SimTime::from_secs(1500),
             freeze_window: crate::classify::FREEZE_WINDOW,
             seed,
+            tie_break: TieBreak::Fifo,
         }
+    }
+
+    /// The same experiment under a perturbed same-instant event order.
+    pub fn with_tie_break(mut self, tie_break: TieBreak) -> Self {
+        self.tie_break = tie_break;
+        self
     }
 }
 
@@ -127,6 +143,12 @@ pub struct RunRecord {
     pub max_progress: u32,
     /// Bytes sent, by traffic class (protocol-overhead accounting).
     pub traffic: TrafficStats,
+    /// Streaming schedule fingerprint of the run (see
+    /// [`failmpi_sim::Fingerprint`]); equal-seed equal-tie-break runs must
+    /// reproduce it bit-for-bit.
+    pub fingerprint: u64,
+    /// Events the engine handled (a cheap secondary determinism signal).
+    pub events: u64,
 }
 
 enum WEv {
@@ -362,6 +384,41 @@ impl Model for World {
     fn finished(&self) -> bool {
         self.cluster.is_complete()
     }
+
+    fn fingerprint_event(&self, event: &WEv, fp: &mut Fingerprint) {
+        match event {
+            WEv::C(e) => {
+                fp.write_u8(1);
+                e.fold(fp);
+            }
+            WEv::FailTimer {
+                instance,
+                timer,
+                gen,
+            } => {
+                fp.write_u8(2);
+                fp.write_u64(*instance as u64);
+                fp.write_u64(*timer as u64);
+                fp.write_u64(*gen);
+            }
+            WEv::FailMsg { from, to, msg } => {
+                fp.write_u8(3);
+                fp.write_u64(*from as u64);
+                fp.write_u64(*to as u64);
+                fp.write_u64(*msg as u64);
+            }
+        }
+    }
+
+    fn describe_event(&self, event: &WEv) -> String {
+        match event {
+            WEv::C(e) => e.label(),
+            WEv::FailTimer {
+                instance, timer, ..
+            } => format!("fail-timer i{instance} t{timer}"),
+            WEv::FailMsg { from, to, msg } => format!("fail-msg {from}->{to} m{msg}"),
+        }
+    }
 }
 
 /// Relative compute noise baked into every experiment workload (models OS
@@ -387,6 +444,17 @@ pub fn run_one(spec: &ExperimentSpec) -> RunRecord {
 /// Like [`run_one`], additionally returning the final cluster state (for
 /// trace validation and post-mortem inspection).
 pub fn run_one_keeping_cluster(spec: &ExperimentSpec) -> (RunRecord, Cluster) {
+    let (record, cluster, _) = run_one_instrumented(spec, false);
+    (record, cluster)
+}
+
+/// The fully instrumented run: like [`run_one_keeping_cluster`], but with
+/// optional per-event fingerprint-journal capture (the expensive mode the
+/// determinism harness only pays for after a mismatch).
+pub fn run_one_instrumented(
+    spec: &ExperimentSpec,
+    capture_journal: bool,
+) -> (RunRecord, Cluster, Option<Vec<JournalEntry>>) {
     let programs = programs_for(spec);
     let cluster = Cluster::new(spec.cluster.clone(), programs, spec.seed);
 
@@ -432,7 +500,10 @@ pub fn run_one_keeping_cluster(spec: &ExperimentSpec) -> (RunRecord, Cluster) {
         }
     });
 
-    let mut engine = Engine::new(World { cluster, fail });
+    let mut engine = Engine::with_tie_break(World { cluster, fail }, spec.tie_break);
+    if capture_journal {
+        engine.enable_fingerprint_journal();
+    }
     // Initial cluster events.
     for (t, e) in engine.model_mut().cluster.take_outputs() {
         engine.schedule(t, WEv::C(e));
@@ -468,6 +539,9 @@ pub fn run_one_keeping_cluster(spec: &ExperimentSpec) -> (RunRecord, Cluster) {
 
     let engine_outcome = engine.run(spec.timeout);
     let end = engine.now();
+    let fingerprint = engine.fingerprint();
+    let events = engine.events_handled();
+    let journal = capture_journal.then(|| engine.take_fingerprint_journal());
     let world = engine.into_model();
     let outcome = classify(
         &world.cluster,
@@ -495,8 +569,10 @@ pub fn run_one_keeping_cluster(spec: &ExperimentSpec) -> (RunRecord, Cluster) {
         waves_committed,
         max_progress,
         traffic: world.cluster.traffic(),
+        fingerprint,
+        events,
     };
-    (record, world.cluster)
+    (record, world.cluster, journal)
 }
 
 /// The engine outcome of a run (exposed for tests that need raw outcomes).

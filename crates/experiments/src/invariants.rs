@@ -6,12 +6,24 @@
 //! it over randomized fault schedules, so a regression anywhere in the
 //! protocol stack that garbles event ordering fails loudly.
 
+use failmpi_sim::TraceEntry;
 use failmpi_mpichv::{Cluster, VclEvent};
 
 /// Checks the trace of a finished run. Returns a description of the first
 /// violated invariant, or `Ok(())`.
 pub fn validate_trace(cluster: &Cluster) -> Result<(), String> {
-    let entries = cluster.trace().entries();
+    let complete = cluster.is_complete().then(|| cluster.config().n_ranks);
+    validate_entries(cluster.trace().entries(), complete)
+}
+
+/// The trace-level core of [`validate_trace`]: checks bare entries, with
+/// `completed_ranks = Some(n)` when the job completed with `n` ranks (the
+/// completion invariants need that context). Exposed so tests can validate
+/// — and deliberately corrupt — hand-built traces.
+pub fn validate_entries(
+    entries: &[TraceEntry<VclEvent>],
+    completed_ranks: Option<u32>,
+) -> Result<(), String> {
 
     // 1. Timestamps are non-decreasing (the engine guarantees this; the
     //    trace must not reorder).
@@ -83,8 +95,7 @@ pub fn validate_trace(cluster: &Cluster) -> Result<(), String> {
     //    (a rollback may reset it, but only after a RankResumed).
     // 5. A complete job ends with JobComplete as its last lifecycle event,
     //    after every rank finalized in its final incarnation.
-    if cluster.is_complete() {
-        let n = cluster.config().n_ranks;
+    if let Some(n) = completed_ranks {
         let complete_at = entries
             .iter()
             .rev()
@@ -143,6 +154,7 @@ mod tests {
             timeout: SimTime::from_secs(90),
             freeze_window: SimDuration::from_secs(9),
             seed,
+            tie_break: failmpi_sim::TieBreak::Fifo,
         }
     }
 
@@ -178,5 +190,112 @@ mod tests {
                 .with_param("N", 5),
         );
         validate_run(&s);
+    }
+
+    // ---- hand-built traces: validate_entries must reject corruption ----
+
+    use failmpi_mpi::Rank;
+    use failmpi_net::HostId;
+
+    fn e(at_s: u64, kind: VclEvent) -> TraceEntry<VclEvent> {
+        TraceEntry {
+            at: SimTime::from_secs(at_s),
+            kind,
+        }
+    }
+
+    /// A small coherent story: spawn/register two daemons, run, survive one
+    /// failure, commit a wave, finish.
+    fn coherent_trace() -> Vec<TraceEntry<VclEvent>> {
+        vec![
+            e(0, VclEvent::DaemonSpawned { rank: Rank(0), epoch: 0, host: HostId(0) }),
+            e(0, VclEvent::DaemonSpawned { rank: Rank(1), epoch: 0, host: HostId(1) }),
+            e(1, VclEvent::DaemonRegistered { rank: Rank(0), epoch: 0 }),
+            e(1, VclEvent::DaemonRegistered { rank: Rank(1), epoch: 0 }),
+            e(2, VclEvent::RunStarted { epoch: 0 }),
+            e(4, VclEvent::WaveStarted { wave: 1 }),
+            e(5, VclEvent::WaveCommitted { wave: 1 }),
+            e(
+                6,
+                VclEvent::FailureDetected { rank: Rank(1), epoch: 0, during_recovery: false },
+            ),
+            e(7, VclEvent::RecoveryStarted { epoch: 1 }),
+            e(7, VclEvent::DaemonSpawned { rank: Rank(1), epoch: 1, host: HostId(2) }),
+            e(8, VclEvent::DaemonRegistered { rank: Rank(1), epoch: 1 }),
+            e(9, VclEvent::RunStarted { epoch: 1 }),
+            e(20, VclEvent::RankFinalized { rank: Rank(0) }),
+            e(20, VclEvent::RankFinalized { rank: Rank(1) }),
+            e(21, VclEvent::JobComplete),
+        ]
+    }
+
+    #[test]
+    fn coherent_hand_built_trace_passes() {
+        validate_entries(&coherent_trace(), Some(2)).expect("coherent trace");
+    }
+
+    #[test]
+    fn rejects_backwards_timestamps() {
+        let mut t = coherent_trace();
+        t[4].at = SimTime::from_secs(100);
+        let err = validate_entries(&t, Some(2)).unwrap_err();
+        assert!(err.contains("backwards"), "got: {err}");
+    }
+
+    #[test]
+    fn rejects_commit_of_unstarted_wave() {
+        let mut t = coherent_trace();
+        // Commit wave 2 while wave 1 is the latest started.
+        t.insert(7, e(5, VclEvent::WaveCommitted { wave: 2 }));
+        let err = validate_entries(&t, Some(2)).unwrap_err();
+        assert!(err.contains("committed"), "got: {err}");
+    }
+
+    #[test]
+    fn rejects_skipped_recovery_epoch() {
+        let mut t = coherent_trace();
+        for entry in &mut t {
+            if let VclEvent::RecoveryStarted { epoch } = &mut entry.kind {
+                *epoch = 2; // first recovery must carry epoch 1
+            }
+        }
+        let err = validate_entries(&t, Some(2)).unwrap_err();
+        assert!(err.contains("epoch"), "got: {err}");
+    }
+
+    #[test]
+    fn rejects_recovery_without_failure() {
+        let mut t = coherent_trace();
+        t.retain(|entry| {
+            !matches!(entry.kind, VclEvent::FailureDetected { during_recovery: false, .. })
+        });
+        let err = validate_entries(&t, Some(2)).unwrap_err();
+        assert!(err.contains("failures"), "got: {err}");
+    }
+
+    #[test]
+    fn rejects_registration_without_spawn() {
+        let mut t = coherent_trace();
+        t.retain(|entry| {
+            !matches!(entry.kind, VclEvent::DaemonSpawned { rank: Rank(1), epoch: 1, .. })
+        });
+        let err = validate_entries(&t, Some(2)).unwrap_err();
+        assert!(err.contains("without a spawn"), "got: {err}");
+    }
+
+    #[test]
+    fn rejects_completion_with_missing_finalizations() {
+        let t = coherent_trace();
+        // Claim 3 ranks completed while only 2 finalized.
+        let err = validate_entries(&t, Some(3)).unwrap_err();
+        assert!(err.contains("finalizations"), "got: {err}");
+    }
+
+    #[test]
+    fn rejects_completion_without_job_complete() {
+        let mut t = coherent_trace();
+        t.retain(|entry| !matches!(entry.kind, VclEvent::JobComplete));
+        let err = validate_entries(&t, Some(2)).unwrap_err();
+        assert!(err.contains("JobComplete"), "got: {err}");
     }
 }

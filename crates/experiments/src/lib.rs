@@ -28,10 +28,14 @@ pub mod criteria;
 pub mod figures;
 pub mod harness;
 pub mod invariants;
+pub mod robustness;
 pub mod timeline;
 pub mod stats;
 pub mod sweep;
 
-pub use classify::Outcome;
-pub use harness::{run_one, run_one_keeping_cluster, ExperimentSpec, InjectionSpec, RunRecord, Workload};
-pub use invariants::validate_trace;
+pub use classify::{classify_entries, Outcome};
+pub use harness::{
+    run_one, run_one_instrumented, run_one_keeping_cluster, ExperimentSpec, InjectionSpec,
+    RunRecord, Workload,
+};
+pub use invariants::{validate_entries, validate_trace};

@@ -94,6 +94,8 @@ mod tests {
             waves_committed: 0,
             max_progress: 0,
             traffic: Default::default(),
+            fingerprint: 0,
+            events: 0,
         }
     }
 

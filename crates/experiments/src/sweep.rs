@@ -69,6 +69,7 @@ mod tests {
             timeout: SimTime::from_secs(150),
             freeze_window: SimDuration::from_secs(15),
             seed,
+            tie_break: failmpi_sim::TieBreak::Fifo,
         }
     }
 

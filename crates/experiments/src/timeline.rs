@@ -148,6 +148,7 @@ mod tests {
             timeout: SimTime::from_secs(90),
             freeze_window: SimDuration::from_secs(9),
             seed,
+            tie_break: failmpi_sim::TieBreak::Fifo,
         }
     }
 

@@ -2,6 +2,7 @@
 
 use failmpi_net::{HostId, NetEvent, ProcId};
 use failmpi_mpi::Rank;
+use failmpi_sim::{Fingerprint, FingerprintEvent};
 
 use crate::wire::Wire;
 
@@ -96,6 +97,122 @@ pub enum Ev {
         /// The peer rank to reach.
         peer: Rank,
     },
+}
+
+impl FingerprintEvent for Ev {
+    fn fold(&self, fp: &mut Fingerprint) {
+        match self {
+            Ev::Net(net) => {
+                fp.write_u8(1);
+                net.fold_with(fp, |wire, fp| wire.fold(fp));
+            }
+            Ev::ComputeDone { rank, proc, gen } => {
+                fp.write_u8(2);
+                fp.write_u32(rank.0);
+                fp.write_u32(proc.0);
+                fp.write_u64(*gen);
+            }
+            Ev::SchedTick => fp.write_u8(3),
+            Ev::SpawnDaemon { rank, host, epoch } => {
+                fp.write_u8(4);
+                fp.write_u32(rank.0);
+                fp.write_u32(host.0 as u32);
+                fp.write_u32(*epoch);
+            }
+            Ev::ServerWriteDone {
+                server,
+                conn,
+                rank,
+                wave,
+            } => {
+                fp.write_u8(5);
+                fp.write_u64(*server as u64);
+                fp.write_u64(conn.0);
+                fp.write_u32(rank.0);
+                fp.write_u32(*wave);
+            }
+            Ev::RestoreDone { rank, proc } => {
+                fp.write_u8(6);
+                fp.write_u32(rank.0);
+                fp.write_u32(proc.0);
+            }
+            Ev::DiskLoaded { rank, proc } => {
+                fp.write_u8(7);
+                fp.write_u32(rank.0);
+                fp.write_u32(proc.0);
+            }
+            Ev::LaunchFailed { rank, epoch } => {
+                fp.write_u8(8);
+                fp.write_u32(rank.0);
+                fp.write_u32(*epoch);
+            }
+            Ev::SelfCkpt { rank, proc } => {
+                fp.write_u8(9);
+                fp.write_u32(rank.0);
+                fp.write_u32(proc.0);
+            }
+            Ev::BootConnect { rank, proc } => {
+                fp.write_u8(10);
+                fp.write_u32(rank.0);
+                fp.write_u32(proc.0);
+            }
+            Ev::DaemonExit { rank, proc, normal } => {
+                fp.write_u8(11);
+                fp.write_u32(rank.0);
+                fp.write_u32(proc.0);
+                fp.write_u8(u8::from(*normal));
+            }
+            Ev::RetryPeerConnect { rank, proc, peer } => {
+                fp.write_u8(12);
+                fp.write_u32(rank.0);
+                fp.write_u32(proc.0);
+                fp.write_u32(peer.0);
+            }
+        }
+    }
+}
+
+impl Ev {
+    /// A short human label for divergence reports (the `Debug` form is too
+    /// verbose for checkpoint images, which embed whole snapshots).
+    pub fn label(&self) -> String {
+        match self {
+            Ev::Net(net) => match net {
+                NetEvent::ConnEstablished { proc, peer, .. } => {
+                    format!("net.established {proc:?}<-{peer:?}")
+                }
+                NetEvent::Accepted { proc, peer, .. } => {
+                    format!("net.accepted {proc:?}<-{peer:?}")
+                }
+                NetEvent::ConnectFailed { proc, host, .. } => {
+                    format!("net.connect-failed {proc:?}->{host:?}")
+                }
+                NetEvent::Delivered { proc, from, .. } => {
+                    format!("net.delivered {from:?}->{proc:?}")
+                }
+                NetEvent::Closed { proc, reason, .. } => {
+                    format!("net.closed {proc:?} ({reason:?})")
+                }
+            },
+            Ev::ComputeDone { rank, .. } => format!("compute-done r{}", rank.0),
+            Ev::SchedTick => "sched-tick".to_string(),
+            Ev::SpawnDaemon { rank, .. } => format!("spawn-daemon r{}", rank.0),
+            Ev::ServerWriteDone { rank, wave, .. } => {
+                format!("server-write-done r{} w{wave}", rank.0)
+            }
+            Ev::RestoreDone { rank, .. } => format!("restore-done r{}", rank.0),
+            Ev::DiskLoaded { rank, .. } => format!("disk-loaded r{}", rank.0),
+            Ev::LaunchFailed { rank, .. } => format!("launch-failed r{}", rank.0),
+            Ev::SelfCkpt { rank, .. } => format!("self-ckpt r{}", rank.0),
+            Ev::BootConnect { rank, .. } => format!("boot-connect r{}", rank.0),
+            Ev::DaemonExit { rank, normal, .. } => {
+                format!("daemon-exit r{} normal={normal}", rank.0)
+            }
+            Ev::RetryPeerConnect { rank, peer, .. } => {
+                format!("retry-peer r{}->r{}", rank.0, peer.0)
+            }
+        }
+    }
 }
 
 /// Well-known ports of the deployment.

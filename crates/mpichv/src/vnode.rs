@@ -249,15 +249,15 @@ impl VNode {
                 }
             }
         }
-        if self.phase == Phase::Boot
-            && self.dispatcher_conn.is_some()
-            && self.scheduler_conn.is_some()
-            && self.server_conn.is_some()
-        {
-            self.phase = Phase::Registering;
-            let (rank, epoch, proc) = (self.rank, self.epoch, self.proc);
-            let conn = self.dispatcher_conn.expect("just set");
-            ctx.send(conn, proc, Wire::Register { rank, epoch });
+        if let Some(conn) = self.dispatcher_conn {
+            if self.phase == Phase::Boot
+                && self.scheduler_conn.is_some()
+                && self.server_conn.is_some()
+            {
+                self.phase = Phase::Registering;
+                let (rank, epoch, proc) = (self.rank, self.epoch, self.proc);
+                ctx.send(conn, proc, Wire::Register { rank, epoch });
+            }
         }
     }
 

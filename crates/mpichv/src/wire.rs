@@ -8,6 +8,7 @@
 //! message the size the bandwidth model charges for it.
 
 use failmpi_mpi::{Interp, Rank, Tag};
+use failmpi_sim::{Fingerprint, FingerprintEvent};
 
 /// A complete restartable process image: the interpreter snapshot plus the
 /// per-peer stream positions (needed by the V2 protocol; empty under Vcl,
@@ -234,6 +235,175 @@ pub enum Wire {
         /// Channel state to replay.
         logged: Vec<LoggedMsg>,
     },
+}
+
+impl FingerprintEvent for LoggedMsg {
+    fn fold(&self, fp: &mut Fingerprint) {
+        fp.write_u32(self.from.0);
+        fp.write_u32(self.tag.0 as u32);
+        fp.write_u64(self.bytes);
+    }
+}
+
+impl FingerprintEvent for ProcImage {
+    fn fold(&self, fp: &mut Fingerprint) {
+        fp.write_u64(self.image_bytes());
+        fp.write_u64(self.send_seq.len() as u64);
+        for (r, s) in &self.send_seq {
+            fp.write_u32(r.0);
+            fp.write_u64(*s);
+        }
+        fp.write_u64(self.recv_seq.len() as u64);
+        for (r, s) in &self.recv_seq {
+            fp.write_u32(r.0);
+            fp.write_u64(*s);
+        }
+        fp.write_u64(self.send_log.len() as u64);
+        for (r, t, b, s) in &self.send_log {
+            fp.write_u32(r.0);
+            fp.write_u32(t.0 as u32);
+            fp.write_u64(*b);
+            fp.write_u64(*s);
+        }
+    }
+}
+
+impl FingerprintEvent for Wire {
+    fn fold(&self, fp: &mut Fingerprint) {
+        match self {
+            Wire::Register { rank, epoch } => {
+                fp.write_u8(1);
+                fp.write_u32(rank.0);
+                fp.write_u32(*epoch);
+            }
+            Wire::Ready { rank } => {
+                fp.write_u8(2);
+                fp.write_u32(rank.0);
+            }
+            Wire::Finalized { rank } => {
+                fp.write_u8(3);
+                fp.write_u32(rank.0);
+            }
+            Wire::SetCommand { epoch } => {
+                fp.write_u8(4);
+                fp.write_u32(*epoch);
+            }
+            Wire::StartRun { epoch, hosts, solo } => {
+                fp.write_u8(5);
+                fp.write_u32(*epoch);
+                fp.write_u64(hosts.len() as u64);
+                for h in hosts {
+                    fp.write_u32(h.0 as u32);
+                }
+                fp.write_u8(u8::from(*solo));
+            }
+            Wire::Terminate => fp.write_u8(6),
+            Wire::Shutdown => fp.write_u8(7),
+            Wire::SchedMarker { wave } => {
+                fp.write_u8(8);
+                fp.write_u32(*wave);
+            }
+            Wire::WaveAck { rank, wave } => {
+                fp.write_u8(9);
+                fp.write_u32(rank.0);
+                fp.write_u32(*wave);
+            }
+            Wire::WaveCommit { wave } => {
+                fp.write_u8(10);
+                fp.write_u32(*wave);
+            }
+            Wire::Marker { wave } => {
+                fp.write_u8(11);
+                fp.write_u32(*wave);
+            }
+            Wire::AppMsg {
+                from,
+                tag,
+                bytes,
+                seq,
+            } => {
+                fp.write_u8(12);
+                fp.write_u32(from.0);
+                fp.write_u32(tag.0 as u32);
+                fp.write_u64(*bytes);
+                fp.write_u64(*seq);
+            }
+            Wire::ReplayFrom { rank, seq } => {
+                fp.write_u8(13);
+                fp.write_u32(rank.0);
+                fp.write_u64(*seq);
+            }
+            Wire::CkptImage { rank, wave, image } => {
+                fp.write_u8(14);
+                fp.write_u32(rank.0);
+                fp.write_u32(*wave);
+                image.fold(fp);
+            }
+            Wire::CkptLogged { rank, wave, msg } => {
+                fp.write_u8(15);
+                fp.write_u32(rank.0);
+                fp.write_u32(*wave);
+                msg.fold(fp);
+            }
+            Wire::CkptControl {
+                rank,
+                wave,
+                total_bytes,
+            } => {
+                fp.write_u8(16);
+                fp.write_u32(rank.0);
+                fp.write_u32(*wave);
+                fp.write_u64(*total_bytes);
+            }
+            Wire::QueryLatest { rank } => {
+                fp.write_u8(17);
+                fp.write_u32(rank.0);
+            }
+            Wire::FetchImage { rank } => {
+                fp.write_u8(18);
+                fp.write_u32(rank.0);
+            }
+            Wire::FetchLogs { rank } => {
+                fp.write_u8(19);
+                fp.write_u32(rank.0);
+            }
+            Wire::CkptStored { wave } => {
+                fp.write_u8(20);
+                fp.write_u32(*wave);
+            }
+            Wire::Latest { wave } => {
+                fp.write_u8(21);
+                match wave {
+                    Some(w) => {
+                        fp.write_u8(1);
+                        fp.write_u32(*w);
+                    }
+                    None => fp.write_u8(0),
+                }
+            }
+            Wire::Image {
+                wave,
+                image,
+                logged,
+            } => {
+                fp.write_u8(22);
+                fp.write_u32(*wave);
+                image.fold(fp);
+                fp.write_u64(logged.len() as u64);
+                for m in logged {
+                    m.fold(fp);
+                }
+            }
+            Wire::Logs { wave, logged } => {
+                fp.write_u8(23);
+                fp.write_u32(*wave);
+                fp.write_u64(logged.len() as u64);
+                for m in logged {
+                    m.fold(fp);
+                }
+            }
+        }
+    }
 }
 
 impl Wire {

@@ -2,6 +2,8 @@
 
 use std::fmt;
 
+use failmpi_sim::{Fingerprint, FingerprintEvent};
+
 /// A physical machine in the simulated cluster.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct HostId(pub u16);
@@ -124,6 +126,84 @@ impl<P> NetEvent<P> {
             | NetEvent::ConnectFailed { proc, .. }
             | NetEvent::Delivered { proc, .. }
             | NetEvent::Closed { proc, .. } => proc,
+        }
+    }
+}
+
+impl FingerprintEvent for NetEvent<()> {
+    fn fold(&self, fp: &mut Fingerprint) {
+        self.fold_with(fp, |_, _| {});
+    }
+}
+
+impl<P> NetEvent<P> {
+    /// Folds this event's structure into a run fingerprint, using
+    /// `payload` for the embedding world's payload type. (Offered as a
+    /// helper rather than a blanket `FingerprintEvent` impl so worlds
+    /// whose payloads cannot implement the trait can still fold the
+    /// transport structure.)
+    pub fn fold_with(&self, fp: &mut Fingerprint, payload: impl FnOnce(&P, &mut Fingerprint)) {
+        match self {
+            NetEvent::ConnEstablished {
+                conn,
+                proc,
+                peer,
+                token,
+            } => {
+                fp.write_u8(1);
+                fp.write_u64(conn.0);
+                fp.write_u32(proc.0);
+                fp.write_u32(peer.0);
+                fp.write_u64(*token);
+            }
+            NetEvent::Accepted {
+                conn,
+                proc,
+                peer,
+                port,
+            } => {
+                fp.write_u8(2);
+                fp.write_u64(conn.0);
+                fp.write_u32(proc.0);
+                fp.write_u32(peer.0);
+                fp.write_u32(port.0 as u32);
+            }
+            NetEvent::ConnectFailed {
+                proc,
+                host,
+                port,
+                token,
+            } => {
+                fp.write_u8(3);
+                fp.write_u32(proc.0);
+                fp.write_u32(host.0 as u32);
+                fp.write_u32(port.0 as u32);
+                fp.write_u64(*token);
+            }
+            NetEvent::Delivered {
+                conn,
+                proc,
+                from,
+                payload: p,
+                bytes,
+            } => {
+                fp.write_u8(4);
+                fp.write_u64(conn.0);
+                fp.write_u32(proc.0);
+                fp.write_u32(from.0);
+                fp.write_u64(*bytes);
+                payload(p, fp);
+            }
+            NetEvent::Closed { conn, proc, reason } => {
+                fp.write_u8(5);
+                fp.write_u64(conn.0);
+                fp.write_u32(proc.0);
+                fp.write_u8(match reason {
+                    CloseReason::Graceful => 0,
+                    CloseReason::PeerDied => 1,
+                    CloseReason::LocalReset => 2,
+                });
+            }
         }
     }
 }

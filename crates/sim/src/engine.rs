@@ -1,6 +1,7 @@
 //! The event loop: [`Model`], [`Scheduler`], and [`Engine`].
 
-use crate::queue::EventQueue;
+use crate::fingerprint::{Fingerprint, JournalEntry};
+use crate::queue::{EventQueue, TieBreak};
 use crate::time::{SimDuration, SimTime};
 
 /// The world under simulation.
@@ -21,6 +22,23 @@ pub trait Model {
     /// quiescence or deadline.
     fn finished(&self) -> bool {
         false
+    }
+
+    /// Folds the identity of `event` (actor, kind, arguments) into the run
+    /// fingerprint. The engine already folds the event's virtual time and
+    /// queue sequence number; overriding this strengthens the digest so it
+    /// also distinguishes runs whose schedules coincide positionally but
+    /// carry different payloads. The default folds nothing.
+    fn fingerprint_event(&self, event: &Self::Event, fp: &mut Fingerprint) {
+        let _ = (event, fp);
+    }
+
+    /// A human-readable one-line description of `event`, used by the
+    /// fingerprint journal to label divergence reports. The default is
+    /// empty (journals still localize divergence by time/seq/digest).
+    fn describe_event(&self, event: &Self::Event) -> String {
+        let _ = event;
+        String::new()
     }
 }
 
@@ -75,6 +93,8 @@ pub struct Engine<M: Model> {
     now: SimTime,
     handled: u64,
     event_budget: u64,
+    fingerprint: Fingerprint,
+    journal: Option<Vec<JournalEntry>>,
 }
 
 impl<M: Model> Engine<M> {
@@ -84,18 +104,71 @@ impl<M: Model> Engine<M> {
 
     /// Wraps `model` with an empty queue at time zero.
     pub fn new(model: M) -> Self {
+        Self::with_tie_break(model, TieBreak::Fifo)
+    }
+
+    /// Like [`Engine::new`] with an explicit same-instant tie-break policy
+    /// (see [`TieBreak`]; the schedule-perturbation fuzzer's entry point).
+    pub fn with_tie_break(model: M, tie_break: TieBreak) -> Self {
         Engine {
             model,
-            queue: EventQueue::new(),
+            queue: EventQueue::with_tie_break(tie_break),
             now: SimTime::ZERO,
             handled: 0,
             event_budget: Self::DEFAULT_EVENT_BUDGET,
+            fingerprint: Fingerprint::new(),
+            journal: None,
         }
     }
 
     /// Replaces the runaway guard (events handled before giving up).
     pub fn set_event_budget(&mut self, budget: u64) {
         self.event_budget = budget;
+    }
+
+    /// Replaces the same-instant tie-break policy, re-keying any pending
+    /// events (see [`TieBreak`]).
+    pub fn set_tie_break(&mut self, tie_break: TieBreak) {
+        self.queue.set_tie_break(tie_break);
+    }
+
+    /// The active same-instant tie-break policy.
+    pub fn tie_break(&self) -> TieBreak {
+        self.queue.tie_break()
+    }
+
+    /// The streaming run fingerprint: an incremental 64-bit digest over
+    /// every handled event's `(time, seq, payload)` triple. Two runs of
+    /// the same model and seed must report the same value; a mismatch is a
+    /// determinism leak. Cheap enough to be always on.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint.value()
+    }
+
+    /// Starts capturing one [`JournalEntry`] per handled event (used by
+    /// the determinism harness to localize a divergence; costs memory
+    /// proportional to events handled, so off by default).
+    pub fn enable_fingerprint_journal(&mut self) {
+        if self.journal.is_none() {
+            self.journal = Some(Vec::new());
+        }
+    }
+
+    /// The captured journal (empty unless
+    /// [`Engine::enable_fingerprint_journal`] was called before running).
+    pub fn fingerprint_journal(&self) -> &[JournalEntry] {
+        self.journal.as_deref().unwrap_or(&[])
+    }
+
+    /// Consumes the captured journal, leaving journaling enabled.
+    pub fn take_fingerprint_journal(&mut self) -> Vec<JournalEntry> {
+        match self.journal.take() {
+            Some(j) => {
+                self.journal = Some(Vec::new());
+                j
+            }
+            None => Vec::new(),
+        }
     }
 
     /// Schedules an initial event from outside the model.
@@ -141,10 +214,26 @@ impl<M: Model> Engine<M> {
             Some(t) if t <= deadline => {}
             _ => return false,
         }
-        let (at, ev) = self.queue.pop().expect("peeked entry vanished");
+        let (at, seq, ev) = self.queue.pop_entry().expect("peeked entry vanished");
         debug_assert!(at >= self.now, "time went backwards");
         self.now = at;
         self.handled += 1;
+        // Fold this event into the streaming run fingerprint: position
+        // (time, queue seq) plus whatever identity the model contributes.
+        let mut ev_fp = Fingerprint::new();
+        ev_fp.write_u64(at.as_micros());
+        ev_fp.write_u64(seq);
+        self.model.fingerprint_event(&ev, &mut ev_fp);
+        let digest = ev_fp.value();
+        self.fingerprint.write_u64(digest);
+        if let Some(journal) = self.journal.as_mut() {
+            journal.push(JournalEntry {
+                at_micros: at.as_micros(),
+                seq,
+                digest,
+                label: self.model.describe_event(&ev),
+            });
+        }
         let mut sched = Scheduler {
             now: at,
             pending: Vec::new(),
@@ -316,5 +405,93 @@ mod tests {
         e.schedule(SimTime::from_secs(5), 1);
         assert!(!e.step(SimTime::from_secs(4)));
         assert!(e.step(SimTime::from_secs(5)));
+    }
+
+    fn fingerprint_of(seed_events: &[(u64, u32)]) -> u64 {
+        let mut e = engine();
+        for &(t, v) in seed_events {
+            e.schedule(SimTime::from_secs(t), v);
+        }
+        e.run(SimTime::MAX);
+        e.fingerprint()
+    }
+
+    #[test]
+    fn fingerprint_is_reproducible_and_discriminating() {
+        let a = fingerprint_of(&[(1, 8), (5, 3)]);
+        let b = fingerprint_of(&[(1, 8), (5, 3)]);
+        let c = fingerprint_of(&[(1, 8), (6, 3)]);
+        assert_eq!(a, b, "same schedule, same digest");
+        assert_ne!(a, c, "different schedule, different digest");
+    }
+
+    #[test]
+    fn empty_run_has_base_fingerprint() {
+        let e = engine();
+        assert_eq!(e.fingerprint(), crate::Fingerprint::new().value());
+    }
+
+    #[test]
+    fn journal_captures_each_event_once() {
+        let mut e = engine();
+        e.enable_fingerprint_journal();
+        e.schedule(SimTime::ZERO, 8);
+        e.run(SimTime::MAX);
+        let journal = e.fingerprint_journal();
+        assert_eq!(journal.len() as u64, e.events_handled());
+        // Entries are in handling order: non-decreasing times.
+        for w in journal.windows(2) {
+            assert!(w[1].at_micros >= w[0].at_micros);
+        }
+        let taken = e.take_fingerprint_journal();
+        assert_eq!(taken.len() as u64, e.events_handled());
+        assert!(e.fingerprint_journal().is_empty());
+    }
+
+    #[test]
+    fn tie_break_policy_is_settable_and_visible() {
+        let mut e = engine();
+        assert_eq!(e.tie_break(), crate::TieBreak::Fifo);
+        e.set_tie_break(crate::TieBreak::Seeded(7));
+        assert_eq!(e.tie_break(), crate::TieBreak::Seeded(7));
+        let e2 = Engine::with_tie_break(
+            Echo {
+                seen: Vec::new(),
+                finish_at: None,
+            },
+            crate::TieBreak::Seeded(7),
+        );
+        assert_eq!(e2.tie_break(), crate::TieBreak::Seeded(7));
+    }
+
+    #[test]
+    fn seeded_tie_break_changes_fingerprint_not_multiset() {
+        // Ten same-time events whose handling order does not matter for
+        // the final model state but does alter the schedule digest.
+        let run = |tb: crate::TieBreak| {
+            let mut e = Engine::with_tie_break(
+                Echo {
+                    seen: Vec::new(),
+                    finish_at: None,
+                },
+                tb,
+            );
+            for v in 0..10u32 {
+                e.schedule(SimTime::from_secs(1), v * 2 + 1); // odd: no cascades
+            }
+            e.run(SimTime::MAX);
+            let mut vals: Vec<u32> = e.model().seen.iter().map(|&(_, v)| v).collect();
+            let order_digest = e.fingerprint();
+            vals.sort_unstable();
+            (vals, order_digest)
+        };
+        let (vals_fifo, fp_fifo) = run(crate::TieBreak::Fifo);
+        let mut saw_difference = false;
+        for seed in 0..16 {
+            let (vals, fp) = run(crate::TieBreak::Seeded(seed));
+            assert_eq!(vals, vals_fifo, "same events handled");
+            saw_difference |= fp != fp_fifo;
+        }
+        assert!(saw_difference, "no seed perturbed the schedule");
     }
 }

@@ -53,13 +53,15 @@
 #![warn(missing_docs)]
 
 mod engine;
+mod fingerprint;
 mod queue;
 mod rng;
 mod time;
 mod trace;
 
 pub use engine::{Engine, Model, RunOutcome, Scheduler};
-pub use queue::EventQueue;
+pub use fingerprint::{Fingerprint, FingerprintEvent, JournalEntry};
+pub use queue::{EventQueue, TieBreak};
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};
 pub use trace::{TraceEntry, TraceLog};

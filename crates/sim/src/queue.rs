@@ -1,25 +1,53 @@
 //! The pending-event priority queue.
 //!
 //! A thin wrapper over [`BinaryHeap`] that (a) inverts the ordering so the
-//! *earliest* event pops first and (b) breaks virtual-time ties by insertion
-//! sequence, making the pop order total and deterministic regardless of the
-//! payload type.
+//! *earliest* event pops first and (b) breaks virtual-time ties by a
+//! configurable [`TieBreak`] policy, making the pop order total and
+//! deterministic regardless of the payload type.
 
 use std::collections::BinaryHeap;
 use std::fmt;
 
 use crate::time::SimTime;
 
+/// How events scheduled for the *same* virtual instant are ordered.
+///
+/// Either policy yields a total, reproducible order; they differ only in
+/// *which* order. `Seeded` is the schedule-perturbation knob behind the
+/// testkit's fuzzer: sweeping its seed explores the space of legal
+/// simultaneous-event interleavings (turmoil-style) without ever violating
+/// causality — an event scheduled *while handling* another can still never
+/// run before its cause, because the cause has already popped.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TieBreak {
+    /// Same-time events pop in the order they were pushed (the default,
+    /// and the semantics the paper's figures are generated under).
+    Fifo,
+    /// Same-time events pop in a pseudo-random order keyed by this seed.
+    /// The same seed always produces the same order.
+    Seeded(u64),
+}
+
+/// splitmix64: the tie-key mixer for [`TieBreak::Seeded`].
+fn mix(seed: u64, seq: u64) -> u64 {
+    let mut z = seed ^ seq.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 /// One scheduled entry. Ordering ignores the payload entirely.
 struct Scheduled<E> {
     at: SimTime,
+    /// Tie-break key: `seq` under FIFO, a seeded hash of `seq` otherwise.
+    key: u64,
     seq: u64,
     event: E,
 }
 
 impl<E> PartialEq for Scheduled<E> {
     fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
+        self.at == other.at && self.key == other.key && self.seq == other.seq
     }
 }
 impl<E> Eq for Scheduled<E> {}
@@ -30,17 +58,21 @@ impl<E> PartialOrd for Scheduled<E> {
 }
 impl<E> Ord for Scheduled<E> {
     // Reversed: BinaryHeap is a max-heap, we want the min (earliest) on top.
+    // `seq` last keeps the order total even on (astronomically unlikely)
+    // key collisions.
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (other.at, other.seq).cmp(&(self.at, self.seq))
+        (other.at, other.key, other.seq).cmp(&(self.at, self.key, self.seq))
     }
 }
 
 /// A deterministic min-priority queue of `(SimTime, E)` pairs.
 ///
-/// Events scheduled for the same instant pop in the order they were pushed.
+/// Events scheduled for the same instant pop in the order dictated by the
+/// queue's [`TieBreak`] policy (FIFO by default).
 pub struct EventQueue<E> {
     heap: BinaryHeap<Scheduled<E>>,
     next_seq: u64,
+    tie_break: TieBreak,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -50,11 +82,46 @@ impl<E> Default for EventQueue<E> {
 }
 
 impl<E> EventQueue<E> {
-    /// Creates an empty queue.
+    /// Creates an empty FIFO-tie-break queue.
     pub fn new() -> Self {
+        Self::with_tie_break(TieBreak::Fifo)
+    }
+
+    /// Creates an empty queue with the given tie-break policy.
+    pub fn with_tie_break(tie_break: TieBreak) -> Self {
         EventQueue {
             heap: BinaryHeap::new(),
             next_seq: 0,
+            tie_break,
+        }
+    }
+
+    /// The active tie-break policy.
+    pub fn tie_break(&self) -> TieBreak {
+        self.tie_break
+    }
+
+    /// Replaces the tie-break policy, re-keying any pending entries so the
+    /// whole run behaves as if the queue had been created with it.
+    pub fn set_tie_break(&mut self, tie_break: TieBreak) {
+        self.tie_break = tie_break;
+        if self.heap.is_empty() {
+            return;
+        }
+        let entries: Vec<Scheduled<E>> = std::mem::take(&mut self.heap).into_vec();
+        self.heap = entries
+            .into_iter()
+            .map(|mut s| {
+                s.key = self.key_for(s.seq);
+                s
+            })
+            .collect();
+    }
+
+    fn key_for(&self, seq: u64) -> u64 {
+        match self.tie_break {
+            TieBreak::Fifo => seq,
+            TieBreak::Seeded(seed) => mix(seed, seq),
         }
     }
 
@@ -62,12 +129,25 @@ impl<E> EventQueue<E> {
     pub fn push(&mut self, at: SimTime, event: E) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Scheduled { at, seq, event });
+        let key = self.key_for(seq);
+        self.heap.push(Scheduled {
+            at,
+            key,
+            seq,
+            event,
+        });
     }
 
     /// Removes and returns the earliest entry, if any.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
         self.heap.pop().map(|s| (s.at, s.event))
+    }
+
+    /// Like [`EventQueue::pop`], additionally returning the entry's queue
+    /// sequence number (its push order — the engine folds it into the run
+    /// fingerprint).
+    pub fn pop_entry(&mut self) -> Option<(SimTime, u64, E)> {
+        self.heap.pop().map(|s| (s.at, s.seq, s.event))
     }
 
     /// The instant of the earliest pending entry, if any.
@@ -96,6 +176,7 @@ impl<E> fmt::Debug for EventQueue<E> {
         f.debug_struct("EventQueue")
             .field("len", &self.heap.len())
             .field("next_seq", &self.next_seq)
+            .field("tie_break", &self.tie_break)
             .finish()
     }
 }
@@ -158,5 +239,61 @@ mod tests {
         }
         while q.pop().is_some() {}
         assert_eq!(q.pushed_total(), 17);
+    }
+
+    #[test]
+    fn seeded_tie_break_permutes_but_preserves_time_order() {
+        let t = SimTime::from_secs(7);
+        let mut fifo = Vec::new();
+        let mut any_permuted = false;
+        for seed in 0..8u64 {
+            let mut q = EventQueue::with_tie_break(TieBreak::Seeded(seed));
+            for i in 0..50u32 {
+                q.push(t, i);
+            }
+            q.push(SimTime::from_secs(8), 999);
+            let order: Vec<u32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+            // The later event always pops last, whatever the tie order.
+            assert_eq!(*order.last().unwrap(), 999);
+            // Same multiset of same-time events.
+            let mut sorted = order[..50].to_vec();
+            sorted.sort_unstable();
+            assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+            if fifo.is_empty() {
+                fifo = (0..50).collect();
+            }
+            any_permuted |= order[..50] != fifo[..];
+        }
+        assert!(any_permuted, "no seed permuted the tie order");
+    }
+
+    #[test]
+    fn seeded_tie_break_is_reproducible() {
+        let run = |seed| {
+            let mut q = EventQueue::with_tie_break(TieBreak::Seeded(seed));
+            for i in 0..32u32 {
+                q.push(SimTime::from_secs(1), i);
+            }
+            std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43), "distinct seeds should (here) differ");
+    }
+
+    #[test]
+    fn set_tie_break_rekeys_pending_entries() {
+        let t = SimTime::from_secs(3);
+        // Build two queues with the same pushes: one seeded from birth, one
+        // switched after pushing. They must pop identically.
+        let mut switched = EventQueue::new();
+        let mut born = EventQueue::with_tie_break(TieBreak::Seeded(9));
+        for i in 0..40u32 {
+            switched.push(t, i);
+            born.push(t, i);
+        }
+        switched.set_tie_break(TieBreak::Seeded(9));
+        let a: Vec<u32> = std::iter::from_fn(|| switched.pop().map(|(_, e)| e)).collect();
+        let b: Vec<u32> = std::iter::from_fn(|| born.pop().map(|(_, e)| e)).collect();
+        assert_eq!(a, b);
     }
 }

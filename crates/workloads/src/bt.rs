@@ -46,10 +46,10 @@ pub struct BtClass {
 impl BtClass {
     /// Class B — the class used throughout the paper's evaluation.
     /// End-to-end calibration targets under MPICH-Vcl with 30 s waves (no
-    /// faults): ≈330 s at 25 ranks, ≈250 s at 36, ≈200 s at 49, ≈160 s at
-    /// 64. The work terms below are fitted so that *compute + communication
-    /// + checkpoint overhead* lands on those totals (the raw compute part
-    /// is correspondingly smaller).
+    /// faults): ≈330 s at 25 ranks, ≈250 s at 36, ≈200 s at 49 and ≈160 s
+    /// at 64. The work terms below are fitted so that *compute +
+    /// communication + checkpoint overhead* lands on those totals (the raw
+    /// compute part is correspondingly smaller).
     pub const B: BtClass = BtClass {
         name: "B",
         iterations: 200,

@@ -44,6 +44,7 @@ fn run_batch(
             timeout: SimTime::from_secs(90),
             freeze_window: SimDuration::from_secs(9),
             seed,
+            tie_break: TieBreak::Fifo,
         };
         if run_one(&spec).outcome.is_buggy() {
             frozen += 1;

@@ -26,6 +26,7 @@ fn main() {
         timeout: SimTime::from_secs(90),
         freeze_window: SimDuration::from_secs(9),
         seed: 3,
+        tie_break: TieBreak::Fifo,
     };
     let clean = run_one(&base);
     let t0 = clean.outcome.time().expect("baseline completes").as_secs_f64();

@@ -33,6 +33,7 @@ fn main() {
         timeout: SimTime::from_secs(90),
         freeze_window: SimDuration::from_secs(9),
         seed: 42,
+        tie_break: TieBreak::Fifo,
     };
 
     // 3. A fault-free baseline…

@@ -37,6 +37,7 @@
 //!     timeout: SimTime::from_secs(90),
 //!     freeze_window: SimDuration::from_secs(9),
 //!     seed: 1,
+//!     tie_break: TieBreak::Fifo,
 //! };
 //! let record = run_one(&spec);
 //! assert!(record.faults_injected >= 1);
@@ -68,6 +69,6 @@ pub mod prelude {
     pub use failmpi_mpichv::{
         run_standalone, CheckpointStyle, Cluster, DispatcherMode, VclConfig, VclEvent,
     };
-    pub use failmpi_sim::{Engine, Model, SimDuration, SimRng, SimTime};
+    pub use failmpi_sim::{Engine, Model, SimDuration, SimRng, SimTime, TieBreak};
     pub use failmpi_workloads::{bt_programs, bt_programs_noisy, BtClass};
 }

@@ -20,6 +20,7 @@ fn mini_spec(n: u32, programs: Vec<Arc<Program>>, seed: u64) -> ExperimentSpec {
         timeout: SimTime::from_secs(120),
         freeze_window: SimDuration::from_secs(12),
         seed,
+        tie_break: TieBreak::Fifo,
     }
 }
 

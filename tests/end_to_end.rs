@@ -20,6 +20,7 @@ fn mini_spec(n: u32, seed: u64) -> ExperimentSpec {
         timeout: SimTime::from_secs(90),
         freeze_window: SimDuration::from_secs(9),
         seed,
+        tie_break: failmpi::prelude::TieBreak::Fifo,
     }
 }
 

@@ -60,6 +60,7 @@ fn spec_with(faults: &[(u8, u8)], mode: DispatcherMode, seed: u64) -> Experiment
         timeout: SimTime::from_secs(200),
         freeze_window: SimDuration::from_secs(20),
         seed,
+        tie_break: failmpi::prelude::TieBreak::Fifo,
     }
 }
 

@@ -1,0 +1,127 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! Provides the API surface the `failmpi-bench` benches use —
+//! [`Criterion::bench_function`], [`Bencher::iter`], [`black_box`] — with a
+//! plain wall-clock sampler: each benchmark runs `sample_size` samples
+//! after a warm-up period and reports mean/min/max per iteration. No
+//! statistical analysis, no HTML reports, no comparison to saved
+//! baselines.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Opaque-value helper preventing the optimizer from deleting benchmarked
+/// work.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_secs(2),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the warm-up duration before sampling starts.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Sets the target measurement budget (a cap on total sampling time).
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            samples: Vec::new(),
+        };
+        // Warm-up: run untimed until the warm-up budget elapses.
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < self.warm_up_time {
+            routine(&mut b);
+            b.samples.clear();
+        }
+        // Timed samples, bounded by sample count and measurement budget.
+        let measure_start = Instant::now();
+        while b.samples.len() < self.sample_size
+            && (b.samples.is_empty() || measure_start.elapsed() < self.measurement_time)
+        {
+            routine(&mut b);
+        }
+        let n = b.samples.len().max(1) as u32;
+        let mean = b.samples.iter().sum::<Duration>() / n;
+        let min = b.samples.iter().min().copied().unwrap_or_default();
+        let max = b.samples.iter().max().copied().unwrap_or_default();
+        println!(
+            "{name:<44} samples {n:>3}  mean {mean:>12?}  min {min:>12?}  max {max:>12?}"
+        );
+        self
+    }
+
+    /// Prints the run footer (the stand-in reports per-bench lines only).
+    pub fn final_summary(&self) {
+        println!("(criterion stand-in: wall-clock sampling, no statistical analysis)");
+    }
+}
+
+/// Per-benchmark sampler handed to the routine.
+pub struct Bencher {
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times one sample of `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        black_box(routine());
+        self.samples.push(start.elapsed());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(50));
+        let mut runs = 0u32;
+        c.bench_function("stub/smoke", |b| {
+            b.iter(|| {
+                runs += 1;
+                black_box(runs)
+            })
+        });
+        assert!(runs >= 3);
+    }
+}

@@ -1,0 +1,72 @@
+//! `any::<T>()` and the [`Arbitrary`] trait behind typed parameters.
+
+use crate::rng::TestRng;
+use crate::strategy::Strategy;
+
+/// Types that can be sampled without an explicit strategy.
+pub trait Arbitrary: Sized {
+    /// Samples one value from the type's full (or canonical) domain.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! int_arbitrary {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        rng.unit_f64()
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut TestRng) -> char {
+        // Printable ASCII keeps generated text debuggable.
+        (0x20 + rng.below(0x5F) as u32 as u8) as char
+    }
+}
+
+/// The strategy returned by [`any`].
+#[derive(Clone, Copy, Debug)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// Strategy generating an arbitrary `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn any_samples_full_width() {
+        let mut rng = TestRng::from_seed(9);
+        let mut any_high = false;
+        for _ in 0..64 {
+            any_high |= any::<u64>().generate(&mut rng) > u32::MAX as u64;
+        }
+        assert!(any_high);
+    }
+}

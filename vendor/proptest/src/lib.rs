@@ -1,0 +1,168 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! crate, providing the subset of its API this workspace uses.
+//!
+//! The container building this repository has no crates.io access, so the
+//! real proptest cannot be compiled. This crate keeps the same surface —
+//! the `proptest!` macro, `prop_assert!`/`prop_assert_eq!`, `any::<T>()`,
+//! integer/float range strategies, `collection::vec`, `sample::select`,
+//! string-pattern strategies and `test_runner::Config` — but samples cases
+//! from a seeded deterministic RNG instead of a persisted random stream,
+//! and performs no shrinking: a failing case panics with the ordinary
+//! assert message. Case count defaults to [`test_runner::DEFAULT_CASES`]
+//! and can be overridden per-block with `#![proptest_config(..)]` or
+//! globally with the `PROPTEST_CASES` environment variable.
+//!
+//! Determinism is a feature here: every test function derives its RNG seed
+//! from its own name, so failures reproduce exactly without regression
+//! files (`*.proptest-regressions` are not read).
+
+#![forbid(unsafe_code)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod rng;
+pub mod sample;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+/// The common imports: macros, [`strategy::Strategy`], and [`any`].
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::TestCaseError;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+pub use arbitrary::any;
+
+/// Asserts a condition inside a property body (panics on failure — this
+/// stand-in has no shrink/reject machinery, so it is `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Asserts equality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Asserts inequality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+/// The `proptest! { ... }` block: wraps each contained `fn` in a loop that
+/// samples its parameters from strategies and runs the body per case.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::test_runner::Config::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr); ) => {};
+    (($cfg:expr);
+     $(#[$meta:meta])*
+     fn $name:ident($($params:tt)*) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::Config = $cfg;
+            for __case in 0..__config.effective_cases() {
+                let mut __rng =
+                    $crate::rng::TestRng::for_case(stringify!($name), __case);
+                // The closure lets property bodies use `?` with
+                // `TestCaseError`, as upstream proptest allows.
+                let __outcome: ::std::result::Result<
+                    (),
+                    $crate::test_runner::TestCaseError,
+                > = (|| {
+                    $crate::__proptest_bind!(__rng; $($params)*);
+                    $body
+                    #[allow(unreachable_code)]
+                    Ok(())
+                })();
+                if let Err(e) = __outcome {
+                    panic!("property {} case {}: {}", stringify!($name), __case, e);
+                }
+            }
+        }
+        $crate::__proptest_fns! { ($cfg); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    ($rng:ident; ) => {};
+    ($rng:ident; $name:ident in $strat:expr) => {
+        let $name = $crate::strategy::Strategy::generate(&($strat), &mut $rng);
+    };
+    ($rng:ident; $name:ident in $strat:expr, $($rest:tt)*) => {
+        let $name = $crate::strategy::Strategy::generate(&($strat), &mut $rng);
+        $crate::__proptest_bind!($rng; $($rest)*);
+    };
+    ($rng:ident; $name:ident : $ty:ty) => {
+        let $name: $ty = $crate::arbitrary::Arbitrary::arbitrary(&mut $rng);
+    };
+    ($rng:ident; $name:ident : $ty:ty, $($rest:tt)*) => {
+        let $name: $ty = $crate::arbitrary::Arbitrary::arbitrary(&mut $rng);
+        $crate::__proptest_bind!($rng; $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u32..17, y in -5i64..5) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-5..5).contains(&y));
+        }
+
+        #[test]
+        fn tuples_and_vecs(v in crate::collection::vec((any::<u8>(), 0u64..9), 0..40)) {
+            prop_assert!(v.len() < 40);
+            for (_, b) in &v {
+                prop_assert!(*b < 9);
+            }
+        }
+
+        #[test]
+        fn typed_params_and_select(seed: u64, w in crate::sample::select(vec!["a", "b"])) {
+            let _ = seed;
+            prop_assert!(w == "a" || w == "b");
+        }
+    }
+
+    proptest! {
+        #![proptest_config(crate::test_runner::Config::with_cases(7))]
+        #[test]
+        fn config_is_accepted(f in 0.0f64..1.0) {
+            prop_assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn same_name_same_stream() {
+        let mut a = crate::rng::TestRng::for_case("x", 3);
+        let mut b = crate::rng::TestRng::for_case("x", 3);
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}

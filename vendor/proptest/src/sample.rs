@@ -1,0 +1,39 @@
+//! Sampling strategies over explicit value sets (`sample::select`).
+
+use crate::rng::TestRng;
+use crate::strategy::Strategy;
+
+/// Strategy picking uniformly from a fixed list.
+#[derive(Clone, Debug)]
+pub struct Select<T> {
+    options: Vec<T>,
+}
+
+/// A strategy yielding clones of elements of `options` (must be non-empty).
+pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+    assert!(!options.is_empty(), "select over an empty list");
+    Select { options }
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.options[rng.below(self.options.len() as u64) as usize].clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn select_covers_all_options() {
+        let mut rng = TestRng::from_seed(11);
+        let s = select(vec![1, 2, 3]);
+        let mut seen = [false; 3];
+        for _ in 0..64 {
+            seen[s.generate(&mut rng) as usize - 1] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+}

@@ -1,0 +1,43 @@
+//! String-pattern strategies: `&str` regex-like patterns as in proptest.
+//!
+//! Only the tiny pattern subset this workspace uses is honoured:
+//! `"\\PC*"` (any printable, non-control characters, any length). Every
+//! other pattern falls back to the same printable-character sampler, which
+//! keeps fuzz inputs flowing rather than failing the build on an
+//! unsupported regex feature.
+
+use crate::rng::TestRng;
+use crate::strategy::Strategy;
+
+const MAX_LEN: u64 = 48;
+
+fn printable_char(rng: &mut TestRng) -> char {
+    // Mostly ASCII (keeps lexer fuzzing pointed at interesting bytes),
+    // with an occasional non-ASCII scalar to exercise UTF-8 paths.
+    match rng.below(10) {
+        0 => char::from_u32(0xA1 + rng.below(0x4_00) as u32).unwrap_or('§'),
+        _ => (0x20 + rng.below(0x5F) as u8) as char,
+    }
+}
+
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let n = rng.below(MAX_LEN) as usize;
+        (0..n).map(|_| printable_char(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn patterns_yield_printable_strings() {
+        let mut rng = TestRng::from_seed(17);
+        for _ in 0..32 {
+            let s = "\\PC*".generate(&mut rng);
+            assert!(s.chars().all(|c| !c.is_control()), "{s:?}");
+        }
+    }
+}

@@ -1,0 +1,75 @@
+//! Runner configuration ([`Config`]) and [`TestCaseError`].
+
+use std::fmt;
+
+/// A failed (or rejected) test case. Property bodies may `return`/`?` a
+/// `Result<_, TestCaseError>`; the runner panics on `Err` (no shrinking).
+#[derive(Clone, Debug)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// A failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError(msg.into())
+    }
+
+    /// Upstream proptest rejects (re-draws) such cases; the stand-in has
+    /// no rejection machinery, so a reject fails loudly instead of
+    /// silently passing.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError(format!("rejected: {}", msg.into()))
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Cases per property when nothing overrides it. Smaller than upstream
+/// proptest's 256: several properties here run whole cluster simulations
+/// per case, and the deterministic sampler already covers each test's
+/// domain evenly.
+pub const DEFAULT_CASES: u32 = 64;
+
+/// Per-block runner configuration (`#![proptest_config(..)]`).
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Number of sampled cases per property.
+    pub cases: u32,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            cases: DEFAULT_CASES,
+        }
+    }
+}
+
+impl Config {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        Config { cases }
+    }
+
+    /// The case count after applying the `PROPTEST_CASES` env override.
+    pub fn effective_cases(&self) -> u32 {
+        match std::env::var("PROPTEST_CASES") {
+            Ok(v) => v.parse().unwrap_or(self.cases),
+            Err(_) => self.cases,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn with_cases_sets_count() {
+        assert_eq!(Config::with_cases(16).cases, 16);
+        assert_eq!(Config::default().cases, DEFAULT_CASES);
+    }
+}

@@ -1,0 +1,254 @@
+//! Offline stand-in for the [`serde`](https://serde.rs) crate.
+//!
+//! The build container has no crates.io access, so this crate provides the
+//! one capability the workspace actually uses: `#[derive(Serialize)]` on
+//! plain named-field structs, consumed by `serde_json::to_string_pretty`.
+//! Instead of serde's generic data model, [`Serialize`] writes compact
+//! JSON directly; the `serde_json` stand-in pretty-prints it. The trait
+//! covers the primitive/container types the experiment records use
+//! (integers, floats, bool, strings, `Option`, `Vec`, slices, maps,
+//! tuples, references).
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::Serialize;
+
+/// JSON-serializable values.
+///
+/// `serialize_json` must append one complete JSON value to `out`.
+pub trait Serialize {
+    /// Appends `self` as compact JSON.
+    fn serialize_json(&self, out: &mut String);
+}
+
+/// Appends `s` as a JSON string literal (with escaping).
+pub fn write_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+macro_rules! int_serialize {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_json(&self, out: &mut String) {
+                out.push_str(&self.to_string());
+            }
+        }
+    )*};
+}
+
+int_serialize!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+
+macro_rules! float_serialize {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_json(&self, out: &mut String) {
+                if self.is_finite() {
+                    let s = self.to_string();
+                    out.push_str(&s);
+                    // `Display` drops ".0" on whole floats; keep a float shape
+                    // so consumers parsing the JSON see a consistent type.
+                    if !s.contains(['.', 'e', 'E']) {
+                        out.push_str(".0");
+                    }
+                } else {
+                    // serde_json maps non-finite floats to null.
+                    out.push_str("null");
+                }
+            }
+        }
+    )*};
+}
+
+float_serialize!(f32, f64);
+
+impl Serialize for bool {
+    fn serialize_json(&self, out: &mut String) {
+        out.push_str(if *self { "true" } else { "false" });
+    }
+}
+
+impl Serialize for str {
+    fn serialize_json(&self, out: &mut String) {
+        write_json_str(out, self);
+    }
+}
+
+impl Serialize for String {
+    fn serialize_json(&self, out: &mut String) {
+        write_json_str(out, self);
+    }
+}
+
+impl Serialize for char {
+    fn serialize_json(&self, out: &mut String) {
+        write_json_str(out, &self.to_string());
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_json(&self, out: &mut String) {
+        (**self).serialize_json(out);
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize_json(&self, out: &mut String) {
+        (**self).serialize_json(out);
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_json(&self, out: &mut String) {
+        match self {
+            Some(v) => v.serialize_json(out),
+            None => out.push_str("null"),
+        }
+    }
+}
+
+fn write_seq<'a, T: Serialize + 'a>(
+    out: &mut String,
+    items: impl Iterator<Item = &'a T>,
+) {
+    out.push('[');
+    for (i, item) in items.enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        item.serialize_json(out);
+    }
+    out.push(']');
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_json(&self, out: &mut String) {
+        write_seq(out, self.iter());
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_json(&self, out: &mut String) {
+        write_seq(out, self.iter());
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize_json(&self, out: &mut String) {
+        write_seq(out, self.iter());
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn serialize_json(&self, out: &mut String) {
+        out.push('[');
+        self.0.serialize_json(out);
+        out.push(',');
+        self.1.serialize_json(out);
+        out.push(']');
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn serialize_json(&self, out: &mut String) {
+        out.push('[');
+        self.0.serialize_json(out);
+        out.push(',');
+        self.1.serialize_json(out);
+        out.push(',');
+        self.2.serialize_json(out);
+        out.push(']');
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize, D: Serialize> Serialize for (A, B, C, D) {
+    fn serialize_json(&self, out: &mut String) {
+        out.push('[');
+        self.0.serialize_json(out);
+        out.push(',');
+        self.1.serialize_json(out);
+        out.push(',');
+        self.2.serialize_json(out);
+        out.push(',');
+        self.3.serialize_json(out);
+        out.push(']');
+    }
+}
+
+impl<V: Serialize> Serialize for std::collections::BTreeMap<String, V> {
+    fn serialize_json(&self, out: &mut String) {
+        out.push('{');
+        for (i, (k, v)) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_json_str(out, k);
+            out.push(':');
+            v.serialize_json(out);
+        }
+        out.push('}');
+    }
+}
+
+impl<V: Serialize, S: std::hash::BuildHasher> Serialize
+    for std::collections::HashMap<String, V, S>
+{
+    fn serialize_json(&self, out: &mut String) {
+        // Deterministic output: emit in sorted key order.
+        let mut keys: Vec<&String> = self.keys().collect();
+        keys.sort();
+        out.push('{');
+        for (i, k) in keys.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_json_str(out, k);
+            out.push(':');
+            self[*k].serialize_json(out);
+        }
+        out.push('}');
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn json<T: Serialize>(v: T) -> String {
+        let mut s = String::new();
+        v.serialize_json(&mut s);
+        s
+    }
+
+    #[test]
+    fn primitives() {
+        assert_eq!(json(3u32), "3");
+        assert_eq!(json(-7i64), "-7");
+        assert_eq!(json(true), "true");
+        assert_eq!(json(1.5f64), "1.5");
+        assert_eq!(json(2.0f64), "2.0");
+        assert_eq!(json(f64::NAN), "null");
+        assert_eq!(json("a\"b"), "\"a\\\"b\"");
+    }
+
+    #[test]
+    fn containers() {
+        assert_eq!(json(vec![1u8, 2, 3]), "[1,2,3]");
+        assert_eq!(json(Option::<u8>::None), "null");
+        assert_eq!(json(Some(4u8)), "4");
+        assert_eq!(json((1u8, "x")), "[1,\"x\"]");
+    }
+}

@@ -1,0 +1,109 @@
+//! `#[derive(Serialize)]` for the offline serde stand-in.
+//!
+//! Supports the shape the workspace uses: non-generic structs with named
+//! fields (field attributes are ignored). Anything else — enums, tuple
+//! structs, generics — fails the build with a clear message rather than
+//! serializing wrongly.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` (JSON object with one member per field).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip attributes (`#[...]`, including doc comments) and visibility.
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    match tokens.get(i) {
+        Some(TokenTree::Ident(id)) if id.to_string() == "struct" => i += 1,
+        other => panic!("Serialize stand-in supports only structs, got {other:?}"),
+    }
+
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected struct name, got {other:?}"),
+    };
+    i += 1;
+
+    let body = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        other => panic!(
+            "Serialize stand-in supports only named-field structs \
+             (no generics/tuple structs); `{name}` has {other:?}"
+        ),
+    };
+
+    let fields = field_names(body);
+    let mut writes = String::new();
+    for (k, f) in fields.iter().enumerate() {
+        if k > 0 {
+            writes.push_str("out.push(',');");
+        }
+        writes.push_str(&format!(
+            "::serde::write_json_str(out, \"{f}\");\
+             out.push(':');\
+             ::serde::Serialize::serialize_json(&self.{f}, out);"
+        ));
+    }
+
+    format!(
+        "impl ::serde::Serialize for {name} {{\
+             fn serialize_json(&self, out: &mut ::std::string::String) {{\
+                 out.push('{{');\
+                 {writes}\
+                 out.push('}}');\
+             }}\
+         }}"
+    )
+    .parse()
+    .expect("generated impl parses")
+}
+
+/// Extracts field identifiers from a named-field struct body.
+fn field_names(body: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut depth = 0usize; // angle-bracket nesting inside types
+    let mut at_field_start = true;
+    let mut tokens = body.into_iter().peekable();
+    while let Some(t) = tokens.next() {
+        match &t {
+            TokenTree::Punct(p) if p.as_char() == '#' && at_field_start => {
+                // Field attribute: skip the following [...] group.
+                tokens.next();
+            }
+            TokenTree::Ident(id) if at_field_start && id.to_string() == "pub" => {
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next();
+                    }
+                }
+            }
+            TokenTree::Ident(id) if at_field_start => {
+                fields.push(id.to_string());
+                at_field_start = false;
+            }
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth = depth.saturating_sub(1),
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                at_field_start = true;
+            }
+            _ => {}
+        }
+    }
+    fields
+}
