@@ -1,0 +1,119 @@
+//! failck: lint FAIL scenarios and built-in op-programs from the shell.
+//!
+//! ```text
+//! failck scenario.fail other.fail       # human-readable findings
+//! failck scenario.fail --format json    # machine-readable (CI artifact)
+//! failck --builtin                      # lint every bundled artifact
+//! failck scenario.fail --strict         # warnings also fail the run
+//! ```
+//!
+//! Exit status: 0 clean, 1 findings at the failing severity, 2 usage or
+//! I/O error.
+
+use std::process::ExitCode;
+
+use failmpi_analyze::{analyze_programs, builtin, check_source, Report};
+
+struct Options {
+    files: Vec<String>,
+    builtin: bool,
+    json: bool,
+    strict: bool,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: failck [FILES...] [--builtin] [--format human|json] [--strict]"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_args() -> Result<Options, ExitCode> {
+    let mut opts = Options {
+        files: Vec::new(),
+        builtin: false,
+        json: false,
+        strict: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--builtin" => opts.builtin = true,
+            "--strict" => opts.strict = true,
+            "--format" => match args.next().as_deref() {
+                Some("human") => opts.json = false,
+                Some("json") => opts.json = true,
+                _ => return Err(usage()),
+            },
+            "--help" | "-h" => return Err(usage()),
+            f if !f.starts_with('-') => opts.files.push(f.to_string()),
+            _ => return Err(usage()),
+        }
+    }
+    if opts.files.is_empty() && !opts.builtin {
+        return Err(usage());
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(code) => return code,
+    };
+
+    let mut reports: Vec<Report> = Vec::new();
+    for path in &opts.files {
+        let src = match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("failck: cannot read `{path}`: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        reports.push(Report::new(path.clone(), check_source(&src)));
+    }
+    if opts.builtin {
+        for (name, src) in builtin::BUILTIN_SCENARIOS {
+            reports.push(Report::new(format!("builtin:{name}"), check_source(src)));
+        }
+        for (label, programs) in builtin::builtin_programs() {
+            reports.push(Report::new(
+                format!("builtin:{label}"),
+                analyze_programs(&programs),
+            ));
+        }
+    }
+
+    if opts.json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&reports).expect("reports serialize")
+        );
+    } else {
+        let mut clean = 0usize;
+        for r in &reports {
+            if r.diagnostics.is_empty() {
+                clean += 1;
+            } else {
+                print!("{}", r.render_human());
+            }
+        }
+        let errors: usize = reports.iter().map(Report::error_count).sum();
+        let warnings: usize = reports.iter().map(Report::warning_count).sum();
+        println!(
+            "failck: {} artifact(s) checked, {clean} clean, {errors} error(s), \
+             {warnings} warning(s)",
+            reports.len()
+        );
+    }
+
+    let failing = reports.iter().any(|r| {
+        r.has_errors() || (opts.strict && !r.diagnostics.is_empty())
+    });
+    if failing {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

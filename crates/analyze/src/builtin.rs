@@ -1,0 +1,51 @@
+//! The repo's built-in artifacts, bundled for `failck --builtin` and CI.
+//!
+//! Covers the six checked-in `.fail` scenarios and the BT op-program sets
+//! at the paper's rank counts (class S miniatures for the small squares,
+//! class B — the evaluation class — for 25..64).
+
+use std::sync::Arc;
+
+use failmpi_mpi::Program;
+use failmpi_workloads::{bt_programs, BtClass};
+
+/// `(name, source)` for every scenario shipped in `crates/core/scenarios`.
+pub const BUILTIN_SCENARIOS: &[(&str, &str)] = &[
+    (
+        "fig4_generic_nodes.fail",
+        include_str!("../../core/scenarios/fig4_generic_nodes.fail"),
+    ),
+    (
+        "fig5_frequency.fail",
+        include_str!("../../core/scenarios/fig5_frequency.fail"),
+    ),
+    (
+        "fig7_simultaneous.fail",
+        include_str!("../../core/scenarios/fig7_simultaneous.fail"),
+    ),
+    (
+        "fig8_synchronized.fail",
+        include_str!("../../core/scenarios/fig8_synchronized.fail"),
+    ),
+    (
+        "fig10_state_sync.fail",
+        include_str!("../../core/scenarios/fig10_state_sync.fail"),
+    ),
+    (
+        "delay_injection.fail",
+        include_str!("../../core/scenarios/delay_injection.fail"),
+    ),
+];
+
+/// `(label, programs)` for the BT workloads the figures run: class S at
+/// the test sizes, class B at the paper's 25/36/49/64 rank sweep.
+pub fn builtin_programs() -> Vec<(String, Vec<Arc<Program>>)> {
+    let mut out = Vec::new();
+    for n in [4u32, 9] {
+        out.push((format!("bt-S-n{n}"), bt_programs(&BtClass::S, n)));
+    }
+    for n in [25u32, 36, 49, 64] {
+        out.push((format!("bt-B-n{n}"), bt_programs(&BtClass::B, n)));
+    }
+    out
+}

@@ -1,0 +1,200 @@
+//! The shared diagnostic type and its renderers.
+//!
+//! Every pass in this crate — scenario automata checks ([`crate::scenario`])
+//! and op-program checks ([`crate::ops`]) — reports findings as
+//! [`Diagnostic`] values collected into a [`Report`]. The harness, the
+//! `failck` binary and CI all consume the same representation, in either
+//! human-readable or JSON form.
+
+use std::fmt;
+
+use serde::Serialize;
+
+/// How bad a finding is.
+///
+/// `Error` findings describe scenarios/programs that cannot behave as
+/// written (dead guards, orphan sends, guaranteed deadlocks); strict-mode
+/// gating refuses to run them. `Warning` findings are suspicious but
+/// runnable (unreachable nodes, unused timers, write-only variables).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Suspicious but runnable.
+    Warning,
+    /// The artifact cannot behave as written.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        })
+    }
+}
+
+// The vendored serde derive only handles named-field structs, so the enum
+// gets a hand-written impl emitting its display name as a JSON string.
+impl Serialize for Severity {
+    fn serialize_json(&self, out: &mut String) {
+        serde::write_json_str(out, &self.to_string());
+    }
+}
+
+/// One finding, tied to a stable code and a source location.
+///
+/// For scenario passes `line` is the 1-based source line in the `.fail`
+/// text. For op-program passes it is the **1-based op index** within the
+/// flagged rank's program (op-programs have no source text).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize)]
+pub struct Diagnostic {
+    /// Error or warning.
+    pub severity: Severity,
+    /// Stable code: `FA…` for scenario passes, `FB…` for op-program passes.
+    pub code: &'static str,
+    /// 1-based source line (scenarios) or op index (op-programs); 0 when
+    /// the finding has no better anchor than the whole artifact.
+    pub line: u32,
+    /// What is wrong.
+    pub message: String,
+    /// How to fix it.
+    pub help: String,
+}
+
+impl Diagnostic {
+    /// Shorthand constructor.
+    pub fn new(
+        severity: Severity,
+        code: &'static str,
+        line: u32,
+        message: impl Into<String>,
+        help: impl Into<String>,
+    ) -> Self {
+        Diagnostic {
+            severity,
+            code,
+            line,
+            message: message.into(),
+            help: help.into(),
+        }
+    }
+}
+
+/// A sorted batch of diagnostics for one artifact.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize)]
+pub struct Report {
+    /// The artifact the diagnostics refer to (file name, scenario name,
+    /// or op-program set label).
+    pub subject: String,
+    /// Findings, sorted by line then code.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl Report {
+    /// Wraps diagnostics for `subject`, sorting them by (line, code).
+    pub fn new(subject: impl Into<String>, mut diagnostics: Vec<Diagnostic>) -> Self {
+        diagnostics.sort_by(|a, b| (a.line, a.code).cmp(&(b.line, b.code)));
+        Report {
+            subject: subject.into(),
+            diagnostics,
+        }
+    }
+
+    /// Whether any finding is `Error`-level.
+    pub fn has_errors(&self) -> bool {
+        self.diagnostics
+            .iter()
+            .any(|d| d.severity == Severity::Error)
+    }
+
+    /// Number of `Error`-level findings.
+    pub fn error_count(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .count()
+    }
+
+    /// Number of `Warning`-level findings.
+    pub fn warning_count(&self) -> usize {
+        self.diagnostics.len() - self.error_count()
+    }
+
+    /// Renders the findings the way compilers do:
+    ///
+    /// ```text
+    /// scenario.fail:7: error[FA002]: guard condition is always false …
+    ///     help: remove the transition or fix the condition
+    /// ```
+    pub fn render_human(&self) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            out.push_str(&format!(
+                "{}:{}: {}[{}]: {}\n",
+                self.subject, d.line, d.severity, d.code, d.message
+            ));
+            if !d.help.is_empty() {
+                out.push_str(&format!("    help: {}\n", d.help));
+            }
+        }
+        out
+    }
+
+    /// Renders the report as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serializes")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_sorts_and_counts() {
+        let r = Report::new(
+            "x.fail",
+            vec![
+                Diagnostic::new(Severity::Warning, "FA004", 9, "b", ""),
+                Diagnostic::new(Severity::Error, "FA002", 3, "a", "fix it"),
+                Diagnostic::new(Severity::Warning, "FA001", 3, "c", ""),
+            ],
+        );
+        assert_eq!(r.diagnostics[0].code, "FA001");
+        assert_eq!(r.diagnostics[1].code, "FA002");
+        assert_eq!(r.diagnostics[2].code, "FA004");
+        assert!(r.has_errors());
+        assert_eq!(r.error_count(), 1);
+        assert_eq!(r.warning_count(), 2);
+    }
+
+    #[test]
+    fn human_rendering_includes_location_and_help() {
+        let r = Report::new(
+            "s.fail",
+            vec![Diagnostic::new(
+                Severity::Error,
+                "FA002",
+                7,
+                "always false",
+                "remove it",
+            )],
+        );
+        let text = r.render_human();
+        assert!(text.contains("s.fail:7: error[FA002]: always false"));
+        assert!(text.contains("help: remove it"));
+    }
+
+    #[test]
+    fn json_rendering_is_parseable_and_complete() {
+        let r = Report::new(
+            "s.fail",
+            vec![Diagnostic::new(Severity::Warning, "FB004", 4, "m", "h")],
+        );
+        let v = serde_json::from_str(&r.to_json()).unwrap();
+        assert_eq!(v["subject"].as_str(), Some("s.fail"));
+        assert_eq!(v["diagnostics"][0]["severity"].as_str(), Some("warning"));
+        assert_eq!(v["diagnostics"][0]["code"].as_str(), Some("FB004"));
+        assert_eq!(v["diagnostics"][0]["line"].as_u64(), Some(4));
+    }
+}

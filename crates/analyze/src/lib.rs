@@ -1,0 +1,26 @@
+//! failmpi-analyze: static verification of FAIL scenarios and op-programs.
+//!
+//! The paper's methodology compiles FAIL scenarios and ships them to a
+//! cluster; a scenario bug (a guard that can never fire, a message nobody
+//! receives) then burns an hour of cluster time before showing up as a
+//! frozen campaign. This crate front-loads those discoveries: it lints
+//! compiled [`Scenario`](failmpi_core::Scenario) automata and MPI
+//! op-programs *before* anything runs, reporting findings as
+//! [`Diagnostic`] values with stable codes.
+//!
+//! Three consumers share the passes:
+//!
+//! * the `failck` binary (`failck scenario.fail --format json`),
+//! * the pre-run lint gate in `failmpi-experiments`' harness,
+//! * the CI step that lints every built-in scenario and figure workload.
+//!
+//! See [`scenario`] for the FA-codes and [`ops`] for the FB-codes.
+
+pub mod builtin;
+pub mod diag;
+pub mod ops;
+pub mod scenario;
+
+pub use diag::{Diagnostic, Report, Severity};
+pub use ops::analyze_programs;
+pub use scenario::{analyze_scenario, check_source, compile_error_diag};

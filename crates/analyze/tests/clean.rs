@@ -1,0 +1,29 @@
+//! The clean-pass guarantee: every artifact the repo ships must lint
+//! clean, so `failck --builtin` (and the CI job built on it) stays a
+//! meaningful zero-findings baseline.
+
+use failmpi_analyze::{analyze_programs, builtin, check_source, Report};
+
+#[test]
+fn builtin_scenarios_lint_clean() {
+    for (name, src) in builtin::BUILTIN_SCENARIOS {
+        let diags = check_source(src);
+        assert!(
+            diags.is_empty(),
+            "builtin scenario {name} has findings:\n{}",
+            Report::new(*name, diags).render_human()
+        );
+    }
+}
+
+#[test]
+fn builtin_figure_programs_lint_clean() {
+    for (label, programs) in builtin::builtin_programs() {
+        let diags = analyze_programs(&programs);
+        assert!(
+            diags.is_empty(),
+            "builtin workload {label} has findings:\n{}",
+            Report::new(label.clone(), diags).render_human()
+        );
+    }
+}

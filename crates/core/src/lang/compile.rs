@@ -66,6 +66,24 @@ pub enum Expr {
     Neg(Box<Expr>),
 }
 
+/// Applies a binary operator with the language's total semantics
+/// (wrapping arithmetic, division by zero yields 0, comparisons yield 0/1).
+pub fn apply_bin(op: BinOp, x: i64, y: i64) -> i64 {
+    match op {
+        BinOp::Add => x.wrapping_add(y),
+        BinOp::Sub => x.wrapping_sub(y),
+        BinOp::Mul => x.wrapping_mul(y),
+        BinOp::Div => x.checked_div(y).unwrap_or(0),
+        BinOp::Eq => (x == y) as i64,
+        BinOp::Ne => (x != y) as i64,
+        BinOp::Lt => (x < y) as i64,
+        BinOp::Le => (x <= y) as i64,
+        BinOp::Gt => (x > y) as i64,
+        BinOp::Ge => (x >= y) as i64,
+        BinOp::And => (x != 0 && y != 0) as i64,
+    }
+}
+
 impl Expr {
     /// Evaluates under variable and parameter environments.
     pub fn eval(&self, vars: &[i64], params: &[i64], rng: &mut SimRng) -> i64 {
@@ -85,19 +103,27 @@ impl Expr {
             Expr::Neg(e) => e.eval(vars, params, rng).wrapping_neg(),
             Expr::Bin(op, a, b) => {
                 let (x, y) = (a.eval(vars, params, rng), b.eval(vars, params, rng));
-                match op {
-                    BinOp::Add => x.wrapping_add(y),
-                    BinOp::Sub => x.wrapping_sub(y),
-                    BinOp::Mul => x.wrapping_mul(y),
-                    BinOp::Div => x.checked_div(y).unwrap_or(0),
-                    BinOp::Eq => (x == y) as i64,
-                    BinOp::Ne => (x != y) as i64,
-                    BinOp::Lt => (x < y) as i64,
-                    BinOp::Le => (x <= y) as i64,
-                    BinOp::Gt => (x > y) as i64,
-                    BinOp::Ge => (x >= y) as i64,
-                    BinOp::And => (x != 0 && y != 0) as i64,
-                }
+                apply_bin(*op, x, y)
+            }
+        }
+    }
+
+    /// Constant-folds the expression under the given parameter values.
+    ///
+    /// Returns `None` as soon as the value depends on a class variable, on
+    /// `FAIL_RANDOM`, or on a parameter slot not covered by `params` (so
+    /// `fold_const(&[])` folds only literal arithmetic, while
+    /// `fold_const(&scenario.param_defaults)` folds "with default
+    /// parameters"). Static analysis uses this to decide guard
+    /// satisfiability and timer-delay signs without running the automaton.
+    pub fn fold_const(&self, params: &[i64]) -> Option<i64> {
+        match self {
+            Expr::Int(n) => Some(*n),
+            Expr::Var(_) | Expr::Rand(..) => None,
+            Expr::Param(i) => params.get(*i).copied(),
+            Expr::Neg(e) => e.fold_const(params).map(i64::wrapping_neg),
+            Expr::Bin(op, a, b) => {
+                Some(apply_bin(*op, a.fold_const(params)?, b.fold_const(params)?))
             }
         }
     }
@@ -179,6 +205,8 @@ pub struct Node {
     pub timers: Vec<(usize, Expr)>,
     /// Transitions in priority order.
     pub transitions: Vec<Transition>,
+    /// Source line of the `node N:` header (for diagnostics).
+    pub line: u32,
 }
 
 /// A resolved daemon class.
@@ -196,6 +224,8 @@ pub struct Class {
     pub timer_names: Vec<String>,
     /// Nodes; index 0 is the initial node.
     pub nodes: Vec<Node>,
+    /// Source line of the `daemon CLASS {` header (for diagnostics).
+    pub line: u32,
 }
 
 /// Deployment sugar collected from the source.
@@ -293,15 +323,27 @@ pub fn compile_ast(ast: &ScenarioAst) -> Result<Scenario, CompileError> {
             var_names.push(pr.name.clone());
             probes.push((pr.name.clone(), var_names.len() - 1));
         }
-        let mut timer_names: Vec<String> = Vec::new();
+        // Collect every `always` variable before the timers so that a
+        // timer colliding with an `always` var of any node (not just a
+        // daemon-level var) is rejected instead of becoming an ambiguous
+        // name that panics later lookups.
         for n in &d.nodes {
             for v in &n.always {
+                if probes.iter().any(|(p, _)| p == &v.name) {
+                    return err(
+                        v.line,
+                        format!("`{}` is both a probe and an `always` variable", v.name),
+                    );
+                }
                 if !var_names.contains(&v.name) {
                     var_names.push(v.name.clone());
                 }
             }
+        }
+        let mut timer_names: Vec<String> = Vec::new();
+        for n in &d.nodes {
             for t in &n.timers {
-                if d.vars.iter().any(|v| v.name == t.name) {
+                if var_names.contains(&t.name) {
                     return err(t.line, format!("`{}` is both a variable and a timer", t.name));
                 }
                 if !timer_names.contains(&t.name) {
@@ -392,7 +434,24 @@ pub fn compile_ast(ast: &ScenarioAst) -> Result<Scenario, CompileError> {
                                     if !referenced_groups.contains(name) {
                                         referenced_groups.push(name.clone());
                                     }
-                                    Dest::Group(name.clone(), resolve_expr(idx, t.line)?)
+                                    let idx = resolve_expr(idx, t.line)?;
+                                    // A literal-constant negative index is
+                                    // invalid under every deployment; the
+                                    // analyzer additionally bounds-checks
+                                    // constant indices against declared
+                                    // group lengths (lint FA010).
+                                    if let Some(k) = idx.fold_const(&[]) {
+                                        if k < 0 {
+                                            return err(
+                                                t.line,
+                                                format!(
+                                                    "group index into `{name}` is the \
+                                                     negative constant {k}"
+                                                ),
+                                            );
+                                        }
+                                    }
+                                    Dest::Group(name.clone(), idx)
                                 }
                                 DestAst::Sender => {
                                     if !matches!(t.guard, GuardAst::Recv(_)) {
@@ -440,6 +499,7 @@ pub fn compile_ast(ast: &ScenarioAst) -> Result<Scenario, CompileError> {
                 always,
                 timers,
                 transitions,
+                line: n.line,
             });
         }
         classes.push(Class {
@@ -449,17 +509,24 @@ pub fn compile_ast(ast: &ScenarioAst) -> Result<Scenario, CompileError> {
             probes,
             timer_names,
             nodes,
+            line: d.line,
         });
     }
 
     let mut suggested = SuggestedDeployment::default();
     for inst in &ast.instances {
+        if suggested.instances.iter().any(|(n, _)| n == &inst.name) {
+            return err(inst.line, format!("duplicate instance `{}`", inst.name));
+        }
         match classes.iter().position(|c| c.name == inst.class) {
             Some(ci) => suggested.instances.push((inst.name.clone(), ci)),
             None => return err(inst.line, format!("unknown daemon `{}`", inst.class)),
         }
     }
     for g in &ast.groups {
+        if suggested.groups.iter().any(|(n, _, _)| n == &g.name) {
+            return err(g.line, format!("duplicate group `{}`", g.name));
+        }
         match classes.iter().position(|c| c.name == g.class) {
             Some(ci) => suggested.groups.push((g.name.clone(), g.len, ci)),
             None => return err(g.line, format!("unknown daemon `{}`", g.class)),
@@ -513,8 +580,7 @@ fn const_eval(e: &ExprAst, line: u32) -> Result<i64, CompileError> {
         ExprAst::Neg(x) => const_eval(x, line)?.wrapping_neg(),
         ExprAst::Bin(op, a, b) => {
             let (x, y) = (const_eval(a, line)?, const_eval(b, line)?);
-            let dummy = Expr::Bin(*op, Box::new(Expr::Int(x)), Box::new(Expr::Int(y)));
-            dummy.eval(&[], &[], &mut SimRng::new(0))
+            apply_bin(*op, x, y)
         }
         ExprAst::Name(n) => return err(line, format!("param default may not reference `{n}`")),
         ExprAst::Rand(..) => return err(line, "param default may not use FAIL_RANDOM"),
@@ -618,6 +684,76 @@ mod tests {
         // Rand with inverted bounds degrades to lo.
         let r = Expr::Rand(Box::new(Expr::Int(5)), Box::new(Expr::Int(1)));
         assert_eq!(r.eval(&[], &[], &mut rng), 5);
+    }
+
+    #[test]
+    fn fold_const_covers_literals_and_params() {
+        let s = compile("param N = 5; daemon A { node 1: ?x && N - 7 > 0 -> goto 1; }").unwrap();
+        let cond = &s.classes[0].nodes[0].transitions[0].conds[0];
+        // Without parameter values the expression is not a constant…
+        assert_eq!(cond.fold_const(&[]), None);
+        // …with the defaults it folds to false.
+        assert_eq!(cond.fold_const(&s.param_defaults), Some(0));
+        // Variables and FAIL_RANDOM never fold.
+        let v = Expr::Neg(Box::new(Expr::Var(0)));
+        assert_eq!(v.fold_const(&[1]), None);
+        let r = Expr::Rand(Box::new(Expr::Int(0)), Box::new(Expr::Int(1)));
+        assert_eq!(r.fold_const(&[]), None);
+        // Division by zero folds to the language's total semantics (0).
+        let d = Expr::Bin(BinOp::Div, Box::new(Expr::Int(7)), Box::new(Expr::Int(0)));
+        assert_eq!(d.fold_const(&[]), Some(0));
+    }
+
+    #[test]
+    fn timer_colliding_with_always_var_rejected() {
+        let e = compile(
+            "daemon A { node 1: always int z = 1; ?x -> goto 2; node 2: timer z = 5; z -> goto 1; }",
+        )
+        .unwrap_err();
+        assert!(e.message.contains("both a variable and a timer"), "{e}");
+        // The collision is caught even when the timer appears first in
+        // source order.
+        let e = compile(
+            "daemon A { node 1: timer z = 5; z -> goto 2; node 2: always int z = 1; ?x -> goto 1; }",
+        )
+        .unwrap_err();
+        assert!(e.message.contains("both a variable and a timer"), "{e}");
+    }
+
+    #[test]
+    fn always_var_colliding_with_probe_rejected() {
+        let e = compile(
+            "daemon A { probe w; node 1: always int w = 1; ?x -> goto 1; }",
+        )
+        .unwrap_err();
+        assert!(e.message.contains("both a probe"), "{e}");
+    }
+
+    #[test]
+    fn constant_negative_group_index_rejected() {
+        let e = compile("daemon A { node 1: ?x -> !m(G[0 - 1]), goto 1; }").unwrap_err();
+        assert!(e.message.contains("negative constant"), "{e}");
+        assert_eq!(e.line, 1);
+        // Non-constant and parameter-dependent indices stay a runtime
+        // (and lint) concern.
+        assert!(compile("param K = 0; daemon A { node 1: ?x -> !m(G[K - 1]), goto 1; }").is_ok());
+    }
+
+    #[test]
+    fn duplicate_deployment_sugar_rejected() {
+        let base = "daemon A { node 1: ?x -> goto 1; }";
+        let e = compile(&format!("{base} instance P = A; instance P = A;")).unwrap_err();
+        assert!(e.message.contains("duplicate instance"), "{e}");
+        let e = compile(&format!("{base} group G[2] = A; group G[3] = A;")).unwrap_err();
+        assert!(e.message.contains("duplicate group"), "{e}");
+    }
+
+    #[test]
+    fn compiled_nodes_carry_source_lines() {
+        let s = compile("daemon A {\n node 1:\n ?x -> goto 2;\n node 2:\n}").unwrap();
+        assert_eq!(s.classes[0].line, 1);
+        assert_eq!(s.classes[0].nodes[0].line, 2);
+        assert_eq!(s.classes[0].nodes[1].line, 4);
     }
 
     #[test]

@@ -427,7 +427,15 @@ impl Parser {
     fn unary(&mut self) -> Result<ExprAst, ParseError> {
         if self.peek() == Some(&Tok::Minus) {
             self.pos += 1;
-            return Ok(ExprAst::Neg(Box::new(self.unary()?)));
+            // Fold `-LITERAL` into a negative literal so that the AST is
+            // canonical: the pretty-printer renders `ExprAst::Int(-7)` as
+            // `-7`, and without this fold reparsing would yield the
+            // distinct tree `Neg(Int(7))`, breaking the
+            // `parse ∘ pretty = id` round-trip property.
+            return Ok(match self.unary()? {
+                ExprAst::Int(n) => ExprAst::Int(n.wrapping_neg()),
+                e => ExprAst::Neg(Box::new(e)),
+            });
         }
         self.primary()
     }

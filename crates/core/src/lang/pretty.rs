@@ -71,7 +71,14 @@ fn emit_expr(e: &ExprAst, min_prec: u8, out: &mut String) {
             if need {
                 out.push('(');
             }
-            emit_expr(a, p, out);
+            // Comparisons are non-associative in the grammar (`a < b == c`
+            // does not parse), so a comparison operand of a comparison
+            // needs parentheses on the left too.
+            let non_assoc = matches!(
+                op,
+                BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge
+            );
+            emit_expr(a, if non_assoc { p + 1 } else { p }, out);
             write!(out, " {} ", op_str(*op)).unwrap();
             // Left-associative grammar: the right operand needs one level
             // more to force parentheses on equal precedence.
@@ -210,6 +217,18 @@ mod tests {
         let printed = scenario(&parse(src).unwrap());
         assert!(printed.contains("param A = 10 - (3 - 2);"), "{printed}");
         assert!(printed.contains("param B = 10 - 3 - 2;"), "{printed}");
+        roundtrip(src);
+    }
+
+    #[test]
+    fn nested_comparisons_are_parenthesised() {
+        // The grammar's comparison level is non-associative, so a
+        // comparison operand of a comparison must keep its parentheses on
+        // either side.
+        let src = "param A = (1 < 2) == 1; param B = 1 == (2 > 1);";
+        let printed = scenario(&parse(src).unwrap());
+        assert!(printed.contains("param A = (1 < 2) == 1;"), "{printed}");
+        assert!(printed.contains("param B = 1 == (2 > 1);"), "{printed}");
         roundtrip(src);
     }
 

@@ -1,0 +1,284 @@
+//! `parse ∘ pretty = id` over *programmatically built* ASTs.
+//!
+//! The in-tree pretty tests round-trip source text (`pretty ∘ parse` as a
+//! print fixpoint); this suite attacks the other direction, which is what
+//! scenario-generating tools rely on: build a random AST, print it, parse
+//! the print, and demand the exact same AST back. This is the direction
+//! that catches canonicalisation gaps — e.g. `Neg(Int(7))` printing as
+//! `-7` but reparsing as `Int(-7)`, or a left-nested comparison printing
+//! without the parentheses the non-associative grammar needs.
+
+use failmpi_core::lang::ast::*;
+use failmpi_core::lang::parser::parse;
+use failmpi_core::lang::pretty;
+use failmpi_sim::SimRng;
+use proptest::prelude::*;
+use proptest::test_runner::Config;
+
+// Identifier pools, chosen to dodge everything the parser treats
+// specially: keywords (`daemon`, `goto`, `onload`, …), `FAIL_RANDOM`,
+// and `FAIL_SENDER`.
+const VARS: &[&str] = &["nb", "ran", "acc", "lim"];
+const MSGS: &[&str] = &["crash", "ok", "no", "sync"];
+const TIMERS: &[&str] = &["t_one", "t_two"];
+const PROBES: &[&str] = &["epoch", "committed_wave"];
+const FUNCS: &[&str] = &["localMPI_setCommand", "mpirun"];
+const CLASSES: &[&str] = &["ADV1", "ADVnodes", "W"];
+const INSTANCES: &[&str] = &["P1", "P2"];
+const GROUPS: &[&str] = &["G1", "G2"];
+
+fn pick<'a>(rng: &mut SimRng, pool: &[&'a str]) -> &'a str {
+    pool[rng.below(pool.len() as u64) as usize]
+}
+
+fn gen_expr(rng: &mut SimRng, depth: u32) -> ExprAst {
+    let variant = if depth == 0 { rng.below(2) } else { rng.below(5) };
+    match variant {
+        0 => ExprAst::Int(rng.range_inclusive(-99, 99)),
+        1 => ExprAst::Name(pick(rng, VARS).to_string()),
+        2 => ExprAst::Rand(
+            Box::new(gen_expr(rng, depth - 1)),
+            Box::new(gen_expr(rng, depth - 1)),
+        ),
+        3 => match gen_expr(rng, depth - 1) {
+            // The parser folds `-LITERAL` into a negative literal, so
+            // `Neg(Int(_))` is non-canonical by construction.
+            ExprAst::Int(n) => ExprAst::Int(n.wrapping_neg()),
+            e => ExprAst::Neg(Box::new(e)),
+        },
+        _ => {
+            let op = *[
+                BinOp::Add,
+                BinOp::Sub,
+                BinOp::Mul,
+                BinOp::Div,
+                BinOp::Eq,
+                BinOp::Ne,
+                BinOp::Lt,
+                BinOp::Le,
+                BinOp::Gt,
+                BinOp::Ge,
+                BinOp::And,
+            ]
+            .get(rng.below(11) as usize)
+            .expect("in range");
+            ExprAst::Bin(
+                op,
+                Box::new(gen_expr(rng, depth - 1)),
+                Box::new(gen_expr(rng, depth - 1)),
+            )
+        }
+    }
+}
+
+fn gen_guard(rng: &mut SimRng) -> GuardAst {
+    match rng.below(7) {
+        0 => GuardAst::Recv(pick(rng, MSGS).to_string()),
+        1 => GuardAst::OnLoad,
+        2 => GuardAst::OnExit,
+        3 => GuardAst::OnError,
+        4 => GuardAst::Timer(pick(rng, TIMERS).to_string()),
+        5 => GuardAst::Before(pick(rng, FUNCS).to_string()),
+        _ => GuardAst::Change(pick(rng, PROBES).to_string()),
+    }
+}
+
+fn gen_dest(rng: &mut SimRng) -> DestAst {
+    match rng.below(3) {
+        0 => DestAst::Instance(pick(rng, INSTANCES).to_string()),
+        1 => DestAst::Group(pick(rng, GROUPS).to_string(), gen_expr(rng, 2)),
+        _ => DestAst::Sender,
+    }
+}
+
+fn gen_action(rng: &mut SimRng) -> ActionAst {
+    match rng.below(6) {
+        0 => ActionAst::Send {
+            msg: pick(rng, MSGS).to_string(),
+            dest: gen_dest(rng),
+        },
+        1 => ActionAst::Goto(rng.range_inclusive(0, 9)),
+        2 => ActionAst::Halt,
+        3 => ActionAst::Stop,
+        4 => ActionAst::Continue,
+        _ => ActionAst::Assign(pick(rng, VARS).to_string(), gen_expr(rng, 2)),
+    }
+}
+
+fn gen_transition(rng: &mut SimRng) -> TransitionAst {
+    // At most one condition: the parser folds `g && a && b` into the
+    // single condition `a && b` (an `And` chain), so a multi-element
+    // `conds` vector is not a parse-reachable shape.
+    let conds = if rng.chance(0.5) {
+        vec![gen_expr(rng, 2)]
+    } else {
+        Vec::new()
+    };
+    let actions = (0..rng.range_inclusive(1, 3)).map(|_| gen_action(rng)).collect();
+    TransitionAst {
+        guard: gen_guard(rng),
+        conds,
+        actions,
+        line: 0,
+    }
+}
+
+fn gen_node(rng: &mut SimRng) -> NodeAst {
+    NodeAst {
+        label: rng.range_inclusive(0, 20),
+        always: (0..rng.below(3))
+            .map(|_| VarDeclAst {
+                name: pick(rng, VARS).to_string(),
+                init: gen_expr(rng, 2),
+                line: 0,
+            })
+            .collect(),
+        timers: (0..rng.below(3))
+            .map(|_| TimerDeclAst {
+                name: pick(rng, TIMERS).to_string(),
+                delay: gen_expr(rng, 2),
+                line: 0,
+            })
+            .collect(),
+        transitions: (0..rng.below(4)).map(|_| gen_transition(rng)).collect(),
+        line: 0,
+    }
+}
+
+fn gen_scenario(rng: &mut SimRng) -> ScenarioAst {
+    ScenarioAst {
+        params: (0..rng.below(3))
+            .map(|_| ParamAst {
+                name: pick(rng, VARS).to_string(),
+                default: gen_expr(rng, 2),
+                line: 0,
+            })
+            .collect(),
+        daemons: (0..rng.range_inclusive(1, 2))
+            .map(|_| DaemonAst {
+                name: pick(rng, CLASSES).to_string(),
+                vars: (0..rng.below(3))
+                    .map(|_| VarDeclAst {
+                        name: pick(rng, VARS).to_string(),
+                        init: gen_expr(rng, 2),
+                        line: 0,
+                    })
+                    .collect(),
+                probes: (0..rng.below(2))
+                    .map(|_| ProbeDeclAst {
+                        name: pick(rng, PROBES).to_string(),
+                        line: 0,
+                    })
+                    .collect(),
+                nodes: (0..rng.range_inclusive(1, 3)).map(|_| gen_node(rng)).collect(),
+                line: 0,
+            })
+            .collect(),
+        instances: (0..rng.below(3))
+            .map(|_| InstanceAst {
+                name: pick(rng, INSTANCES).to_string(),
+                class: pick(rng, CLASSES).to_string(),
+                line: 0,
+            })
+            .collect(),
+        groups: (0..rng.below(3))
+            .map(|_| GroupAst {
+                name: pick(rng, GROUPS).to_string(),
+                len: rng.below(6) as u32,
+                class: pick(rng, CLASSES).to_string(),
+                line: 0,
+            })
+            .collect(),
+    }
+}
+
+/// Zeroes every `line` field so parsed ASTs compare against generated
+/// ones (whose lines are all 0).
+fn scrub(mut ast: ScenarioAst) -> ScenarioAst {
+    for p in &mut ast.params {
+        p.line = 0;
+    }
+    for d in &mut ast.daemons {
+        d.line = 0;
+        for v in &mut d.vars {
+            v.line = 0;
+        }
+        for p in &mut d.probes {
+            p.line = 0;
+        }
+        for n in &mut d.nodes {
+            n.line = 0;
+            for v in &mut n.always {
+                v.line = 0;
+            }
+            for t in &mut n.timers {
+                t.line = 0;
+            }
+            for t in &mut n.transitions {
+                t.line = 0;
+            }
+        }
+    }
+    for i in &mut ast.instances {
+        i.line = 0;
+    }
+    for g in &mut ast.groups {
+        g.line = 0;
+    }
+    ast
+}
+
+proptest! {
+    #![proptest_config(Config::with_cases(128))]
+    #[test]
+    fn parse_of_pretty_is_identity_on_random_asts(seed: u64) {
+        let mut rng = SimRng::new(seed);
+        let ast = gen_scenario(&mut rng);
+        let printed = pretty::scenario(&ast);
+        let reparsed = parse(&printed)
+            .unwrap_or_else(|e| panic!("reparse failed: {e}\n---\n{printed}"));
+        prop_assert_eq!(&ast, &scrub(reparsed), "\nprinted:\n{}", printed);
+    }
+}
+
+/// The regression the property hunt surfaced, pinned as a plain test: a
+/// comparison as the *left* operand of another comparison must print with
+/// parentheses (the grammar's comparison level is non-associative).
+#[test]
+fn left_nested_comparison_roundtrips() {
+    let ast = ScenarioAst {
+        params: vec![ParamAst {
+            name: "nb".to_string(),
+            default: ExprAst::Bin(
+                BinOp::Eq,
+                Box::new(ExprAst::Bin(
+                    BinOp::Lt,
+                    Box::new(ExprAst::Int(1)),
+                    Box::new(ExprAst::Int(2)),
+                )),
+                Box::new(ExprAst::Int(1)),
+            ),
+            line: 0,
+        }],
+        ..ScenarioAst::default()
+    };
+    let printed = pretty::scenario(&ast);
+    assert!(printed.contains("(1 < 2) == 1"), "{printed}");
+    assert_eq!(ast, scrub(parse(&printed).expect("reparses")));
+}
+
+/// The other canonicalisation pin: programmatic `Int(-7)` prints as `-7`
+/// and must come back as `Int(-7)`, not `Neg(Int(7))`.
+#[test]
+fn negative_literal_roundtrips() {
+    let ast = ScenarioAst {
+        params: vec![ParamAst {
+            name: "nb".to_string(),
+            default: ExprAst::Int(-7),
+            line: 0,
+        }],
+        ..ScenarioAst::default()
+    };
+    let printed = pretty::scenario(&ast);
+    assert_eq!(ast, scrub(parse(&printed).expect("reparses")));
+}

@@ -1,5 +1,7 @@
 //! Minimal argument handling shared by the figure binaries.
 
+use crate::harness::{set_default_lint_mode, LintMode};
+
 /// Options common to every figure binary.
 #[derive(Clone, Debug, Default)]
 pub struct Options {
@@ -11,6 +13,10 @@ pub struct Options {
     pub threads: Option<usize>,
     /// Write the figure data as JSON to this path.
     pub json: Option<String>,
+    /// Scenario lint gate (`--lint off|warn|strict`); also installed as
+    /// the process-wide default so every spec the binary builds picks it
+    /// up.
+    pub lint: Option<LintMode>,
 }
 
 impl Options {
@@ -37,8 +43,18 @@ impl Options {
                     )
                 }
                 "--json" => o.json = Some(args.next().ok_or("--json needs a path")?),
+                "--lint" => {
+                    let mode = args
+                        .next()
+                        .as_deref()
+                        .and_then(LintMode::parse)
+                        .ok_or("--lint needs off|warn|strict")?;
+                    set_default_lint_mode(mode);
+                    o.lint = Some(mode);
+                }
                 "--help" | "-h" => {
-                    return Err("usage: [--smoke] [--runs N] [--threads N] [--json PATH]"
+                    return Err("usage: [--smoke] [--runs N] [--threads N] [--json PATH] \
+                                [--lint off|warn|strict]"
                         .to_string())
                 }
                 other => return Err(format!("unknown flag `{other}`")),
@@ -86,5 +102,18 @@ mod tests {
         let o = parse(&[]).unwrap();
         assert!(!o.smoke);
         assert_eq!(o.runs, None);
+        assert_eq!(o.lint, None);
+    }
+
+    #[test]
+    fn lint_flag_sets_process_default() {
+        use crate::harness::{default_lint_mode, LintMode};
+        let before = default_lint_mode();
+        let o = parse(&["--lint", "strict"]).unwrap();
+        assert_eq!(o.lint, Some(LintMode::Strict));
+        assert_eq!(default_lint_mode(), LintMode::Strict);
+        crate::harness::set_default_lint_mode(before);
+        assert!(parse(&["--lint", "bogus"]).is_err());
+        assert!(parse(&["--lint"]).is_err());
     }
 }

@@ -2,9 +2,13 @@
 //! cluster under a FAIL scenario, exactly as Fig. 3 of the paper deploys
 //! one FAIL-MPI daemon per machine plus a coordinator (`P1`).
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
+use std::hash::{DefaultHasher, Hash, Hasher};
+use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::Arc;
+use std::sync::{Mutex, OnceLock};
 
+use failmpi_analyze::Report;
 use failmpi_core::{compile, Deployment, FailAction, FailInput, FailRuntime};
 use failmpi_net::{HostId, ProcId};
 use failmpi_sim::{
@@ -38,6 +42,57 @@ impl Workload {
 
 use crate::classify::{classify, Outcome};
 
+/// How the harness treats static-analysis findings on a spec's scenario
+/// (see `failmpi-analyze`): ignore them, print them once per distinct
+/// source, or refuse to run scenarios with `Error`-level findings.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum LintMode {
+    /// Skip the pre-run lint entirely.
+    Off,
+    /// Print findings to stderr (once per distinct scenario source) and
+    /// run anyway — the default.
+    #[default]
+    Warn,
+    /// Refuse to run a scenario with `Error`-level findings.
+    Strict,
+}
+
+impl LintMode {
+    /// Parses the `--lint` CLI value.
+    pub fn parse(s: &str) -> Option<LintMode> {
+        match s {
+            "off" => Some(LintMode::Off),
+            "warn" => Some(LintMode::Warn),
+            "strict" => Some(LintMode::Strict),
+            _ => None,
+        }
+    }
+}
+
+/// Process-wide default lint mode, picked up by [`InjectionSpec::new`].
+/// The `--lint` flag (see [`crate::cli::Options`]) sets it before any spec
+/// is built, so every figure binary inherits the gate without plumbing.
+static DEFAULT_LINT: AtomicU8 = AtomicU8::new(1); // LintMode::Warn
+
+/// Sets the process-wide default [`LintMode`] for new [`InjectionSpec`]s.
+pub fn set_default_lint_mode(mode: LintMode) {
+    let v = match mode {
+        LintMode::Off => 0,
+        LintMode::Warn => 1,
+        LintMode::Strict => 2,
+    };
+    DEFAULT_LINT.store(v, Ordering::Relaxed);
+}
+
+/// The current process-wide default [`LintMode`].
+pub fn default_lint_mode() -> LintMode {
+    match DEFAULT_LINT.load(Ordering::Relaxed) {
+        0 => LintMode::Off,
+        2 => LintMode::Strict,
+        _ => LintMode::Warn,
+    }
+}
+
 /// How a FAIL scenario is attached to the cluster.
 #[derive(Clone, Debug)]
 pub struct InjectionSpec {
@@ -55,6 +110,8 @@ pub struct InjectionSpec {
     /// jitter decides the fault-vs-registration race behind the partial
     /// bugginess of Fig. 9.
     pub fail_jitter_max: SimDuration,
+    /// Pre-run static-analysis gating for this scenario.
+    pub lint: LintMode,
 }
 
 impl InjectionSpec {
@@ -67,6 +124,7 @@ impl InjectionSpec {
             params: Vec::new(),
             fail_latency: SimDuration::from_millis(4),
             fail_jitter_max: SimDuration::from_millis(7),
+            lint: default_lint_mode(),
         }
     }
 
@@ -74,6 +132,48 @@ impl InjectionSpec {
     pub fn with_param(mut self, name: &str, value: i64) -> Self {
         self.params.push((name.to_string(), value));
         self
+    }
+
+    /// Overrides the lint mode for this spec.
+    pub fn with_lint(mut self, lint: LintMode) -> Self {
+        self.lint = lint;
+        self
+    }
+}
+
+/// Lints `inj`'s scenario per its [`LintMode`]. `Err` carries the report
+/// when strict mode forbids the run; warn mode prints findings to stderr
+/// once per distinct scenario source and lets the run proceed.
+pub fn lint_injection(inj: &InjectionSpec) -> Result<(), Report> {
+    if inj.lint == LintMode::Off {
+        return Ok(());
+    }
+    let diags = failmpi_analyze::check_source(&inj.scenario_src);
+    if diags.is_empty() {
+        return Ok(());
+    }
+    let report = Report::new("injection scenario", diags);
+    if inj.lint == LintMode::Strict && report.has_errors() {
+        return Err(report);
+    }
+    warn_once(&report, &inj.scenario_src);
+    Ok(())
+}
+
+/// Prints the report to stderr the first time this scenario source shows
+/// up in the process (sweeps rerun the same spec thousands of times).
+fn warn_once(report: &Report, src: &str) {
+    static SEEN: OnceLock<Mutex<HashSet<u64>>> = OnceLock::new();
+    let mut h = DefaultHasher::new();
+    src.hash(&mut h);
+    let key = h.finish();
+    let seen = SEEN.get_or_init(|| Mutex::new(HashSet::new()));
+    if seen.lock().expect("lint dedup lock").insert(key) {
+        eprint!(
+            "warning: scenario has static-analysis findings \
+             (run `failck` for details, `--lint off` to silence):\n{}",
+            report.render_human()
+        );
     }
 }
 
@@ -437,8 +537,25 @@ pub fn programs_for(spec: &ExperimentSpec) -> Vec<Arc<Program>> {
 }
 
 /// Runs one experiment to completion or timeout and classifies it.
+///
+/// Panics when the spec's scenario fails its [`LintMode::Strict`] gate;
+/// use [`try_run_one`] for a non-panicking strict check.
 pub fn run_one(spec: &ExperimentSpec) -> RunRecord {
     run_one_keeping_cluster(spec).0
+}
+
+/// Like [`run_one`], but lints the scenario at strict severity first
+/// (whatever the spec's own [`LintMode`]) and returns the report instead
+/// of running when it has `Error`-level findings.
+pub fn try_run_one(spec: &ExperimentSpec) -> Result<RunRecord, Report> {
+    if let Some(inj) = &spec.injection {
+        let strict = InjectionSpec {
+            lint: LintMode::Strict,
+            ..inj.clone()
+        };
+        lint_injection(&strict)?;
+    }
+    Ok(run_one(spec))
 }
 
 /// Like [`run_one`], additionally returning the final cluster state (for
@@ -459,6 +576,13 @@ pub fn run_one_instrumented(
     let cluster = Cluster::new(spec.cluster.clone(), programs, spec.seed);
 
     let fail = spec.injection.as_ref().map(|inj| {
+        if let Err(report) = lint_injection(inj) {
+            panic!(
+                "refusing to run: scenario fails the strict lint gate \
+                 (see failmpi-analyze):\n{}",
+                report.render_human()
+            );
+        }
         let scenario =
             compile(&inj.scenario_src).expect("scenario in spec must compile");
         let mut deployment = Deployment::new();

@@ -35,7 +35,7 @@ pub mod sweep;
 
 pub use classify::{classify_entries, Outcome};
 pub use harness::{
-    run_one, run_one_instrumented, run_one_keeping_cluster, ExperimentSpec, InjectionSpec,
-    RunRecord, Workload,
+    lint_injection, run_one, run_one_instrumented, run_one_keeping_cluster, try_run_one,
+    ExperimentSpec, InjectionSpec, LintMode, RunRecord, Workload,
 };
 pub use invariants::{validate_entries, validate_trace};

@@ -1,0 +1,94 @@
+//! The harness' pre-run lint gate: strict mode refuses scenarios with
+//! `Error`-level findings, warn mode runs them anyway, and every builtin
+//! figure scenario passes the gate clean.
+
+use failmpi_experiments::figures::{DELAY_SRC, FIG10_SRC, FIG5_SRC, FIG7_SRC, FIG8_SRC};
+use failmpi_experiments::{
+    lint_injection, try_run_one, ExperimentSpec, InjectionSpec, LintMode, Workload,
+};
+use failmpi_sim::{SimDuration, SimTime};
+use failmpi_mpichv::VclConfig;
+use failmpi_workloads::BtClass;
+
+/// A scenario with a guaranteed `Error`-level finding: `ping` goes to a
+/// class that never receives it (FA008), and `?ack` can never be
+/// satisfied (FA009).
+const BROKEN_SRC: &str = "daemon ADV1 {\n  node 1:\n    onload -> !ping(G1[0]), goto 2;\n  node 2:\n    ?ack -> goto 1;\n}\ndaemon ADVnodes {\n  node 1:\n    onload -> continue, goto 1;\n}\ninstance P1 = ADV1;\ngroup G1[4] = ADVnodes;\n";
+
+fn miniature(seed: u64) -> ExperimentSpec {
+    let mut cluster = VclConfig::small(4, SimDuration::from_secs(2));
+    cluster.ssh_stagger = SimDuration::from_millis(20);
+    ExperimentSpec {
+        cluster,
+        workload: Workload::Bt(BtClass::S),
+        injection: None,
+        timeout: SimTime::from_secs(90),
+        freeze_window: SimDuration::from_secs(9),
+        seed,
+        tie_break: failmpi_sim::TieBreak::Fifo,
+    }
+}
+
+#[test]
+fn strict_gate_refuses_broken_scenario() {
+    let inj = InjectionSpec::new(BROKEN_SRC, "ADV1", "ADVnodes").with_lint(LintMode::Strict);
+    let report = lint_injection(&inj).expect_err("strict gate must refuse");
+    assert!(report.has_errors());
+    let codes: Vec<_> = report.diagnostics.iter().map(|d| d.code).collect();
+    assert!(codes.contains(&"FA008"), "got {codes:?}");
+    assert!(codes.contains(&"FA009"), "got {codes:?}");
+}
+
+#[test]
+fn try_run_one_surfaces_the_report_instead_of_running() {
+    let mut spec = miniature(11);
+    // Even with the spec's own mode at Warn, try_run_one applies strict.
+    spec.injection =
+        Some(InjectionSpec::new(BROKEN_SRC, "ADV1", "ADVnodes").with_lint(LintMode::Warn));
+    let report = try_run_one(&spec).expect_err("must refuse");
+    assert!(report.has_errors());
+}
+
+#[test]
+fn warn_and_off_modes_still_run_broken_scenarios() {
+    for mode in [LintMode::Warn, LintMode::Off] {
+        let inj = InjectionSpec::new(BROKEN_SRC, "ADV1", "ADVnodes").with_lint(mode);
+        assert!(lint_injection(&inj).is_ok(), "{mode:?} must not refuse");
+        let mut spec = miniature(12);
+        spec.injection = Some(inj);
+        // The run itself must proceed to a classified outcome (a broken
+        // adversary degenerates to a near-fault-free run).
+        let record = failmpi_experiments::run_one(&spec);
+        assert!(record.faults_injected == 0);
+    }
+}
+
+#[test]
+fn builtin_figure_scenarios_pass_the_strict_gate() {
+    for (name, src) in [
+        ("fig5", FIG5_SRC),
+        ("fig7", FIG7_SRC),
+        ("fig8", FIG8_SRC),
+        ("fig10", FIG10_SRC),
+        ("delay", DELAY_SRC),
+    ] {
+        let inj = InjectionSpec::new(src, "ADV1", "ADVnodes").with_lint(LintMode::Strict);
+        assert!(
+            lint_injection(&inj).is_ok(),
+            "builtin scenario {name} fails the strict gate"
+        );
+    }
+}
+
+#[test]
+fn strict_run_of_clean_scenario_succeeds() {
+    let mut spec = miniature(13);
+    spec.injection = Some(
+        InjectionSpec::new(FIG5_SRC, "ADV1", "ADVnodes")
+            .with_param("X", 4)
+            .with_param("N", 5)
+            .with_lint(LintMode::Strict),
+    );
+    let record = try_run_one(&spec).expect("clean scenario must run");
+    assert!(record.end > SimTime::ZERO);
+}

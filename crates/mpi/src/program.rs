@@ -37,6 +37,33 @@ pub enum Op {
     Finalize,
 }
 
+impl Op {
+    /// The communication peer and tag of a `Send` or `Recv`, `None` for
+    /// local ops. Static analysis uses this to build the send/recv
+    /// matching graph without enumerating variants.
+    pub fn peer(&self) -> Option<(Rank, Tag)> {
+        match self {
+            Op::Send { to, tag, .. } => Some((*to, *tag)),
+            Op::Recv { from, tag } => Some((*from, *tag)),
+            _ => None,
+        }
+    }
+
+    /// Whether executing this op can block the rank indefinitely. Only the
+    /// blocking receive can (sends are eager/buffered in this model).
+    pub fn is_blocking(&self) -> bool {
+        matches!(self, Op::Recv { .. })
+    }
+
+    /// Payload bytes this op puts on the wire (sends only).
+    pub fn payload_bytes(&self) -> u64 {
+        match self {
+            Op::Send { bytes, .. } => *bytes,
+            _ => 0,
+        }
+    }
+}
+
 /// An immutable per-rank program plus the metadata the checkpointing layer
 /// needs (resident image size).
 #[derive(Debug)]
@@ -55,6 +82,26 @@ impl Program {
     /// The instruction stream.
     pub fn ops(&self) -> &[Op] {
         &self.ops
+    }
+
+    /// Number of ops in the program.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the program has no ops at all.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Indexed iterator over the communication ops (sends and receives),
+    /// yielding `(op index, op)` — the introspection surface the static
+    /// analyzer walks.
+    pub fn comm_ops(&self) -> impl Iterator<Item = (usize, &Op)> + '_ {
+        self.ops
+            .iter()
+            .enumerate()
+            .filter(|(_, op)| op.peer().is_some())
     }
 
     /// Checkpoint image size of this process.
@@ -185,6 +232,27 @@ mod tests {
         assert!(!no_finalize.is_well_formed());
         let double = Program::new(vec![Op::Finalize, Op::Finalize], 0);
         assert!(!double.is_well_formed());
+    }
+
+    #[test]
+    fn introspection_accessors() {
+        let p = ProgramBuilder::new(0)
+            .compute(SimDuration::from_secs(1))
+            .send(Rank(2), Tag(5), 64)
+            .recv(Rank(3), Tag(6))
+            .finalize();
+        assert_eq!(p.len(), 4);
+        assert!(!p.is_empty());
+        let comm: Vec<_> = p.comm_ops().collect();
+        assert_eq!(comm.len(), 2);
+        assert_eq!(comm[0].0, 1);
+        assert_eq!(comm[0].1.peer(), Some((Rank(2), Tag(5))));
+        assert_eq!(comm[1].1.peer(), Some((Rank(3), Tag(6))));
+        assert!(!comm[0].1.is_blocking());
+        assert!(comm[1].1.is_blocking());
+        assert_eq!(comm[0].1.payload_bytes(), 64);
+        assert_eq!(comm[1].1.payload_bytes(), 0);
+        assert_eq!(Op::Finalize.peer(), None);
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! The FCI compiler pipeline as a library: parse a FAIL scenario, inspect
-//! the compiled automata, emit the generated Rust source (the paper's
+//! the compiled automata, run the static analyzer over them (what the
+//! `failck` binary does), emit the generated Rust source (the paper's
 //! "compiler generates C++ sources" step), and dry-run the automaton
 //! against synthetic events without any cluster.
 //!
@@ -55,6 +56,22 @@ fn main() {
             class.timer_names.join(", ")
         );
     }
+
+    // Static analysis: the compiled automata lint clean...
+    let findings = failmpi::analyze::analyze_scenario(&scenario);
+    println!("\n== static analysis ==");
+    println!("failck on the scenario above: {} findings", findings.len());
+    assert!(findings.is_empty(), "expected a clean scenario: {findings:?}");
+
+    // ...while a defective one is flagged before it ever runs: `ping`
+    // goes to a class that never receives it (FA008) and node 3 is
+    // unreachable (FA001).
+    let broken = "daemon A {\n  node 1:\n    onload -> !ping(G[0]), goto 1;\n  node 3:\n    onexit -> halt;\n}\ndaemon B {\n  node 1:\n    onload -> continue;\n}\ninstance P = A;\ngroup G[3] = B;\n";
+    let report = failmpi::analyze::Report::new(
+        "broken-example".to_string(),
+        failmpi::analyze::check_source(broken),
+    );
+    print!("{}", report.render_human());
 
     // The code-generation step (what FCI shipped to every machine).
     let generated = codegen::generate(&scenario);

@@ -18,6 +18,7 @@
 //! | [`mpichv`] | `failmpi-mpichv` | the MPICH-Vcl runtime under test |
 //! | [`workloads`] | `failmpi-workloads` | NAS-BT-pattern generators |
 //! | [`experiments`] | `failmpi-experiments` | figure-by-figure evaluation |
+//! | [`analyze`] | `failmpi-analyze` | static verification of scenarios & op-programs (`failck`) |
 //!
 //! ## Quickstart
 //!
@@ -51,6 +52,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use failmpi_analyze as analyze;
 pub use failmpi_core as core;
 pub use failmpi_experiments as experiments;
 pub use failmpi_mpi as mpi;
@@ -61,9 +63,10 @@ pub use failmpi_workloads as workloads;
 
 /// The names most programs need.
 pub mod prelude {
+    pub use failmpi_analyze::{analyze_programs, analyze_scenario, check_source, Report, Severity};
     pub use failmpi_core::{compile, Deployment, FailAction, FailInput, FailRuntime};
     pub use failmpi_experiments::{
-        run_one, ExperimentSpec, InjectionSpec, Outcome, RunRecord, Workload,
+        run_one, ExperimentSpec, InjectionSpec, LintMode, Outcome, RunRecord, Workload,
     };
     pub use failmpi_mpi::{Interp, Op, Program, ProgramBuilder, Rank, Tag};
     pub use failmpi_mpichv::{
