@@ -1,0 +1,218 @@
+//! `bench-report` — the machine-readable benchmark pipeline.
+//!
+//! The criterion benches in `benches/` are for interactive investigation;
+//! their vendored harness prints medians but exposes nothing
+//! programmatically. This binary re-times the same smoke-scale suite with
+//! plain wall clocks and writes one JSON document CI can archive and diff:
+//!
+//! - every [`failmpi_experiments::robustness::scenario_suite`] scenario,
+//!   run under [`failmpi_experiments::run_one_profiled`], reporting
+//!   simulator throughput (events/sec) and the per-event-kind handler
+//!   profile;
+//! - every figure sweep at smoke fidelity, reporting wall time per figure;
+//! - process totals (total wall time, peak RSS via `VmHWM`).
+//!
+//! ```text
+//! cargo run --release -p failmpi-bench --bin bench-report -- --out BENCH_pr3.json
+//! ```
+//!
+//! Wall-clock numbers are machine-dependent by nature and are kept strictly
+//! out of the deterministic metrics snapshots (`--metrics` on the figure
+//! binaries); this report is the one place they belong.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use serde::Serialize;
+
+use failmpi_experiments::figures::{ablation, delay, fig11, fig5, fig6, fig7, fig9, lbh04};
+use failmpi_experiments::robustness::scenario_suite;
+use failmpi_experiments::run_one_profiled;
+use failmpi_obs::peak_rss_bytes;
+
+/// Schema version of the report document.
+const SCHEMA_VERSION: u32 = 1;
+
+#[derive(Serialize)]
+struct HandlerBin {
+    kind: String,
+    count: u64,
+    nanos: u64,
+}
+
+#[derive(Serialize)]
+struct ScenarioBench {
+    name: String,
+    outcome: String,
+    events: u64,
+    wall_nanos: u64,
+    events_per_sec: f64,
+    handler_profile: Vec<HandlerBin>,
+}
+
+#[derive(Serialize)]
+struct FigureBench {
+    name: String,
+    wall_nanos: u64,
+    wall_secs: f64,
+}
+
+#[derive(Serialize)]
+struct BenchReport {
+    schema_version: u32,
+    seed: u64,
+    scenarios: Vec<ScenarioBench>,
+    figures: Vec<FigureBench>,
+    total_wall_nanos: u64,
+    peak_rss_bytes: Option<u64>,
+}
+
+struct Options {
+    out: String,
+    seed: u64,
+}
+
+fn parse(args: impl Iterator<Item = String>) -> Result<Options, String> {
+    let mut o = Options {
+        out: "BENCH_pr3.json".to_string(),
+        seed: 0xB_EAC4,
+    };
+    let mut args = args.peekable();
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--out" => o.out = args.next().ok_or("--out needs a path")?,
+            "--seed" => {
+                o.seed = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--seed needs a number")?
+            }
+            "--help" | "-h" => {
+                return Err("usage: bench-report [--out PATH] [--seed S]".to_string())
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(o)
+}
+
+fn bench_scenarios(seed: u64) -> Vec<ScenarioBench> {
+    scenario_suite(seed)
+        .into_iter()
+        .map(|(name, spec)| {
+            let start = Instant::now();
+            let (record, profile) = run_one_profiled(&spec);
+            let wall = start.elapsed();
+            let wall_nanos = u64::try_from(wall.as_nanos()).unwrap_or(u64::MAX);
+            let secs = wall.as_secs_f64();
+            let events_per_sec = if secs > 0.0 {
+                record.events as f64 / secs
+            } else {
+                0.0
+            };
+            println!(
+                "scenario {name:<24} {:>9} events  {:>8.1} ms  {:>12.0} events/s",
+                record.events,
+                secs * 1e3,
+                events_per_sec,
+            );
+            ScenarioBench {
+                name: name.to_string(),
+                outcome: format!("{:?}", record.outcome),
+                events: record.events,
+                wall_nanos,
+                events_per_sec,
+                handler_profile: profile
+                    .bins()
+                    .map(|(kind, bin)| HandlerBin {
+                        kind: kind.to_string(),
+                        count: bin.count,
+                        nanos: bin.nanos,
+                    })
+                    .collect(),
+            }
+        })
+        .collect()
+}
+
+fn bench_figure(name: &str, run: impl FnOnce()) -> FigureBench {
+    let start = Instant::now();
+    run();
+    let wall = start.elapsed();
+    println!("figure   {name:<24} {:>8.1} ms", wall.as_secs_f64() * 1e3);
+    FigureBench {
+        name: name.to_string(),
+        wall_nanos: u64::try_from(wall.as_nanos()).unwrap_or(u64::MAX),
+        wall_secs: wall.as_secs_f64(),
+    }
+}
+
+fn bench_figures() -> Vec<FigureBench> {
+    vec![
+        bench_figure("fig5_frequency", || {
+            fig5::run(&fig5::Config::smoke());
+        }),
+        bench_figure("fig6_scale", || {
+            fig6::run(&fig6::Config::smoke());
+        }),
+        bench_figure("fig7_simultaneous", || {
+            fig7::run(&fig7::Config::smoke());
+        }),
+        bench_figure("fig9_synchronized", || {
+            fig9::run(&fig9::Config::smoke());
+        }),
+        bench_figure("fig11_state_sync", || {
+            fig11::run(&fig11::smoke_config());
+        }),
+        bench_figure("ablation", || {
+            let cfg = ablation::Config::smoke();
+            ablation::dispatcher(&cfg);
+            ablation::checkpoint_style(&cfg);
+            ablation::checkpoint_period(&cfg);
+            ablation::protocol(&cfg);
+        }),
+        bench_figure("delay_sweep", || {
+            delay::run(&delay::Config::smoke());
+        }),
+        bench_figure("lbh04_protocols", || {
+            lbh04::run(&lbh04::Config::smoke());
+        }),
+    ]
+}
+
+fn main() -> ExitCode {
+    let opts = match parse(std::env::args().skip(1)) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let start = Instant::now();
+    let scenarios = bench_scenarios(opts.seed);
+    let figures = bench_figures();
+    let total = start.elapsed();
+
+    let report = BenchReport {
+        schema_version: SCHEMA_VERSION,
+        seed: opts.seed,
+        scenarios,
+        figures,
+        total_wall_nanos: u64::try_from(total.as_nanos()).unwrap_or(u64::MAX),
+        peak_rss_bytes: peak_rss_bytes(),
+    };
+    let json = serde_json::to_string_pretty(&report).expect("serializable");
+    if let Err(e) = std::fs::write(&opts.out, json + "\n") {
+        eprintln!("cannot write {}: {e}", opts.out);
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "bench-report: {} scenarios, {} figures, {:.1} s total -> {}",
+        report.scenarios.len(),
+        report.figures.len(),
+        total.as_secs_f64(),
+        opts.out,
+    );
+    ExitCode::SUCCESS
+}

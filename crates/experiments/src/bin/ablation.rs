@@ -1,31 +1,24 @@
 //! Runs the dispatcher / checkpoint-style / wave-period ablations.
 
-use failmpi_experiments::cli::Options;
-use failmpi_experiments::figures::ablation;
+use failmpi_experiments::figures::{ablation, run_figure_main};
 
 fn main() {
-    let opts = match Options::parse(std::env::args().skip(1)) {
-        Ok(o) => o,
-        Err(e) => {
-            eprintln!("{e}");
-            std::process::exit(2);
-        }
-    };
-    let mut cfg = if opts.smoke {
-        ablation::Config::smoke()
-    } else {
-        ablation::Config::paper()
-    };
-    if let Some(r) = opts.runs {
-        cfg.runs = r;
-    }
-    if let Some(t) = opts.threads {
-        cfg.threads = t;
-    }
-    let d = ablation::dispatcher(&cfg);
-    let s = ablation::checkpoint_style(&cfg);
-    let p = ablation::checkpoint_period(&cfg);
-    let v = ablation::protocol(&cfg);
-    print!("{}", ablation::render(&d, &s, &p, &v));
-    opts.maybe_write_json(&(d, s, p, v)).expect("write json");
+    run_figure_main(
+        |smoke| {
+            if smoke {
+                ablation::Config::smoke()
+            } else {
+                ablation::Config::paper()
+            }
+        },
+        |cfg| {
+            (
+                ablation::dispatcher(cfg),
+                ablation::checkpoint_style(cfg),
+                ablation::checkpoint_period(cfg),
+                ablation::protocol(cfg),
+            )
+        },
+        |(d, s, p, v)| ablation::render(d, s, p, v),
+    );
 }

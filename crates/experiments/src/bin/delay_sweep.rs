@@ -1,29 +1,18 @@
 //! Runs the delay-after-checkpoint sweep (the paper's Sec. 6 planned
 //! measurement, enabled by the `probe` feature).
 
-use failmpi_experiments::cli::Options;
-use failmpi_experiments::figures::delay;
+use failmpi_experiments::figures::{delay, run_figure_main};
 
 fn main() {
-    let opts = match Options::parse(std::env::args().skip(1)) {
-        Ok(o) => o,
-        Err(e) => {
-            eprintln!("{e}");
-            std::process::exit(2);
-        }
-    };
-    let mut cfg = if opts.smoke {
-        delay::Config::smoke()
-    } else {
-        delay::Config::paper()
-    };
-    if let Some(r) = opts.runs {
-        cfg.runs = r;
-    }
-    if let Some(t) = opts.threads {
-        cfg.threads = t;
-    }
-    let data = delay::run(&cfg);
-    print!("{}", delay::render(&data));
-    opts.maybe_write_json(&data).expect("write json");
+    run_figure_main(
+        |smoke| {
+            if smoke {
+                delay::Config::smoke()
+            } else {
+                delay::Config::paper()
+            }
+        },
+        delay::run,
+        delay::render,
+    );
 }

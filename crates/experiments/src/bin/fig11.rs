@@ -1,28 +1,17 @@
 //! Regenerates Figure 11 (state-synchronized faults).
 
-use failmpi_experiments::cli::Options;
-use failmpi_experiments::figures::fig11;
+use failmpi_experiments::figures::{fig11, run_figure_main};
 
 fn main() {
-    let opts = match Options::parse(std::env::args().skip(1)) {
-        Ok(o) => o,
-        Err(e) => {
-            eprintln!("{e}");
-            std::process::exit(2);
-        }
-    };
-    let mut cfg = if opts.smoke {
-        fig11::smoke_config()
-    } else {
-        fig11::paper_config()
-    };
-    if let Some(r) = opts.runs {
-        cfg.runs = r;
-    }
-    if let Some(t) = opts.threads {
-        cfg.threads = t;
-    }
-    let data = fig11::run(&cfg);
-    print!("{}", fig11::render(&data));
-    opts.maybe_write_json(&data).expect("write json");
+    run_figure_main(
+        |smoke| {
+            if smoke {
+                fig11::smoke_config()
+            } else {
+                fig11::paper_config()
+            }
+        },
+        fig11::run,
+        fig11::render,
+    );
 }

@@ -1,28 +1,17 @@
 //! Regenerates Figure 5 (impact of fault frequency).
 
-use failmpi_experiments::cli::Options;
-use failmpi_experiments::figures::fig5;
+use failmpi_experiments::figures::{fig5, run_figure_main};
 
 fn main() {
-    let opts = match Options::parse(std::env::args().skip(1)) {
-        Ok(o) => o,
-        Err(e) => {
-            eprintln!("{e}");
-            std::process::exit(2);
-        }
-    };
-    let mut cfg = if opts.smoke {
-        fig5::Config::smoke()
-    } else {
-        fig5::Config::paper()
-    };
-    if let Some(r) = opts.runs {
-        cfg.runs = r;
-    }
-    if let Some(t) = opts.threads {
-        cfg.threads = t;
-    }
-    let data = fig5::run(&cfg);
-    print!("{}", fig5::render(&data));
-    opts.maybe_write_json(&data).expect("write json");
+    run_figure_main(
+        |smoke| {
+            if smoke {
+                fig5::Config::smoke()
+            } else {
+                fig5::Config::paper()
+            }
+        },
+        fig5::run,
+        fig5::render,
+    );
 }

@@ -1,28 +1,17 @@
 //! Regenerates Figure 6 of the paper.
 
-use failmpi_experiments::cli::Options;
-use failmpi_experiments::figures::fig6;
+use failmpi_experiments::figures::{fig6, run_figure_main};
 
 fn main() {
-    let opts = match Options::parse(std::env::args().skip(1)) {
-        Ok(o) => o,
-        Err(e) => {
-            eprintln!("{e}");
-            std::process::exit(2);
-        }
-    };
-    let mut cfg = if opts.smoke {
-        fig6::Config::smoke()
-    } else {
-        fig6::Config::paper()
-    };
-    if let Some(r) = opts.runs {
-        cfg.runs = r;
-    }
-    if let Some(t) = opts.threads {
-        cfg.threads = t;
-    }
-    let data = fig6::run(&cfg);
-    print!("{}", fig6::render(&data));
-    opts.maybe_write_json(&data).expect("write json");
+    run_figure_main(
+        |smoke| {
+            if smoke {
+                fig6::Config::smoke()
+            } else {
+                fig6::Config::paper()
+            }
+        },
+        fig6::run,
+        fig6::render,
+    );
 }

@@ -1,28 +1,17 @@
 //! Regenerates Figure 7 of the paper.
 
-use failmpi_experiments::cli::Options;
-use failmpi_experiments::figures::fig7;
+use failmpi_experiments::figures::{fig7, run_figure_main};
 
 fn main() {
-    let opts = match Options::parse(std::env::args().skip(1)) {
-        Ok(o) => o,
-        Err(e) => {
-            eprintln!("{e}");
-            std::process::exit(2);
-        }
-    };
-    let mut cfg = if opts.smoke {
-        fig7::Config::smoke()
-    } else {
-        fig7::Config::paper()
-    };
-    if let Some(r) = opts.runs {
-        cfg.runs = r;
-    }
-    if let Some(t) = opts.threads {
-        cfg.threads = t;
-    }
-    let data = fig7::run(&cfg);
-    print!("{}", fig7::render(&data));
-    opts.maybe_write_json(&data).expect("write json");
+    run_figure_main(
+        |smoke| {
+            if smoke {
+                fig7::Config::smoke()
+            } else {
+                fig7::Config::paper()
+            }
+        },
+        fig7::run,
+        fig7::render,
+    );
 }

@@ -1,28 +1,17 @@
 //! Regenerates Figure 9 (impact of synchronized faults).
 
-use failmpi_experiments::cli::Options;
-use failmpi_experiments::figures::fig9;
+use failmpi_experiments::figures::{fig9, run_figure_main};
 
 fn main() {
-    let opts = match Options::parse(std::env::args().skip(1)) {
-        Ok(o) => o,
-        Err(e) => {
-            eprintln!("{e}");
-            std::process::exit(2);
-        }
-    };
-    let mut cfg = if opts.smoke {
-        fig9::Config::smoke()
-    } else {
-        fig9::Config::paper()
-    };
-    if let Some(r) = opts.runs {
-        cfg.runs = r;
-    }
-    if let Some(t) = opts.threads {
-        cfg.threads = t;
-    }
-    let data = fig9::run(&cfg);
-    print!("{}", fig9::render(&data));
-    opts.maybe_write_json(&data).expect("write json");
+    run_figure_main(
+        |smoke| {
+            if smoke {
+                fig9::Config::smoke()
+            } else {
+                fig9::Config::paper()
+            }
+        },
+        fig9::run,
+        fig9::render,
+    );
 }

@@ -2,29 +2,18 @@
 //! checkpointing vs message logging under identical fault scenarios) —
 //! the manual prior-work measurement the paper says FAIL-MPI automates.
 
-use failmpi_experiments::cli::Options;
-use failmpi_experiments::figures::lbh04;
+use failmpi_experiments::figures::{lbh04, run_figure_main};
 
 fn main() {
-    let opts = match Options::parse(std::env::args().skip(1)) {
-        Ok(o) => o,
-        Err(e) => {
-            eprintln!("{e}");
-            std::process::exit(2);
-        }
-    };
-    let mut cfg = if opts.smoke {
-        lbh04::Config::smoke()
-    } else {
-        lbh04::Config::paper()
-    };
-    if let Some(r) = opts.runs {
-        cfg.runs = r;
-    }
-    if let Some(t) = opts.threads {
-        cfg.threads = t;
-    }
-    let data = lbh04::run(&cfg);
-    print!("{}", lbh04::render(&data));
-    opts.maybe_write_json(&data).expect("write json");
+    run_figure_main(
+        |smoke| {
+            if smoke {
+                lbh04::Config::smoke()
+            } else {
+                lbh04::Config::paper()
+            }
+        },
+        lbh04::run,
+        lbh04::render,
+    );
 }

@@ -67,6 +67,7 @@ struct Options {
     runs: usize,
     seed: u64,
     json: Option<String>,
+    metrics: Option<String>,
 }
 
 fn parse(args: impl Iterator<Item = String>) -> Result<Options, String> {
@@ -74,6 +75,7 @@ fn parse(args: impl Iterator<Item = String>) -> Result<Options, String> {
         runs: 25,
         seed: 0x50AC,
         json: None,
+        metrics: None,
     };
     let mut args = args.peekable();
     while let Some(a) = args.next() {
@@ -91,8 +93,12 @@ fn parse(args: impl Iterator<Item = String>) -> Result<Options, String> {
                     .ok_or("--seed needs a number")?
             }
             "--json" => o.json = Some(args.next().ok_or("--json needs a path")?),
+            "--metrics" => o.metrics = Some(args.next().ok_or("--metrics needs a path")?),
             "--help" | "-h" => {
-                return Err("usage: soak [--runs N] [--seed S] [--json PATH]".to_string())
+                return Err(
+                    "usage: soak [--runs N] [--seed S] [--json PATH] [--metrics PATH]"
+                        .to_string(),
+                )
             }
             other => return Err(format!("unknown flag `{other}`")),
         }
@@ -115,6 +121,9 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if opts.metrics.is_some() {
+        failmpi_experiments::metrics::install_sink();
+    }
 
     let scenarios = vec![
         Scenario {
@@ -191,6 +200,15 @@ fn main() -> ExitCode {
         if let Err(e) = std::fs::write(path, json) {
             eprintln!("cannot write {path}: {e}");
             return ExitCode::FAILURE;
+        }
+    }
+    if let Some(path) = &opts.metrics {
+        match failmpi_experiments::metrics::write_sink(path) {
+            Ok(n) => eprintln!("metrics: wrote {n} run snapshots to {path}"),
+            Err(e) => {
+                eprintln!("cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
         }
     }
     if passed {

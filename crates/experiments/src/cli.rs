@@ -13,6 +13,9 @@ pub struct Options {
     pub threads: Option<usize>,
     /// Write the figure data as JSON to this path.
     pub json: Option<String>,
+    /// Write per-run metric snapshots (plus their aggregate) as JSON to
+    /// this path (see [`crate::metrics`]).
+    pub metrics: Option<String>,
     /// Scenario lint gate (`--lint off|warn|strict`); also installed as
     /// the process-wide default so every spec the binary builds picks it
     /// up.
@@ -43,6 +46,9 @@ impl Options {
                     )
                 }
                 "--json" => o.json = Some(args.next().ok_or("--json needs a path")?),
+                "--metrics" => {
+                    o.metrics = Some(args.next().ok_or("--metrics needs a path")?)
+                }
                 "--lint" => {
                     let mode = args
                         .next()
@@ -54,7 +60,7 @@ impl Options {
                 }
                 "--help" | "-h" => {
                     return Err("usage: [--smoke] [--runs N] [--threads N] [--json PATH] \
-                                [--lint off|warn|strict]"
+                                [--metrics PATH] [--lint off|warn|strict]"
                         .to_string())
                 }
                 other => return Err(format!("unknown flag `{other}`")),
@@ -71,6 +77,24 @@ impl Options {
         }
         Ok(())
     }
+
+    /// Installs the process-wide metrics sink if `--metrics` was given.
+    /// Call before running any experiment.
+    pub fn install_metrics_sink(&self) {
+        if self.metrics.is_some() {
+            crate::metrics::install_sink();
+        }
+    }
+
+    /// Writes the collected run metrics if `--metrics` was given. Call
+    /// after the last experiment finished.
+    pub fn maybe_write_metrics(&self) -> std::io::Result<()> {
+        if let Some(path) = &self.metrics {
+            let n = crate::metrics::write_sink(path)?;
+            eprintln!("metrics: wrote {n} run snapshots to {path}");
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -83,11 +107,16 @@ mod tests {
 
     #[test]
     fn parses_flags() {
-        let o = parse(&["--smoke", "--runs", "3", "--threads", "2", "--json", "x.json"]).unwrap();
+        let o = parse(&[
+            "--smoke", "--runs", "3", "--threads", "2", "--json", "x.json", "--metrics",
+            "m.json",
+        ])
+        .unwrap();
         assert!(o.smoke);
         assert_eq!(o.runs, Some(3));
         assert_eq!(o.threads, Some(2));
         assert_eq!(o.json.as_deref(), Some("x.json"));
+        assert_eq!(o.metrics.as_deref(), Some("m.json"));
     }
 
     #[test]
@@ -95,6 +124,7 @@ mod tests {
         assert!(parse(&["--bogus"]).is_err());
         assert!(parse(&["--runs"]).is_err());
         assert!(parse(&["--runs", "abc"]).is_err());
+        assert!(parse(&["--metrics"]).is_err());
     }
 
     #[test]

@@ -46,6 +46,8 @@ pub struct Config {
     pub miniature: bool,
 }
 
+crate::figures::figure_config!(Config);
+
 impl Config {
     /// Paper-scale parameters.
     pub fn paper() -> Self {

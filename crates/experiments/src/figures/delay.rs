@@ -51,6 +51,8 @@ pub struct Config {
     pub miniature: bool,
 }
 
+crate::figures::figure_config!(Config);
+
 impl Config {
     /// Paper-scale parameters: one fault, delays across the 30 s period.
     pub fn paper() -> Self {

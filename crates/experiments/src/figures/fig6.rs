@@ -42,6 +42,8 @@ pub struct Config {
     pub miniature: bool,
 }
 
+crate::figures::figure_config!(Config);
+
 impl Config {
     /// The paper's parameters.
     pub fn paper() -> Self {

@@ -52,6 +52,8 @@ pub struct Config {
     pub miniature: bool,
 }
 
+crate::figures::figure_config!(Config);
+
 impl Config {
     /// Paper-scale parameters (the 2004 paper also used NAS kernels on a
     /// ~2×10²-node cluster with fault-frequency sweeps).

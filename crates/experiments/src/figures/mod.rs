@@ -19,7 +19,65 @@ use failmpi_sim::{SimDuration, SimTime};
 use failmpi_mpichv::{DispatcherMode, VclConfig};
 use failmpi_workloads::BtClass;
 
+use crate::cli::Options;
 use crate::harness::ExperimentSpec;
+
+/// The two overridable knobs every figure config shares, so the common
+/// binary entry point ([`run_figure_main`]) can apply `--runs`/`--threads`
+/// without knowing the concrete config type.
+pub trait FigureConfig {
+    /// Mutable access to the per-point run count.
+    fn runs_mut(&mut self) -> &mut usize;
+    /// Mutable access to the worker-thread count.
+    fn threads_mut(&mut self) -> &mut usize;
+}
+
+/// Implements [`FigureConfig`] for a config struct with public `runs` and
+/// `threads` fields.
+macro_rules! figure_config {
+    ($ty:ty) => {
+        impl crate::figures::FigureConfig for $ty {
+            fn runs_mut(&mut self) -> &mut usize {
+                &mut self.runs
+            }
+            fn threads_mut(&mut self) -> &mut usize {
+                &mut self.threads
+            }
+        }
+    };
+}
+pub(crate) use figure_config;
+
+/// The shared `main` of every figure binary: parses the common CLI flags,
+/// picks the smoke or paper config, applies `--runs`/`--threads`, installs
+/// the `--metrics` sink, runs the sweep, prints the rendered figure, and
+/// writes the `--json` / `--metrics` outputs. Exits with status 2 on a CLI
+/// error, so each binary's `main` is a single call.
+pub fn run_figure_main<C: FigureConfig, D: serde::Serialize>(
+    pick: impl FnOnce(bool) -> C,
+    run: impl FnOnce(&C) -> D,
+    render: impl FnOnce(&D) -> String,
+) {
+    let opts = match Options::parse(std::env::args().skip(1)) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    let mut cfg = pick(opts.smoke);
+    if let Some(r) = opts.runs {
+        *cfg.runs_mut() = r;
+    }
+    if let Some(t) = opts.threads {
+        *cfg.threads_mut() = t;
+    }
+    opts.install_metrics_sink();
+    let data = run(&cfg);
+    print!("{}", render(&data));
+    opts.maybe_write_json(&data).expect("write json");
+    opts.maybe_write_metrics().expect("write metrics");
+}
 
 /// The Fig. 5(a) fault-frequency scenario source.
 pub const FIG5_SRC: &str = include_str!("../../../core/scenarios/fig5_frequency.fail");

@@ -11,12 +11,13 @@ use std::sync::{Mutex, OnceLock};
 use failmpi_analyze::Report;
 use failmpi_core::{compile, Deployment, FailAction, FailInput, FailRuntime};
 use failmpi_net::{HostId, ProcId};
+use failmpi_obs::{MetricsSnapshot, WallProfile};
 use failmpi_sim::{
     Engine, Fingerprint, FingerprintEvent, JournalEntry, Model, RunOutcome, Scheduler,
     SimDuration, SimRng, SimTime, TieBreak,
 };
 use failmpi_mpi::Program;
-use failmpi_mpichv::{Cluster, Ev, Hook, InstrumentedFn, TrafficStats, VclConfig, VclEvent};
+use failmpi_mpichv::{Cluster, Ev, Hook, InstrumentedFn, TrafficStats, VclConfig};
 use failmpi_workloads::{bt_programs_noisy, BtClass};
 
 /// What the cluster computes. FAIL-MPI is application-agnostic (its whole
@@ -249,6 +250,12 @@ pub struct RunRecord {
     pub fingerprint: u64,
     /// Events the engine handled (a cheap secondary determinism signal).
     pub events: u64,
+    /// Full deterministic metric snapshot of the run: `mpichv.*` lifecycle
+    /// counters and virtual-time histograms, `mpi.*` op counts, `net.*`
+    /// channel counters, `sim.*` engine counters, `harness.*` injection
+    /// counts. Same-seed same-tie-break runs must reproduce it
+    /// byte-for-byte (`MetricsSnapshot::to_json`).
+    pub metrics: MetricsSnapshot,
 }
 
 enum WEv {
@@ -519,6 +526,14 @@ impl Model for World {
             WEv::FailMsg { from, to, msg } => format!("fail-msg {from}->{to} m{msg}"),
         }
     }
+
+    fn event_kind(&self, event: &WEv) -> &'static str {
+        match event {
+            WEv::C(e) => e.kind_str(),
+            WEv::FailTimer { .. } => "fail_timer",
+            WEv::FailMsg { .. } => "fail_msg",
+        }
+    }
 }
 
 /// Relative compute noise baked into every experiment workload (models OS
@@ -572,6 +587,24 @@ pub fn run_one_instrumented(
     spec: &ExperimentSpec,
     capture_journal: bool,
 ) -> (RunRecord, Cluster, Option<Vec<JournalEntry>>) {
+    let (record, cluster, journal, _) = run_inner(spec, capture_journal, false);
+    (record, cluster, journal)
+}
+
+/// Like [`run_one`], with the engine's wall-clock handler profiling on:
+/// additionally returns per-event-kind simulator self-times. Used by
+/// `bench-report`; the profile is wall-clock data and must never be mixed
+/// into the deterministic [`RunRecord::metrics`] snapshot.
+pub fn run_one_profiled(spec: &ExperimentSpec) -> (RunRecord, WallProfile) {
+    let (record, _, _, profile) = run_inner(spec, false, true);
+    (record, profile)
+}
+
+fn run_inner(
+    spec: &ExperimentSpec,
+    capture_journal: bool,
+    profile: bool,
+) -> (RunRecord, Cluster, Option<Vec<JournalEntry>>, WallProfile) {
     let programs = programs_for(spec);
     let cluster = Cluster::new(spec.cluster.clone(), programs, spec.seed);
 
@@ -628,6 +661,9 @@ pub fn run_one_instrumented(
     if capture_journal {
         engine.enable_fingerprint_journal();
     }
+    if profile {
+        engine.enable_profiling();
+    }
     // Initial cluster events.
     for (t, e) in engine.model_mut().cluster.take_outputs() {
         engine.schedule(t, WEv::C(e));
@@ -665,6 +701,8 @@ pub fn run_one_instrumented(
     let end = engine.now();
     let fingerprint = engine.fingerprint();
     let events = engine.events_handled();
+    let queue_hwm = engine.queue_depth_hwm();
+    let wall_profile = engine.profile().clone();
     let journal = capture_journal.then(|| engine.take_fingerprint_journal());
     let world = engine.into_model();
     let outcome = classify(
@@ -674,29 +712,35 @@ pub fn run_one_instrumented(
         spec.timeout,
         spec.freeze_window,
     );
-    let trace = world.cluster.trace();
-    let recoveries = trace.count(|k| matches!(k, VclEvent::RecoveryStarted { .. }));
-    let waves_committed = trace.count(|k| matches!(k, VclEvent::WaveCommitted { .. }));
-    let max_progress = trace
-        .filtered(|k| matches!(k, VclEvent::AppProgress { .. }))
-        .map(|e| match e.kind {
-            VclEvent::AppProgress { iter, .. } => iter,
-            _ => unreachable!(),
-        })
-        .max()
-        .unwrap_or(0);
+    // Run summary counts come from the cluster's metrics registry rather
+    // than the trace, so they survive `record_trace = false`.
+    let cm = world.cluster.metrics();
+    let recoveries = cm.recoveries_started.get() as usize;
+    let waves_committed = cm.waves_committed.get() as usize;
+    let max_progress = cm.max_progress;
+    let faults_injected = world.fail.as_ref().map_or(0, |f| f.halts);
+
+    let mut metrics = MetricsSnapshot::new();
+    world.cluster.contribute_metrics(&mut metrics);
+    metrics.set_counter("sim.events_handled", events);
+    metrics.set_counter("sim.queue_depth_hwm", queue_hwm as u64);
+    metrics.set_counter("sim.end_micros", end.as_micros());
+    metrics.set_counter("harness.faults_injected", u64::from(faults_injected));
+    crate::metrics::submit(&metrics);
+
     let record = RunRecord {
         outcome,
         end,
-        faults_injected: world.fail.as_ref().map_or(0, |f| f.halts),
+        faults_injected,
         recoveries,
         waves_committed,
         max_progress,
         traffic: world.cluster.traffic(),
         fingerprint,
         events,
+        metrics,
     };
-    (record, world.cluster, journal)
+    (record, world.cluster, journal, wall_profile)
 }
 
 /// The engine outcome of a run (exposed for tests that need raw outcomes).

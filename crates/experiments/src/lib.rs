@@ -28,6 +28,7 @@ pub mod criteria;
 pub mod figures;
 pub mod harness;
 pub mod invariants;
+pub mod metrics;
 pub mod robustness;
 pub mod timeline;
 pub mod stats;
@@ -35,7 +36,7 @@ pub mod sweep;
 
 pub use classify::{classify_entries, Outcome};
 pub use harness::{
-    lint_injection, run_one, run_one_instrumented, run_one_keeping_cluster, try_run_one,
-    ExperimentSpec, InjectionSpec, LintMode, RunRecord, Workload,
+    lint_injection, run_one, run_one_instrumented, run_one_keeping_cluster, run_one_profiled,
+    try_run_one, ExperimentSpec, InjectionSpec, LintMode, RunRecord, Workload,
 };
 pub use invariants::{validate_entries, validate_trace};

@@ -1,0 +1,107 @@
+//! The `--metrics` sink: collects per-run [`MetricsSnapshot`]s process-wide
+//! and writes one schema-versioned JSON document per invocation.
+//!
+//! The harness submits every run's snapshot here (a no-op until a binary
+//! installs the sink with [`install_sink`]), so the figure binaries get
+//! `--metrics` support without threading a collector through every sweep.
+//! [`write_sink`] orders the collected runs by their serialized form before
+//! writing, making the document independent of worker-thread interleaving:
+//! a same-seed re-run of any figure binary produces a byte-identical file.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+use failmpi_obs::{MetricsSnapshot, SCHEMA_VERSION};
+use serde::Serialize;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static RUNS: Mutex<Vec<MetricsSnapshot>> = Mutex::new(Vec::new());
+
+/// Starts collecting run snapshots (clears anything collected earlier).
+/// Called once by a binary when `--metrics <path>` is given.
+pub fn install_sink() {
+    RUNS.lock().expect("metrics sink lock").clear();
+    ENABLED.store(true, Ordering::Release);
+}
+
+/// Submits one run's snapshot; no-op unless the sink is installed.
+pub(crate) fn submit(snap: &MetricsSnapshot) {
+    if ENABLED.load(Ordering::Acquire) {
+        RUNS.lock().expect("metrics sink lock").push(snap.clone());
+    }
+}
+
+/// The document written by [`write_sink`].
+#[derive(Serialize)]
+struct MetricsDoc {
+    /// Snapshot schema version (see [`failmpi_obs::SCHEMA_VERSION`]).
+    schema_version: u32,
+    /// Runs collected this invocation.
+    runs: Vec<MetricsSnapshot>,
+    /// Element-wise merge of every run (sweep-level aggregate).
+    aggregate: MetricsSnapshot,
+}
+
+/// Renders the collected runs as a deterministic JSON document.
+pub fn render_sink() -> String {
+    let mut runs = RUNS.lock().expect("metrics sink lock").clone();
+    // Canonical order: sweeps run records on worker threads, so arrival
+    // order is schedule-dependent; the serialized form is not.
+    runs.sort_by_cached_key(MetricsSnapshot::to_json);
+    let mut aggregate = MetricsSnapshot::new();
+    for r in &runs {
+        aggregate.merge(r);
+    }
+    let doc = MetricsDoc {
+        schema_version: SCHEMA_VERSION,
+        runs,
+        aggregate,
+    };
+    let mut out = serde_json::to_string_pretty(&doc).expect("serializable");
+    out.push('\n');
+    out
+}
+
+/// Writes the collected runs to `path`; returns how many runs were written.
+pub fn write_sink(path: &str) -> std::io::Result<usize> {
+    let n = RUNS.lock().expect("metrics sink lock").len();
+    std::fs::write(path, render_sink())?;
+    Ok(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // One test only: the sink is process-global state and cargo runs tests
+    // of a binary concurrently, so everything exercises it in one place.
+    #[test]
+    fn sink_collects_orders_and_aggregates() {
+        assert!(!ENABLED.load(Ordering::Acquire));
+        let mut a = MetricsSnapshot::new();
+        a.set_counter("x", 2);
+        submit(&a); // not installed: dropped
+        install_sink();
+        let mut b = MetricsSnapshot::new();
+        b.set_counter("x", 5);
+        // Submit in "wrong" order; the rendered document must not care.
+        submit(&b);
+        submit(&a);
+        let doc = render_sink();
+        install_sink(); // reset
+        let v = serde_json::from_str(&doc).expect("valid json");
+        let runs = v.get("runs").and_then(|r| r.as_array()).expect("runs");
+        assert_eq!(runs.len(), 2);
+        let agg = v.get("aggregate").expect("aggregate");
+        assert_eq!(
+            agg.get("counters")
+                .and_then(|c| c.get("x"))
+                .and_then(|x| x.as_u64()),
+            Some(7)
+        );
+        assert_eq!(
+            v.get("schema_version").and_then(|s| s.as_u64()),
+            Some(u64::from(SCHEMA_VERSION))
+        );
+    }
+}

@@ -96,6 +96,7 @@ mod tests {
             traffic: Default::default(),
             fingerprint: 0,
             events: 0,
+            metrics: Default::default(),
         }
     }
 

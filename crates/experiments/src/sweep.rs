@@ -5,7 +5,7 @@
 //! OS threads drains the spec list. Results come back in spec order.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::mpsc;
 
 use crate::harness::{run_one, ExperimentSpec, RunRecord};
 
@@ -23,24 +23,36 @@ pub fn run_all(specs: &[ExperimentSpec], threads: usize) -> Vec<RunRecord> {
     }
 
     let next = AtomicUsize::new(0);
-    let results: Vec<Mutex<Option<RunRecord>>> =
-        specs.iter().map(|_| Mutex::new(None)).collect();
+    let next = &next;
+    let (tx, rx) = mpsc::channel::<(usize, RunRecord)>();
     std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|| loop {
+            let tx = tx.clone();
+            scope.spawn(move || loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= specs.len() {
                     return;
                 }
                 let record = run_one(&specs[i]);
-                *results[i].lock().expect("poisoned result slot") = Some(record);
+                if tx.send((i, record)).is_err() {
+                    return;
+                }
             });
         }
-    });
-    results
-        .into_iter()
-        .map(|m| m.into_inner().expect("poisoned").expect("worker filled it"))
-        .collect()
+        drop(tx); // workers hold the remaining senders
+
+        let mut results: Vec<Option<RunRecord>> = (0..specs.len()).map(|_| None).collect();
+        let mut filled = 0usize;
+        // The channel closes when the last worker drops its sender; a
+        // worker panic propagates out of the scope, so an incomplete
+        // result set can only mean a logic error here.
+        for (i, record) in rx {
+            results[i] = Some(record);
+            filled += 1;
+        }
+        assert_eq!(filled, specs.len(), "worker exited without reporting");
+        results.into_iter().flatten().collect()
+    })
 }
 
 /// Expands one spec into `runs` seeded copies (seed, seed+1, …).

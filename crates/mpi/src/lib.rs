@@ -46,8 +46,10 @@ pub mod collectives;
 mod interp;
 pub mod lockstep;
 mod program;
+mod stats;
 mod types;
 
 pub use interp::{Action, Interp};
 pub use program::{Op, Program, ProgramBuilder};
+pub use stats::OpStats;
 pub use types::{Rank, Tag};

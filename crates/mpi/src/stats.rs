@@ -1,0 +1,68 @@
+//! MPI-layer operation counters.
+
+use failmpi_obs::Counter;
+
+/// Per-rank (or aggregated) MPI operation counts and blocked-wait time.
+///
+/// The interpreter itself stays count-free on purpose: an [`crate::Interp`]
+/// is a checkpoint *image* — cloned on every wave, rolled back on every
+/// recovery — and rolling counters back with it would silently erase the
+/// work the failed incarnation actually performed. The runtime embedding
+/// the interpreter (which survives rollbacks) owns an `OpStats` and feeds
+/// it from the [`crate::Action`] stream instead.
+///
+/// All fields are virtual-schedule quantities, safe for deterministic
+/// snapshots. Collectives are lowered to point-to-point ops at build time
+/// (see [`crate::collectives`]), so sends/recvs here count the lowered
+/// pattern — the same accounting a channel-level MPICH profiler would see.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OpStats {
+    /// Point-to-point sends issued (includes lowered collectives).
+    pub sends: Counter,
+    /// Receives completed (a matching message arrived and unblocked or
+    /// satisfied the recv).
+    pub recvs: Counter,
+    /// Compute phases executed.
+    pub compute_phases: Counter,
+    /// Progress markers reached.
+    pub progress_marks: Counter,
+    /// Times execution blocked waiting for a message.
+    pub blocked_waits: Counter,
+    /// Total virtual microseconds spent blocked in receives.
+    pub blocked_wait_micros: Counter,
+    /// Ranks that reached `Finalized`.
+    pub finalizes: Counter,
+}
+
+impl OpStats {
+    /// Folds another stats block in (aggregation across ranks or
+    /// incarnations).
+    pub fn merge(&mut self, other: &OpStats) {
+        self.sends.merge(other.sends);
+        self.recvs.merge(other.recvs);
+        self.compute_phases.merge(other.compute_phases);
+        self.progress_marks.merge(other.progress_marks);
+        self.blocked_waits.merge(other.blocked_waits);
+        self.blocked_wait_micros.merge(other.blocked_wait_micros);
+        self.finalizes.merge(other.finalizes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_sums_fields() {
+        let mut a = OpStats::default();
+        a.sends.add(2);
+        a.blocked_wait_micros.add(100);
+        let mut b = OpStats::default();
+        b.sends.add(3);
+        b.recvs.inc();
+        a.merge(&b);
+        assert_eq!(a.sends.get(), 5);
+        assert_eq!(a.recvs.get(), 1);
+        assert_eq!(a.blocked_wait_micros.get(), 100);
+    }
+}

@@ -17,6 +17,7 @@ use crate::config::VclConfig;
 use crate::ctx::{Addrs, Cmd, Ctx, DiskStore, TrafficStats};
 use crate::dispatcher::Dispatcher;
 use crate::event::{ports, Ev};
+use crate::metrics::VclMetrics;
 use crate::scheduler::CkptScheduler;
 use crate::server::CkptServer;
 use crate::trace::{Hook, InstrumentedFn, VclEvent};
@@ -48,6 +49,7 @@ macro_rules! ctx {
             rng: &mut $self.rng,
             breakpoints: &$self.breakpoints,
             traffic: &mut $self.traffic,
+            metrics: &mut $self.metrics,
         }
     };
 }
@@ -64,6 +66,7 @@ pub struct Cluster {
     rng: SimRng,
     disk: DiskStore,
     traffic: TrafficStats,
+    metrics: VclMetrics,
     breakpoints: HashMap<ProcId, HashSet<InstrumentedFn>>,
     dispatcher: Dispatcher,
     scheduler: CkptScheduler,
@@ -138,6 +141,7 @@ impl Cluster {
             cmds: Vec::new(),
             disk: DiskStore::default(),
             traffic: TrafficStats::default(),
+            metrics: VclMetrics::default(),
             breakpoints: HashMap::new(),
             dispatcher,
             scheduler,
@@ -384,7 +388,10 @@ impl Cluster {
         // A lingering incarnation from a superseded epoch must not share
         // the rank slot; the relaunch replaces it (its death is abnormal
         // from the injection layer's point of view).
-        if let Some(old) = &self.vnodes[rank.0 as usize] {
+        if let Some(old) = self.vnodes[rank.0 as usize].take() {
+            // The replaced incarnation's MPI op counts would vanish with
+            // the slot; fold them into the run totals first.
+            self.metrics.retire_ops(&old.ops);
             if self.net.is_alive(old.proc) {
                 let (p, h) = (old.proc, old.host);
                 self.net.kill(now, p);
@@ -403,8 +410,9 @@ impl Cluster {
             Arc::clone(&self.programs[rank.0 as usize]),
             self.cfg.n_ranks,
         );
-        self.tracelog
-            .record(now, VclEvent::DaemonSpawned { rank, epoch, host });
+        let spawned = VclEvent::DaemonSpawned { rank, epoch, host };
+        self.metrics.observe(now, &spawned);
+        self.tracelog.record(now, spawned);
         // FAIL-MPI registration: the self-deploying runtime registers every
         // launched process with the local injection daemon.
         self.hooks.push(Hook::OnLoad { host, proc });
@@ -469,6 +477,7 @@ impl Cluster {
         // Pre-registration death: the dispatcher's ssh notices the launch
         // failure (there is no control stream whose closure could tell it).
         let registered = self.dispatcher.is_registered(rank);
+        self.metrics.note_daemon_death(now, rank.0);
         self.net.kill(now, proc);
         self.role_of.remove(&proc);
         self.breakpoints.remove(&proc);
@@ -496,6 +505,7 @@ impl Cluster {
     /// Kills a controlled process (the `halt` action / crash injection).
     /// Silent: the injecting daemon performed it, so no lifecycle hook.
     pub fn fail_halt(&mut self, now: SimTime, proc: ProcId) {
+        self.metrics.note_fault_injected();
         self.kill_daemon(now, proc, None);
         self.flush(now);
     }
@@ -636,6 +646,62 @@ impl Cluster {
     pub fn traffic(&self) -> TrafficStats {
         self.traffic
     }
+
+    /// The run-scoped metrics registry.
+    pub fn metrics(&self) -> &VclMetrics {
+        &self.metrics
+    }
+
+    /// Aggregated MPI op counts: every replaced daemon incarnation plus
+    /// all incarnations still holding their rank slot (alive or dead).
+    pub fn mpi_ops(&self) -> failmpi_mpi::OpStats {
+        let mut total = self.metrics.retired_ops;
+        for v in self.vnodes.iter().flatten() {
+            total.merge(&v.ops);
+        }
+        total
+    }
+
+    /// Writes this deployment's full metric set — `mpichv.*` lifecycle
+    /// counters and virtual-time histograms, `mpi.*` op counts, `net.*`
+    /// channel counters and `net.traffic.*` byte classes — into `snap`.
+    /// Everything written is a function of the simulated schedule, so
+    /// same-seed runs produce byte-identical snapshots.
+    pub fn contribute_metrics(&self, snap: &mut failmpi_obs::MetricsSnapshot) {
+        self.metrics.contribute(snap);
+
+        let ops = self.mpi_ops();
+        snap.set_counter("mpi.sends", ops.sends.get());
+        snap.set_counter("mpi.recvs", ops.recvs.get());
+        snap.set_counter("mpi.compute_phases", ops.compute_phases.get());
+        snap.set_counter("mpi.progress_marks", ops.progress_marks.get());
+        snap.set_counter("mpi.blocked_waits", ops.blocked_waits.get());
+        snap.set_counter(
+            "mpi.blocked_wait_micros",
+            ops.blocked_wait_micros.get(),
+        );
+        snap.set_counter("mpi.finalizes", ops.finalizes.get());
+
+        let net = self.net.stats();
+        snap.set_counter("net.msgs_sent", net.msgs_sent.get());
+        snap.set_counter("net.bytes_sent", net.bytes_sent.get());
+        snap.set_counter("net.sends_dropped", net.sends_dropped.get());
+        snap.set_counter("net.connects_ok", net.connects_ok.get());
+        snap.set_counter("net.connects_failed", net.connects_failed.get());
+        snap.set_counter("net.closes_graceful", net.closes_graceful.get());
+        snap.set_counter("net.conns_reset", net.conns_reset.get());
+        snap.set_counter("net.kills", net.kills.get());
+        snap.set_counter("net.deliveries", net.deliveries.get());
+        snap.set_counter("net.gate_buffered", net.gate_buffered.get());
+        snap.set_counter("net.gate_dropped", net.gate_dropped.get());
+
+        snap.set_counter("net.traffic.app_bytes", self.traffic.app_bytes);
+        snap.set_counter("net.traffic.ckpt_bytes", self.traffic.ckpt_bytes);
+        snap.set_counter(
+            "net.traffic.control_bytes",
+            self.traffic.control_bytes,
+        );
+    }
 }
 
 /// [`Model`] wrapper running a cluster without fault injection.
@@ -657,6 +723,10 @@ impl Model for ClusterModel {
 
     fn finished(&self) -> bool {
         self.cluster.is_complete()
+    }
+
+    fn event_kind(&self, event: &Ev) -> &'static str {
+        event.kind_str()
     }
 }
 

@@ -9,6 +9,7 @@ use failmpi_mpi::{Interp, Rank};
 
 use crate::config::VclConfig;
 use crate::event::Ev;
+use crate::metrics::VclMetrics;
 use crate::trace::{Hook, InstrumentedFn, VclEvent};
 use crate::wire::Wire;
 
@@ -76,6 +77,8 @@ pub(crate) struct Ctx<'a> {
     pub breakpoints: &'a HashMap<ProcId, HashSet<InstrumentedFn>>,
     /// Byte counters by traffic class.
     pub traffic: &'a mut TrafficStats,
+    /// Run-scoped metrics registry (fed from the trace-event stream).
+    pub metrics: &'a mut VclMetrics,
 }
 
 impl Ctx<'_> {
@@ -106,8 +109,10 @@ impl Ctx<'_> {
         self.out.push((self.now + delay, ev));
     }
 
-    /// Records a trace event at the current instant.
+    /// Records a trace event at the current instant. Metrics observe the
+    /// event first, so counters stay correct when trace capture is off.
     pub fn trace(&mut self, kind: VclEvent) {
+        self.metrics.observe(self.now, &kind);
         self.tracelog.record(self.now, kind);
     }
 }

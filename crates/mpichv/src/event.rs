@@ -173,6 +173,31 @@ impl FingerprintEvent for Ev {
 }
 
 impl Ev {
+    /// A static kind label, for per-event-kind handler profiling
+    /// (`failmpi_sim::Model::event_kind`).
+    pub fn kind_str(&self) -> &'static str {
+        match self {
+            Ev::Net(net) => match net {
+                NetEvent::ConnEstablished { .. } => "net.established",
+                NetEvent::Accepted { .. } => "net.accepted",
+                NetEvent::ConnectFailed { .. } => "net.connect_failed",
+                NetEvent::Delivered { .. } => "net.delivered",
+                NetEvent::Closed { .. } => "net.closed",
+            },
+            Ev::ComputeDone { .. } => "compute_done",
+            Ev::SchedTick => "sched_tick",
+            Ev::SpawnDaemon { .. } => "spawn_daemon",
+            Ev::ServerWriteDone { .. } => "server_write_done",
+            Ev::RestoreDone { .. } => "restore_done",
+            Ev::DiskLoaded { .. } => "disk_loaded",
+            Ev::LaunchFailed { .. } => "launch_failed",
+            Ev::SelfCkpt { .. } => "self_ckpt",
+            Ev::BootConnect { .. } => "boot_connect",
+            Ev::DaemonExit { .. } => "daemon_exit",
+            Ev::RetryPeerConnect { .. } => "retry_peer_connect",
+        }
+    }
+
     /// A short human label for divergence reports (the `Debug` form is too
     /// verbose for checkpoint images, which embed whole snapshots).
     pub fn label(&self) -> String {

@@ -37,6 +37,7 @@
 mod cluster;
 mod config;
 mod ctx;
+mod metrics;
 mod dispatcher;
 mod event;
 mod scheduler;
@@ -49,6 +50,7 @@ mod wire;
 
 pub use cluster::{run_standalone, Cluster, ClusterModel};
 pub use ctx::TrafficStats;
+pub use metrics::VclMetrics;
 pub use config::{CheckpointStyle, DispatcherMode, VProtocol, VclConfig};
 pub use event::Ev;
 pub use trace::{Hook, InstrumentedFn, VclEvent};

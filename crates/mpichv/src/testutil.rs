@@ -11,6 +11,7 @@ use failmpi_sim::{SimRng, SimTime, TraceLog};
 use crate::config::VclConfig;
 use crate::ctx::{Addrs, Cmd, Ctx, DiskStore, TrafficStats};
 use crate::event::Ev;
+use crate::metrics::VclMetrics;
 use crate::trace::{Hook, InstrumentedFn, VclEvent};
 use crate::wire::Wire;
 
@@ -27,6 +28,7 @@ pub(crate) struct TestWorld {
     pub rng: SimRng,
     pub breakpoints: HashMap<ProcId, HashSet<InstrumentedFn>>,
     pub traffic: TrafficStats,
+    pub metrics: VclMetrics,
 }
 
 impl TestWorld {
@@ -51,6 +53,7 @@ impl TestWorld {
             rng: SimRng::new(1),
             breakpoints: HashMap::new(),
             traffic: TrafficStats::default(),
+            metrics: VclMetrics::default(),
         }
     }
 
@@ -90,6 +93,7 @@ impl TestWorld {
             rng: &mut self.rng,
             breakpoints: &self.breakpoints,
             traffic: &mut self.traffic,
+            metrics: &mut self.metrics,
         }
     }
 }

@@ -38,8 +38,8 @@ use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::Arc;
 
 use failmpi_net::{ConnId, HostId, ProcId};
-use failmpi_sim::SimDuration;
-use failmpi_mpi::{Action, Interp, Program, Rank, Tag};
+use failmpi_sim::{SimDuration, SimTime};
+use failmpi_mpi::{Action, Interp, OpStats, Program, Rank, Tag};
 
 use crate::config::{CheckpointStyle, VProtocol};
 use crate::ctx::{Cmd, Ctx};
@@ -145,6 +145,14 @@ pub(crate) struct VNode {
     restore: Option<Restore>,
     /// A restored image waiting out the BLCR rebuild overhead.
     pending_install: Option<(ProcImage, Vec<LoggedMsg>, Option<u32>)>,
+
+    /// MPI op counts for this incarnation. Lives here — not in the
+    /// interpreter — because the interpreter is the checkpoint image and
+    /// rolls back on recovery, which would erase the counts.
+    pub ops: OpStats,
+    /// When the interpreter last reported `Blocked` (open wait interval;
+    /// closed by the next non-`Blocked` step).
+    blocked_since: Option<SimTime>,
 }
 
 impl VNode {
@@ -191,6 +199,8 @@ impl VNode {
             frozen: false,
             restore: None,
             pending_install: None,
+            ops: OpStats::default(),
+            blocked_since: None,
         }
     }
 
@@ -444,6 +454,7 @@ impl VNode {
                 match self.interp.as_mut() {
                     Some(i) => {
                         i.deliver(from, tag, bytes);
+                        self.ops.recvs.inc();
                         if self.phase == Phase::Running {
                             self.pump(ctx);
                         }
@@ -631,9 +642,11 @@ impl VNode {
         // Fig. 1): delivered as if they arrived fresh from the network.
         for m in logged {
             interp.deliver(m.from, m.tag, m.bytes);
+            self.ops.recvs.inc();
         }
         for (from, tag, bytes) in std::mem::take(&mut self.early_msgs) {
             interp.deliver(from, tag, bytes);
+            self.ops.recvs.inc();
         }
         self.interp = Some(interp);
         self.restore = None;
@@ -827,9 +840,11 @@ impl VNode {
         self.recv_seq.insert(from, cursor);
         match self.interp.as_mut() {
             Some(i) => {
+                let n = deliveries.len() as u64;
                 for (t, b) in deliveries {
                     i.deliver(from, t, b);
                 }
+                self.ops.recvs.add(n);
                 if self.phase == Phase::Running {
                     self.pump(ctx);
                 }
@@ -907,6 +922,15 @@ impl VNode {
         self.pump(ctx);
     }
 
+    /// Closes an open blocked-wait interval, charging its virtual length.
+    fn note_unblocked(&mut self, now: SimTime) {
+        if let Some(t0) = self.blocked_since.take() {
+            self.ops
+                .blocked_wait_micros
+                .add(now.saturating_since(t0).as_micros());
+        }
+    }
+
     /// Drives the MPI process until it blocks, computes, or finishes.
     pub fn pump(&mut self, ctx: &mut Ctx<'_>) {
         if self.frozen || self.busy || self.phase != Phase::Running {
@@ -918,6 +942,8 @@ impl VNode {
             };
             match interp.step() {
                 Action::Send { to, tag, bytes } => {
+                    self.note_unblocked(ctx.now);
+                    self.ops.sends.inc();
                     let from = self.rank;
                     let seq = {
                         let s = self.send_seq.entry(to).or_insert(0);
@@ -940,6 +966,8 @@ impl VNode {
                     // under V2 the logged copy is replayed on reconnect.
                 }
                 Action::Busy(d) => {
+                    self.note_unblocked(ctx.now);
+                    self.ops.compute_phases.inc();
                     self.busy_gen += 1;
                     self.busy = true;
                     let ev = Ev::ComputeDone {
@@ -950,14 +978,24 @@ impl VNode {
                     ctx.sched(d, ev);
                     return;
                 }
-                Action::Blocked { .. } => return,
+                Action::Blocked { .. } => {
+                    if self.blocked_since.is_none() {
+                        self.blocked_since = Some(ctx.now);
+                        self.ops.blocked_waits.inc();
+                    }
+                    return;
+                }
                 Action::Progress(iter) => {
+                    self.note_unblocked(ctx.now);
+                    self.ops.progress_marks.inc();
                     ctx.trace(VclEvent::AppProgress {
                         rank: self.rank,
                         iter,
                     });
                 }
                 Action::Finalized => {
+                    self.note_unblocked(ctx.now);
+                    self.ops.finalizes.inc();
                     self.phase = Phase::Finalized;
                     let (rank, proc) = (self.rank, self.proc);
                     if let Some(dc) = self.dispatcher_conn {

@@ -47,8 +47,10 @@
 
 mod config;
 mod network;
+mod stats;
 mod types;
 
 pub use config::NetConfig;
 pub use network::{Gated, Network};
+pub use stats::NetStats;
 pub use types::{CloseReason, ConnId, HostId, NetEvent, Port, ProcId};

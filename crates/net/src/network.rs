@@ -6,6 +6,7 @@ use std::mem;
 use failmpi_sim::SimTime;
 
 use crate::config::NetConfig;
+use crate::stats::NetStats;
 use crate::types::{CloseReason, ConnId, HostId, NetEvent, Port, ProcId};
 
 struct HostNic {
@@ -52,6 +53,7 @@ pub struct Network<P> {
     listeners: HashMap<(HostId, Port), ProcId>,
     conns: Vec<ConnState>,
     out: Vec<(SimTime, NetEvent<P>)>,
+    stats: NetStats,
 }
 
 impl<P> Network<P> {
@@ -64,12 +66,18 @@ impl<P> Network<P> {
             listeners: HashMap::new(),
             conns: Vec::new(),
             out: Vec::new(),
+            stats: NetStats::default(),
         }
     }
 
     /// The timing configuration.
     pub fn config(&self) -> &NetConfig {
         &self.cfg
+    }
+
+    /// Lifetime traffic counters (see [`NetStats`]).
+    pub fn stats(&self) -> &NetStats {
+        &self.stats
     }
 
     /// Adds one machine and returns its id.
@@ -190,6 +198,7 @@ impl<P> Network<P> {
         let owner = self.listeners.get(&(host, port)).copied();
         match owner.filter(|&o| self.is_alive(o)) {
             Some(acceptor) => {
+                self.stats.connects_ok.inc();
                 let conn = ConnId(self.conns.len() as u64);
                 self.conns.push(ConnState {
                     a: proc,
@@ -216,6 +225,7 @@ impl<P> Network<P> {
                 ));
             }
             None => {
+                self.stats.connects_failed.inc();
                 self.out.push((
                     now + one + one,
                     NetEvent::ConnectFailed {
@@ -235,11 +245,15 @@ impl<P> Network<P> {
     /// a TCP socket that will soon RST.
     pub fn send(&mut self, now: SimTime, conn: ConnId, from: ProcId, payload: P, bytes: u64) -> bool {
         let Some(to) = self.peer_of(conn, from) else {
+            self.stats.sends_dropped.inc();
             return false;
         };
         if !self.conn_open(conn) || !self.is_alive(from) || !self.is_alive(to) {
+            self.stats.sends_dropped.inc();
             return false;
         }
+        self.stats.msgs_sent.inc();
+        self.stats.bytes_sent.add(bytes);
         let src_host = self.host_of(from);
         let dst_host = self.host_of(to);
         let arrive = if src_host == dst_host {
@@ -278,6 +292,7 @@ impl<P> Network<P> {
             return;
         }
         c.open = false;
+        self.stats.closes_graceful.inc();
         if self.is_alive(peer) {
             let one = self.one_way(self.host_of(closer) == self.host_of(peer));
             self.out.push((
@@ -306,6 +321,7 @@ impl<P> Network<P> {
         state.suspended = false;
         state.buffer.clear();
         let host = state.host;
+        self.stats.kills.inc();
         self.listeners.retain(|_, owner| *owner != proc);
         let mut closes = Vec::new();
         for (i, c) in self.conns.iter_mut().enumerate() {
@@ -315,6 +331,7 @@ impl<P> Network<P> {
                 closes.push((ConnId(i as u64), peer));
             }
         }
+        self.stats.conns_reset.add(closes.len() as u64);
         for (conn, peer) in closes {
             if self.is_alive(peer) {
                 let one = self.one_way(self.host_of(peer) == host);
@@ -358,12 +375,19 @@ impl<P> Network<P> {
     pub fn gate(&mut self, ev: NetEvent<P>) -> Gated<P> {
         let rcpt = ev.recipient();
         match self.procs.get_mut(rcpt.0 as usize) {
-            Some(p) if p.alive && !p.suspended => Gated::Deliver(ev),
+            Some(p) if p.alive && !p.suspended => {
+                self.stats.deliveries.inc();
+                Gated::Deliver(ev)
+            }
             Some(p) if p.alive => {
                 p.buffer.push(ev);
+                self.stats.gate_buffered.inc();
                 Gated::Buffered
             }
-            _ => Gated::Dropped,
+            _ => {
+                self.stats.gate_dropped.inc();
+                Gated::Dropped
+            }
         }
     }
 
@@ -654,6 +678,27 @@ mod tests {
             evs[0].0,
             t(100) + cfg.latency + SimDuration::from_secs(675)
         );
+    }
+
+    #[test]
+    fn stats_count_connects_sends_and_closes() {
+        let (mut net, a, b, conn) = connected();
+        assert_eq!(net.stats().connects_ok.get(), 1);
+        assert!(net.send(t(1), conn, a, "m", 100));
+        assert_eq!(net.stats().msgs_sent.get(), 1);
+        assert_eq!(net.stats().bytes_sent.get(), 100);
+        for (_, ev) in net.take_events() {
+            let _ = net.gate(ev);
+        }
+        assert_eq!(net.stats().deliveries.get(), 1);
+        net.kill(t(2), b);
+        assert_eq!(net.stats().kills.get(), 1);
+        assert_eq!(net.stats().conns_reset.get(), 1);
+        assert!(!net.send(t(3), conn, a, "late", 10));
+        assert_eq!(net.stats().sends_dropped.get(), 1);
+        // Failed connect (no listener anywhere on b's old port now).
+        net.connect(t(4), a, net.host_of(b), Port(80), 0);
+        assert_eq!(net.stats().connects_failed.get(), 1);
     }
 
     #[test]

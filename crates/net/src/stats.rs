@@ -1,0 +1,52 @@
+//! Network-layer traffic counters.
+
+use failmpi_obs::Counter;
+
+/// Monotonic counters over one [`crate::Network`]'s lifetime.
+///
+/// Every field is a function of the simulated schedule (no wall-clock
+/// data), so the struct is safe to fold into deterministic metrics
+/// snapshots. Byte/message *class* accounting (application vs checkpoint
+/// vs control) lives a layer up, where payloads have meaning.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// Messages accepted by [`crate::Network::send`].
+    pub msgs_sent: Counter,
+    /// Payload bytes accepted by [`crate::Network::send`].
+    pub bytes_sent: Counter,
+    /// Sends refused (stream closed or an endpoint dead).
+    pub sends_dropped: Counter,
+    /// Connections established (listener present and alive).
+    pub connects_ok: Counter,
+    /// Connection attempts that failed (no listener, or owner dead).
+    pub connects_failed: Counter,
+    /// Streams closed gracefully by an endpoint.
+    pub closes_graceful: Counter,
+    /// Streams reset because an endpoint died.
+    pub conns_reset: Counter,
+    /// Processes killed.
+    pub kills: Counter,
+    /// Events delivered to a live, running recipient.
+    pub deliveries: Counter,
+    /// Events buffered for a suspended recipient.
+    pub gate_buffered: Counter,
+    /// Events dropped at the gate (recipient dead).
+    pub gate_dropped: Counter,
+}
+
+impl NetStats {
+    /// Folds another stats block in (aggregation across networks).
+    pub fn merge(&mut self, other: &NetStats) {
+        self.msgs_sent.merge(other.msgs_sent);
+        self.bytes_sent.merge(other.bytes_sent);
+        self.sends_dropped.merge(other.sends_dropped);
+        self.connects_ok.merge(other.connects_ok);
+        self.connects_failed.merge(other.connects_failed);
+        self.closes_graceful.merge(other.closes_graceful);
+        self.conns_reset.merge(other.conns_reset);
+        self.kills.merge(other.kills);
+        self.deliveries.merge(other.deliveries);
+        self.gate_buffered.merge(other.gate_buffered);
+        self.gate_dropped.merge(other.gate_dropped);
+    }
+}

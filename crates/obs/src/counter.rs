@@ -1,0 +1,57 @@
+//! Monotonic event counters.
+
+/// A monotonic `u64` counter.
+///
+/// Deliberately not atomic: every simulation is single-threaded, and the
+/// harness parallelism lives *across* runs, each with its own registry.
+/// An increment is one integer add — cheap enough to leave always on.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// A counter at zero.
+    pub const fn new() -> Counter {
+        Counter(0)
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(self) -> u64 {
+        self.0
+    }
+
+    /// Folds another counter in (sweep-level aggregation).
+    pub fn merge(&mut self, other: Counter) {
+        self.0 += other.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_monotonically() {
+        let mut c = Counter::new();
+        assert_eq!(c.get(), 0);
+        c.inc();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+        let mut d = Counter::new();
+        d.add(8);
+        c.merge(d);
+        assert_eq!(c.get(), 50);
+    }
+}

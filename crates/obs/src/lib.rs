@@ -1,0 +1,43 @@
+//! Run-scoped observability for the FAIL-MPI reproduction.
+//!
+//! The paper's methodology is observational — runs are classified and the
+//! dispatcher bug was isolated "by analysing the execution trace" — and
+//! the simulator's own performance story needs numbers too. This crate is
+//! the bottom layer both stand on: plain-data metric primitives with **no
+//! dependency on the simulation stack**, so every other crate (sim, net,
+//! mpi, mpichv, experiments, bench) can thread them through without
+//! cycles.
+//!
+//! Two metric families with very different determinism contracts live
+//! here, and keeping them apart is the core design rule:
+//!
+//! * **Deterministic metrics** — [`Counter`] and [`Histogram`] over
+//!   *virtual*-time quantities. These depend only on the simulated
+//!   schedule, so two same-seed runs must produce byte-identical
+//!   [`MetricsSnapshot`] JSON. They are safe to put in run records,
+//!   figure outputs and determinism tests.
+//! * **Wall-clock profiling** — [`WallProfile`] and [`peak_rss_bytes`].
+//!   These measure the *simulator*, vary run to run, and must never leak
+//!   into a deterministic snapshot. They feed the `bench-report`
+//!   pipeline only.
+//!
+//! Everything is zero-cost-when-disabled in the only place cost matters:
+//! counters and histogram records are branch-free integer arithmetic on
+//! the hot path, and wall-clock timing is gated behind
+//! [`WallProfile::is_enabled`] so a disabled profile never calls
+//! `Instant::now`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod counter;
+mod histogram;
+mod rss;
+mod snapshot;
+mod wall;
+
+pub use counter::Counter;
+pub use histogram::{Histogram, HistogramSnapshot};
+pub use rss::peak_rss_bytes;
+pub use snapshot::{MetricsSnapshot, SCHEMA_VERSION};
+pub use wall::{WallBin, WallProfile};

@@ -1,0 +1,27 @@
+//! Process peak-RSS lookup for bench reports.
+
+/// Peak resident-set size of the current process in bytes, read from
+/// `/proc/self/status` (`VmHWM`). Returns `None` on platforms without
+/// procfs — callers must treat the value as best-effort diagnostics, not
+/// data (it is wall-side information and never enters a deterministic
+/// snapshot).
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: u64 = rest.trim().trim_end_matches("kB").trim().parse().ok()?;
+            return Some(kb * 1024);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    #[cfg(target_os = "linux")]
+    fn linux_reports_a_positive_peak() {
+        let rss = super::peak_rss_bytes().expect("procfs available on linux");
+        assert!(rss > 0);
+    }
+}

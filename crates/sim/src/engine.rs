@@ -1,5 +1,7 @@
 //! The event loop: [`Model`], [`Scheduler`], and [`Engine`].
 
+use failmpi_obs::WallProfile;
+
 use crate::fingerprint::{Fingerprint, JournalEntry};
 use crate::queue::{EventQueue, TieBreak};
 use crate::time::{SimDuration, SimTime};
@@ -39,6 +41,15 @@ pub trait Model {
     fn describe_event(&self, event: &Self::Event) -> String {
         let _ = event;
         String::new()
+    }
+
+    /// A short static label classifying `event` for the per-event-kind
+    /// wall-clock handler profile (see [`Engine::enable_profiling`]).
+    /// Only consulted while profiling is on; the default lumps every
+    /// event under `"event"`.
+    fn event_kind(&self, event: &Self::Event) -> &'static str {
+        let _ = event;
+        "event"
     }
 }
 
@@ -95,6 +106,8 @@ pub struct Engine<M: Model> {
     event_budget: u64,
     fingerprint: Fingerprint,
     journal: Option<Vec<JournalEntry>>,
+    queue_hwm: usize,
+    profile: WallProfile,
 }
 
 impl<M: Model> Engine<M> {
@@ -118,6 +131,8 @@ impl<M: Model> Engine<M> {
             event_budget: Self::DEFAULT_EVENT_BUDGET,
             fingerprint: Fingerprint::new(),
             journal: None,
+            queue_hwm: 0,
+            profile: WallProfile::disabled(),
         }
     }
 
@@ -174,6 +189,29 @@ impl<M: Model> Engine<M> {
     /// Schedules an initial event from outside the model.
     pub fn schedule(&mut self, at: SimTime, event: M::Event) {
         self.queue.push(at.max(self.now), event);
+        self.queue_hwm = self.queue_hwm.max(self.queue.len());
+    }
+
+    /// High-water mark of the pending-event queue, observed after every
+    /// scheduling point. A function of the schedule alone, so it belongs
+    /// in deterministic metrics snapshots.
+    pub fn queue_depth_hwm(&self) -> usize {
+        self.queue_hwm
+    }
+
+    /// Starts attributing wall-clock handler time to
+    /// [`Model::event_kind`] labels. Off by default — a disabled profile
+    /// costs one branch per event; enabled it costs two `Instant::now`
+    /// calls per event, so only the bench pipeline turns it on.
+    pub fn enable_profiling(&mut self) {
+        self.profile.enable();
+    }
+
+    /// The wall-clock handler profile (empty unless
+    /// [`Engine::enable_profiling`] was called before running). Wall-side
+    /// data: never fold this into a deterministic snapshot.
+    pub fn profile(&self) -> &WallProfile {
+        &self.profile
     }
 
     /// Current virtual time (the instant of the last handled event).
@@ -238,10 +276,18 @@ impl<M: Model> Engine<M> {
             now: at,
             pending: Vec::new(),
         };
+        let started = self.profile.maybe_start();
+        let kind = if started.is_some() {
+            self.model.event_kind(&ev)
+        } else {
+            ""
+        };
         self.model.handle(at, ev, &mut sched);
+        self.profile.record(kind, started);
         for (t, e) in sched.pending {
             self.queue.push(t, e);
         }
+        self.queue_hwm = self.queue_hwm.max(self.queue.len());
         true
     }
 
@@ -296,7 +342,7 @@ mod tests {
         type Event = u32;
         fn handle(&mut self, now: SimTime, ev: u32, sched: &mut Scheduler<u32>) {
             self.seen.push((now, ev));
-            if ev > 0 && ev % 2 == 0 {
+            if ev > 0 && ev.is_multiple_of(2) {
                 sched.after(SimDuration::from_secs(1), ev / 2);
             }
         }
@@ -446,6 +492,61 @@ mod tests {
         let taken = e.take_fingerprint_journal();
         assert_eq!(taken.len() as u64, e.events_handled());
         assert!(e.fingerprint_journal().is_empty());
+    }
+
+    #[test]
+    fn queue_hwm_tracks_peak_pending() {
+        let mut e = engine();
+        assert_eq!(e.queue_depth_hwm(), 0);
+        e.schedule(SimTime::from_secs(1), 1);
+        e.schedule(SimTime::from_secs(2), 3);
+        e.schedule(SimTime::from_secs(3), 5);
+        assert_eq!(e.queue_depth_hwm(), 3);
+        e.run(SimTime::MAX);
+        // Draining never raises the mark; odd events spawn nothing.
+        assert_eq!(e.queue_depth_hwm(), 3);
+    }
+
+    #[test]
+    fn queue_hwm_is_schedule_deterministic() {
+        let run = || {
+            let mut e = engine();
+            e.schedule(SimTime::ZERO, 8);
+            e.schedule(SimTime::ZERO, 64);
+            e.run(SimTime::MAX);
+            e.queue_depth_hwm()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn profiling_is_opt_in_and_labels_kinds() {
+        let mut e = engine();
+        e.schedule(SimTime::ZERO, 8);
+        e.run(SimTime::MAX);
+        assert_eq!(e.profile().bins().count(), 0, "off by default");
+
+        struct Labeled;
+        impl Model for Labeled {
+            type Event = u32;
+            fn handle(&mut self, _: SimTime, _: u32, _: &mut Scheduler<u32>) {}
+            fn event_kind(&self, ev: &u32) -> &'static str {
+                if ev.is_multiple_of(2) {
+                    "even"
+                } else {
+                    "odd"
+                }
+            }
+        }
+        let mut e = Engine::new(Labeled);
+        e.enable_profiling();
+        for v in 0..5u32 {
+            e.schedule(SimTime::from_secs(v as u64), v);
+        }
+        e.run(SimTime::MAX);
+        let bins: std::collections::BTreeMap<_, _> = e.profile().bins().collect();
+        assert_eq!(bins["even"].count, 3);
+        assert_eq!(bins["odd"].count, 2);
     }
 
     #[test]
