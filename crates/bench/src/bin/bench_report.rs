@@ -10,10 +10,14 @@
 //!   simulator throughput (events/sec) and the per-event-kind handler
 //!   profile;
 //! - every figure sweep at smoke fidelity, reporting wall time per figure;
+//! - a causal-tracing overhead pair: two representative scenarios timed
+//!   with the engine's happens-before tracing off and on
+//!   ([`failmpi_experiments::run_one_traced`]), so the cost of `--trace-out`
+//!   — and the zero-cost claim of the disabled path — stays measured;
 //! - process totals (total wall time, peak RSS via `VmHWM`).
 //!
 //! ```text
-//! cargo run --release -p failmpi-bench --bin bench-report -- --out BENCH_pr3.json
+//! cargo run --release -p failmpi-bench --bin bench-report -- --out BENCH_pr4.json
 //! ```
 //!
 //! Wall-clock numbers are machine-dependent by nature and are kept strictly
@@ -26,12 +30,14 @@ use std::time::Instant;
 use serde::Serialize;
 
 use failmpi_experiments::figures::{ablation, delay, fig11, fig5, fig6, fig7, fig9, lbh04};
-use failmpi_experiments::robustness::scenario_suite;
-use failmpi_experiments::run_one_profiled;
+use failmpi_experiments::robustness::{fault_free_smoke_spec, fig10_stress_spec, scenario_suite};
+use failmpi_experiments::{run_one, run_one_profiled, run_one_traced, ExperimentSpec};
+use failmpi_mpichv::DispatcherMode;
 use failmpi_obs::peak_rss_bytes;
 
-/// Schema version of the report document.
-const SCHEMA_VERSION: u32 = 1;
+/// Schema version of the report document. v2 added the `tracing`
+/// (causal-tracing overhead) section.
+const SCHEMA_VERSION: u32 = 2;
 
 #[derive(Serialize)]
 struct HandlerBin {
@@ -58,11 +64,26 @@ struct FigureBench {
 }
 
 #[derive(Serialize)]
+struct TracingBench {
+    name: String,
+    events: u64,
+    /// Events/sec with causal tracing off (the default engine path).
+    off_events_per_sec: f64,
+    /// Events/sec with causal tracing on (`--trace-out` runs).
+    on_events_per_sec: f64,
+    /// `on / off` throughput ratio; < 1.0 is the cost of tracing.
+    on_off_ratio: f64,
+    /// Happens-before nodes the traced run recorded.
+    trace_nodes: u64,
+}
+
+#[derive(Serialize)]
 struct BenchReport {
     schema_version: u32,
     seed: u64,
     scenarios: Vec<ScenarioBench>,
     figures: Vec<FigureBench>,
+    tracing: Vec<TracingBench>,
     total_wall_nanos: u64,
     peak_rss_bytes: Option<u64>,
 }
@@ -74,7 +95,7 @@ struct Options {
 
 fn parse(args: impl Iterator<Item = String>) -> Result<Options, String> {
     let mut o = Options {
-        out: "BENCH_pr3.json".to_string(),
+        out: "BENCH_pr4.json".to_string(),
         seed: 0xB_EAC4,
     };
     let mut args = args.peekable();
@@ -135,6 +156,61 @@ fn bench_scenarios(seed: u64) -> Vec<ScenarioBench> {
         .collect()
 }
 
+/// Best-of-N wall-clock reps (minimum is the standard noise-robust pick
+/// for micro-ish timings).
+const TRACING_REPS: u32 = 3;
+
+fn best_events_per_sec(events: u64, run: impl Fn()) -> f64 {
+    let mut best = f64::MAX;
+    for _ in 0..TRACING_REPS {
+        let start = Instant::now();
+        run();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    if best > 0.0 {
+        events as f64 / best
+    } else {
+        0.0
+    }
+}
+
+fn bench_tracing_pair(name: &str, spec: &ExperimentSpec) -> TracingBench {
+    let baseline = run_one(spec);
+    let traced = run_one_traced(spec);
+    assert_eq!(
+        baseline.fingerprint, traced.record.fingerprint,
+        "causal tracing must not perturb the schedule"
+    );
+    let off = best_events_per_sec(baseline.events, || {
+        run_one(spec);
+    });
+    let on = best_events_per_sec(baseline.events, || {
+        run_one_traced(spec);
+    });
+    let ratio = if off > 0.0 { on / off } else { 0.0 };
+    println!(
+        "tracing  {name:<24} off {off:>12.0} ev/s  on {on:>12.0} ev/s  ratio {ratio:.3}",
+    );
+    TracingBench {
+        name: name.to_string(),
+        events: baseline.events,
+        off_events_per_sec: off,
+        on_events_per_sec: on,
+        on_off_ratio: ratio,
+        trace_nodes: traced.causal.len() as u64,
+    }
+}
+
+fn bench_tracing(seed: u64) -> Vec<TracingBench> {
+    vec![
+        bench_tracing_pair("fault_free", &fault_free_smoke_spec(seed)),
+        bench_tracing_pair(
+            "fig10_historical",
+            &fig10_stress_spec(DispatcherMode::Historical, seed),
+        ),
+    ]
+}
+
 fn bench_figure(name: &str, run: impl FnOnce()) -> FigureBench {
     let start = Instant::now();
     run();
@@ -192,6 +268,7 @@ fn main() -> ExitCode {
     let start = Instant::now();
     let scenarios = bench_scenarios(opts.seed);
     let figures = bench_figures();
+    let tracing = bench_tracing(opts.seed);
     let total = start.elapsed();
 
     let report = BenchReport {
@@ -199,6 +276,7 @@ fn main() -> ExitCode {
         seed: opts.seed,
         scenarios,
         figures,
+        tracing,
         total_wall_nanos: u64::try_from(total.as_nanos()).unwrap_or(u64::MAX),
         peak_rss_bytes: peak_rss_bytes(),
     };

@@ -68,6 +68,7 @@ struct Options {
     seed: u64,
     json: Option<String>,
     metrics: Option<String>,
+    trace_out: Option<String>,
 }
 
 fn parse(args: impl Iterator<Item = String>) -> Result<Options, String> {
@@ -76,6 +77,7 @@ fn parse(args: impl Iterator<Item = String>) -> Result<Options, String> {
         seed: 0x50AC,
         json: None,
         metrics: None,
+        trace_out: None,
     };
     let mut args = args.peekable();
     while let Some(a) = args.next() {
@@ -94,9 +96,13 @@ fn parse(args: impl Iterator<Item = String>) -> Result<Options, String> {
             }
             "--json" => o.json = Some(args.next().ok_or("--json needs a path")?),
             "--metrics" => o.metrics = Some(args.next().ok_or("--metrics needs a path")?),
+            "--trace-out" => {
+                o.trace_out = Some(args.next().ok_or("--trace-out needs a path")?)
+            }
             "--help" | "-h" => {
                 return Err(
-                    "usage: soak [--runs N] [--seed S] [--json PATH] [--metrics PATH]"
+                    "usage: soak [--runs N] [--seed S] [--json PATH] [--metrics PATH] \
+                     [--trace-out PATH]"
                         .to_string(),
                 )
             }
@@ -123,6 +129,12 @@ fn main() -> ExitCode {
     };
     if opts.metrics.is_some() {
         failmpi_experiments::metrics::install_sink();
+    }
+    // The sink claims the first run to start — here the first FIFO
+    // double-run of the first scenario, which runs before any perturbation
+    // sweep, so the captured trace is deterministic.
+    if opts.trace_out.is_some() {
+        failmpi_experiments::tracesink::install_sink();
     }
 
     let scenarios = vec![
@@ -205,6 +217,16 @@ fn main() -> ExitCode {
     if let Some(path) = &opts.metrics {
         match failmpi_experiments::metrics::write_sink(path) {
             Ok(n) => eprintln!("metrics: wrote {n} run snapshots to {path}"),
+            Err(e) => {
+                eprintln!("cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if let Some(path) = &opts.trace_out {
+        match failmpi_experiments::tracesink::write_sink(path) {
+            Ok(true) => eprintln!("trace: wrote causal trace to {path}"),
+            Ok(false) => eprintln!("trace: no run executed, {path} not written"),
             Err(e) => {
                 eprintln!("cannot write {path}: {e}");
                 return ExitCode::FAILURE;

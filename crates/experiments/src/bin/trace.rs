@@ -4,15 +4,21 @@
 //! ```sh
 //! trace <scenario.fail> [--adversary CLASS] [--machines CLASS]
 //!       [--ranks N] [--seed S] [--param NAME=VALUE]... [--lifecycle]
-//!       [--smoke]
+//!       [--smoke] [--trace-out PATH]
 //! ```
+//!
+//! The run always executes with causal tracing on, so timeline failure
+//! lines carry their immediate cause; `--trace-out PATH` additionally
+//! writes the full happens-before trace for `failmpi-trace`
+//! explain/export/diff.
 
 use failmpi_sim::{SimDuration, SimTime};
 use failmpi_mpichv::VclConfig;
 use failmpi_workloads::BtClass;
 
-use failmpi_experiments::harness::{run_one_keeping_cluster, ExperimentSpec, InjectionSpec, Workload};
-use failmpi_experiments::timeline::{render, TimelineOptions};
+use failmpi_experiments::harness::{run_one_traced, ExperimentSpec, InjectionSpec, Workload};
+use failmpi_experiments::timeline::{render_caused, TimelineOptions};
+use failmpi_experiments::tracesink::trace_file_of;
 
 fn die(msg: &str) -> ! {
     eprintln!("trace: {msg}");
@@ -22,7 +28,7 @@ fn die(msg: &str) -> ! {
 fn main() {
     let mut args = std::env::args().skip(1);
     let Some(path) = args.next() else {
-        die("usage: trace <scenario.fail> [--adversary C] [--machines C] [--ranks N] [--seed S] [--param N=V]... [--lifecycle] [--smoke]");
+        die("usage: trace <scenario.fail> [--adversary C] [--machines C] [--ranks N] [--seed S] [--param N=V]... [--lifecycle] [--smoke] [--trace-out PATH]");
     };
     let mut adversary = "ADV1".to_string();
     let mut machines = "ADVnodes".to_string();
@@ -31,6 +37,7 @@ fn main() {
     let mut params: Vec<(String, i64)> = Vec::new();
     let mut lifecycle = false;
     let mut smoke = true;
+    let mut trace_out: Option<String> = None;
     while let Some(a) = args.next() {
         match a.as_str() {
             "--adversary" => adversary = args.next().unwrap_or_else(|| die("--adversary needs a class")),
@@ -56,6 +63,10 @@ fn main() {
             "--lifecycle" => lifecycle = true,
             "--smoke" => smoke = true,
             "--paper" => smoke = false,
+            "--trace-out" => {
+                trace_out =
+                    Some(args.next().unwrap_or_else(|| die("--trace-out needs a path")))
+            }
             other => die(&format!("unknown flag `{other}`")),
         }
     }
@@ -69,9 +80,11 @@ fn main() {
         c.terminate_delay = SimDuration::from_millis(30);
         (c, BtClass::S, 90)
     } else {
-        let mut c = VclConfig::default();
-        c.n_ranks = ranks;
-        c.n_compute_hosts = ranks as usize + 4;
+        let c = VclConfig {
+            n_ranks: ranks,
+            n_compute_hosts: ranks as usize + 4,
+            ..VclConfig::default()
+        };
         (c, BtClass::B, 1500)
     };
     let mut inj = InjectionSpec::new(&src, &adversary, &machines);
@@ -87,19 +100,30 @@ fn main() {
         seed,
         tie_break: failmpi_sim::TieBreak::Fifo,
     };
-    let (record, cluster) = run_one_keeping_cluster(&spec);
+    let traced = run_one_traced(&spec);
     print!(
         "{}",
-        render(
-            &cluster,
+        render_caused(
+            &traced.cluster,
+            Some(&traced.causal),
             TimelineOptions {
                 collapse_progress: true,
                 lifecycle,
             }
         )
     );
+    let record = &traced.record;
     println!(
         "\nverdict: {:?} ({} faults injected, {} recoveries, {} waves committed)",
         record.outcome, record.faults_injected, record.recoveries, record.waves_committed
     );
+    if let Some(out) = trace_out {
+        let name = std::path::Path::new(&path)
+            .file_stem()
+            .map_or_else(|| "trace".to_string(), |s| s.to_string_lossy().into_owned());
+        let trace = trace_file_of(&name, seed, &traced);
+        std::fs::write(&out, trace.to_json())
+            .unwrap_or_else(|e| die(&format!("cannot write {out}: {e}")));
+        eprintln!("trace: wrote causal trace to {out} (inspect with failmpi-trace)");
+    }
 }

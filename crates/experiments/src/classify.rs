@@ -121,10 +121,7 @@ mod tests {
     use failmpi_mpi::Rank;
 
     fn e(at_s: u64, kind: VclEvent) -> TraceEntry<VclEvent> {
-        TraceEntry {
-            at: SimTime::from_secs(at_s),
-            kind,
-        }
+        TraceEntry::new(SimTime::from_secs(at_s), kind)
     }
 
     const TIMEOUT: SimTime = SimTime::from_secs(1500);

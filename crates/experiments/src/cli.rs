@@ -20,6 +20,10 @@ pub struct Options {
     /// the process-wide default so every spec the binary builds picks it
     /// up.
     pub lint: Option<LintMode>,
+    /// Run the first experiment with causal tracing on and write its
+    /// happens-before trace as `failmpi-trace` JSON to this path (see
+    /// [`crate::tracesink`]).
+    pub trace_out: Option<String>,
 }
 
 impl Options {
@@ -49,6 +53,9 @@ impl Options {
                 "--metrics" => {
                     o.metrics = Some(args.next().ok_or("--metrics needs a path")?)
                 }
+                "--trace-out" => {
+                    o.trace_out = Some(args.next().ok_or("--trace-out needs a path")?)
+                }
                 "--lint" => {
                     let mode = args
                         .next()
@@ -60,7 +67,7 @@ impl Options {
                 }
                 "--help" | "-h" => {
                     return Err("usage: [--smoke] [--runs N] [--threads N] [--json PATH] \
-                                [--metrics PATH] [--lint off|warn|strict]"
+                                [--metrics PATH] [--trace-out PATH] [--lint off|warn|strict]"
                         .to_string())
                 }
                 other => return Err(format!("unknown flag `{other}`")),
@@ -95,6 +102,27 @@ impl Options {
         }
         Ok(())
     }
+
+    /// Arms the process-wide causal-trace sink if `--trace-out` was given.
+    /// Call before running any experiment.
+    pub fn install_trace_sink(&self) {
+        if self.trace_out.is_some() {
+            crate::tracesink::install_sink();
+        }
+    }
+
+    /// Writes the captured causal trace if `--trace-out` was given. Call
+    /// after the last experiment finished.
+    pub fn maybe_write_trace(&self) -> std::io::Result<()> {
+        if let Some(path) = &self.trace_out {
+            if crate::tracesink::write_sink(path)? {
+                eprintln!("trace: wrote causal trace to {path} (inspect with failmpi-trace)");
+            } else {
+                eprintln!("trace: no run executed, {path} not written");
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -109,7 +137,7 @@ mod tests {
     fn parses_flags() {
         let o = parse(&[
             "--smoke", "--runs", "3", "--threads", "2", "--json", "x.json", "--metrics",
-            "m.json",
+            "m.json", "--trace-out", "t.json",
         ])
         .unwrap();
         assert!(o.smoke);
@@ -117,6 +145,7 @@ mod tests {
         assert_eq!(o.threads, Some(2));
         assert_eq!(o.json.as_deref(), Some("x.json"));
         assert_eq!(o.metrics.as_deref(), Some("m.json"));
+        assert_eq!(o.trace_out.as_deref(), Some("t.json"));
     }
 
     #[test]
@@ -125,6 +154,7 @@ mod tests {
         assert!(parse(&["--runs"]).is_err());
         assert!(parse(&["--runs", "abc"]).is_err());
         assert!(parse(&["--metrics"]).is_err());
+        assert!(parse(&["--trace-out"]).is_err());
     }
 
     #[test]

@@ -50,9 +50,10 @@ pub(crate) use figure_config;
 
 /// The shared `main` of every figure binary: parses the common CLI flags,
 /// picks the smoke or paper config, applies `--runs`/`--threads`, installs
-/// the `--metrics` sink, runs the sweep, prints the rendered figure, and
-/// writes the `--json` / `--metrics` outputs. Exits with status 2 on a CLI
-/// error, so each binary's `main` is a single call.
+/// the `--metrics` and `--trace-out` sinks, runs the sweep, prints the
+/// rendered figure, and writes the `--json` / `--metrics` / `--trace-out`
+/// outputs. Exits with status 2 on a CLI error, so each binary's `main` is
+/// a single call.
 pub fn run_figure_main<C: FigureConfig, D: serde::Serialize>(
     pick: impl FnOnce(bool) -> C,
     run: impl FnOnce(&C) -> D,
@@ -73,10 +74,12 @@ pub fn run_figure_main<C: FigureConfig, D: serde::Serialize>(
         *cfg.threads_mut() = t;
     }
     opts.install_metrics_sink();
+    opts.install_trace_sink();
     let data = run(&cfg);
     print!("{}", render(&data));
     opts.maybe_write_json(&data).expect("write json");
     opts.maybe_write_metrics().expect("write metrics");
+    opts.maybe_write_trace().expect("write trace");
 }
 
 /// The Fig. 5(a) fault-frequency scenario source.

@@ -13,7 +13,7 @@ use failmpi_core::{compile, Deployment, FailAction, FailInput, FailRuntime};
 use failmpi_net::{HostId, ProcId};
 use failmpi_obs::{MetricsSnapshot, WallProfile};
 use failmpi_sim::{
-    Engine, Fingerprint, FingerprintEvent, JournalEntry, Model, RunOutcome, Scheduler,
+    CausalLog, Engine, Fingerprint, FingerprintEvent, JournalEntry, Model, RunOutcome, Scheduler,
     SimDuration, SimRng, SimTime, TieBreak,
 };
 use failmpi_mpi::Program;
@@ -455,6 +455,7 @@ impl Model for World {
     type Event = WEv;
 
     fn handle(&mut self, now: SimTime, ev: WEv, sched: &mut Scheduler<WEv>) {
+        self.cluster.set_event_cause(sched.current_event());
         match ev {
             WEv::C(e) => self.cluster.dispatch(now, e),
             WEv::FailTimer {
@@ -534,6 +535,23 @@ impl Model for World {
             WEv::FailMsg { .. } => "fail_msg",
         }
     }
+
+    fn event_track(&self, event: &WEv) -> u32 {
+        match event {
+            WEv::C(e) => self.cluster.track_of(e),
+            // The FAIL-MPI injection side gets its own lane, after every
+            // cluster lane.
+            WEv::FailTimer { .. } | WEv::FailMsg { .. } => self.cluster.n_tracks(),
+        }
+    }
+}
+
+/// Track names for the harness world: the cluster lanes plus the FAIL-MPI
+/// injection lane (matching [`Model::event_track`] on the world).
+pub fn world_track_names(cluster: &Cluster) -> Vec<String> {
+    let mut names = cluster.track_names();
+    names.push("fail-mpi".to_string());
+    names
 }
 
 /// Relative compute noise baked into every experiment workload (models OS
@@ -587,8 +605,8 @@ pub fn run_one_instrumented(
     spec: &ExperimentSpec,
     capture_journal: bool,
 ) -> (RunRecord, Cluster, Option<Vec<JournalEntry>>) {
-    let (record, cluster, journal, _) = run_inner(spec, capture_journal, false);
-    (record, cluster, journal)
+    let out = run_inner(spec, capture_journal, false, false);
+    (out.record, out.cluster, out.journal)
 }
 
 /// Like [`run_one`], with the engine's wall-clock handler profiling on:
@@ -596,15 +614,52 @@ pub fn run_one_instrumented(
 /// `bench-report`; the profile is wall-clock data and must never be mixed
 /// into the deterministic [`RunRecord::metrics`] snapshot.
 pub fn run_one_profiled(spec: &ExperimentSpec) -> (RunRecord, WallProfile) {
-    let (record, _, _, profile) = run_inner(spec, false, true);
-    (record, profile)
+    let out = run_inner(spec, false, true, false);
+    (out.record, out.profile)
 }
 
-fn run_inner(
-    spec: &ExperimentSpec,
-    capture_journal: bool,
-    profile: bool,
-) -> (RunRecord, Cluster, Option<Vec<JournalEntry>>, WallProfile) {
+/// A run with the engine's happens-before log captured.
+pub struct TracedRun {
+    /// The classified run.
+    pub record: RunRecord,
+    /// Final cluster state (semantic [`failmpi_mpichv::VclEvent`] trace,
+    /// cause-anchored into the causal log).
+    pub cluster: Cluster,
+    /// The happens-before DAG over every handled engine event.
+    pub causal: CausalLog,
+    /// Track names matching the causal nodes' track indices.
+    pub track_names: Vec<String>,
+}
+
+/// Like [`run_one_keeping_cluster`], with causal (happens-before) tracing
+/// on: every engine event records the event that scheduled it, and every
+/// [`failmpi_mpichv::VclEvent`] records the engine event it was emitted
+/// under. The input to `failmpi-trace` exports and explanations.
+pub fn run_one_traced(spec: &ExperimentSpec) -> TracedRun {
+    let out = run_inner(spec, false, false, true);
+    let track_names = world_track_names(&out.cluster);
+    TracedRun {
+        record: out.record,
+        cluster: out.cluster,
+        causal: out.causal,
+        track_names,
+    }
+}
+
+struct InnerRun {
+    record: RunRecord,
+    cluster: Cluster,
+    journal: Option<Vec<JournalEntry>>,
+    profile: WallProfile,
+    causal: CausalLog,
+}
+
+fn run_inner(spec: &ExperimentSpec, capture_journal: bool, profile: bool, causal: bool) -> InnerRun {
+    // The `--trace-out` sink claims exactly one run per invocation; the
+    // claimed run pays for causal tracing, every other run keeps the
+    // zero-overhead disabled path (see `crate::tracesink`).
+    let trace_claimed = crate::tracesink::claim();
+    let causal = causal || trace_claimed;
     let programs = programs_for(spec);
     let cluster = Cluster::new(spec.cluster.clone(), programs, spec.seed);
 
@@ -664,6 +719,9 @@ fn run_inner(
     if profile {
         engine.enable_profiling();
     }
+    if causal {
+        engine.enable_causal_trace();
+    }
     // Initial cluster events.
     for (t, e) in engine.model_mut().cluster.take_outputs() {
         engine.schedule(t, WEv::C(e));
@@ -704,6 +762,7 @@ fn run_inner(
     let queue_hwm = engine.queue_depth_hwm();
     let wall_profile = engine.profile().clone();
     let journal = capture_journal.then(|| engine.take_fingerprint_journal());
+    let causal_log = engine.take_causal_log();
     let world = engine.into_model();
     let outcome = classify(
         &world.cluster,
@@ -740,7 +799,24 @@ fn run_inner(
         events,
         metrics,
     };
-    (record, world.cluster, journal, wall_profile)
+    if trace_claimed {
+        crate::tracesink::submit(crate::tracesink::build_trace_file(
+            &format!("seed-{}", spec.seed),
+            spec.seed,
+            &record.outcome,
+            end.as_micros(),
+            &world.cluster,
+            &causal_log,
+            &world_track_names(&world.cluster),
+        ));
+    }
+    InnerRun {
+        record,
+        cluster: world.cluster,
+        journal,
+        profile: wall_profile,
+        causal: causal_log,
+    }
 }
 
 /// The engine outcome of a run (exposed for tests that need raw outcomes).

@@ -198,10 +198,7 @@ mod tests {
     use failmpi_net::HostId;
 
     fn e(at_s: u64, kind: VclEvent) -> TraceEntry<VclEvent> {
-        TraceEntry {
-            at: SimTime::from_secs(at_s),
-            kind,
-        }
+        TraceEntry::new(SimTime::from_secs(at_s), kind)
     }
 
     /// A small coherent story: spawn/register two daemons, run, survive one

@@ -33,10 +33,12 @@ pub mod robustness;
 pub mod timeline;
 pub mod stats;
 pub mod sweep;
+pub mod tracesink;
 
 pub use classify::{classify_entries, Outcome};
 pub use harness::{
     lint_injection, run_one, run_one_instrumented, run_one_keeping_cluster, run_one_profiled,
-    try_run_one, ExperimentSpec, InjectionSpec, LintMode, RunRecord, Workload,
+    run_one_traced, try_run_one, ExperimentSpec, InjectionSpec, LintMode, RunRecord, TracedRun,
+    Workload,
 };
 pub use invariants::{validate_entries, validate_trace};

@@ -7,7 +7,7 @@
 
 use std::fmt::Write;
 
-use failmpi_sim::TraceEntry;
+use failmpi_sim::CausalLog;
 use failmpi_mpichv::{Cluster, VclEvent};
 
 /// Rendering options.
@@ -47,9 +47,18 @@ fn flush_progress(
 
 /// Renders the cluster's trace as a timeline.
 pub fn render(cluster: &Cluster, opts: TimelineOptions) -> String {
+    render_caused(cluster, None, opts)
+}
+
+/// Like [`render`], annotating each failure line with its immediate cause
+/// from the happens-before log (the engine event whose handling detected
+/// the failure) — run the experiment through
+/// [`crate::harness::run_one_traced`] to capture one.
+pub fn render_caused(cluster: &Cluster, causal: Option<&CausalLog>, opts: TimelineOptions) -> String {
     let mut out = String::new();
     let mut pending: Option<(f64, f64, u32, u32)> = None;
-    for TraceEntry { at, kind } in cluster.trace().entries() {
+    for entry in cluster.trace().entries() {
+        let (at, kind) = (&entry.at, &entry.kind);
         let t = at.as_secs_f64();
         if opts.collapse_progress {
             if let VclEvent::AppProgress { iter, .. } = kind {
@@ -95,10 +104,17 @@ pub fn render(cluster: &Cluster, opts: TimelineOptions) -> String {
                 epoch,
                 during_recovery,
             } => {
+                // Annotate the freeze-relevant line with its immediate
+                // cause: the engine event whose handling detected the
+                // failure (a socket closure, per the paper's detector).
+                let via = causal
+                    .and_then(|log| entry.cause.and_then(|id| log.node(id)))
+                    .map(|n| format!("  [cause: {}]", n.label))
+                    .unwrap_or_default();
                 if *during_recovery {
-                    format!("FAILURE       rank {rank} epoch {epoch}  ** during recovery: the bug window **")
+                    format!("FAILURE       rank {rank} epoch {epoch}  ** during recovery: the bug window **{via}")
                 } else {
-                    format!("failure       rank {rank} epoch {epoch}")
+                    format!("failure       rank {rank} epoch {epoch}{via}")
                 }
             }
             VclEvent::RecoveryStarted { epoch } => format!("recovery      -> epoch {epoch}"),

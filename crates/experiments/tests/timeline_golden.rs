@@ -14,11 +14,9 @@
 
 use std::path::PathBuf;
 
-use failmpi_experiments::harness::{
-    run_one_keeping_cluster, ExperimentSpec, InjectionSpec, Workload,
-};
+use failmpi_experiments::harness::{run_one_traced, ExperimentSpec, InjectionSpec, Workload};
 use failmpi_experiments::figures::FIG5_SRC;
-use failmpi_experiments::timeline::{render, TimelineOptions};
+use failmpi_experiments::timeline::{render_caused, TimelineOptions};
 use failmpi_sim::{SimDuration, SimTime};
 use failmpi_mpichv::VclConfig;
 use failmpi_workloads::BtClass;
@@ -68,28 +66,35 @@ fn check_golden(name: &str, actual: &str) {
 }
 
 /// Default rendering (progress collapsed, lifecycle noise hidden) of a
-/// clean fault-free run.
+/// clean fault-free run, with causal annotations on (a fault-free run has
+/// no failure lines, so the causal log must not change the output).
 #[test]
 fn collapsed_progress_timeline_matches_golden() {
-    let (_, cluster) = run_one_keeping_cluster(&spec(7));
-    let text = render(&cluster, TimelineOptions::default());
+    let traced = run_one_traced(&spec(7));
+    let text = render_caused(&traced.cluster, Some(&traced.causal), TimelineOptions::default());
     assert!(text.contains("JOB COMPLETE"), "{text}");
     check_golden("timeline_collapsed.txt", &text);
 }
 
 /// Lifecycle rendering (spawns, registrations, resumes, finalizes) of a
-/// faulty run — the variant that shows relaunches after failures.
+/// faulty run — the variant that shows relaunches after failures, with
+/// every failure line annotated with its immediate cause.
 #[test]
 fn lifecycle_timeline_matches_golden() {
-    let (record, cluster) = run_one_keeping_cluster(&faulty_spec(7));
-    assert!(record.faults_injected > 0, "scenario must inject");
-    let text = render(
-        &cluster,
+    let traced = run_one_traced(&faulty_spec(7));
+    assert!(traced.record.faults_injected > 0, "scenario must inject");
+    let text = render_caused(
+        &traced.cluster,
+        Some(&traced.causal),
         TimelineOptions {
             collapse_progress: true,
             lifecycle: true,
         },
     );
     assert!(text.contains("spawn"), "{text}");
+    assert!(
+        text.contains("[cause: "),
+        "failure lines must carry their immediate cause:\n{text}"
+    );
     check_golden("timeline_lifecycle.txt", &text);
 }

@@ -1,0 +1,73 @@
+//! Golden-file test for the Perfetto (Chrome trace-event) export.
+//!
+//! Pins the exported JSON of one tiny builtin scenario — a two-rank
+//! fixed-program run, small enough that the whole export stays readable —
+//! so the event layout (per-component lanes, flow arrows on cross-lane
+//! cause edges, semantic instants) is part of the repo's contract, the
+//! same way the timeline goldens pin the human-facing text.
+//!
+//! To regenerate after an intentional format change:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p failmpi-experiments --test trace_golden
+//! ```
+
+use std::path::PathBuf;
+
+use failmpi_experiments::harness::{run_one_traced, ExperimentSpec, Workload};
+use failmpi_experiments::tracesink::trace_file_of;
+use failmpi_sim::{SimDuration, SimTime};
+use failmpi_mpi::ProgramBuilder;
+use failmpi_mpichv::VclConfig;
+
+/// The smallest interesting run: two ranks, two compute/progress rounds,
+/// no checkpoints (period past the runtime), no faults.
+fn tiny_spec() -> ExperimentSpec {
+    let program = ProgramBuilder::new(1 << 10)
+        .compute(SimDuration::from_millis(50))
+        .progress(1)
+        .compute(SimDuration::from_millis(50))
+        .progress(1)
+        .finalize();
+    let mut cluster = VclConfig::small(2, SimDuration::from_secs(60));
+    cluster.ssh_stagger = SimDuration::from_millis(20);
+    cluster.restart_overhead = SimDuration::from_millis(400);
+    cluster.terminate_delay = SimDuration::from_millis(30);
+    ExperimentSpec {
+        cluster,
+        workload: Workload::Fixed(vec![program.clone(), program]),
+        injection: None,
+        timeout: SimTime::from_secs(30),
+        freeze_window: SimDuration::from_secs(3),
+        seed: 11,
+        tie_break: failmpi_sim::TieBreak::Fifo,
+    }
+}
+
+fn check_golden(name: &str, actual: &str) {
+    let path: PathBuf = [env!("CARGO_MANIFEST_DIR"), "tests", "golden", name]
+        .iter()
+        .collect();
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&path, actual).expect("write golden");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden file {}: {e}", path.display()));
+    assert_eq!(
+        actual,
+        expected,
+        "{name}: exported trace differs from the golden file \
+         (UPDATE_GOLDEN=1 regenerates after an intentional change)"
+    );
+}
+
+#[test]
+fn perfetto_export_matches_golden() {
+    let traced = run_one_traced(&tiny_spec());
+    assert!(traced.record.outcome.time().is_some(), "tiny run completes");
+    let trace = trace_file_of("perfetto-golden", 11, &traced);
+    trace.check_invariants().expect("exported trace is sound");
+    let perfetto = failmpi_trace::perfetto::export(&trace);
+    check_golden("perfetto_tiny.json", &perfetto);
+}

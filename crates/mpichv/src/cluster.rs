@@ -571,6 +571,69 @@ impl Cluster {
         &self.tracelog
     }
 
+    /// Sets the happens-before anchor stamped onto subsequently recorded
+    /// [`VclEvent`]s: the engine event currently being dispatched. A no-op
+    /// when trace recording is disabled (`record_trace = false`).
+    pub fn set_event_cause(&mut self, cause: Option<failmpi_sim::EventId>) {
+        self.tracelog.set_cause(cause);
+    }
+
+    /// The display track of `ev` in the causal trace: the component lane
+    /// the event is delivered to. Layout (see [`Cluster::track_names`]):
+    /// dispatcher, scheduler, one lane per checkpoint server, one lane per
+    /// rank, then a catch-all for retired incarnations.
+    pub fn track_of(&self, ev: &Ev) -> u32 {
+        match ev {
+            Ev::Net(net) => self.track_of_proc(net.recipient()),
+            Ev::SchedTick => 1,
+            Ev::ServerWriteDone { server, .. } => 2 + *server as u32,
+            // Launch outcomes are the dispatcher's ssh noticing.
+            Ev::SpawnDaemon { rank, .. } | Ev::LaunchFailed { rank, .. } => self.rank_track(rank.0),
+            Ev::ComputeDone { rank, .. }
+            | Ev::RestoreDone { rank, .. }
+            | Ev::DiskLoaded { rank, .. }
+            | Ev::SelfCkpt { rank, .. }
+            | Ev::BootConnect { rank, .. }
+            | Ev::DaemonExit { rank, .. }
+            | Ev::RetryPeerConnect { rank, .. } => self.rank_track(rank.0),
+        }
+    }
+
+    fn rank_track(&self, rank: u32) -> u32 {
+        2 + self.cfg.n_ckpt_servers as u32 + rank
+    }
+
+    fn track_of_proc(&self, proc: ProcId) -> u32 {
+        match self.role_of.get(&proc) {
+            Some(Role::Dispatcher) => 0,
+            Some(Role::Scheduler) => 1,
+            Some(Role::Server(i)) => 2 + *i as u32,
+            Some(Role::Daemon(r)) => self.rank_track(*r),
+            // Retired incarnations (late events to dead processes).
+            None => self.rank_track(self.cfg.n_ranks),
+        }
+    }
+
+    /// Number of tracks [`Cluster::track_of`] can return
+    /// (`track_names().len()`, without the allocation).
+    pub fn n_tracks(&self) -> u32 {
+        3 + self.cfg.n_ckpt_servers as u32 + self.cfg.n_ranks
+    }
+
+    /// Display names for every track [`Cluster::track_of`] can return, in
+    /// track order.
+    pub fn track_names(&self) -> Vec<String> {
+        let mut names = vec!["dispatcher".to_string(), "ckpt-scheduler".to_string()];
+        for i in 0..self.cfg.n_ckpt_servers {
+            names.push(format!("ckpt-server-{i}"));
+        }
+        for r in 0..self.cfg.n_ranks {
+            names.push(format!("rank-{r}"));
+        }
+        names.push("retired".to_string());
+        names
+    }
+
     /// The compute machine at injection index `i` (the paper's `G1[i]`).
     pub fn compute_host(&self, i: usize) -> HostId {
         self.addrs.compute_hosts[i]
@@ -714,6 +777,7 @@ impl Model for ClusterModel {
     type Event = Ev;
 
     fn handle(&mut self, now: SimTime, ev: Ev, sched: &mut Scheduler<Ev>) {
+        self.cluster.set_event_cause(sched.current_event());
         self.cluster.dispatch(now, ev);
         for (t, e) in self.cluster.take_outputs() {
             sched.at(t, e);
@@ -727,6 +791,10 @@ impl Model for ClusterModel {
 
     fn event_kind(&self, event: &Ev) -> &'static str {
         event.kind_str()
+    }
+
+    fn event_track(&self, event: &Ev) -> u32 {
+        self.cluster.track_of(event)
     }
 }
 

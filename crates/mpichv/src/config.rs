@@ -198,20 +198,28 @@ mod tests {
 
     #[test]
     fn validation_rejects_nonsense() {
-        let mut cfg = VclConfig::default();
-        cfg.n_ranks = 0;
+        let cfg = VclConfig {
+            n_ranks: 0,
+            ..VclConfig::default()
+        };
         assert!(cfg.validate().is_err());
 
-        let mut cfg = VclConfig::default();
-        cfg.n_compute_hosts = 10;
+        let cfg = VclConfig {
+            n_compute_hosts: 10,
+            ..VclConfig::default()
+        };
         assert!(cfg.validate().is_err());
 
-        let mut cfg = VclConfig::default();
-        cfg.n_ckpt_servers = 0;
+        let cfg = VclConfig {
+            n_ckpt_servers: 0,
+            ..VclConfig::default()
+        };
         assert!(cfg.validate().is_err());
 
-        let mut cfg = VclConfig::default();
-        cfg.checkpoint_period = SimDuration::ZERO;
+        let cfg = VclConfig {
+            checkpoint_period: SimDuration::ZERO,
+            ..VclConfig::default()
+        };
         assert!(cfg.validate().is_err());
     }
 

@@ -177,13 +177,7 @@ impl Ev {
     /// (`failmpi_sim::Model::event_kind`).
     pub fn kind_str(&self) -> &'static str {
         match self {
-            Ev::Net(net) => match net {
-                NetEvent::ConnEstablished { .. } => "net.established",
-                NetEvent::Accepted { .. } => "net.accepted",
-                NetEvent::ConnectFailed { .. } => "net.connect_failed",
-                NetEvent::Delivered { .. } => "net.delivered",
-                NetEvent::Closed { .. } => "net.closed",
-            },
+            Ev::Net(net) => net.kind_str(),
             Ev::ComputeDone { .. } => "compute_done",
             Ev::SchedTick => "sched_tick",
             Ev::SpawnDaemon { .. } => "spawn_daemon",
@@ -202,23 +196,7 @@ impl Ev {
     /// verbose for checkpoint images, which embed whole snapshots).
     pub fn label(&self) -> String {
         match self {
-            Ev::Net(net) => match net {
-                NetEvent::ConnEstablished { proc, peer, .. } => {
-                    format!("net.established {proc:?}<-{peer:?}")
-                }
-                NetEvent::Accepted { proc, peer, .. } => {
-                    format!("net.accepted {proc:?}<-{peer:?}")
-                }
-                NetEvent::ConnectFailed { proc, host, .. } => {
-                    format!("net.connect-failed {proc:?}->{host:?}")
-                }
-                NetEvent::Delivered { proc, from, .. } => {
-                    format!("net.delivered {from:?}->{proc:?}")
-                }
-                NetEvent::Closed { proc, reason, .. } => {
-                    format!("net.closed {proc:?} ({reason:?})")
-                }
-            },
+            Ev::Net(net) => net.label(),
             Ev::ComputeDone { rank, .. } => format!("compute-done r{}", rank.0),
             Ev::SchedTick => "sched-tick".to_string(),
             Ev::SpawnDaemon { rank, .. } => format!("spawn-daemon r{}", rank.0),

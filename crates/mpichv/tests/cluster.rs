@@ -267,11 +267,11 @@ fn run_second_fault_at_set_command(mode: DispatcherMode, seed: u64) -> (RunOutco
                     st.counter = st.loads; // remember fleet size at fault 1
                 }
             }
-            Signal::Hook(Hook::OnLoad { proc, .. }) => {
-                // First respawn after fault 1: arm the breakpoint.
-                if st.counter != 0 && st.loads == st.counter + 1 {
-                    cluster.arm_breakpoint(proc, InstrumentedFn::LocalMpiSetCommand);
-                }
+            // First respawn after fault 1: arm the breakpoint.
+            Signal::Hook(Hook::OnLoad { proc, .. })
+                if st.counter != 0 && st.loads == st.counter + 1 =>
+            {
+                cluster.arm_breakpoint(proc, InstrumentedFn::LocalMpiSetCommand);
             }
             Signal::Hook(Hook::Breakpoint { proc, .. }) => {
                 // Held right after registration: inject the second fault.
@@ -544,12 +544,12 @@ fn rapid_double_kill_exercises_launch_retry() {
                     st.counter = st.loads;
                 }
             }
-            Signal::Hook(Hook::OnLoad { proc, .. }) => {
-                // Snipe the first respawn immediately — guaranteed to be
-                // before its (≥ sub-millisecond) registration handshake.
-                if st.counter != 0 && st.loads == st.counter + 1 {
-                    cluster.fail_halt(now, proc);
-                }
+            // Snipe the first respawn immediately — guaranteed to be
+            // before its (≥ sub-millisecond) registration handshake.
+            Signal::Hook(Hook::OnLoad { proc, .. })
+                if st.counter != 0 && st.loads == st.counter + 1 =>
+            {
+                cluster.fail_halt(now, proc);
             }
             _ => {}
         },
@@ -591,21 +591,19 @@ fn suspension_during_restore_is_survived() {
                     st.counter = st.loads;
                 }
             }
-            Signal::Hook(Hook::OnLoad { proc, .. }) => {
-                // Freeze the first respawned daemon right at load…
-                if st.counter != 0 && st.loads == st.counter + 1 {
-                    cluster.fail_stop(now, proc);
-                    st.counter = 0;
-                    // remember which pid to resume
-                    st.loads += 1000;
-                    st.counter = proc.0;
-                }
+            // Freeze the first respawned daemon right at load…
+            Signal::Hook(Hook::OnLoad { proc, .. })
+                if st.counter != 0 && st.loads == st.counter + 1 =>
+            {
+                cluster.fail_stop(now, proc);
+                st.counter = 0;
+                // remember which pid to resume
+                st.loads += 1000;
+                st.counter = proc.0;
             }
-            Signal::Probe(1) => {
-                // …and release it a second later.
-                if st.loads >= 1000 {
-                    cluster.fail_continue(now, ProcId(st.counter));
-                }
+            // …and release it a second later.
+            Signal::Probe(1) if st.loads >= 1000 => {
+                cluster.fail_continue(now, ProcId(st.counter));
             }
             _ => {}
         },

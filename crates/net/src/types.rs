@@ -128,6 +128,51 @@ impl<P> NetEvent<P> {
             | NetEvent::Closed { proc, .. } => proc,
         }
     }
+
+    /// The *other* process involved, where the event names one: the peer
+    /// of a handshake or the sender of a delivery. Cross-node causality in
+    /// the happens-before trace flows from this process to
+    /// [`NetEvent::recipient`].
+    pub fn origin(&self) -> Option<ProcId> {
+        match *self {
+            NetEvent::ConnEstablished { peer, .. } | NetEvent::Accepted { peer, .. } => Some(peer),
+            NetEvent::Delivered { from, .. } => Some(from),
+            NetEvent::ConnectFailed { .. } | NetEvent::Closed { .. } => None,
+        }
+    }
+
+    /// A static kind label for handler profiling and causal-trace nodes.
+    pub fn kind_str(&self) -> &'static str {
+        match self {
+            NetEvent::ConnEstablished { .. } => "net.established",
+            NetEvent::Accepted { .. } => "net.accepted",
+            NetEvent::ConnectFailed { .. } => "net.connect_failed",
+            NetEvent::Delivered { .. } => "net.delivered",
+            NetEvent::Closed { .. } => "net.closed",
+        }
+    }
+
+    /// A short human label (payload-agnostic) for divergence reports and
+    /// causal-trace nodes.
+    pub fn label(&self) -> String {
+        match self {
+            NetEvent::ConnEstablished { proc, peer, .. } => {
+                format!("net.established {proc:?}<-{peer:?}")
+            }
+            NetEvent::Accepted { proc, peer, .. } => {
+                format!("net.accepted {proc:?}<-{peer:?}")
+            }
+            NetEvent::ConnectFailed { proc, host, .. } => {
+                format!("net.connect-failed {proc:?}->{host:?}")
+            }
+            NetEvent::Delivered { proc, from, .. } => {
+                format!("net.delivered {from:?}->{proc:?}")
+            }
+            NetEvent::Closed { proc, reason, .. } => {
+                format!("net.closed {proc:?} ({reason:?})")
+            }
+        }
+    }
 }
 
 impl FingerprintEvent for NetEvent<()> {

@@ -31,7 +31,7 @@ proptest! {
         let (mut net, a, _b, conn) = connected_pair();
         let mut now = SimTime::from_secs(1);
         for (i, &(bytes, gap_us)) in msgs.iter().enumerate() {
-            now = now + failmpi_sim::SimDuration::from_micros(gap_us);
+            now += failmpi_sim::SimDuration::from_micros(gap_us);
             prop_assert!(net.send(now, conn, a, i as u32, bytes));
         }
         let evs = net.take_events();
@@ -104,9 +104,9 @@ proptest! {
         for (i, &p) in procs.iter().enumerate() {
             net.listen(p, Port(10 + i as u16));
         }
-        for i in 0..procs.len() {
-            for j in (i + 1)..procs.len() {
-                net.connect(SimTime::ZERO, procs[i], hs[j], Port(10 + j as u16), 0);
+        for (i, &p) in procs.iter().enumerate() {
+            for (j, &h) in hs.iter().enumerate().skip(i + 1) {
+                net.connect(SimTime::ZERO, p, h, Port(10 + j as u16), 0);
             }
         }
         net.take_events();

@@ -2,6 +2,7 @@
 
 use failmpi_obs::WallProfile;
 
+use crate::causal::{CausalLog, CausalNode, EventId};
 use crate::fingerprint::{Fingerprint, JournalEntry};
 use crate::queue::{EventQueue, TieBreak};
 use crate::time::{SimDuration, SimTime};
@@ -51,12 +52,22 @@ pub trait Model {
         let _ = event;
         "event"
     }
+
+    /// The display track (vnode / service lane) `event` belongs to, used
+    /// by the happens-before log to group nodes into per-actor timelines
+    /// (see [`Engine::enable_causal_trace`]). Only consulted while causal
+    /// tracing is on; the default puts everything on track 0.
+    fn event_track(&self, event: &Self::Event) -> u32 {
+        let _ = event;
+        0
+    }
 }
 
 /// Event sink handed to [`Model::handle`]; buffers newly scheduled events
 /// until the current event finishes, then merges them into the engine queue.
 pub struct Scheduler<E> {
     now: SimTime,
+    current: Option<EventId>,
     pending: Vec<(SimTime, E)>,
 }
 
@@ -64,6 +75,13 @@ impl<E> Scheduler<E> {
     /// Current virtual time.
     pub fn now(&self) -> SimTime {
         self.now
+    }
+
+    /// Identity of the event being handled — the happens-before cause of
+    /// everything scheduled through this scheduler. `None` only for
+    /// schedulers constructed outside an engine step.
+    pub fn current_event(&self) -> Option<EventId> {
+        self.current
     }
 
     /// Schedules `event` at the absolute instant `at`. Instants in the past
@@ -108,6 +126,7 @@ pub struct Engine<M: Model> {
     journal: Option<Vec<JournalEntry>>,
     queue_hwm: usize,
     profile: WallProfile,
+    causal: CausalLog,
 }
 
 impl<M: Model> Engine<M> {
@@ -133,6 +152,7 @@ impl<M: Model> Engine<M> {
             journal: None,
             queue_hwm: 0,
             profile: WallProfile::disabled(),
+            causal: CausalLog::disabled(),
         }
     }
 
@@ -214,6 +234,31 @@ impl<M: Model> Engine<M> {
         &self.profile
     }
 
+    /// Starts recording the happens-before DAG: one [`CausalNode`] per
+    /// handled event, each linked to the event that scheduled it. Costs
+    /// one label allocation per event plus node storage, so off by
+    /// default; with it off, cause bookkeeping is a single `u64` copy per
+    /// push and no labels are ever materialized.
+    pub fn enable_causal_trace(&mut self) {
+        if !self.causal.is_enabled() {
+            self.causal = CausalLog::enabled();
+        }
+    }
+
+    /// The happens-before log (empty unless
+    /// [`Engine::enable_causal_trace`] was called before running).
+    pub fn causal_log(&self) -> &CausalLog {
+        &self.causal
+    }
+
+    /// Consumes the happens-before log, leaving causal tracing enabled.
+    pub fn take_causal_log(&mut self) -> CausalLog {
+        if !self.causal.is_enabled() {
+            return CausalLog::disabled();
+        }
+        std::mem::replace(&mut self.causal, CausalLog::enabled())
+    }
+
     /// Current virtual time (the instant of the last handled event).
     pub fn now(&self) -> SimTime {
         self.now
@@ -252,9 +297,10 @@ impl<M: Model> Engine<M> {
             Some(t) if t <= deadline => {}
             _ => return false,
         }
-        let (at, seq, ev) = self.queue.pop_entry().expect("peeked entry vanished");
+        let (at, seq, cause, ev) = self.queue.pop_entry().expect("peeked entry vanished");
         debug_assert!(at >= self.now, "time went backwards");
         self.now = at;
+        let id = EventId(self.handled);
         self.handled += 1;
         // Fold this event into the streaming run fingerprint: position
         // (time, queue seq) plus whatever identity the model contributes.
@@ -272,8 +318,20 @@ impl<M: Model> Engine<M> {
                 label: self.model.describe_event(&ev),
             });
         }
+        if self.causal.is_enabled() {
+            self.causal.push(CausalNode {
+                id,
+                cause,
+                at,
+                seq,
+                kind: self.model.event_kind(&ev),
+                label: self.model.describe_event(&ev),
+                track: self.model.event_track(&ev),
+            });
+        }
         let mut sched = Scheduler {
             now: at,
+            current: Some(id),
             pending: Vec::new(),
         };
         let started = self.profile.maybe_start();
@@ -285,7 +343,7 @@ impl<M: Model> Engine<M> {
         self.model.handle(at, ev, &mut sched);
         self.profile.record(kind, started);
         for (t, e) in sched.pending {
-            self.queue.push(t, e);
+            self.queue.push_caused(t, e, Some(id));
         }
         self.queue_hwm = self.queue_hwm.max(self.queue.len());
         true
@@ -547,6 +605,65 @@ mod tests {
         let bins: std::collections::BTreeMap<_, _> = e.profile().bins().collect();
         assert_eq!(bins["even"].count, 3);
         assert_eq!(bins["odd"].count, 2);
+    }
+
+    #[test]
+    fn causal_trace_is_opt_in() {
+        let mut e = engine();
+        e.schedule(SimTime::ZERO, 8);
+        e.run(SimTime::MAX);
+        assert!(e.causal_log().is_empty(), "off by default");
+        assert!(!e.causal_log().is_enabled());
+    }
+
+    #[test]
+    fn causal_trace_links_cascades_to_their_cause() {
+        let mut e = engine();
+        e.enable_causal_trace();
+        e.schedule(SimTime::ZERO, 8);
+        e.run(SimTime::MAX);
+        let log = e.causal_log();
+        // 8 -> 4 -> 2 -> 1: four nodes, each (after the root) caused by
+        // the previous one; the root is external stimulus.
+        assert_eq!(log.len(), 4);
+        log.check_invariants().expect("well-formed DAG");
+        let causes: Vec<Option<u64>> = log.nodes().iter().map(|n| n.cause.map(|c| c.0)).collect();
+        assert_eq!(causes, vec![None, Some(0), Some(1), Some(2)]);
+        let chain = log.chain_to_root(crate::EventId(3));
+        assert_eq!(chain.len(), 4);
+        assert_eq!(chain[0].cause, None);
+    }
+
+    #[test]
+    fn scheduler_exposes_current_event_id() {
+        struct Probe {
+            ids: Vec<Option<u64>>,
+        }
+        impl Model for Probe {
+            type Event = u32;
+            fn handle(&mut self, _: SimTime, ev: u32, sched: &mut Scheduler<u32>) {
+                self.ids.push(sched.current_event().map(|id| id.0));
+                if ev > 0 {
+                    sched.immediate(ev - 1);
+                }
+            }
+        }
+        let mut e = Engine::new(Probe { ids: Vec::new() });
+        e.schedule(SimTime::ZERO, 2);
+        e.run(SimTime::MAX);
+        assert_eq!(e.model().ids, vec![Some(0), Some(1), Some(2)]);
+    }
+
+    #[test]
+    fn take_causal_log_keeps_tracing_enabled() {
+        let mut e = engine();
+        e.enable_causal_trace();
+        e.schedule(SimTime::ZERO, 8);
+        e.run(SimTime::MAX);
+        let taken = e.take_causal_log();
+        assert_eq!(taken.len(), 4);
+        assert!(e.causal_log().is_empty());
+        assert!(e.causal_log().is_enabled());
     }
 
     #[test]

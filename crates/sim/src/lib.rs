@@ -52,6 +52,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod causal;
 mod engine;
 mod fingerprint;
 mod queue;
@@ -59,6 +60,7 @@ mod rng;
 mod time;
 mod trace;
 
+pub use causal::{CausalLog, CausalNode, EventId};
 pub use engine::{Engine, Model, RunOutcome, Scheduler};
 pub use fingerprint::{Fingerprint, FingerprintEvent, JournalEntry};
 pub use queue::{EventQueue, TieBreak};

@@ -8,6 +8,7 @@
 use std::collections::BinaryHeap;
 use std::fmt;
 
+use crate::causal::EventId;
 use crate::time::SimTime;
 
 /// How events scheduled for the *same* virtual instant are ordered.
@@ -42,6 +43,10 @@ struct Scheduled<E> {
     /// Tie-break key: `seq` under FIFO, a seeded hash of `seq` otherwise.
     key: u64,
     seq: u64,
+    /// The handled event that scheduled this one (`None` for external
+    /// stimulus). Threaded unconditionally — one `u64`-sized copy — so the
+    /// happens-before log can be enabled without re-running.
+    cause: Option<EventId>,
     event: E,
 }
 
@@ -125,8 +130,15 @@ impl<E> EventQueue<E> {
         }
     }
 
-    /// Schedules `event` at absolute instant `at`.
+    /// Schedules `event` at absolute instant `at` with no recorded cause
+    /// (external stimulus).
     pub fn push(&mut self, at: SimTime, event: E) {
+        self.push_caused(at, event, None);
+    }
+
+    /// Schedules `event` at absolute instant `at`, remembering the handled
+    /// event that scheduled it (the happens-before edge source).
+    pub fn push_caused(&mut self, at: SimTime, event: E, cause: Option<EventId>) {
         let seq = self.next_seq;
         self.next_seq += 1;
         let key = self.key_for(seq);
@@ -134,6 +146,7 @@ impl<E> EventQueue<E> {
             at,
             key,
             seq,
+            cause,
             event,
         });
     }
@@ -145,9 +158,9 @@ impl<E> EventQueue<E> {
 
     /// Like [`EventQueue::pop`], additionally returning the entry's queue
     /// sequence number (its push order — the engine folds it into the run
-    /// fingerprint).
-    pub fn pop_entry(&mut self) -> Option<(SimTime, u64, E)> {
-        self.heap.pop().map(|s| (s.at, s.seq, s.event))
+    /// fingerprint) and the cause recorded at push time.
+    pub fn pop_entry(&mut self) -> Option<(SimTime, u64, Option<EventId>, E)> {
+        self.heap.pop().map(|s| (s.at, s.seq, s.cause, s.event))
     }
 
     /// The instant of the earliest pending entry, if any.

@@ -6,6 +6,7 @@
 //! way the paper does "by analysing the execution trace" (Sec. 5): terminated
 //! vs. non-terminating (fault frequency too high) vs. buggy (frozen).
 
+use crate::causal::EventId;
 use crate::time::SimTime;
 
 /// One timestamped trace record.
@@ -15,6 +16,21 @@ pub struct TraceEntry<K> {
     pub at: SimTime,
     /// What happened (layer-defined).
     pub kind: K,
+    /// The engine event being handled when this was recorded — the anchor
+    /// that links a semantic record into the happens-before DAG. `None`
+    /// when causal tracing is off or the entry was built by hand.
+    pub cause: Option<EventId>,
+}
+
+impl<K> TraceEntry<K> {
+    /// Builds an entry with no causal anchor (hand-built traces, tests).
+    pub fn new(at: SimTime, kind: K) -> Self {
+        TraceEntry {
+            at,
+            kind,
+            cause: None,
+        }
+    }
 }
 
 /// An append-only log of [`TraceEntry`] records.
@@ -27,6 +43,7 @@ pub struct TraceLog<K> {
     entries: Vec<TraceEntry<K>>,
     enabled: bool,
     last_activity: SimTime,
+    current_cause: Option<EventId>,
 }
 
 impl<K> Default for TraceLog<K> {
@@ -42,6 +59,7 @@ impl<K> TraceLog<K> {
             entries: Vec::new(),
             enabled: true,
             last_activity: SimTime::ZERO,
+            current_cause: None,
         }
     }
 
@@ -58,11 +76,25 @@ impl<K> TraceLog<K> {
         self.enabled
     }
 
-    /// Appends an entry (or just bumps `last_activity` when disabled).
+    /// Sets the causal anchor stamped onto subsequent [`TraceLog::record`]
+    /// calls: the engine event currently being handled. A no-op on a
+    /// disabled log, so benchmark runs skip cause bookkeeping entirely.
+    pub fn set_cause(&mut self, cause: Option<EventId>) {
+        if self.enabled {
+            self.current_cause = cause;
+        }
+    }
+
+    /// Appends an entry (or just bumps `last_activity` when disabled),
+    /// stamping the current causal anchor (see [`TraceLog::set_cause`]).
     pub fn record(&mut self, at: SimTime, kind: K) {
         self.last_activity = self.last_activity.max(at);
         if self.enabled {
-            self.entries.push(TraceEntry { at, kind });
+            self.entries.push(TraceEntry {
+                at,
+                kind,
+                cause: self.current_cause,
+            });
         }
     }
 
@@ -163,6 +195,27 @@ mod tests {
         let last = log.last_matching(|k| matches!(k, Kind::Tick(_))).unwrap();
         assert_eq!(last.kind, Kind::Tick(2));
         assert!(log.last_matching(|k| matches!(k, Kind::Stop)).is_none());
+    }
+
+    #[test]
+    fn cause_is_stamped_until_replaced() {
+        let mut log = TraceLog::new();
+        log.record(SimTime::from_secs(1), Kind::Start);
+        log.set_cause(Some(EventId(4)));
+        log.record(SimTime::from_secs(2), Kind::Tick(1));
+        log.set_cause(Some(EventId(9)));
+        log.record(SimTime::from_secs(3), Kind::Stop);
+        let causes: Vec<Option<EventId>> = log.entries().iter().map(|e| e.cause).collect();
+        assert_eq!(causes, vec![None, Some(EventId(4)), Some(EventId(9))]);
+    }
+
+    #[test]
+    fn disabled_log_skips_cause_bookkeeping() {
+        let mut log = TraceLog::disabled();
+        log.set_cause(Some(EventId(1)));
+        assert_eq!(log.current_cause, None, "disabled log must not track causes");
+        log.record(SimTime::from_secs(1), Kind::Start);
+        assert!(log.is_empty());
     }
 
     #[test]

@@ -87,6 +87,7 @@ macro_rules! __proptest_fns {
                     $crate::rng::TestRng::for_case(stringify!($name), __case);
                 // The closure lets property bodies use `?` with
                 // `TestCaseError`, as upstream proptest allows.
+                #[allow(clippy::redundant_closure_call)]
                 let __outcome: ::std::result::Result<
                     (),
                     $crate::test_runner::TestCaseError,
