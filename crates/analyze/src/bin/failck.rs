@@ -5,26 +5,33 @@
 //! failck scenario.fail --format json    # machine-readable (CI artifact)
 //! failck --builtin                      # lint every bundled artifact
 //! failck scenario.fail --strict         # warnings also fail the run
+//! failck scenario.fail --model-check    # also explore the Vcl product
 //! ```
 //!
 //! Exit status: 0 clean, 1 findings at the failing severity, 2 usage or
-//! I/O error.
+//! I/O error. `--help` prints the usage and exits 0; only malformed
+//! invocations exit 2.
 
 use std::process::ExitCode;
 
-use failmpi_analyze::{analyze_programs, builtin, check_source, Report};
+use failmpi_analyze::{
+    analyze_programs, builtin, check_source, model_check_source, ModelCheckConfig, Report,
+};
 
 struct Options {
     files: Vec<String>,
     builtin: bool,
     json: bool,
     strict: bool,
+    model_check: bool,
+    budget: Option<usize>,
 }
 
-fn usage() -> ExitCode {
-    eprintln!(
-        "usage: failck [FILES...] [--builtin] [--format human|json] [--strict]"
-    );
+const USAGE: &str = "usage: failck [FILES...] [--builtin] [--format human|json] [--strict] \
+     [--model-check] [--budget N]";
+
+fn usage_error() -> ExitCode {
+    eprintln!("{USAGE}");
     ExitCode::from(2)
 }
 
@@ -34,26 +41,57 @@ fn parse_args() -> Result<Options, ExitCode> {
         builtin: false,
         json: false,
         strict: false,
+        model_check: false,
+        budget: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--builtin" => opts.builtin = true,
             "--strict" => opts.strict = true,
+            "--model-check" => opts.model_check = true,
+            "--budget" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => opts.budget = Some(n),
+                None => return Err(usage_error()),
+            },
             "--format" => match args.next().as_deref() {
                 Some("human") => opts.json = false,
                 Some("json") => opts.json = true,
-                _ => return Err(usage()),
+                _ => return Err(usage_error()),
             },
-            "--help" | "-h" => return Err(usage()),
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return Err(ExitCode::SUCCESS);
+            }
             f if !f.starts_with('-') => opts.files.push(f.to_string()),
-            _ => return Err(usage()),
+            _ => return Err(usage_error()),
         }
     }
     if opts.files.is_empty() && !opts.builtin {
-        return Err(usage());
+        return Err(usage_error());
     }
     Ok(opts)
+}
+
+/// Lints `src`, optionally appending the model checker's FC findings and
+/// exploration summary.
+fn check_one(subject: String, src: &str, opts: &Options) -> Report {
+    let mut diags = check_source(src);
+    let mut model = None;
+    if opts.model_check {
+        let mut cfg = ModelCheckConfig::default();
+        if let Some(b) = opts.budget {
+            cfg.budget = b;
+        }
+        let r = model_check_source(src, &cfg);
+        diags.extend(r.diagnostics);
+        model = Some(r.summary);
+    }
+    let report = Report::new(subject, diags);
+    match model {
+        Some(m) => report.with_model(m),
+        None => report,
+    }
 }
 
 fn main() -> ExitCode {
@@ -71,11 +109,11 @@ fn main() -> ExitCode {
                 return ExitCode::from(2);
             }
         };
-        reports.push(Report::new(path.clone(), check_source(&src)));
+        reports.push(check_one(path.clone(), &src, &opts));
     }
     if opts.builtin {
         for (name, src) in builtin::BUILTIN_SCENARIOS {
-            reports.push(Report::new(format!("builtin:{name}"), check_source(src)));
+            reports.push(check_one(format!("builtin:{name}"), src, &opts));
         }
         for (label, programs) in builtin::builtin_programs() {
             reports.push(Report::new(
@@ -93,7 +131,7 @@ fn main() -> ExitCode {
     } else {
         let mut clean = 0usize;
         for r in &reports {
-            if r.diagnostics.is_empty() {
+            if r.diagnostics.is_empty() && r.model.is_none() {
                 clean += 1;
             } else {
                 print!("{}", r.render_human());

@@ -10,6 +10,8 @@ use std::fmt;
 
 use serde::Serialize;
 
+use crate::model::ModelSummary;
+
 /// How bad a finding is.
 ///
 /// `Error` findings describe scenarios/programs that cannot behave as
@@ -41,20 +43,40 @@ impl Serialize for Severity {
     }
 }
 
+/// Source span of an op-program finding: which rank's instruction stream
+/// and which op inside it.
+///
+/// Op-programs have no source text, so this is the machine-readable
+/// location FA diagnostics get from `line`: `op` is the 1-based op index
+/// inside rank `rank`'s program (0 anchors the whole program).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+pub struct Span {
+    /// The rank whose program the finding is in.
+    pub rank: u32,
+    /// 1-based op index within that rank's program; 0 = whole program.
+    pub op: u32,
+}
+
 /// One finding, tied to a stable code and a source location.
 ///
 /// For scenario passes `line` is the 1-based source line in the `.fail`
 /// text. For op-program passes it is the **1-based op index** within the
-/// flagged rank's program (op-programs have no source text).
+/// flagged rank's program (op-programs have no source text), and `span`
+/// additionally names the rank so JSON consumers need not parse the
+/// message.
 #[derive(Clone, Debug, PartialEq, Eq, Serialize)]
 pub struct Diagnostic {
     /// Error or warning.
     pub severity: Severity,
-    /// Stable code: `FA…` for scenario passes, `FB…` for op-program passes.
+    /// Stable code: `FA…` for scenario passes, `FB…` for op-program
+    /// passes, `FC…` for model-checking verdicts.
     pub code: &'static str,
     /// 1-based source line (scenarios) or op index (op-programs); 0 when
     /// the finding has no better anchor than the whole artifact.
     pub line: u32,
+    /// Rank/op location for op-program findings; `None` for scenario and
+    /// model-checking findings (which anchor on `line`).
+    pub span: Option<Span>,
     /// What is wrong.
     pub message: String,
     /// How to fix it.
@@ -62,7 +84,7 @@ pub struct Diagnostic {
 }
 
 impl Diagnostic {
-    /// Shorthand constructor.
+    /// Shorthand constructor (no span).
     pub fn new(
         severity: Severity,
         code: &'static str,
@@ -74,9 +96,16 @@ impl Diagnostic {
             severity,
             code,
             line,
+            span: None,
             message: message.into(),
             help: help.into(),
         }
+    }
+
+    /// Attaches an op-program span (builder style).
+    pub fn with_span(mut self, rank: u32, op: u32) -> Self {
+        self.span = Some(Span { rank, op });
+        self
     }
 }
 
@@ -88,6 +117,9 @@ pub struct Report {
     pub subject: String,
     /// Findings, sorted by line then code.
     pub diagnostics: Vec<Diagnostic>,
+    /// Model-check exploration summary, present when the report came from
+    /// a `--model-check` run (the FC findings live in `diagnostics`).
+    pub model: Option<ModelSummary>,
 }
 
 impl Report {
@@ -97,7 +129,14 @@ impl Report {
         Report {
             subject: subject.into(),
             diagnostics,
+            model: None,
         }
+    }
+
+    /// Attaches a model-check summary (builder style).
+    pub fn with_model(mut self, model: ModelSummary) -> Self {
+        self.model = Some(model);
+        self
     }
 
     /// Whether any finding is `Error`-level.
@@ -129,12 +168,32 @@ impl Report {
     pub fn render_human(&self) -> String {
         let mut out = String::new();
         for d in &self.diagnostics {
+            let at = match d.span {
+                Some(s) => format!(" (rank {}, op {})", s.rank, s.op),
+                None => String::new(),
+            };
             out.push_str(&format!(
-                "{}:{}: {}[{}]: {}\n",
-                self.subject, d.line, d.severity, d.code, d.message
+                "{}:{}: {}[{}]: {}{}\n",
+                self.subject, d.line, d.severity, d.code, d.message, at
             ));
             if !d.help.is_empty() {
                 out.push_str(&format!("    help: {}\n", d.help));
+            }
+        }
+        if let Some(m) = &self.model {
+            out.push_str(&format!(
+                "{}: model check: {} ({} state(s) explored)\n",
+                self.subject, m.verdict, m.explored
+            ));
+            if let Some(w) = &m.witness {
+                out.push_str(&format!(
+                    "    minimal witness ({} fault(s), {} step(s)):\n",
+                    w.faults,
+                    w.steps.len()
+                ));
+                for step in &w.steps {
+                    out.push_str(&format!("      {step}\n"));
+                }
             }
         }
         out
@@ -189,12 +248,32 @@ mod tests {
     fn json_rendering_is_parseable_and_complete() {
         let r = Report::new(
             "s.fail",
-            vec![Diagnostic::new(Severity::Warning, "FB004", 4, "m", "h")],
+            vec![Diagnostic::new(Severity::Warning, "FB004", 4, "m", "h")
+                .with_span(2, 4)],
         );
         let v = serde_json::from_str(&r.to_json()).unwrap();
         assert_eq!(v["subject"].as_str(), Some("s.fail"));
         assert_eq!(v["diagnostics"][0]["severity"].as_str(), Some("warning"));
         assert_eq!(v["diagnostics"][0]["code"].as_str(), Some("FB004"));
         assert_eq!(v["diagnostics"][0]["line"].as_u64(), Some(4));
+        assert_eq!(v["diagnostics"][0]["span"]["rank"].as_u64(), Some(2));
+        assert_eq!(v["diagnostics"][0]["span"]["op"].as_u64(), Some(4));
+    }
+
+    #[test]
+    fn spanless_diagnostics_serialize_null_span() {
+        let r = Report::new(
+            "s.fail",
+            vec![Diagnostic::new(Severity::Error, "FA002", 7, "m", "h")],
+        );
+        assert!(r.to_json().contains("\"span\": null"));
+        // Human rendering mentions the span only when one exists.
+        assert!(!r.render_human().contains("rank"));
+        let spanned = Report::new(
+            "p",
+            vec![Diagnostic::new(Severity::Error, "FB001", 3, "m", "h")
+                .with_span(1, 3)],
+        );
+        assert!(spanned.render_human().contains("(rank 1, op 3)"));
     }
 }

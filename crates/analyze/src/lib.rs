@@ -18,9 +18,14 @@
 
 pub mod builtin;
 pub mod diag;
+pub mod model;
 pub mod ops;
 pub mod scenario;
 
-pub use diag::{Diagnostic, Report, Severity};
+pub use diag::{Diagnostic, Report, Severity, Span};
+pub use model::{
+    model_check_scenario, model_check_source, model_check_with_programs, ModelCheckConfig,
+    ModelCheckResult, ModelSummary, StaticVerdict, Witness,
+};
 pub use ops::analyze_programs;
 pub use scenario::{analyze_scenario, check_source, compile_error_diag};

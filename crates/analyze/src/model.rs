@@ -1,0 +1,1657 @@
+//! The FC-series static model checker: bounded synchronous-product
+//! reachability over {compiled FAIL automata × abstract Vcl protocol model
+//! × op-program communication skeleton}.
+//!
+//! The paper isolated its headline finding — a fault landing on an
+//! already-re-registered rank during an active recovery permanently wedges
+//! the dispatcher — *dynamically*, after many 1500-second cluster runs.
+//! This pass finds the same schedule in milliseconds: it explores every
+//! interleaving of a small abstract deployment (by default 2 ranks on 3
+//! machines) running the scenario's own compiled automata against
+//! [`failmpi_mpichv::AbstractVcl`], and reports whether a freeze state
+//! (stale dispatcher entry, or no enabled step short of the healthy
+//! all-running state) is reachable — with the minimal fault schedule as a
+//! counterexample witness.
+//!
+//! ## The timing abstraction
+//!
+//! The product is time-free but **speed-classed**, mirroring the latency
+//! hierarchy of the real deployment (FAIL messages ≈ 4–11 ms, daemon
+//! registration ≈ 70 ms, stop-closure + ssh relaunch ≥ 150 ms, scenario
+//! timers ≥ seconds):
+//!
+//! * **fast** steps — FAIL message deliveries and the register/ready
+//!   protocol hops — interleave freely (they genuinely race; this race is
+//!   exactly the partial bugginess of paper Fig. 9);
+//! * **slow** steps — spawns and stop-closures — only run when no FAIL
+//!   message is in flight (a millisecond message never loses to an ssh);
+//! * **quiescent** steps — scenario timers and checkpoint-wave
+//!   start/commit — only run when every rank is computing and the FAIL
+//!   plane is silent.
+//!
+//! | code  | severity | finding |
+//! |-------|----------|---------|
+//! | FC001 | warning  | a `halt` action is never executed on any explored path |
+//! | FC002 | warning  | every fault provably lands before the first possible wave commit |
+//! | FC003 | error    | reachable freeze state, with a minimal fault-schedule witness |
+//! | FC004 | warning  | fault/relaunch livelock cycle that never reaches all-running |
+//! | FC005 | warning  | a `halt` executes with no controlled process (stale target) |
+//! | FC006 | warning  | exploration budget exceeded — verdict unknown, frontier summary |
+//!
+//! Exploration is deterministic: successors are generated in a canonical
+//! order, the worklist is a (faults, steps, insertion) priority queue, and
+//! the reported witness is minimal in fault count, then length. The
+//! [`ModelCheckConfig::scramble`] hook shuffles candidate orderings before
+//! the canonical sort so tests can prove insertion-order independence.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::sync::Arc;
+
+use failmpi_core::lang::compile::{Action, Dest, Expr, Guard, Scenario};
+use failmpi_core::compile;
+use failmpi_mpi::{Op, Program};
+use failmpi_mpichv::abstractmodel::WAVE_CAP;
+use failmpi_mpichv::{AbstractEvent, AbstractStep, AbstractVcl, DispatcherMode};
+use serde::Serialize;
+
+use crate::diag::{Diagnostic, Severity};
+
+/// Magnitude cap for abstract variable values: a counter that strays past
+/// this saturates to [`VarVal::Top`], keeping the state space finite.
+const VAR_CAP: i64 = 64;
+
+/// How the model checker scales and bounds the product exploration.
+#[derive(Clone, Debug)]
+pub struct ModelCheckConfig {
+    /// Abstract MPI ranks (compute processes).
+    pub n_ranks: usize,
+    /// Abstract machines; `n_hosts - n_ranks` are spares. Every suggested
+    /// group is instantiated with one member per machine, exactly like
+    /// the experiment harness deploys controllers.
+    pub n_hosts: usize,
+    /// Maximum number of product states to expand before giving up with
+    /// FC006 / [`StaticVerdict::Unknown`].
+    pub budget: usize,
+    /// Dispatcher bookkeeping variant to model.
+    pub mode: DispatcherMode,
+    /// Parameter overrides by name (defaults come from the scenario). The
+    /// machine-count parameter `N` is auto-set to `n_hosts - 1` unless
+    /// overridden here, mirroring how the figure drivers scale it.
+    pub params: Vec<(String, i64)>,
+    /// Checkpoint period in seconds, for the FC002 timing argument.
+    pub wave_period_secs: i64,
+    /// Test hook: deterministically shuffle candidate successor lists
+    /// before the canonical sort. Any seed must produce byte-identical
+    /// results — the determinism property test relies on this.
+    pub scramble: Option<u64>,
+}
+
+impl Default for ModelCheckConfig {
+    fn default() -> Self {
+        ModelCheckConfig {
+            n_ranks: 2,
+            n_hosts: 3,
+            budget: 50_000,
+            mode: DispatcherMode::Historical,
+            params: Vec::new(),
+            wave_period_secs: 30,
+            scramble: None,
+        }
+    }
+}
+
+/// The model checker's pre-run prediction for a scenario.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StaticVerdict {
+    /// No freeze state is reachable in the bounded product.
+    Survives,
+    /// A freeze state is reachable (FC003 carries the witness).
+    Freezes,
+    /// The exploration budget ran out before a verdict (FC006).
+    Unknown,
+    /// The scenario declares no deployment (no `instance`/`group` sugar),
+    /// so there is nothing to bind the product to.
+    NotApplicable,
+}
+
+impl std::fmt::Display for StaticVerdict {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            StaticVerdict::Survives => "survives",
+            StaticVerdict::Freezes => "freezes",
+            StaticVerdict::Unknown => "unknown",
+            StaticVerdict::NotApplicable => "not-applicable",
+        })
+    }
+}
+
+impl Serialize for StaticVerdict {
+    fn serialize_json(&self, out: &mut String) {
+        serde::write_json_str(out, &self.to_string());
+    }
+}
+
+/// The minimal counterexample schedule reaching the freeze state.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize)]
+pub struct Witness {
+    /// Product steps from the initial state, in order.
+    pub steps: Vec<String>,
+    /// Faults injected along the schedule (the minimized quantity).
+    pub faults: usize,
+}
+
+/// Machine-readable exploration summary, attached to a
+/// [`crate::Report`] when `--model-check` runs.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize)]
+pub struct ModelSummary {
+    /// The verdict.
+    pub verdict: StaticVerdict,
+    /// Product states expanded.
+    pub explored: usize,
+    /// Discovered-but-unexpanded states left when exploration stopped
+    /// (nonzero only for [`StaticVerdict::Unknown`] and freeze stops).
+    pub frontier: usize,
+    /// Minimal fault schedule, when the verdict is a freeze.
+    pub witness: Option<Witness>,
+}
+
+/// Result of one model-check run: the summary plus FC diagnostics.
+#[derive(Clone, Debug)]
+pub struct ModelCheckResult {
+    /// Exploration summary (verdict, counts, witness).
+    pub summary: ModelSummary,
+    /// FC001–FC006 findings.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+/// Model-checks FAIL source text. A source that does not compile gets
+/// [`StaticVerdict::NotApplicable`] with no FC diagnostics (the FA000
+/// lint already reports the compile error).
+pub fn model_check_source(src: &str, cfg: &ModelCheckConfig) -> ModelCheckResult {
+    match compile(src) {
+        Ok(sc) => model_check_scenario(&sc, cfg),
+        Err(_) => ModelCheckResult {
+            summary: ModelSummary {
+                verdict: StaticVerdict::NotApplicable,
+                explored: 0,
+                frontier: 0,
+                witness: None,
+            },
+            diagnostics: Vec::new(),
+        },
+    }
+}
+
+/// Model-checks a compiled scenario against the abstract Vcl model.
+pub fn model_check_scenario(sc: &Scenario, cfg: &ModelCheckConfig) -> ModelCheckResult {
+    model_check_with_programs(sc, &[], cfg)
+}
+
+/// Like [`model_check_scenario`], additionally threading the op-program
+/// communication skeleton into the freeze diagnosis: when rank programs
+/// are supplied, the FC003 message names which surviving ranks block on
+/// the lost one through the program's communication graph.
+pub fn model_check_with_programs(
+    sc: &Scenario,
+    programs: &[Arc<Program>],
+    cfg: &ModelCheckConfig,
+) -> ModelCheckResult {
+    if sc.suggested.groups.is_empty() {
+        // No machine controllers: the scenario is a class library (paper
+        // Fig. 4) — there is no deployment to bind the product to.
+        return ModelCheckResult {
+            summary: ModelSummary {
+                verdict: StaticVerdict::NotApplicable,
+                explored: 0,
+                frontier: 0,
+                witness: None,
+            },
+            diagnostics: Vec::new(),
+        };
+    }
+    let mut ex = Explorer::new(sc, cfg, programs);
+    ex.run();
+    ex.finish()
+}
+
+// ---------------------------------------------------------------------------
+// Abstract values and product state
+// ---------------------------------------------------------------------------
+
+/// Abstract class-variable value.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+enum VarVal {
+    /// Exactly this value.
+    Known(i64),
+    /// Any value (random picks, saturated counters).
+    Top,
+}
+
+/// Stores a value, saturating big magnitudes to `Top` so counters cannot
+/// unfold the state space.
+fn store(v: VarVal) -> VarVal {
+    match v {
+        VarVal::Known(x) if x.abs() > VAR_CAP => VarVal::Top,
+        other => other,
+    }
+}
+
+/// Abstract state of one FAIL daemon instance (mirrors
+/// `failmpi_core::runtime`'s per-instance state field by field, with
+/// timer generations replaced by a per-node armed set).
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+struct InstState {
+    node: u16,
+    vars: Vec<VarVal>,
+    /// FIFO of undelivered-but-received messages `(from, msg)`.
+    inbox: Vec<(u8, u8)>,
+    /// Timer slots armed by the current node entry.
+    armed: Vec<bool>,
+    /// Whether a live process is attached (the `onload`…`onexit` window).
+    controlled: bool,
+    /// Whether the attached process is `stop`-suspended.
+    suspended: bool,
+}
+
+/// One product state: every FAIL instance, the in-flight message multiset,
+/// and the abstract Vcl protocol state.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+struct ProdState {
+    insts: Vec<InstState>,
+    /// Sorted multiset of in-flight FAIL messages `(from, to, msg)` —
+    /// deliveries race, so order is not part of the state.
+    msgs: Vec<(u8, u8, u8)>,
+    vcl: AbstractVcl,
+}
+
+/// An automaton input, mirroring `FailInput` minus process identities.
+#[derive(Clone, Debug)]
+enum AIn {
+    OnLoad,
+    OnExit,
+    OnError,
+    Msg { from: usize, msg: usize },
+    Timer(usize),
+    Breakpoint,
+    Probe { slot: usize, value: i64 },
+}
+
+/// Deferred consequence inside one product step.
+#[derive(Clone, Debug)]
+enum Pend {
+    In { inst: usize, input: AIn },
+    Fault(u8),
+}
+
+/// World-visible side effects of one instance firing.
+#[derive(Clone, Debug, Default)]
+struct Effects {
+    /// `(from, to, msg)` sends, in emission order.
+    sends: Vec<(usize, usize, usize)>,
+    /// A `halt` executed while a process was controlled.
+    halted: bool,
+    stop: bool,
+    cont: bool,
+}
+
+impl Effects {
+    fn merge(&mut self, other: Effects) {
+        self.sends.extend(other.sends);
+        self.halted |= other.halted;
+        self.stop |= other.stop;
+        self.cont |= other.cont;
+    }
+}
+
+/// One branch of a step application: the state it leads to, the faults it
+/// injected, and human-readable annotations for the witness.
+#[derive(Clone, Debug)]
+struct Micro {
+    st: ProdState,
+    faults: u32,
+    notes: Vec<String>,
+}
+
+// ---------------------------------------------------------------------------
+// The explorer
+// ---------------------------------------------------------------------------
+
+struct HaltSite {
+    class: usize,
+    line: u32,
+    executed: bool,
+    stale: bool,
+}
+
+struct Explorer<'a> {
+    sc: &'a Scenario,
+    cfg: &'a ModelCheckConfig,
+    params: Vec<i64>,
+    /// Instance class indices; suggested instances first, then one group
+    /// member per host for every suggested group.
+    inst_class: Vec<usize>,
+    inst_names: Vec<String>,
+    /// `Some(h)` when the instance controls machine `h`.
+    inst_host: Vec<Option<u8>>,
+    /// Controllers of each host, in instance order.
+    controllers: Vec<Vec<usize>>,
+    by_name: HashMap<String, usize>,
+    groups: HashMap<String, Vec<usize>>,
+    /// Ranks each rank transitively exchanges messages with (op-program
+    /// communication skeleton), used to phrase the freeze diagnosis.
+    comm_peers: Vec<Vec<u32>>,
+
+    halt_sites: HashMap<(usize, usize, usize), usize>,
+    sites: Vec<HaltSite>,
+
+    // Exploration graph.
+    states: Vec<ProdState>,
+    index: HashMap<ProdState, u32>,
+    dist: Vec<(u32, u32)>,
+    parent: Vec<Option<(u32, String)>>,
+    edges: Vec<Vec<(u32, bool)>>,
+    expanded: Vec<bool>,
+    all_running: Vec<bool>,
+    heap: BinaryHeap<Reverse<(u32, u32, u64, u32)>>,
+    seq: u64,
+    n_expanded: usize,
+    freeze: Option<(u32, String)>,
+    budget_hit: bool,
+}
+
+impl<'a> Explorer<'a> {
+    fn new(sc: &'a Scenario, cfg: &'a ModelCheckConfig, programs: &[Arc<Program>]) -> Self {
+        // Resolve parameters: defaults, then overrides; `N` tracks the
+        // model's machine count unless the caller pinned it.
+        let mut params = sc.param_defaults.clone();
+        for (i, name) in sc.param_names.iter().enumerate() {
+            if name == "N" && !cfg.params.iter().any(|(n, _)| n == "N") {
+                params[i] = cfg.n_hosts as i64 - 1;
+            }
+        }
+        for (name, v) in &cfg.params {
+            if let Some(i) = sc.param_names.iter().position(|n| n == name) {
+                params[i] = *v;
+            }
+        }
+
+        let mut inst_class = Vec::new();
+        let mut inst_names = Vec::new();
+        let mut inst_host = Vec::new();
+        let mut by_name = HashMap::new();
+        let mut groups = HashMap::new();
+        for (name, class) in &sc.suggested.instances {
+            by_name.insert(name.clone(), inst_class.len());
+            inst_names.push(name.clone());
+            inst_class.push(*class);
+            inst_host.push(None);
+        }
+        let mut controllers = vec![Vec::new(); cfg.n_hosts];
+        for (gname, _, class) in &sc.suggested.groups {
+            // One member per machine, the harness's deployment shape; the
+            // declared size is paper scale and is overridden here.
+            let mut members = Vec::new();
+            for (h, ctl) in controllers.iter_mut().enumerate() {
+                let idx = inst_class.len();
+                inst_names.push(format!("{gname}[{h}]"));
+                inst_class.push(*class);
+                inst_host.push(Some(h as u8));
+                ctl.push(idx);
+                members.push(idx);
+            }
+            groups.insert(gname.clone(), members);
+        }
+
+        let mut sites = Vec::new();
+        let mut halt_sites = HashMap::new();
+        for (c, class) in sc.classes.iter().enumerate() {
+            for (n, node) in class.nodes.iter().enumerate() {
+                for (t, tr) in node.transitions.iter().enumerate() {
+                    if tr.actions.iter().any(|a| matches!(a, Action::Halt)) {
+                        halt_sites.insert((c, n, t), sites.len());
+                        sites.push(HaltSite {
+                            class: c,
+                            line: tr.line,
+                            executed: false,
+                            stale: false,
+                        });
+                    }
+                }
+            }
+        }
+
+        let comm_peers = comm_closure(programs, cfg.n_ranks);
+
+        Explorer {
+            sc,
+            cfg,
+            params,
+            inst_class,
+            inst_names,
+            inst_host,
+            controllers,
+            by_name,
+            groups,
+            comm_peers,
+            halt_sites,
+            sites,
+            states: Vec::new(),
+            index: HashMap::new(),
+            dist: Vec::new(),
+            parent: Vec::new(),
+            edges: Vec::new(),
+            expanded: Vec::new(),
+            all_running: Vec::new(),
+            heap: BinaryHeap::new(),
+            seq: 0,
+            n_expanded: 0,
+            freeze: None,
+            budget_hit: false,
+        }
+    }
+
+    // -- abstract expression evaluation ------------------------------------
+
+    fn eval(&self, e: &Expr, vars: &[VarVal]) -> VarVal {
+        if let Some(v) = e.fold_const(&self.params) {
+            return VarVal::Known(v);
+        }
+        match e {
+            Expr::Int(n) => VarVal::Known(*n),
+            Expr::Var(i) => vars[*i],
+            Expr::Param(i) => VarVal::Known(self.params[*i]),
+            Expr::Rand(..) => match e.const_range(&self.params) {
+                Some((l, h)) if l == h => VarVal::Known(l),
+                _ => VarVal::Top,
+            },
+            Expr::Bin(op, a, b) => {
+                match (self.eval(a, vars), self.eval(b, vars)) {
+                    (VarVal::Known(x), VarVal::Known(y)) => {
+                        VarVal::Known(failmpi_core::lang::compile::apply_bin(*op, x, y))
+                    }
+                    _ => VarVal::Top,
+                }
+            }
+            Expr::Neg(a) => match self.eval(a, vars) {
+                VarVal::Known(x) => VarVal::Known(x.wrapping_neg()),
+                VarVal::Top => VarVal::Top,
+            },
+        }
+    }
+
+    /// Tri-state condition: `Some(b)` when decidable, `None` when the
+    /// abstraction cannot tell (both branches are then explored).
+    fn cond3(&self, e: &Expr, vars: &[VarVal]) -> Option<bool> {
+        match self.eval(e, vars) {
+            VarVal::Known(v) => Some(v != 0),
+            VarVal::Top => None,
+        }
+    }
+
+    /// The group members a `G[idx]` destination can resolve to. Constant
+    /// and interval-bounded indices narrow the set; opaque ones fan out
+    /// to the whole group (see [`Expr::const_range`]).
+    fn dest_members(&self, members: &[usize], idx: &Expr, vars: &[VarVal]) -> Vec<usize> {
+        match self.eval(idx, vars) {
+            VarVal::Known(k) => usize::try_from(k)
+                .ok()
+                .filter(|k| *k < members.len())
+                .map(|k| vec![members[k]])
+                .unwrap_or_default(),
+            VarVal::Top => match idx.const_range(&self.params) {
+                Some((l, h)) => {
+                    let lo = l.max(0) as usize;
+                    let hi = (h.min(members.len() as i64 - 1)).max(-1);
+                    if hi < 0 {
+                        Vec::new()
+                    } else {
+                        members[lo.min(members.len())..=hi as usize].to_vec()
+                    }
+                }
+                None => members.to_vec(),
+            },
+        }
+    }
+
+    // -- the per-instance firing engine ------------------------------------
+    //
+    // Mirrors `FailRuntime::{feed, try_fire, fire, enter_node,
+    // drain_inbox}` over abstract values. Every function returns the set
+    // of branch outcomes (undecidable conditions and random group indices
+    // branch).
+
+    fn class_of(&self, inst: usize) -> &failmpi_core::lang::compile::Class {
+        &self.sc.classes[self.inst_class[inst]]
+    }
+
+    fn enter_node(&mut self, inst: usize, mut st: InstState, node: usize) -> Vec<(InstState, Effects)> {
+        st.node = node as u16;
+        let class = self.class_of(inst);
+        let nd = &class.nodes[node];
+        let always: Vec<(usize, Expr)> = nd.always.clone();
+        let timers: Vec<usize> = nd.timers.iter().map(|(t, _)| *t).collect();
+        for (slot, e) in &always {
+            let v = store(self.eval(e, &st.vars));
+            st.vars[*slot] = v;
+        }
+        st.armed.iter_mut().for_each(|a| *a = false);
+        for t in timers {
+            st.armed[t] = true;
+        }
+        self.drain_inbox(inst, st)
+    }
+
+    fn drain_inbox(&mut self, inst: usize, st: InstState) -> Vec<(InstState, Effects)> {
+        // Scan the FIFO for the first consumable message; `Maybe`
+        // conditions split the scan.
+        let node_idx = st.node as usize;
+        let class = self.inst_class[inst];
+        let n_trans = self.sc.classes[class].nodes[node_idx].transitions.len();
+        for mi in 0..st.inbox.len() {
+            let (from, msg) = st.inbox[mi];
+            for t in 0..n_trans {
+                let tr = &self.sc.classes[class].nodes[node_idx].transitions[t];
+                if !matches!(tr.guard, Guard::Recv(m) if m == msg as usize) {
+                    continue;
+                }
+                let conds: Vec<Expr> = tr.conds.clone();
+                match self.conds3(&conds, &st.vars) {
+                    Some(false) => continue,
+                    Some(true) => {
+                        let mut consumed = st.clone();
+                        consumed.inbox.remove(mi);
+                        return self.chain_fire(inst, consumed, node_idx, t, Some(from as usize));
+                    }
+                    None => {
+                        // Branch: the conditions hold (fire) or they do
+                        // not (keep scanning past this transition).
+                        let mut out = Vec::new();
+                        let mut consumed = st.clone();
+                        consumed.inbox.remove(mi);
+                        out.extend(self.chain_fire(inst, consumed, node_idx, t, Some(from as usize)));
+                        out.extend(self.drain_from(inst, st, mi, t + 1));
+                        return dedup_fire(out);
+                    }
+                }
+            }
+        }
+        vec![(st, Effects::default())]
+    }
+
+    /// `drain_inbox` resumed mid-scan (message `mi`, transition `ti`) —
+    /// the no-fire branch of an undecidable condition.
+    fn drain_from(
+        &mut self,
+        inst: usize,
+        st: InstState,
+        mi0: usize,
+        ti0: usize,
+    ) -> Vec<(InstState, Effects)> {
+        let node_idx = st.node as usize;
+        let class = self.inst_class[inst];
+        let n_trans = self.sc.classes[class].nodes[node_idx].transitions.len();
+        for mi in mi0..st.inbox.len() {
+            let (from, msg) = st.inbox[mi];
+            let t_start = if mi == mi0 { ti0 } else { 0 };
+            for t in t_start..n_trans {
+                let tr = &self.sc.classes[class].nodes[node_idx].transitions[t];
+                if !matches!(tr.guard, Guard::Recv(m) if m == msg as usize) {
+                    continue;
+                }
+                let conds: Vec<Expr> = tr.conds.clone();
+                match self.conds3(&conds, &st.vars) {
+                    Some(false) => continue,
+                    Some(true) => {
+                        let mut consumed = st.clone();
+                        consumed.inbox.remove(mi);
+                        return self.chain_fire(inst, consumed, node_idx, t, Some(from as usize));
+                    }
+                    None => {
+                        let mut out = Vec::new();
+                        let mut consumed = st.clone();
+                        consumed.inbox.remove(mi);
+                        out.extend(self.chain_fire(inst, consumed, node_idx, t, Some(from as usize)));
+                        out.extend(self.drain_from(inst, st, mi, t + 1));
+                        return dedup_fire(out);
+                    }
+                }
+            }
+        }
+        vec![(st, Effects::default())]
+    }
+
+    /// All conditions of a transition, three-valued.
+    fn conds3(&self, conds: &[Expr], vars: &[VarVal]) -> Option<bool> {
+        let mut maybe = false;
+        for c in conds {
+            match self.cond3(c, vars) {
+                Some(false) => return Some(false),
+                Some(true) => {}
+                None => maybe = true,
+            }
+        }
+        if maybe {
+            None
+        } else {
+            Some(true)
+        }
+    }
+
+    /// Fires transition `(node, t)` and re-drains the inbox when the
+    /// transition moved to a new node (`enter_node` does the drain).
+    fn chain_fire(
+        &mut self,
+        inst: usize,
+        st: InstState,
+        node: usize,
+        t: usize,
+        sender: Option<usize>,
+    ) -> Vec<(InstState, Effects)> {
+        let class = self.inst_class[inst];
+        let actions: Vec<Action> =
+            self.sc.classes[class].nodes[node].transitions[t].actions.clone();
+        let site = self.halt_sites.get(&(class, node, t)).copied();
+        self.run_actions(inst, st, &actions, sender, site)
+    }
+
+    /// Executes a transition's actions in order. Branches on opaque group
+    /// indices; applies `Goto` last exactly like `FailRuntime::fire`.
+    fn run_actions(
+        &mut self,
+        inst: usize,
+        st: InstState,
+        actions: &[Action],
+        sender: Option<usize>,
+        site: Option<usize>,
+    ) -> Vec<(InstState, Effects)> {
+        // Work items: (state so far, effects so far, next action index,
+        // pending goto).
+        let mut work = vec![(st, Effects::default(), 0usize, None::<usize>)];
+        let mut done = Vec::new();
+        while let Some((mut s, mut eff, i, goto)) = work.pop() {
+            if i == actions.len() {
+                done.push((s, eff, goto));
+                continue;
+            }
+            match &actions[i] {
+                Action::Send { msg, dest } => {
+                    let targets: Vec<usize> = match dest {
+                        Dest::Instance(name) => {
+                            self.by_name.get(name).copied().into_iter().collect()
+                        }
+                        Dest::Group(name, idx) => match self.groups.get(name) {
+                            Some(members) => {
+                                let members = members.clone();
+                                self.dest_members(&members, idx, &s.vars)
+                            }
+                            None => Vec::new(),
+                        },
+                        Dest::Sender => sender.into_iter().collect(),
+                    };
+                    if targets.len() <= 1 {
+                        if let Some(to) = targets.first() {
+                            eff.sends.push((inst, *to, *msg));
+                        }
+                        work.push((s, eff, i + 1, goto));
+                    } else {
+                        for to in targets {
+                            let mut e2 = eff.clone();
+                            e2.sends.push((inst, to, *msg));
+                            work.push((s.clone(), e2, i + 1, goto));
+                        }
+                    }
+                }
+                Action::Goto(n) => {
+                    work.push((s, eff, i + 1, Some(*n)));
+                }
+                Action::Halt => {
+                    if let Some(siteidx) = site {
+                        self.sites[siteidx].executed = true;
+                        if !s.controlled {
+                            self.sites[siteidx].stale = true;
+                        }
+                    }
+                    if s.controlled {
+                        s.controlled = false;
+                        s.suspended = false;
+                        eff.halted = true;
+                    }
+                    work.push((s, eff, i + 1, goto));
+                }
+                Action::Stop => {
+                    if s.controlled {
+                        s.suspended = true;
+                        eff.stop = true;
+                    }
+                    work.push((s, eff, i + 1, goto));
+                }
+                Action::Continue => {
+                    if s.controlled {
+                        s.suspended = false;
+                        eff.cont = true;
+                    }
+                    work.push((s, eff, i + 1, goto));
+                }
+                Action::Assign(slot, e) => {
+                    let v = store(self.eval(e, &s.vars));
+                    s.vars[*slot] = v;
+                    work.push((s, eff, i + 1, goto));
+                }
+            }
+        }
+        let mut out = Vec::new();
+        for (s, eff, goto) in done {
+            match goto {
+                Some(n) => {
+                    for (s2, e2) in self.enter_node(inst, s, n) {
+                        let mut merged = eff.clone();
+                        merged.merge(e2);
+                        out.push((s2, merged));
+                    }
+                }
+                None => out.push((s, eff)),
+            }
+        }
+        dedup_fire(out)
+    }
+
+    /// `FailRuntime::try_fire`: first transition whose guard matches and
+    /// whose conditions hold. Returns branch outcomes plus whether each
+    /// branch actually fired.
+    fn try_fire(
+        &mut self,
+        inst: usize,
+        st: InstState,
+        pred: impl Fn(&Guard) -> bool,
+        sender: Option<usize>,
+    ) -> Vec<(InstState, Effects, bool)> {
+        self.try_fire_from(inst, st, &pred, sender, 0)
+    }
+
+    fn try_fire_from(
+        &mut self,
+        inst: usize,
+        st: InstState,
+        pred: &impl Fn(&Guard) -> bool,
+        sender: Option<usize>,
+        t0: usize,
+    ) -> Vec<(InstState, Effects, bool)> {
+        let node = st.node as usize;
+        let class = self.inst_class[inst];
+        let n_trans = self.sc.classes[class].nodes[node].transitions.len();
+        for t in t0..n_trans {
+            let tr = &self.sc.classes[class].nodes[node].transitions[t];
+            if !pred(&tr.guard) {
+                continue;
+            }
+            let conds: Vec<Expr> = tr.conds.clone();
+            match self.conds3(&conds, &st.vars) {
+                Some(false) => continue,
+                Some(true) => {
+                    return self
+                        .chain_fire(inst, st, node, t, sender)
+                        .into_iter()
+                        .map(|(s, e)| (s, e, true))
+                        .collect();
+                }
+                None => {
+                    let mut out: Vec<(InstState, Effects, bool)> = self
+                        .chain_fire(inst, st.clone(), node, t, sender)
+                        .into_iter()
+                        .map(|(s, e)| (s, e, true))
+                        .collect();
+                    out.extend(self.try_fire_from(inst, st, pred, sender, t + 1));
+                    return out;
+                }
+            }
+        }
+        vec![(st, Effects::default(), false)]
+    }
+
+    /// `FailRuntime::feed` for one abstract input.
+    fn feed(&mut self, inst: usize, st: InstState, input: &AIn) -> Vec<(InstState, Effects, bool)> {
+        match input {
+            AIn::Msg { from, msg } => {
+                let mut s = st;
+                s.inbox.push((*from as u8, *msg as u8));
+                self.drain_inbox(inst, s)
+                    .into_iter()
+                    .map(|(s, e)| (s, e, true))
+                    .collect()
+            }
+            AIn::OnLoad => {
+                let mut s = st;
+                s.controlled = true;
+                s.suspended = false;
+                self.try_fire(inst, s, |g| matches!(g, Guard::OnLoad), None)
+            }
+            AIn::OnExit | AIn::OnError => {
+                let mut s = st;
+                if !s.controlled {
+                    return vec![(s, Effects::default(), false)]; // stale
+                }
+                s.controlled = false;
+                s.suspended = false;
+                let want_exit = matches!(input, AIn::OnExit);
+                self.try_fire(
+                    inst,
+                    s,
+                    move |g| {
+                        if want_exit {
+                            matches!(g, Guard::OnExit)
+                        } else {
+                            matches!(g, Guard::OnError)
+                        }
+                    },
+                    None,
+                )
+            }
+            AIn::Timer(t) => {
+                let mut s = st;
+                if !s.armed[*t] {
+                    return vec![(s, Effects::default(), false)];
+                }
+                s.armed[*t] = false;
+                let t = *t;
+                self.try_fire(inst, s, move |g| matches!(g, Guard::Timer(x) if *x == t), None)
+            }
+            AIn::Breakpoint => {
+                self.try_fire(inst, st, |g| matches!(g, Guard::Before(_)), None)
+            }
+            AIn::Probe { slot, value } => {
+                let mut s = st;
+                let old = s.vars[*slot];
+                s.vars[*slot] = VarVal::Known(*value);
+                if old == VarVal::Known(*value) {
+                    return vec![(s, Effects::default(), false)];
+                }
+                let slot = *slot;
+                self.try_fire(inst, s, move |g| matches!(g, Guard::Change(p) if *p == slot), None)
+            }
+        }
+    }
+
+    // -- world-level step application --------------------------------------
+
+    /// Processes a queue of pending consequences to completion, branching
+    /// as the automata branch. Returns the settled micro-states.
+    fn drive(&mut self, st: ProdState, queue: VecDeque<Pend>, faults: u32, notes: Vec<String>) -> Vec<Micro> {
+        let mut out = Vec::new();
+        let mut work = vec![(st, queue, faults, notes)];
+        while let Some((mut s, mut q, f, notes)) = work.pop() {
+            let Some(p) = q.pop_front() else {
+                out.push(Micro { st: s, faults: f, notes });
+                continue;
+            };
+            match p {
+                Pend::Fault(r) => {
+                    if !s.vcl.ranks[r as usize].phase.process_alive() {
+                        // The process died between the halt decision and
+                        // this point (cascaded recovery) — nothing to kill.
+                        work.push((s, q, f, notes));
+                        continue;
+                    }
+                    let mut evs = Vec::new();
+                    let phase = s.vcl.ranks[r as usize].phase;
+                    let during = s.vcl.recovery_active;
+                    s.vcl.apply(AbstractStep::Fault(r), &mut evs);
+                    let mut notes = notes.clone();
+                    notes.push(format!(
+                        "fault kills rank {r} ({}{})",
+                        phase_name(phase),
+                        if during { ", during recovery" } else { "" }
+                    ));
+                    if evs.iter().any(|e| matches!(e, AbstractEvent::RankLost { .. })) {
+                        notes.push(format!(
+                            "dispatcher files rank {r} as stopped with no relaunch — stale entry"
+                        ));
+                    }
+                    let mut q2 = q.clone();
+                    self.enqueue_events(&mut q2, &evs);
+                    work.push((s, q2, f + 1, notes));
+                }
+                Pend::In { inst, input } => {
+                    let ist = s.insts[inst].clone();
+                    let branches = self.feed(inst, ist, &input);
+                    for (ist2, eff, _) in branches {
+                        let mut s2 = s.clone();
+                        s2.insts[inst] = ist2;
+                        let mut q2 = q.clone();
+                        let mut notes2 = notes.clone();
+                        for (from, to, msg) in &eff.sends {
+                            insert_msg(&mut s2.msgs, (*from as u8, *to as u8, *msg as u8));
+                        }
+                        if eff.halted {
+                            match self.inst_host[inst]
+                                .and_then(|h| s2.vcl.live_rank_on_host(h))
+                            {
+                                Some(r) => q2.push_back(Pend::Fault(r)),
+                                None => notes2.push(format!(
+                                    "halt from {} found no live process",
+                                    self.inst_names[inst]
+                                )),
+                            }
+                        }
+                        work.push((s2, q2, f, notes2));
+                    }
+                }
+            }
+        }
+        dedup_micro(out)
+    }
+
+    /// Maps abstract Vcl events onto automaton inputs, honoring the
+    /// dynamic runtime's routing (lifecycle hooks to the host's
+    /// controllers, committed-wave / epoch updates to probe subscribers).
+    fn enqueue_events(&self, q: &mut VecDeque<Pend>, evs: &[AbstractEvent]) {
+        for e in evs {
+            match e {
+                AbstractEvent::OnLoad { host } => {
+                    for &c in &self.controllers[*host as usize] {
+                        q.push_back(Pend::In { inst: c, input: AIn::OnLoad });
+                    }
+                }
+                AbstractEvent::OnExit { host } => {
+                    for &c in &self.controllers[*host as usize] {
+                        q.push_back(Pend::In { inst: c, input: AIn::OnExit });
+                    }
+                }
+                AbstractEvent::OnError { host } => {
+                    for &c in &self.controllers[*host as usize] {
+                        q.push_back(Pend::In { inst: c, input: AIn::OnError });
+                    }
+                }
+                AbstractEvent::CommittedWave(v) => self.enqueue_probe(q, "committed_wave", *v),
+                AbstractEvent::EpochBumped(v) => self.enqueue_probe(q, "epoch", *v),
+                AbstractEvent::FailureDetected { .. } | AbstractEvent::RankLost { .. } => {}
+            }
+        }
+    }
+
+    fn enqueue_probe(&self, q: &mut VecDeque<Pend>, name: &str, value: u8) {
+        for inst in 0..self.inst_class.len() {
+            let class = &self.sc.classes[self.inst_class[inst]];
+            if let Some((_, slot)) = class.probes.iter().find(|(n, _)| n == name) {
+                q.push_back(Pend::In {
+                    inst,
+                    input: AIn::Probe { slot: *slot, value: value as i64 },
+                });
+            }
+        }
+    }
+
+    // -- successor generation ----------------------------------------------
+
+    /// Whether any controller suspends the process of `rank` (a
+    /// `stop`-suspended process neither registers nor acks commands).
+    fn rank_suspended(&self, s: &ProdState, rank: usize) -> bool {
+        let h = s.vcl.ranks[rank].host as usize;
+        self.controllers[h]
+            .iter()
+            .any(|&c| s.insts[c].controlled && s.insts[c].suspended)
+    }
+
+    /// The first controller holding an armed breakpoint over `rank`'s
+    /// process (current node has a `before(...)` guard and the process is
+    /// attached) — it intercepts the rank's ready step.
+    fn breakpoint_holder(&self, s: &ProdState, rank: usize) -> Option<usize> {
+        let h = s.vcl.ranks[rank].host as usize;
+        self.controllers[h].iter().copied().find(|&c| {
+            if !s.insts[c].controlled {
+                return false;
+            }
+            let class = &self.sc.classes[self.inst_class[c]];
+            class.nodes[s.insts[c].node as usize]
+                .transitions
+                .iter()
+                .any(|t| matches!(t.guard, Guard::Before(_)))
+        })
+    }
+
+    /// All successors of `s`, each a labelled set of micro-branches, in
+    /// canonical order.
+    fn successors(&mut self, s: &ProdState) -> Vec<(String, Micro)> {
+        let mut labelled: Vec<(String, Micro)> = Vec::new();
+
+        // Fast: message deliveries.
+        let mut seen_msg = None;
+        for i in 0..s.msgs.len() {
+            let m = s.msgs[i];
+            if seen_msg == Some(m) {
+                continue; // multiset duplicate: identical successor
+            }
+            seen_msg = Some(m);
+            let (from, to, msg) = m;
+            let mut s2 = s.clone();
+            s2.msgs.remove(i);
+            let label = format!(
+                "deliver {} {} -> {}",
+                self.sc.messages[msg as usize],
+                self.inst_names[from as usize],
+                self.inst_names[to as usize]
+            );
+            let q = VecDeque::from([Pend::In {
+                inst: to as usize,
+                input: AIn::Msg { from: from as usize, msg: msg as usize },
+            }]);
+            for micro in self.drive(s2, q, 0, Vec::new()) {
+                labelled.push((label.clone(), micro));
+            }
+        }
+
+        // Fast: register / ready (they race the FAIL plane).
+        for step in s.vcl.protocol_steps() {
+            match step {
+                AbstractStep::Register(r) => {
+                    if self.rank_suspended(s, r as usize) {
+                        continue;
+                    }
+                    let mut s2 = s.clone();
+                    let mut evs = Vec::new();
+                    s2.vcl.apply(step, &mut evs);
+                    let mut q = VecDeque::new();
+                    self.enqueue_events(&mut q, &evs);
+                    for micro in self.drive(s2, q, 0, Vec::new()) {
+                        labelled.push((format!("register rank {r}"), micro));
+                    }
+                }
+                AbstractStep::Ready(r) => {
+                    if self.rank_suspended(s, r as usize) {
+                        continue;
+                    }
+                    if let Some(c) = self.breakpoint_holder(s, r as usize) {
+                        // The controller's debugger holds the process just
+                        // before `localMPI_setCommand`; the scenario
+                        // decides whether the call proceeds.
+                        let label = format!(
+                            "breakpoint before set-command: rank {r} held by {}",
+                            self.inst_names[c]
+                        );
+                        let ist = s.insts[c].clone();
+                        let branches = self.feed(c, ist, &AIn::Breakpoint);
+                        for (ist2, eff, _) in branches {
+                            let mut s2 = s.clone();
+                            s2.insts[c] = ist2;
+                            let mut q = VecDeque::new();
+                            let mut notes = Vec::new();
+                            for (from, to, msg) in &eff.sends {
+                                insert_msg(&mut s2.msgs, (*from as u8, *to as u8, *msg as u8));
+                            }
+                            if eff.halted {
+                                // Killed at the breakpoint: the rank dies
+                                // registered, before acking the command.
+                                q.push_back(Pend::Fault(r));
+                            } else {
+                                // Released: the call completes.
+                                let mut evs = Vec::new();
+                                s2.vcl.apply(AbstractStep::Ready(r), &mut evs);
+                                self.enqueue_events(&mut q, &evs);
+                                notes.push("released".to_string());
+                            }
+                            for micro in self.drive(s2, q, 0, notes) {
+                                labelled.push((label.clone(), micro));
+                            }
+                        }
+                    } else {
+                        let mut s2 = s.clone();
+                        let mut evs = Vec::new();
+                        s2.vcl.apply(step, &mut evs);
+                        let mut q = VecDeque::new();
+                        self.enqueue_events(&mut q, &evs);
+                        for micro in self.drive(s2, q, 0, Vec::new()) {
+                            labelled.push((format!("ready rank {r}"), micro));
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+
+        // Slow: spawns and stop-closures only run on a silent FAIL plane.
+        if s.msgs.is_empty() {
+            for step in s.vcl.protocol_steps() {
+                let label = match step {
+                    AbstractStep::Spawn(r) => {
+                        format!("spawn rank {r} on host {}", s.vcl.ranks[r as usize].host)
+                    }
+                    AbstractStep::StopClosure(r) => format!("stop-closure rank {r}"),
+                    _ => continue,
+                };
+                let mut s2 = s.clone();
+                let mut evs = Vec::new();
+                s2.vcl.apply(step, &mut evs);
+                let mut q = VecDeque::new();
+                self.enqueue_events(&mut q, &evs);
+                for micro in self.drive(s2, q, 0, Vec::new()) {
+                    labelled.push((label.clone(), micro));
+                }
+            }
+        }
+
+        // Quiescent: scenario timers and checkpoint waves.
+        if s.msgs.is_empty() && s.vcl.all_running() {
+            for inst in 0..s.insts.len() {
+                for t in 0..s.insts[inst].armed.len() {
+                    if !s.insts[inst].armed[t] {
+                        continue;
+                    }
+                    let label = format!(
+                        "timer {} at {}",
+                        self.sc.classes[self.inst_class[inst]].timer_names[t],
+                        self.inst_names[inst]
+                    );
+                    let q = VecDeque::from([Pend::In { inst, input: AIn::Timer(t) }]);
+                    for micro in self.drive(s.clone(), q, 0, Vec::new()) {
+                        labelled.push((label.clone(), micro));
+                    }
+                }
+            }
+            if !s.vcl.wave_active && s.vcl.committed_waves < WAVE_CAP {
+                let mut s2 = s.clone();
+                let mut evs = Vec::new();
+                s2.vcl.apply(AbstractStep::WaveStart, &mut evs);
+                labelled.push((
+                    "checkpoint wave starts".to_string(),
+                    Micro { st: s2, faults: 0, notes: Vec::new() },
+                ));
+            }
+            if s.vcl.wave_active {
+                let mut s2 = s.clone();
+                let mut evs = Vec::new();
+                s2.vcl.apply(AbstractStep::WaveCommit, &mut evs);
+                let mut q = VecDeque::new();
+                self.enqueue_events(&mut q, &evs);
+                for micro in self.drive(s2, q, 0, Vec::new()) {
+                    labelled.push(("checkpoint wave commits".to_string(), micro));
+                }
+            }
+        }
+
+        // Scramble (test hook), then the canonical sort that must undo it.
+        if let Some(seed) = self.cfg.scramble {
+            let mut rng = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).max(1);
+            for i in (1..labelled.len()).rev() {
+                rng ^= rng << 13;
+                rng ^= rng >> 7;
+                rng ^= rng << 17;
+                labelled.swap(i, (rng as usize) % (i + 1));
+            }
+        }
+        labelled.sort_by(|a, b| {
+            (&a.0, &a.1.st, a.1.faults, &a.1.notes).cmp(&(&b.0, &b.1.st, b.1.faults, &b.1.notes))
+        });
+        labelled.dedup_by(|a, b| a.0 == b.0 && a.1.st == b.1.st && a.1.faults == b.1.faults);
+        labelled
+    }
+
+    // -- the main loop -----------------------------------------------------
+
+    fn initial(&mut self) -> ProdState {
+        let mut insts = Vec::new();
+        for i in 0..self.inst_class.len() {
+            let class = &self.sc.classes[self.inst_class[i]];
+            let mut st = InstState {
+                node: 0,
+                vars: vec![VarVal::Known(0); class.var_names.len()],
+                inbox: Vec::new(),
+                armed: vec![false; class.timer_names.len()],
+                controlled: false,
+                suspended: false,
+            };
+            let inits: Vec<(usize, Expr)> = class.var_init.clone();
+            for (slot, e) in &inits {
+                let v = store(self.eval(e, &st.vars));
+                st.vars[*slot] = v;
+            }
+            insts.push(st);
+        }
+        let mut s = ProdState {
+            insts,
+            msgs: Vec::new(),
+            vcl: AbstractVcl::new(self.cfg.mode, self.cfg.n_ranks, self.cfg.n_hosts),
+        };
+        // Node-0 entry (always vars, timers); builtins' initial nodes have
+        // no consumable inbox, so this never branches.
+        for i in 0..s.insts.len() {
+            let entered = self.enter_node(i, s.insts[i].clone(), 0);
+            s.insts[i] = entered.into_iter().next().expect("initial entry").0;
+        }
+        s
+    }
+
+    fn intern(&mut self, s: ProdState) -> u32 {
+        if let Some(&id) = self.index.get(&s) {
+            return id;
+        }
+        let id = self.states.len() as u32;
+        self.all_running.push(s.vcl.all_running());
+        self.index.insert(s.clone(), id);
+        self.states.push(s);
+        self.dist.push((u32::MAX, u32::MAX));
+        self.parent.push(None);
+        self.edges.push(Vec::new());
+        self.expanded.push(false);
+        id
+    }
+
+    fn run(&mut self) {
+        let init = self.initial();
+        let id = self.intern(init);
+        self.dist[id as usize] = (0, 0);
+        self.heap.push(Reverse((0, 0, 0, id)));
+        self.seq = 1;
+
+        while let Some(Reverse((f, steps, _, id))) = self.heap.pop() {
+            if self.expanded[id as usize] || (f, steps) > self.dist[id as usize] {
+                continue;
+            }
+            self.expanded[id as usize] = true;
+            self.n_expanded += 1;
+
+            let s = self.states[id as usize].clone();
+            if s.vcl.lost_rank().is_some() {
+                self.freeze = Some((id, "stale dispatcher entry".to_string()));
+                return;
+            }
+            let succs = self.successors(&s);
+            if succs.is_empty() && !s.vcl.all_running() {
+                self.freeze = Some((
+                    id,
+                    "no enabled step short of the all-running state".to_string(),
+                ));
+                return;
+            }
+            for (label, micro) in succs {
+                let full_label = if micro.notes.is_empty() {
+                    label
+                } else {
+                    format!("{label} [{}]", micro.notes.join("; "))
+                };
+                let nid = self.intern(micro.st);
+                self.edges[id as usize].push((nid, micro.faults > 0));
+                let cand = (f + micro.faults, steps + 1);
+                if cand < self.dist[nid as usize] {
+                    self.dist[nid as usize] = cand;
+                    self.parent[nid as usize] = Some((id, full_label));
+                    self.heap.push(Reverse((cand.0, cand.1, self.seq, nid)));
+                    self.seq += 1;
+                }
+            }
+            if self.n_expanded >= self.cfg.budget && !self.heap.is_empty() {
+                self.budget_hit = true;
+                return;
+            }
+        }
+    }
+
+    fn witness_to(&self, id: u32) -> Witness {
+        let mut steps = Vec::new();
+        let mut cur = id;
+        while let Some((p, label)) = &self.parent[cur as usize] {
+            steps.push(label.clone());
+            cur = *p;
+        }
+        steps.reverse();
+        Witness { steps, faults: self.dist[id as usize].0 as usize }
+    }
+
+    fn finish(self) -> ModelCheckResult {
+        let mut diagnostics = Vec::new();
+        let frontier = self
+            .heap
+            .iter()
+            .filter(|Reverse((_, _, _, id))| !self.expanded[*id as usize])
+            .map(|Reverse((_, _, _, id))| *id)
+            .collect::<std::collections::HashSet<_>>()
+            .len();
+
+        let verdict = if let Some((id, why)) = &self.freeze {
+            let witness = self.witness_to(*id);
+            let blocked = self.blocked_ranks_note(*id);
+            diagnostics.push(Diagnostic::new(
+                Severity::Error,
+                "FC003",
+                0,
+                format!(
+                    "reachable freeze state ({why}) after {} fault(s) in {} step(s){blocked}",
+                    witness.faults,
+                    witness.steps.len()
+                ),
+                "the scenario can wedge the dispatcher's recovery \
+                 bookkeeping; run the witness schedule through the dynamic \
+                 simulator (or pass --expect-freeze to sweep it anyway)",
+            ));
+            StaticVerdict::Freezes
+        } else if self.budget_hit {
+            diagnostics.push(Diagnostic::new(
+                Severity::Warning,
+                "FC006",
+                0,
+                format!(
+                    "exploration budget exceeded: {} state(s) expanded, \
+                     {frontier} frontier state(s) unexplored — verdict unknown",
+                    self.n_expanded
+                ),
+                "raise --budget to finish the exploration, or simplify the \
+                 scenario's unbounded counters",
+            ));
+            StaticVerdict::Unknown
+        } else {
+            StaticVerdict::Survives
+        };
+
+        if verdict == StaticVerdict::Survives {
+            // FC001 — halts that no explored path ever executed.
+            for site in &self.sites {
+                if !site.executed {
+                    diagnostics.push(Diagnostic::new(
+                        Severity::Warning,
+                        "FC001",
+                        site.line,
+                        format!(
+                            "`halt` in daemon {} is never executed on any \
+                             reachable schedule",
+                            self.sc.classes[site.class].name
+                        ),
+                        "the fault injection is statically unreachable; the \
+                         scenario strains nothing",
+                    ));
+                }
+            }
+            // FC004 — fault/relaunch cycles that never pass all-running.
+            for line in self.livelock_sccs() {
+                diagnostics.push(line);
+            }
+        }
+        // FC005 — halts observed with no controlled process.
+        for site in &self.sites {
+            if site.stale {
+                diagnostics.push(Diagnostic::new(
+                    Severity::Warning,
+                    "FC005",
+                    site.line,
+                    format!(
+                        "`halt` in daemon {} can execute with no controlled \
+                         process (the target incarnation is already dead)",
+                        self.sc.classes[site.class].name
+                    ),
+                    "guard the halt behind an onload-reached node or answer \
+                     the order with `no` when the machine is empty",
+                ));
+            }
+        }
+        // FC002 — every fault provably lands before the first commit.
+        if let Some(d) = self.fc002() {
+            diagnostics.push(d);
+        }
+
+        ModelCheckResult {
+            summary: ModelSummary {
+                verdict,
+                explored: self.n_expanded,
+                frontier,
+                witness: self.freeze.as_ref().map(|(id, _)| self.witness_to(*id)),
+            },
+            diagnostics,
+        }
+    }
+
+    /// For the FC003 message: which surviving ranks the op-program
+    /// communication skeleton says will block on the lost rank.
+    fn blocked_ranks_note(&self, id: u32) -> String {
+        let s = &self.states[id as usize];
+        let Some(lost) = s.vcl.lost_rank() else {
+            return String::new();
+        };
+        if self.comm_peers.is_empty() {
+            return format!("; rank {lost} is permanently lost");
+        }
+        let blocked: Vec<String> = (0..self.cfg.n_ranks)
+            .filter(|r| *r != lost as usize)
+            .filter(|r| self.comm_peers[*r].contains(&(lost as u32)))
+            .map(|r| r.to_string())
+            .collect();
+        if blocked.is_empty() {
+            format!("; rank {lost} is permanently lost")
+        } else {
+            format!(
+                "; rank {lost} is permanently lost and rank(s) {} block on \
+                 it through the op-program communication graph",
+                blocked.join(", ")
+            )
+        }
+    }
+
+    /// FC002: the purely timing-based argument — a scenario whose every
+    /// timer is a compile-time constant shorter than the checkpoint period
+    /// injects all of its (timer-driven) faults before any wave can
+    /// commit, so every restart replays from scratch.
+    fn fc002(&self) -> Option<Diagnostic> {
+        let mut has_halt = false;
+        let mut max_delay: Option<(i64, u32)> = None;
+        for class in &self.sc.classes {
+            if !class.probes.is_empty() {
+                return None; // probe-driven scenarios time off live state
+            }
+            for node in &class.nodes {
+                for tr in &node.transitions {
+                    if tr.actions.iter().any(|a| matches!(a, Action::Halt)) {
+                        has_halt = true;
+                    }
+                }
+                for (_, e) in &node.timers {
+                    let (_, hi) = e.const_range(&self.params)?;
+                    if max_delay.is_none_or(|(m, _)| hi > m) {
+                        max_delay = Some((hi, node.line));
+                    }
+                }
+            }
+        }
+        let (delay, line) = max_delay?;
+        if !has_halt || delay >= self.cfg.wave_period_secs {
+            return None;
+        }
+        Some(Diagnostic::new(
+            Severity::Warning,
+            "FC002",
+            line,
+            format!(
+                "every timer delay is at most {delay} s — shorter than the \
+                 {} s checkpoint period, so all timer-driven faults land \
+                 before the first wave can commit",
+                self.cfg.wave_period_secs
+            ),
+            "the scenario never exercises restart-from-checkpoint; lengthen \
+             the timer past the checkpoint period",
+        ))
+    }
+
+    /// FC004: strongly connected components of the explored graph that
+    /// contain a fault edge but no all-running state — the system keeps
+    /// faulting and relaunching without ever restarting the computation.
+    fn livelock_sccs(&self) -> Vec<Diagnostic> {
+        let n = self.states.len();
+        // Iterative Tarjan.
+        let mut index_of = vec![u32::MAX; n];
+        let mut low = vec![0u32; n];
+        let mut on_stack = vec![false; n];
+        let mut stack: Vec<u32> = Vec::new();
+        let mut next_index = 0u32;
+        let mut sccs: Vec<Vec<u32>> = Vec::new();
+        let mut call: Vec<(u32, usize)> = Vec::new();
+        for root in 0..n as u32 {
+            if index_of[root as usize] != u32::MAX {
+                continue;
+            }
+            call.push((root, 0));
+            index_of[root as usize] = next_index;
+            low[root as usize] = next_index;
+            next_index += 1;
+            stack.push(root);
+            on_stack[root as usize] = true;
+            while let Some((v, ei)) = call.pop() {
+                if ei < self.edges[v as usize].len() {
+                    call.push((v, ei + 1));
+                    let (w, _) = self.edges[v as usize][ei];
+                    if index_of[w as usize] == u32::MAX {
+                        index_of[w as usize] = next_index;
+                        low[w as usize] = next_index;
+                        next_index += 1;
+                        stack.push(w);
+                        on_stack[w as usize] = true;
+                        call.push((w, 0));
+                    } else if on_stack[w as usize] {
+                        low[v as usize] = low[v as usize].min(index_of[w as usize]);
+                    }
+                } else {
+                    if low[v as usize] == index_of[v as usize] {
+                        let mut scc = Vec::new();
+                        loop {
+                            let w = stack.pop().expect("tarjan stack");
+                            on_stack[w as usize] = false;
+                            scc.push(w);
+                            if w == v {
+                                break;
+                            }
+                        }
+                        sccs.push(scc);
+                    }
+                    if let Some((u, _)) = call.last() {
+                        let lu = low[*u as usize].min(low[v as usize]);
+                        low[*u as usize] = lu;
+                    }
+                }
+            }
+        }
+        let mut out = Vec::new();
+        for scc in &sccs {
+            if scc.len() < 2 && {
+                let v = scc[0];
+                !self.edges[v as usize].iter().any(|(w, _)| *w == v)
+            } {
+                continue; // trivial SCC, no self-loop
+            }
+            let members: std::collections::HashSet<u32> = scc.iter().copied().collect();
+            let has_fault = scc.iter().any(|&v| {
+                self.edges[v as usize]
+                    .iter()
+                    .any(|(w, fault)| *fault && members.contains(w))
+            });
+            let runs = scc.iter().any(|&v| self.all_running[v as usize]);
+            if has_fault && !runs {
+                out.push(Diagnostic::new(
+                    Severity::Warning,
+                    "FC004",
+                    0,
+                    format!(
+                        "fault/relaunch livelock: a cycle of {} state(s) \
+                         keeps killing and relaunching daemons without ever \
+                         reaching the all-running state",
+                        scc.len()
+                    ),
+                    "the scenario can starve the run of progress without \
+                     freezing it; bound the fault rate or add a terminal \
+                     node",
+                ));
+                break; // one finding describes the pathology
+            }
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Helpers
+// ---------------------------------------------------------------------------
+
+fn phase_name(p: failmpi_mpichv::AbstractPhase) -> &'static str {
+    use failmpi_mpichv::AbstractPhase as P;
+    match p {
+        P::Launched => "launched",
+        P::Booted => "booted, unregistered",
+        P::Registered => "registered",
+        P::Ready => "ready",
+        P::Running => "running",
+        P::Stopping => "stopping",
+        P::Lost => "lost",
+        P::Done => "done",
+    }
+}
+
+fn insert_msg(msgs: &mut Vec<(u8, u8, u8)>, m: (u8, u8, u8)) {
+    let pos = msgs.partition_point(|x| *x <= m);
+    msgs.insert(pos, m);
+}
+
+fn dedup_fire(mut v: Vec<(InstState, Effects)>) -> Vec<(InstState, Effects)> {
+    // Keep deterministic order while dropping exact state duplicates with
+    // identical effects (branches that converged).
+    let mut out: Vec<(InstState, Effects)> = Vec::new();
+    v.reverse();
+    while let Some((s, e)) = v.pop() {
+        if !out.iter().any(|(s2, e2)| {
+            *s2 == s && e2.sends == e.sends && e2.halted == e.halted
+        }) {
+            out.push((s, e));
+        }
+    }
+    out
+}
+
+fn dedup_micro(mut v: Vec<Micro>) -> Vec<Micro> {
+    v.sort_by(|a, b| (&a.st, a.faults, &a.notes).cmp(&(&b.st, b.faults, &b.notes)));
+    v.dedup_by(|a, b| a.st == b.st && a.faults == b.faults);
+    v
+}
+
+/// Transitive closure of "exchanges messages with" over the op-programs —
+/// the communication skeleton leg of the product.
+fn comm_closure(programs: &[Arc<Program>], n_ranks: usize) -> Vec<Vec<u32>> {
+    if programs.is_empty() {
+        return Vec::new();
+    }
+    let n = programs.len().min(n_ranks.max(programs.len()));
+    let mut adj = vec![std::collections::HashSet::new(); n];
+    for (rank, p) in programs.iter().enumerate() {
+        for op in p.ops() {
+            let peer = match op {
+                Op::Send { to, .. } => Some(to.0 as usize),
+                Op::Recv { from, .. } => Some(from.0 as usize),
+                _ => None,
+            };
+            if let Some(peer) = peer {
+                if peer < n && peer != rank {
+                    adj[rank].insert(peer as u32);
+                    adj[peer].insert(rank as u32);
+                }
+            }
+        }
+    }
+    // Floyd-Warshall style closure (n is tiny).
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for a in 0..n {
+            let via: Vec<u32> = adj[a].iter().copied().collect();
+            for &b in &via {
+                let more: Vec<u32> = adj[b as usize]
+                    .iter()
+                    .copied()
+                    .filter(|&c| c as usize != a && !adj[a].contains(&c))
+                    .collect();
+                if !more.is_empty() {
+                    changed = true;
+                    adj[a].extend(more);
+                }
+            }
+        }
+    }
+    adj.into_iter()
+        .map(|s| {
+            let mut v: Vec<u32> = s.into_iter().collect();
+            v.sort_unstable();
+            v
+        })
+        .collect()
+}

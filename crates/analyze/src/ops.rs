@@ -56,29 +56,35 @@ fn check_shape(programs: &[Arc<Program>], out: &mut Vec<Diagnostic>) {
                     } else {
                         format!("nonexistent rank {} (world size {n})", to.0)
                     };
-                    out.push(Diagnostic::new(
-                        Severity::Error,
-                        "FB003",
-                        (i + 1) as u32,
-                        format!("rank {rank}: send to {what}"),
-                        "the message can never be delivered; fix the \
-                         destination rank",
-                    ));
+                    out.push(
+                        Diagnostic::new(
+                            Severity::Error,
+                            "FB003",
+                            (i + 1) as u32,
+                            format!("rank {rank}: send to {what}"),
+                            "the message can never be delivered; fix the \
+                             destination rank",
+                        )
+                        .with_span(rank as u32, (i + 1) as u32),
+                    );
                 }
             }
         }
         if !p.is_well_formed() {
-            out.push(Diagnostic::new(
-                Severity::Warning,
-                "FB004",
-                p.len() as u32,
-                format!(
-                    "rank {rank}: program does not end with a single \
-                     trailing `Finalize`"
-                ),
-                "append `Finalize` so the process is known to have \
-                 completed",
-            ));
+            out.push(
+                Diagnostic::new(
+                    Severity::Warning,
+                    "FB004",
+                    p.len() as u32,
+                    format!(
+                        "rank {rank}: program does not end with a single \
+                         trailing `Finalize`"
+                    ),
+                    "append `Finalize` so the process is known to have \
+                     completed",
+                )
+                .with_span(rank as u32, p.len() as u32),
+            );
         }
     }
 }
@@ -90,15 +96,23 @@ fn check_channel_counts(programs: &[Arc<Program>], out: &mut Vec<Diagnostic>) {
     let n = programs.len();
     let mut sends: HashMap<Channel, usize> = HashMap::new();
     let mut recvs: HashMap<Channel, usize> = HashMap::new();
+    // First op touching the channel on each side, for span anchoring:
+    // (rank, 1-based op index).
+    let mut first_send: HashMap<Channel, (u32, u32)> = HashMap::new();
+    let mut first_recv: HashMap<Channel, (u32, u32)> = HashMap::new();
     for (rank, p) in programs.iter().enumerate() {
         let me = Rank(rank as u32);
-        for (_, op) in p.comm_ops() {
+        for (i, op) in p.comm_ops() {
             match op {
                 Op::Send { to, tag, .. } if deliverable(n, me, *to) => {
-                    *sends.entry((me, *to, *tag)).or_default() += 1;
+                    let ch = (me, *to, *tag);
+                    *sends.entry(ch).or_default() += 1;
+                    first_send.entry(ch).or_insert((me.0, (i + 1) as u32));
                 }
                 Op::Recv { from, tag } => {
-                    *recvs.entry((*from, me, *tag)).or_default() += 1;
+                    let ch = (*from, me, *tag);
+                    *recvs.entry(ch).or_default() += 1;
+                    first_recv.entry(ch).or_insert((me.0, (i + 1) as u32));
                 }
                 _ => {}
             }
@@ -114,17 +128,28 @@ fn check_channel_counts(programs: &[Arc<Program>], out: &mut Vec<Diagnostic>) {
         );
         if s != r {
             let (from, to, tag) = ch;
-            out.push(Diagnostic::new(
+            // Anchor on the surplus side: the first op of the kind there
+            // is too many of (that is where a fix removes or adds ops).
+            let anchor = if s > r {
+                first_send.get(&ch).copied()
+            } else {
+                first_recv.get(&ch).copied()
+            };
+            let mut d = Diagnostic::new(
                 Severity::Warning,
                 "FB005",
-                0,
+                anchor.map_or(0, |(_, op)| op),
                 format!(
                     "channel {}→{} tag {}: {s} send(s) but {r} recv(s)",
                     from.0, to.0, tag.0
                 ),
                 "unbalanced channels either lose messages or leave a rank \
                  waiting; make the counts match",
-            ));
+            );
+            if let Some((rank, op)) = anchor {
+                d = d.with_span(rank, op);
+            }
+            out.push(d);
         }
     }
 }
@@ -187,18 +212,22 @@ fn symbolic_walk(programs: &[Arc<Program>], out: &mut Vec<Diagnostic>) {
         if future_send {
             waiting_on[rank] = Some(sender);
         } else {
-            out.push(Diagnostic::new(
-                Severity::Error,
-                "FB001",
-                (pc[rank] + 1) as u32,
-                format!(
-                    "rank {rank}: blocking receive from rank {} tag {} can \
-                     never be matched — the sender has no such send left",
-                    from.0, tag.0
-                ),
-                "the rank deadlocks even without faults; add the matching \
-                 send or drop the receive",
-            ));
+            out.push(
+                Diagnostic::new(
+                    Severity::Error,
+                    "FB001",
+                    (pc[rank] + 1) as u32,
+                    format!(
+                        "rank {rank}: blocking receive from rank {} tag {} \
+                         can never be matched — the sender has no such send \
+                         left",
+                        from.0, tag.0
+                    ),
+                    "the rank deadlocks even without faults; add the \
+                     matching send or drop the receive",
+                )
+                .with_span(rank as u32, (pc[rank] + 1) as u32),
+            );
         }
     }
 
@@ -223,19 +252,22 @@ fn symbolic_walk(programs: &[Arc<Program>], out: &mut Vec<Diagnostic>) {
                 let members: Vec<String> =
                     cycle.iter().map(|r| r.to_string()).collect();
                 let head = cycle[0];
-                out.push(Diagnostic::new(
-                    Severity::Error,
-                    "FB002",
-                    (pc[head] + 1) as u32,
-                    format!(
-                        "cyclic blocking wait among ranks {}: each rank's \
-                         receive waits on a send its partner only issues \
-                         after its own blocked receive",
-                        members.join(" → ")
-                    ),
-                    "break the cycle by reordering one rank's send before \
-                     its receive (or use a sendrecv exchange)",
-                ));
+                out.push(
+                    Diagnostic::new(
+                        Severity::Error,
+                        "FB002",
+                        (pc[head] + 1) as u32,
+                        format!(
+                            "cyclic blocking wait among ranks {}: each \
+                             rank's receive waits on a send its partner \
+                             only issues after its own blocked receive",
+                            members.join(" → ")
+                        ),
+                        "break the cycle by reordering one rank's send \
+                         before its receive (or use a sendrecv exchange)",
+                    )
+                    .with_span(head as u32, (pc[head] + 1) as u32),
+                );
                 for &r in cycle {
                     reported[r] = true;
                 }
@@ -318,6 +350,26 @@ mod tests {
         let d = analyze_programs(&[p0]);
         assert_eq!(codes(&d), vec!["FB004"]);
         assert_eq!(d[0].severity, Severity::Warning);
+    }
+
+    #[test]
+    fn fb_diagnostics_carry_spans() {
+        use crate::diag::Span;
+        // Self-send (FB003) plus an unreceived deliverable send (FB005).
+        let p0 = ProgramBuilder::new(0)
+            .send(Rank(0), Tag(1), 8)
+            .send(Rank(1), Tag(2), 8)
+            .finalize();
+        let p1 = ProgramBuilder::new(0).finalize();
+        let d = analyze_programs(&[p0, p1]);
+        for x in &d {
+            assert!(x.span.is_some(), "{x:?} missing span");
+        }
+        let fb3 = d.iter().find(|x| x.code == "FB003").unwrap();
+        assert_eq!(fb3.span, Some(Span { rank: 0, op: 1 }));
+        let fb5 = d.iter().find(|x| x.code == "FB005").unwrap();
+        assert_eq!(fb5.span, Some(Span { rank: 0, op: 2 }));
+        assert_eq!(fb5.line, 2, "line mirrors the anchoring op index");
     }
 
     #[test]

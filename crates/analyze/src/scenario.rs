@@ -495,17 +495,8 @@ fn is_provably_negative(e: &Expr, params: &[i64]) -> bool {
 }
 
 /// Interval of possible values for `e`, when one can be derived without
-/// knowing variable contents: constants fold, `FAIL_RANDOM(lo, hi)` with
-/// constant bounds yields `[lo, hi]`.
+/// knowing variable contents (see [`Expr::const_range`] in `failmpi-core`,
+/// shared with the model checker).
 fn const_range(e: &Expr, params: &[i64]) -> Option<(i64, i64)> {
-    if let Some(v) = e.fold_const(params) {
-        return Some((v, v));
-    }
-    if let Expr::Rand(lo, hi) = e {
-        let l = lo.fold_const(params)?;
-        let h = hi.fold_const(params)?;
-        // The runtime clamps an inverted range to `lo`.
-        return Some(if l > h { (l, l) } else { (l, h) });
-    }
-    None
+    e.const_range(params)
 }

@@ -165,7 +165,8 @@ fn fb005_channel_count_mismatch() {
         .finalize();
     let p1 = ProgramBuilder::new(0).recv(Rank(0), Tag(1)).finalize();
     let f = op_findings(&[p0, p1]);
-    assert!(f.contains(&("FB005", 0)), "got {f:?}");
+    // Anchored on the surplus side's first op (rank 0's first send).
+    assert!(f.contains(&("FB005", 1)), "got {f:?}");
 }
 
 #[test]

@@ -1,0 +1,112 @@
+//! The failck exit-code matrix: 0 = clean (or help), 1 = findings at the
+//! failing severity, 2 = usage/parse error — consistent across output
+//! formats and with `--model-check`.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn failck(args: &[&str]) -> (Option<i32>, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_failck"))
+        .args(args)
+        .output()
+        .expect("failck runs");
+    (
+        out.status.code(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+fn fixture(name: &str) -> String {
+    let p = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("fixtures").join(name);
+    p.to_str().unwrap().to_string()
+}
+
+fn scenario(name: &str) -> String {
+    let p = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../core/scenarios")
+        .join(name);
+    p.to_str().unwrap().to_string()
+}
+
+#[test]
+fn help_exits_zero() {
+    for flag in ["--help", "-h"] {
+        let (code, stdout, _) = failck(&[flag]);
+        assert_eq!(code, Some(0), "{flag} is not an error");
+        assert!(stdout.contains("usage:"));
+    }
+}
+
+#[test]
+fn usage_errors_exit_two() {
+    // No input at all.
+    assert_eq!(failck(&[]).0, Some(2));
+    // Unknown flag.
+    assert_eq!(failck(&["--frobnicate"]).0, Some(2));
+    // --format needs a valid value.
+    assert_eq!(failck(&[&scenario("fig5_frequency.fail"), "--format", "xml"]).0, Some(2));
+    // --budget needs a number.
+    assert_eq!(failck(&[&scenario("fig5_frequency.fail"), "--budget", "lots"]).0, Some(2));
+    // Unreadable file.
+    assert_eq!(failck(&["/nonexistent/nope.fail"]).0, Some(2));
+}
+
+#[test]
+fn clean_scenario_exits_zero_in_both_formats() {
+    let f = scenario("fig5_frequency.fail");
+    assert_eq!(failck(&[&f]).0, Some(0));
+    assert_eq!(failck(&[&f, "--format", "json"]).0, Some(0));
+    assert_eq!(failck(&[&f, "--strict"]).0, Some(0));
+}
+
+#[test]
+fn errors_exit_one_in_both_formats() {
+    let f = fixture("broken.fail");
+    assert_eq!(failck(&[&f]).0, Some(1));
+    assert_eq!(failck(&[&f, "--format", "json"]).0, Some(1));
+}
+
+#[test]
+fn warnings_fail_only_under_strict() {
+    // The FC001 fixture's unreachable nodes draw FA001 warnings but no
+    // errors: clean exit normally, failing under --strict.
+    let f = fixture("fc001_unreachable_halt.fail");
+    assert_eq!(failck(&[&f]).0, Some(0));
+    assert_eq!(failck(&[&f, "--format", "json"]).0, Some(0));
+    assert_eq!(failck(&[&f, "--strict"]).0, Some(1));
+    assert_eq!(failck(&[&f, "--strict", "--format", "json"]).0, Some(1));
+}
+
+#[test]
+fn model_check_freeze_is_an_error_finding() {
+    let fig10 = scenario("fig10_state_sync.fail");
+    let (code, stdout, _) = failck(&[&fig10, "--model-check"]);
+    assert_eq!(code, Some(1), "a reachable freeze fails the lint");
+    assert!(stdout.contains("FC003"));
+    assert!(stdout.contains("minimal witness"));
+
+    let (code, stdout, _) = failck(&[&fig10, "--model-check", "--format", "json"]);
+    assert_eq!(code, Some(1));
+    assert!(stdout.contains("\"FC003\""));
+    assert!(stdout.contains("\"verdict\": \"freezes\""));
+}
+
+#[test]
+fn model_check_surviving_scenario_exits_zero() {
+    let fig5 = scenario("fig5_frequency.fail");
+    let (code, stdout, _) = failck(&[&fig5, "--model-check", "--format", "json"]);
+    assert_eq!(code, Some(0));
+    assert!(stdout.contains("\"verdict\": \"survives\""));
+}
+
+#[test]
+fn budget_starved_model_check_is_unknown_not_fatal() {
+    let fig10 = scenario("fig10_state_sync.fail");
+    let (code, stdout, _) =
+        failck(&[&fig10, "--model-check", "--budget", "20", "--format", "json"]);
+    // FC006 is a warning: without --strict the run is not failing.
+    assert_eq!(code, Some(0));
+    assert!(stdout.contains("\"FC006\""));
+    assert!(stdout.contains("\"verdict\": \"unknown\""));
+}

@@ -1,0 +1,174 @@
+//! The model checker against the builtin scenarios and the FC fixtures:
+//! one seeded-defect fixture per FC code, plus the paper-figure verdicts
+//! the checker must predict without running anything.
+
+use failmpi_analyze::{
+    model_check_source, model_check_with_programs, ModelCheckConfig, StaticVerdict,
+};
+use failmpi_core::compile;
+use failmpi_workloads::{bt_programs, BtClass};
+
+fn check(src: &str) -> failmpi_analyze::ModelCheckResult {
+    model_check_source(src, &ModelCheckConfig::default())
+}
+
+fn codes(r: &failmpi_analyze::ModelCheckResult) -> Vec<&'static str> {
+    r.diagnostics.iter().map(|d| d.code).collect()
+}
+
+// -- paper figures ---------------------------------------------------------
+
+#[test]
+fn fig5_frequency_survives() {
+    let r = check(include_str!("../../core/scenarios/fig5_frequency.fail"));
+    assert_eq!(r.summary.verdict, StaticVerdict::Survives, "{:?}", codes(&r));
+    assert!(r.summary.witness.is_none());
+}
+
+#[test]
+fn fig7_simultaneous_survives() {
+    let r = check(include_str!("../../core/scenarios/fig7_simultaneous.fail"));
+    assert_eq!(r.summary.verdict, StaticVerdict::Survives, "{:?}", codes(&r));
+}
+
+#[test]
+fn delay_injection_survives() {
+    let r = check(include_str!("../../core/scenarios/delay_injection.fail"));
+    assert_eq!(r.summary.verdict, StaticVerdict::Survives, "{:?}", codes(&r));
+}
+
+#[test]
+fn fig4_class_library_is_not_applicable() {
+    let r = check(include_str!("../../core/scenarios/fig4_generic_nodes.fail"));
+    assert_eq!(r.summary.verdict, StaticVerdict::NotApplicable);
+    assert!(r.diagnostics.is_empty());
+}
+
+#[test]
+fn fig8_synchronized_freeze_is_reachable() {
+    let r = check(include_str!("../../core/scenarios/fig8_synchronized.fail"));
+    assert_eq!(r.summary.verdict, StaticVerdict::Freezes);
+    assert!(codes(&r).contains(&"FC003"));
+    let w = r.summary.witness.expect("witness");
+    assert_eq!(w.faults, 2, "the freeze needs exactly two faults: {w:?}");
+}
+
+#[test]
+fn fig10_dispatcher_bug_witness() {
+    let r = check(include_str!("../../core/scenarios/fig10_state_sync.fail"));
+    assert_eq!(r.summary.verdict, StaticVerdict::Freezes);
+    let w = r.summary.witness.expect("witness");
+    assert_eq!(w.faults, 2);
+    // The minimal schedule must end with the paper's bug: a kill landing
+    // on a re-registered rank while the recovery is still active, filed
+    // as stopped with no relaunch.
+    let last = w.steps.last().expect("steps");
+    assert!(
+        last.contains("during recovery") && last.contains("stale entry"),
+        "witness does not narrate the dispatcher bug: {last}"
+    );
+    let fc003 = r.diagnostics.iter().find(|d| d.code == "FC003").expect("FC003");
+    assert!(fc003.message.contains("permanently lost"));
+}
+
+#[test]
+fn op_program_skeleton_names_blocked_ranks() {
+    let sc = compile(include_str!("../../core/scenarios/fig10_state_sync.fail")).unwrap();
+    let programs = bt_programs(&BtClass::S, 4);
+    let cfg = ModelCheckConfig {
+        n_ranks: 4,
+        n_hosts: 5,
+        ..ModelCheckConfig::default()
+    };
+    let r = model_check_with_programs(&sc, &programs, &cfg);
+    assert_eq!(r.summary.verdict, StaticVerdict::Freezes);
+    let fc003 = r.diagnostics.iter().find(|d| d.code == "FC003").expect("FC003");
+    // BT's communication graph is connected: every survivor blocks on the
+    // lost rank, and the diagnosis says so.
+    assert!(
+        fc003.message.contains("block on it through the op-program communication graph"),
+        "got: {}",
+        fc003.message
+    );
+}
+
+// -- one fixture per FC code -----------------------------------------------
+
+#[test]
+fn fc001_unreachable_halt() {
+    let r = check(include_str!("../fixtures/fc001_unreachable_halt.fail"));
+    assert_eq!(r.summary.verdict, StaticVerdict::Survives);
+    assert_eq!(codes(&r), vec!["FC001"]);
+    assert_eq!(r.diagnostics[0].line, 24); // the halt transition's line
+}
+
+#[test]
+fn fc002_faults_outside_any_wave() {
+    let r = check(include_str!("../fixtures/fc002_pre_wave_faults.fail"));
+    assert_eq!(r.summary.verdict, StaticVerdict::Survives);
+    assert_eq!(codes(&r), vec!["FC002"]);
+}
+
+#[test]
+fn fc003_recovery_refault_freezes() {
+    let r = check(include_str!("../fixtures/fc003_recovery_refault.fail"));
+    assert_eq!(r.summary.verdict, StaticVerdict::Freezes);
+    assert_eq!(codes(&r), vec!["FC003"]);
+    let w = r.summary.witness.expect("witness");
+    assert_eq!(w.faults, 2);
+}
+
+#[test]
+fn fc004_relaunch_livelock() {
+    let r = check(include_str!("../fixtures/fc004_relaunch_livelock.fail"));
+    assert_eq!(r.summary.verdict, StaticVerdict::Survives);
+    assert_eq!(codes(&r), vec!["FC004"]);
+}
+
+#[test]
+fn fc005_stale_halt() {
+    let r = check(include_str!("../fixtures/fc005_stale_halt.fail"));
+    assert_eq!(r.summary.verdict, StaticVerdict::Survives);
+    assert_eq!(codes(&r), vec!["FC005"]);
+    assert_eq!(r.diagnostics[0].line, 21); // the stale `?crash -> halt` line
+}
+
+#[test]
+fn fc006_budget_exhaustion_is_unknown() {
+    let cfg = ModelCheckConfig {
+        budget: 20,
+        ..ModelCheckConfig::default()
+    };
+    let r = model_check_source(
+        include_str!("../../core/scenarios/fig10_state_sync.fail"),
+        &cfg,
+    );
+    assert_eq!(r.summary.verdict, StaticVerdict::Unknown);
+    assert_eq!(codes(&r), vec!["FC006"]);
+    assert!(r.summary.frontier > 0, "frontier must be reported");
+    assert!(r.summary.witness.is_none());
+}
+
+// -- robustness ------------------------------------------------------------
+
+#[test]
+fn uncompilable_source_is_not_applicable() {
+    let r = check("daemon A { node 1: garbage }");
+    assert_eq!(r.summary.verdict, StaticVerdict::NotApplicable);
+    assert!(r.diagnostics.is_empty());
+}
+
+#[test]
+fn fixed_mode_dispatcher_survives_fig10() {
+    // The paper's fix: re-deriving the assignment from live state instead
+    // of history. Under it the Fig. 10 schedule relaunches the victim.
+    let cfg = ModelCheckConfig {
+        mode: failmpi_mpichv::DispatcherMode::Fixed,
+        ..ModelCheckConfig::default()
+    };
+    let r = model_check_source(
+        include_str!("../../core/scenarios/fig10_state_sync.fail"),
+        &cfg,
+    );
+    assert_eq!(r.summary.verdict, StaticVerdict::Survives, "{:?}", codes(&r));
+}

@@ -127,6 +127,24 @@ impl Expr {
             }
         }
     }
+
+    /// Interval of possible values for the expression, when one can be
+    /// derived without knowing variable contents: constants fold to a point
+    /// interval, `FAIL_RANDOM(lo, hi)` with constant bounds yields
+    /// `[lo, hi]` (the runtime clamps an inverted range to `lo`). Static
+    /// analysis and the model checker share this to bound group indices and
+    /// timer delays.
+    pub fn const_range(&self, params: &[i64]) -> Option<(i64, i64)> {
+        if let Some(v) = self.fold_const(params) {
+            return Some((v, v));
+        }
+        if let Expr::Rand(lo, hi) = self {
+            let l = lo.fold_const(params)?;
+            let h = hi.fold_const(params)?;
+            return Some(if l > h { (l, l) } else { (l, h) });
+        }
+        None
+    }
 }
 
 /// Resolved transition guard.

@@ -1,6 +1,6 @@
 //! Minimal argument handling shared by the figure binaries.
 
-use crate::harness::{set_default_lint_mode, LintMode};
+use crate::harness::{set_default_expect_freeze, set_default_lint_mode, LintMode};
 
 /// Options common to every figure binary.
 #[derive(Clone, Debug, Default)]
@@ -24,6 +24,11 @@ pub struct Options {
     /// happens-before trace as `failmpi-trace` JSON to this path (see
     /// [`crate::tracesink`]).
     pub trace_out: Option<String>,
+    /// Declare that the sweep hunts freezes: with `--lint strict`, run
+    /// scenarios the model checker statically classifies as freezing
+    /// instead of refusing them. Also installed as the process-wide
+    /// default (see [`crate::harness::set_default_expect_freeze`]).
+    pub expect_freeze: bool,
 }
 
 impl Options {
@@ -65,9 +70,14 @@ impl Options {
                     set_default_lint_mode(mode);
                     o.lint = Some(mode);
                 }
+                "--expect-freeze" => {
+                    set_default_expect_freeze(true);
+                    o.expect_freeze = true;
+                }
                 "--help" | "-h" => {
                     return Err("usage: [--smoke] [--runs N] [--threads N] [--json PATH] \
-                                [--metrics PATH] [--trace-out PATH] [--lint off|warn|strict]"
+                                [--metrics PATH] [--trace-out PATH] [--lint off|warn|strict] \
+                                [--expect-freeze]"
                         .to_string())
                 }
                 other => return Err(format!("unknown flag `{other}`")),
@@ -175,5 +185,15 @@ mod tests {
         crate::harness::set_default_lint_mode(before);
         assert!(parse(&["--lint", "bogus"]).is_err());
         assert!(parse(&["--lint"]).is_err());
+    }
+
+    #[test]
+    fn expect_freeze_flag_sets_process_default() {
+        use crate::harness::default_expect_freeze;
+        assert!(!parse(&[]).unwrap().expect_freeze);
+        let o = parse(&["--expect-freeze"]).unwrap();
+        assert!(o.expect_freeze);
+        assert!(default_expect_freeze());
+        crate::harness::set_default_expect_freeze(false);
     }
 }

@@ -1,0 +1,131 @@
+//! Static-vs-dynamic crosscheck: for every runnable builtin figure
+//! scenario, compare the model checker's pre-run verdict
+//! ([`failmpi_analyze::StaticVerdict`]) against what the dynamic
+//! simulator's classifier actually observes over a seed sweep.
+//!
+//! The agreement contract is asymmetric, because the two sides answer
+//! different questions — the model checker decides *reachability* of a
+//! freeze over all abstract schedules, the classifier observes *one
+//! concrete schedule per seed*:
+//!
+//! * static **freezes** — at least one sweep seed must be classified
+//!   [`crate::classify::Outcome::Buggy`] (the witness schedule is
+//!   concretely realizable);
+//! * static **survives** — no sweep seed may be classified `Buggy` (a
+//!   dynamic freeze the model misses would be a soundness hole);
+//! * static **unknown** (budget exhausted) — vacuously consistent.
+//!
+//! [`crate::classify::Outcome::NonTerminating`] agrees with a surviving
+//! verdict: livelock (the paper's too-high fault frequency) is not a
+//! freeze, statically (FC004, a warning) or dynamically (green vs red
+//! bars in the figures).
+
+use failmpi_analyze::{model_check_source, ModelCheckConfig, StaticVerdict};
+use failmpi_mpichv::DispatcherMode;
+use failmpi_workloads::BtClass;
+
+use crate::figures::{self, DELAY_SRC, FIG10_SRC, FIG5_SRC, FIG7_SRC, FIG8_SRC};
+use crate::harness::{run_one, ExperimentSpec, InjectionSpec};
+use crate::robustness::outcome_class;
+
+/// One scenario's static verdict next to its dynamic seed sweep.
+#[derive(Clone, Debug)]
+pub struct CrosscheckRow {
+    /// Scenario label (paper figure).
+    pub name: &'static str,
+    /// The model checker's pre-run verdict.
+    pub static_verdict: StaticVerdict,
+    /// Product states the exploration expanded.
+    pub explored: usize,
+    /// `(seed, outcome class)` per dynamic run.
+    pub dynamic: Vec<(u64, &'static str)>,
+    /// Whether the two sides satisfy the agreement contract.
+    pub agrees: bool,
+}
+
+/// One runnable builtin: `(name, source, machine class, smoke-scale
+/// parameter overrides)`.
+type BuiltinScenario = (&'static str, &'static str, &'static str, &'static [(&'static str, i64)]);
+
+/// The runnable builtin scenarios. Fig. 4 is a class library with no
+/// deployment and is deliberately absent.
+const SCENARIOS: &[BuiltinScenario] = &[
+    ("fig5_frequency", FIG5_SRC, "ADVnodes", &[("X", 4), ("N", 5)]),
+    (
+        "fig7_simultaneous",
+        FIG7_SRC,
+        "ADVnodes",
+        &[("X", 2), ("T", 4), ("N", 5)],
+    ),
+    ("fig8_synchronized", FIG8_SRC, "ADVnodes", &[("T", 2), ("N", 5)]),
+    ("fig10_state_sync", FIG10_SRC, "ADVG1", &[("T", 2), ("N", 5)]),
+    ("delay_injection", DELAY_SRC, "ADVnodes", &[("D", 1), ("N", 5)]),
+];
+
+/// The smoke-scale spec `scenario_suite` uses for these scenarios.
+fn spec_for(src: &str, machine: &str, params: &[(&str, i64)], seed: u64) -> ExperimentSpec {
+    let mut cluster = figures::cluster_config(4, 6, 2, DispatcherMode::Historical);
+    figures::miniaturize(&mut cluster);
+    let mut inj = InjectionSpec::new(src, "ADV1", machine);
+    for (k, v) in params {
+        inj = inj.with_param(k, *v);
+    }
+    figures::spec(cluster, BtClass::S, Some(inj), 90, seed)
+}
+
+/// Crosschecks every runnable builtin scenario over `seeds` dynamic runs.
+pub fn crosscheck_builtins(seeds: &[u64]) -> Vec<CrosscheckRow> {
+    SCENARIOS
+        .iter()
+        .map(|(name, src, machine, params)| {
+            let cfg = ModelCheckConfig {
+                params: params
+                    .iter()
+                    .map(|(k, v)| (k.to_string(), *v))
+                    .collect(),
+                ..ModelCheckConfig::default()
+            };
+            let st = model_check_source(src, &cfg);
+            let dynamic: Vec<(u64, &'static str)> = seeds
+                .iter()
+                .map(|&seed| {
+                    let record = run_one(&spec_for(src, machine, params, seed));
+                    (seed, outcome_class(&record.outcome))
+                })
+                .collect();
+            let any_buggy = dynamic.iter().any(|(_, c)| *c == "buggy");
+            let agrees = match st.summary.verdict {
+                StaticVerdict::Freezes => any_buggy,
+                StaticVerdict::Survives => !any_buggy,
+                StaticVerdict::Unknown | StaticVerdict::NotApplicable => true,
+            };
+            CrosscheckRow {
+                name,
+                static_verdict: st.summary.verdict,
+                explored: st.summary.explored,
+                dynamic,
+                agrees,
+            }
+        })
+        .collect()
+}
+
+/// Renders the crosscheck as an aligned table (the CI artifact).
+pub fn render(rows: &[CrosscheckRow]) -> String {
+    let mut out = String::from("scenario              static    dynamic\n");
+    for r in rows {
+        let dyns: Vec<String> = r
+            .dynamic
+            .iter()
+            .map(|(s, c)| format!("{s}:{c}"))
+            .collect();
+        out.push_str(&format!(
+            "{:<21} {:<9} {}{}\n",
+            r.name,
+            r.static_verdict.to_string(),
+            dyns.join(" "),
+            if r.agrees { "" } else { "  [DISAGREES]" }
+        ));
+    }
+    out
+}

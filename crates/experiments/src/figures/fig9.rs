@@ -128,7 +128,11 @@ pub(crate) fn run_with_scenario(
         sync_spec.injection = Some(
             InjectionSpec::new(src, adversary, machine)
                 .with_param("T", cfg.first_fault_s as i64)
-                .with_param("N", hosts as i64 - 1),
+                .with_param("N", hosts as i64 - 1)
+                // Freezing the dispatcher is the *point* of the
+                // synchronized-fault figures; tell the strict lint gate
+                // the statically-predicted freeze is expected.
+                .with_expect_freeze(true),
         );
         let synchronized =
             PointSummary::from_runs(&run_all(&seeded(&sync_spec, cfg.runs), cfg.threads));

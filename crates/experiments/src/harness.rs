@@ -4,11 +4,11 @@
 
 use std::collections::{HashMap, HashSet};
 use std::hash::{DefaultHasher, Hash, Hasher};
-use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
 use std::sync::Arc;
 use std::sync::{Mutex, OnceLock};
 
-use failmpi_analyze::Report;
+use failmpi_analyze::{ModelCheckConfig, Report, StaticVerdict};
 use failmpi_core::{compile, Deployment, FailAction, FailInput, FailRuntime};
 use failmpi_net::{HostId, ProcId};
 use failmpi_obs::{MetricsSnapshot, WallProfile};
@@ -94,6 +94,22 @@ pub fn default_lint_mode() -> LintMode {
     }
 }
 
+/// Process-wide default for [`InjectionSpec::expect_freeze`], set by the
+/// `--expect-freeze` CLI flag (see [`crate::cli::Options`]).
+static DEFAULT_EXPECT_FREEZE: AtomicBool = AtomicBool::new(false);
+
+/// Declares (process-wide) that sweeps are *hunting* freezes: the strict
+/// lint gate will run scenarios the model checker statically classifies
+/// as freezing instead of refusing them.
+pub fn set_default_expect_freeze(expect: bool) {
+    DEFAULT_EXPECT_FREEZE.store(expect, Ordering::Relaxed);
+}
+
+/// The current process-wide default for [`InjectionSpec::expect_freeze`].
+pub fn default_expect_freeze() -> bool {
+    DEFAULT_EXPECT_FREEZE.load(Ordering::Relaxed)
+}
+
 /// How a FAIL scenario is attached to the cluster.
 #[derive(Clone, Debug)]
 pub struct InjectionSpec {
@@ -113,6 +129,12 @@ pub struct InjectionSpec {
     pub fail_jitter_max: SimDuration,
     /// Pre-run static-analysis gating for this scenario.
     pub lint: LintMode,
+    /// Whether a statically-predicted freeze is the *point* of this sweep
+    /// (Fig. 10/11 reproductions). Under [`LintMode::Strict`] the gate
+    /// refuses scenarios the model checker classifies as freezing unless
+    /// this is set — a sweep that can only ever time out burns its whole
+    /// budget confirming the prediction.
+    pub expect_freeze: bool,
 }
 
 impl InjectionSpec {
@@ -126,6 +148,7 @@ impl InjectionSpec {
             fail_latency: SimDuration::from_millis(4),
             fail_jitter_max: SimDuration::from_millis(7),
             lint: default_lint_mode(),
+            expect_freeze: default_expect_freeze(),
         }
     }
 
@@ -140,6 +163,13 @@ impl InjectionSpec {
         self.lint = lint;
         self
     }
+
+    /// Marks the spec as deliberately freeze-hunting (see
+    /// [`InjectionSpec::expect_freeze`]).
+    pub fn with_expect_freeze(mut self, expect: bool) -> Self {
+        self.expect_freeze = expect;
+        self
+    }
 }
 
 /// Lints `inj`'s scenario per its [`LintMode`]. `Err` carries the report
@@ -149,7 +179,19 @@ pub fn lint_injection(inj: &InjectionSpec) -> Result<(), Report> {
     if inj.lint == LintMode::Off {
         return Ok(());
     }
-    let diags = failmpi_analyze::check_source(&inj.scenario_src);
+    let mut diags = failmpi_analyze::check_source(&inj.scenario_src);
+    // Strict mode additionally model-checks the scenario: a sweep whose
+    // every run is statically known to freeze can only burn its timeout
+    // budget, so the gate refuses it unless the spec opts in with
+    // `expect_freeze` (the Fig. 10/11 reproductions do).
+    if inj.lint == LintMode::Strict && !inj.expect_freeze {
+        let r = cached_model_check(inj);
+        if r.summary.verdict == StaticVerdict::Freezes {
+            // FC003 is Error-level: folding it in makes the strict check
+            // below refuse the run.
+            diags.extend(r.diagnostics);
+        }
+    }
     if diags.is_empty() {
         return Ok(());
     }
@@ -159,6 +201,33 @@ pub fn lint_injection(inj: &InjectionSpec) -> Result<(), Report> {
     }
     warn_once(&report, &inj.scenario_src);
     Ok(())
+}
+
+/// Model-checks a spec's scenario, memoized per (source, params) — sweeps
+/// rerun the same spec thousands of times and the exploration, while
+/// fast, is not free.
+fn cached_model_check(inj: &InjectionSpec) -> failmpi_analyze::ModelCheckResult {
+    static CACHE: OnceLock<Mutex<HashMap<u64, failmpi_analyze::ModelCheckResult>>> =
+        OnceLock::new();
+    let mut h = DefaultHasher::new();
+    inj.scenario_src.hash(&mut h);
+    inj.params.hash(&mut h);
+    let key = h.finish();
+    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    {
+        let guard = cache.lock().expect("model-check cache lock");
+        if let Some(r) = guard.get(&key) {
+            return r.clone();
+        }
+    }
+    // Compute outside the lock: explorations can take tens of ms.
+    let cfg = ModelCheckConfig {
+        params: inj.params.clone(),
+        ..ModelCheckConfig::default()
+    };
+    let r = failmpi_analyze::model_check_source(&inj.scenario_src, &cfg);
+    let mut guard = cache.lock().expect("model-check cache lock");
+    guard.entry(key).or_insert(r).clone()
 }
 
 /// Prints the report to stderr the first time this scenario source shows

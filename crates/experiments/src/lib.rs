@@ -25,6 +25,7 @@
 pub mod classify;
 pub mod cli;
 pub mod criteria;
+pub mod crosscheck;
 pub mod figures;
 pub mod harness;
 pub mod invariants;
@@ -36,9 +37,10 @@ pub mod sweep;
 pub mod tracesink;
 
 pub use classify::{classify_entries, Outcome};
+pub use crosscheck::{crosscheck_builtins, CrosscheckRow};
 pub use harness::{
     lint_injection, run_one, run_one_instrumented, run_one_keeping_cluster, run_one_profiled,
-    run_one_traced, try_run_one, ExperimentSpec, InjectionSpec, LintMode, RunRecord, TracedRun,
-    Workload,
+    run_one_traced, set_default_expect_freeze, try_run_one, ExperimentSpec, InjectionSpec,
+    LintMode, RunRecord, TracedRun, Workload,
 };
 pub use invariants::{validate_entries, validate_trace};

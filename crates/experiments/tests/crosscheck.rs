@@ -1,0 +1,54 @@
+//! The static model checker against the dynamic simulator: on every
+//! runnable builtin figure scenario the pre-run verdict must agree with
+//! the classifier's seed sweep (see `failmpi_experiments::crosscheck` for
+//! the agreement contract).
+
+use failmpi_analyze::StaticVerdict;
+use failmpi_experiments::{crosscheck, crosscheck_builtins};
+
+/// Seeds covering both sides of Fig. 8's partial bugginess: seed 3
+/// freezes the smoke-scale sweep, the others complete.
+const SEEDS: &[u64] = &[1, 2, 3, 4, 5, 6, 7, 8];
+
+#[test]
+fn static_verdicts_agree_with_dynamic_classification() {
+    let rows = crosscheck_builtins(SEEDS);
+    assert_eq!(rows.len(), 5, "all five runnable builtins are checked");
+    for r in &rows {
+        assert!(
+            r.agrees,
+            "static/dynamic disagreement:\n{}",
+            crosscheck::render(&rows)
+        );
+    }
+}
+
+#[test]
+fn fig10_freeze_prediction_is_realized_on_every_seed() {
+    // The model checker calls Fig. 10 a guaranteed freeze (FC003 with a
+    // minimal two-fault witness); dynamically the witness schedule is not
+    // just realizable but unavoidable — every seed freezes, the paper's
+    // "every run froze" observation.
+    let rows = crosscheck_builtins(SEEDS);
+    let fig10 = rows.iter().find(|r| r.name == "fig10_state_sync").unwrap();
+    assert_eq!(fig10.static_verdict, StaticVerdict::Freezes);
+    assert!(fig10.dynamic.iter().all(|(_, c)| *c == "buggy"), "{fig10:?}");
+}
+
+#[test]
+fn no_false_freeze_on_surviving_builtins() {
+    // Acceptance guard: the checker must not cry freeze on any scenario
+    // the dynamic classifier marks surviving across the sweep.
+    let rows = crosscheck_builtins(SEEDS);
+    for r in &rows {
+        let any_buggy = r.dynamic.iter().any(|(_, c)| *c == "buggy");
+        if !any_buggy {
+            assert_ne!(
+                r.static_verdict,
+                StaticVerdict::Freezes,
+                "{}: static freeze but dynamic survives: {r:?}",
+                r.name
+            );
+        }
+    }
+}

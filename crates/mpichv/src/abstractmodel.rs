@@ -1,0 +1,569 @@
+//! An abstract, finite model of the Vcl dispatcher protocol, extracted
+//! from [`crate::dispatcher`] for static model checking.
+//!
+//! `failmpi-analyze` explores the synchronous product of compiled FAIL
+//! automata with this model to predict, before any run, whether a scenario
+//! can reach the paper's stale-dispatcher freeze. The model keeps exactly
+//! the state the dispatcher's failure bookkeeping branches on — per-rank
+//! lifecycle phase, machine assignment, the `recovery_active` flag, a
+//! saturating epoch/wave counter — and mirrors `Dispatcher::on_closed`
+//! transition by transition, including the [`DispatcherMode::Historical`]
+//! absorption that files a re-registered victim as a stopped straggler and
+//! never relaunches it ([`AbstractPhase::Lost`]).
+//!
+//! The model is deliberately time-free: physical delays are replaced by the
+//! explorer's step-priority abstraction (see `failmpi-analyze::model`).
+//! Every type derives `Hash`/`Ord` so product states can be interned
+//! canonically.
+
+use crate::config::DispatcherMode;
+
+/// Saturation cap for the abstract epoch counter (recoveries so far).
+pub const EPOCH_CAP: u8 = 8;
+/// Saturation cap for committed checkpoint waves tracked by the model.
+pub const WAVE_CAP: u8 = 2;
+/// Saturation cap for per-rank process incarnations.
+pub const INCARNATION_CAP: u8 = 8;
+
+/// Abstract lifecycle phase of one rank slot.
+///
+/// This refines [`crate::dispatcher`]'s `RankState` with the daemon-side
+/// distinction the fault-vs-registration race needs: `Starting` splits into
+/// [`AbstractPhase::Launched`] (ssh issued, nothing to kill yet) and
+/// [`AbstractPhase::Booted`] (process up and `onload` fired, but not yet
+/// registered — a fault here is the benign launch-retry path of paper
+/// Fig. 9). `Stopped` without a pending relaunch is [`AbstractPhase::Lost`]:
+/// the stale dispatcher entry of the paper's headline bug.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum AbstractPhase {
+    /// ssh launch issued; no process exists yet.
+    Launched,
+    /// The daemon process is up (`onload` fired) but has not registered
+    /// with the dispatcher. Its death is detected as a launch failure and
+    /// retried — the benign pre-registration window.
+    Booted,
+    /// Registered with the dispatcher; the control stream exists, so its
+    /// closure now counts as a failure.
+    Registered,
+    /// `localMPI_setCommand` acked; waiting for the rest of the fleet.
+    Ready,
+    /// The run broadcast went out; the rank is computing.
+    Running,
+    /// Told to terminate during failure handling; closure pending, process
+    /// still alive (the straggler window of the current recovery).
+    Stopping,
+    /// The stale dispatcher entry: filed as stopped by the Historical
+    /// bookkeeping while its relaunch was already consumed — nobody will
+    /// ever start it again, and the all-ready barrier can never complete.
+    Lost,
+    /// The rank's MPI process finalized. (Unreachable in the bounded
+    /// model — completion is abstracted away — but kept so the phase set
+    /// matches the dispatcher's `RankState`.)
+    Done,
+}
+
+impl AbstractPhase {
+    /// Whether a live daemon process exists in this phase (something a
+    /// fault injection can actually kill).
+    pub fn process_alive(self) -> bool {
+        matches!(
+            self,
+            AbstractPhase::Booted
+                | AbstractPhase::Registered
+                | AbstractPhase::Ready
+                | AbstractPhase::Running
+                | AbstractPhase::Stopping
+                | AbstractPhase::Done
+        )
+    }
+}
+
+/// Abstract state of one rank slot.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AbstractRank {
+    /// Lifecycle phase.
+    pub phase: AbstractPhase,
+    /// Machine (host index) currently assigned to the rank.
+    pub host: u8,
+    /// Process incarnation, bumped on every relaunch (saturating at
+    /// [`INCARNATION_CAP`]). Monotone by construction — the model checker
+    /// uses it to name fault targets and to detect scenarios that aim at a
+    /// superseded incarnation.
+    pub incarnation: u8,
+}
+
+/// A protocol-internal or environment step of the abstract model.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum AbstractStep {
+    /// The pending ssh launch of a rank completes: its daemon process
+    /// starts on the assigned host (fires `onload` there).
+    Spawn(u8),
+    /// A booted daemon dials the dispatcher and registers.
+    Register(u8),
+    /// A registered daemon acks `SetCommand`; when the whole fleet is
+    /// ready the run (re)starts and the recovery completes.
+    Ready(u8),
+    /// A terminate-ordered daemon finishes stopping: its closure is
+    /// observed and the rank is relaunched in place.
+    StopClosure(u8),
+    /// Environment: a fault kills the daemon process of this rank (the
+    /// FAIL `halt` action, routed through the rank's controller).
+    Fault(u8),
+    /// The checkpoint scheduler opens a wave (quiescent states only).
+    WaveStart,
+    /// The open wave commits on its last ack.
+    WaveCommit,
+}
+
+/// Observable side effect of applying an [`AbstractStep`] — the hooks and
+/// probe updates the FAIL side of the product reacts to.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AbstractEvent {
+    /// A process registered with the FAIL daemon on `host` (`onload`).
+    OnLoad {
+        /// Host the process started on.
+        host: u8,
+    },
+    /// The process on `host` exited normally (`onexit`).
+    OnExit {
+        /// Host whose process exited.
+        host: u8,
+    },
+    /// The process on `host` died abnormally (`onerror`).
+    OnError {
+        /// Host whose process died.
+        host: u8,
+    },
+    /// A checkpoint wave committed; carries the new count (the
+    /// `committed_wave` probe value).
+    CommittedWave(u8),
+    /// A recovery started; carries the new epoch (the `epoch` probe
+    /// value).
+    EpochBumped(u8),
+    /// A failure was detected on a registered rank — the dispatcher's
+    /// `FailureDetected` trace point, used for witness extraction.
+    FailureDetected {
+        /// The victim rank.
+        rank: u8,
+        /// Whether a recovery was already in flight (the bug window).
+        during_recovery: bool,
+    },
+    /// The Historical bookkeeping absorbed the closure: the rank becomes a
+    /// stale dispatcher entry and will never be relaunched.
+    RankLost {
+        /// The forgotten rank.
+        rank: u8,
+    },
+}
+
+/// The abstract Vcl protocol state: dispatcher bookkeeping plus a coarse
+/// checkpoint-wave counter.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AbstractVcl {
+    /// Per-rank slots.
+    pub ranks: Vec<AbstractRank>,
+    /// Spare machines, in dispatcher order (FIFO reassignment: the victim
+    /// takes the first spare, its old machine rejoins the back).
+    pub free_hosts: Vec<u8>,
+    /// Whether a stop/relaunch recovery is in flight.
+    pub recovery_active: bool,
+    /// Recoveries so far, saturating at [`EPOCH_CAP`].
+    pub epoch: u8,
+    /// Committed checkpoint waves, saturating at [`WAVE_CAP`].
+    pub committed_waves: u8,
+    /// Whether a checkpoint wave is currently open.
+    pub wave_active: bool,
+    /// Dispatcher variant (the Historical bug vs the Fixed bookkeeping).
+    pub mode: DispatcherMode,
+}
+
+impl AbstractVcl {
+    /// Initial state: `n_ranks` ranks launching on hosts `0..n_ranks`,
+    /// hosts `n_ranks..n_hosts` spare. Panics if `n_hosts < n_ranks` or
+    /// `n_hosts > 255`.
+    pub fn new(mode: DispatcherMode, n_ranks: usize, n_hosts: usize) -> AbstractVcl {
+        assert!(n_ranks >= 1 && n_hosts >= n_ranks && n_hosts <= 255);
+        AbstractVcl {
+            ranks: (0..n_ranks)
+                .map(|r| AbstractRank {
+                    phase: AbstractPhase::Launched,
+                    host: r as u8,
+                    incarnation: 0,
+                })
+                .collect(),
+            free_hosts: (n_ranks..n_hosts).map(|h| h as u8).collect(),
+            recovery_active: false,
+            epoch: 0,
+            committed_waves: 0,
+            wave_active: false,
+            mode,
+        }
+    }
+
+    /// Number of rank slots.
+    pub fn n_ranks(&self) -> usize {
+        self.ranks.len()
+    }
+
+    /// The rank whose live process runs on `host`, if any.
+    pub fn live_rank_on_host(&self, host: u8) -> Option<u8> {
+        self.ranks
+            .iter()
+            .position(|r| r.host == host && r.phase.process_alive())
+            .map(|r| r as u8)
+    }
+
+    /// Whether every rank is computing (the steady quiescent state faults
+    /// injected by constant-delay timers land in).
+    pub fn all_running(&self) -> bool {
+        self.ranks.iter().all(|r| r.phase == AbstractPhase::Running)
+    }
+
+    /// The first stale dispatcher entry, if the bug already fired.
+    pub fn lost_rank(&self) -> Option<u8> {
+        self.ranks
+            .iter()
+            .position(|r| r.phase == AbstractPhase::Lost)
+            .map(|r| r as u8)
+    }
+
+    /// Every enabled protocol-internal step (spawn / register / ready /
+    /// stop-closure), in canonical rank order. Wave steps and faults are
+    /// the explorer's business: waves are quiescent-only and faults come
+    /// from the FAIL side.
+    pub fn protocol_steps(&self) -> Vec<AbstractStep> {
+        let mut out = Vec::new();
+        for (i, r) in self.ranks.iter().enumerate() {
+            let i = i as u8;
+            match r.phase {
+                AbstractPhase::Launched => out.push(AbstractStep::Spawn(i)),
+                AbstractPhase::Booted => out.push(AbstractStep::Register(i)),
+                AbstractPhase::Registered => out.push(AbstractStep::Ready(i)),
+                AbstractPhase::Stopping => out.push(AbstractStep::StopClosure(i)),
+                _ => {}
+            }
+        }
+        out
+    }
+
+    /// Relaunch `rank` in place: new process incarnation, ssh issued.
+    fn relaunch(&mut self, rank: usize) {
+        self.ranks[rank].phase = AbstractPhase::Launched;
+        self.ranks[rank].incarnation =
+            (self.ranks[rank].incarnation + 1).min(INCARNATION_CAP);
+    }
+
+    /// Move `rank` to the first spare machine (its old machine rejoins the
+    /// pool), mirroring `Dispatcher::reassign_machine`.
+    fn reassign_machine(&mut self, rank: usize) {
+        if !self.free_hosts.is_empty() {
+            let spare = self.free_hosts.remove(0);
+            let old = self.ranks[rank].host;
+            self.ranks[rank].host = spare;
+            self.free_hosts.push(old);
+        }
+    }
+
+    /// First failure detection: stop the world, then relaunch every node
+    /// (`Dispatcher::start_recovery`).
+    fn start_recovery(&mut self, victim: usize, events: &mut Vec<AbstractEvent>) {
+        self.recovery_active = true;
+        self.wave_active = false; // a failure aborts the open wave
+        self.epoch = (self.epoch + 1).min(EPOCH_CAP);
+        events.push(AbstractEvent::EpochBumped(self.epoch));
+        self.reassign_machine(victim);
+        self.relaunch(victim);
+        for r in 0..self.ranks.len() {
+            if r == victim {
+                continue;
+            }
+            match self.ranks[r].phase {
+                AbstractPhase::Registered
+                | AbstractPhase::Ready
+                | AbstractPhase::Running
+                | AbstractPhase::Done => {
+                    // Terminate ordered; the process stays alive until its
+                    // stop closure (the straggler window).
+                    self.ranks[r].phase = AbstractPhase::Stopping;
+                }
+                AbstractPhase::Booted => {
+                    // A stale pre-registration process: its epoch is
+                    // superseded, so its eventual Register is turned away
+                    // and it exits; the slot relaunches for this epoch.
+                    events.push(AbstractEvent::OnExit {
+                        host: self.ranks[r].host,
+                    });
+                    self.relaunch(r);
+                }
+                AbstractPhase::Launched => {
+                    // The stale spawn evaporates; relaunch for this epoch.
+                    self.relaunch(r);
+                }
+                AbstractPhase::Stopping | AbstractPhase::Lost => {}
+            }
+        }
+    }
+
+    /// Applies `step`, appending the observable [`AbstractEvent`]s. Panics
+    /// if the step is not enabled in this state (callers enumerate via
+    /// [`AbstractVcl::protocol_steps`] / the explorer's fault routing).
+    pub fn apply(&mut self, step: AbstractStep, events: &mut Vec<AbstractEvent>) {
+        match step {
+            AbstractStep::Spawn(r) => {
+                let r = r as usize;
+                assert_eq!(self.ranks[r].phase, AbstractPhase::Launched);
+                self.ranks[r].phase = AbstractPhase::Booted;
+                events.push(AbstractEvent::OnLoad {
+                    host: self.ranks[r].host,
+                });
+            }
+            AbstractStep::Register(r) => {
+                let r = r as usize;
+                assert_eq!(self.ranks[r].phase, AbstractPhase::Booted);
+                self.ranks[r].phase = AbstractPhase::Registered;
+            }
+            AbstractStep::Ready(r) => {
+                let r = r as usize;
+                assert_eq!(self.ranks[r].phase, AbstractPhase::Registered);
+                self.ranks[r].phase = AbstractPhase::Ready;
+                if self
+                    .ranks
+                    .iter()
+                    .all(|k| k.phase == AbstractPhase::Ready)
+                {
+                    // start_run: broadcast, recovery over.
+                    for k in &mut self.ranks {
+                        k.phase = AbstractPhase::Running;
+                    }
+                    self.recovery_active = false;
+                }
+            }
+            AbstractStep::StopClosure(r) => {
+                let r = r as usize;
+                assert_eq!(self.ranks[r].phase, AbstractPhase::Stopping);
+                events.push(AbstractEvent::OnExit {
+                    host: self.ranks[r].host,
+                });
+                // Expected straggler closure: relaunch in place (the local
+                // checkpoint image lives there).
+                self.relaunch(r);
+            }
+            AbstractStep::Fault(r) => self.fault(r as usize, events),
+            AbstractStep::WaveStart => {
+                assert!(self.all_running() && !self.wave_active);
+                if self.committed_waves < WAVE_CAP {
+                    self.wave_active = true;
+                }
+            }
+            AbstractStep::WaveCommit => {
+                assert!(self.wave_active);
+                self.wave_active = false;
+                self.committed_waves = (self.committed_waves + 1).min(WAVE_CAP);
+                events.push(AbstractEvent::CommittedWave(self.committed_waves));
+            }
+        }
+    }
+
+    /// A fault kills the live process of `rank` — the abstract mirror of
+    /// the process death plus `Dispatcher::on_closed(peer_died = true)`.
+    fn fault(&mut self, r: usize, events: &mut Vec<AbstractEvent>) {
+        let host = self.ranks[r].host;
+        match self.ranks[r].phase {
+            AbstractPhase::Launched | AbstractPhase::Lost => {
+                // No live process; nothing observable happens. (The FAIL
+                // controller of an empty machine answers `no` before ever
+                // reaching a halt, so the explorer does not generate this.)
+            }
+            AbstractPhase::Booted => {
+                // Death before registration: the dispatcher sees only a
+                // failed launch and retries — the benign Fig. 9 path.
+                events.push(AbstractEvent::OnError { host });
+                self.relaunch(r);
+            }
+            AbstractPhase::Stopping => {
+                // Indistinguishable from the expected terminate closure:
+                // relaunched like any straggler of the current recovery.
+                events.push(AbstractEvent::OnError { host });
+                self.relaunch(r);
+            }
+            AbstractPhase::Registered
+            | AbstractPhase::Ready
+            | AbstractPhase::Running
+            | AbstractPhase::Done => {
+                events.push(AbstractEvent::OnError { host });
+                events.push(AbstractEvent::FailureDetected {
+                    rank: r as u8,
+                    during_recovery: self.recovery_active,
+                });
+                if !self.recovery_active {
+                    self.start_recovery(r, events);
+                } else {
+                    // ======== THE HISTORICAL DISPATCHER BUG ========
+                    match self.mode {
+                        DispatcherMode::Historical => {
+                            self.ranks[r].phase = AbstractPhase::Lost;
+                            events.push(AbstractEvent::RankLost { rank: r as u8 });
+                        }
+                        DispatcherMode::Fixed => {
+                            self.reassign_machine(r);
+                            self.relaunch(r);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev() -> Vec<AbstractEvent> {
+        Vec::new()
+    }
+
+    /// Drives the model to the steady all-running state.
+    fn boot(m: &mut AbstractVcl) {
+        let mut e = ev();
+        loop {
+            let steps = m.protocol_steps();
+            if steps.is_empty() {
+                break;
+            }
+            for s in steps {
+                m.apply(s, &mut e);
+            }
+            if m.all_running() {
+                break;
+            }
+        }
+        assert!(m.all_running());
+    }
+
+    #[test]
+    fn initial_launch_reaches_running() {
+        let mut m = AbstractVcl::new(DispatcherMode::Historical, 3, 4);
+        boot(&mut m);
+        assert!(!m.recovery_active);
+        assert_eq!(m.lost_rank(), None);
+    }
+
+    #[test]
+    fn single_fault_recovers() {
+        let mut m = AbstractVcl::new(DispatcherMode::Historical, 2, 3);
+        boot(&mut m);
+        let mut e = ev();
+        m.apply(AbstractStep::Fault(0), &mut e);
+        assert!(m.recovery_active);
+        // Victim moved to the spare host and relaunches; survivor stops.
+        assert_eq!(m.ranks[0].host, 2);
+        assert_eq!(m.ranks[0].phase, AbstractPhase::Launched);
+        assert_eq!(m.ranks[1].phase, AbstractPhase::Stopping);
+        assert!(e.iter().any(|x| matches!(
+            x,
+            AbstractEvent::FailureDetected { rank: 0, during_recovery: false }
+        )));
+        boot(&mut m);
+        assert!(!m.recovery_active);
+        assert_eq!(m.lost_rank(), None);
+    }
+
+    #[test]
+    fn second_fault_on_reregistered_rank_is_lost_under_historical() {
+        let mut m = AbstractVcl::new(DispatcherMode::Historical, 2, 3);
+        boot(&mut m);
+        let mut e = ev();
+        m.apply(AbstractStep::Fault(0), &mut e);
+        // Survivor finishes stopping, respawns and re-registers while the
+        // recovery is still active (rank 0 not yet ready).
+        m.apply(AbstractStep::StopClosure(1), &mut e);
+        m.apply(AbstractStep::Spawn(1), &mut e);
+        m.apply(AbstractStep::Register(1), &mut e);
+        assert!(m.recovery_active);
+        m.apply(AbstractStep::Fault(1), &mut e);
+        assert_eq!(m.ranks[1].phase, AbstractPhase::Lost);
+        assert_eq!(m.lost_rank(), Some(1));
+        assert!(e.iter().any(|x| matches!(x, AbstractEvent::RankLost { rank: 1 })));
+        // The fleet can never complete the all-ready barrier again.
+        boot_partial(&mut m);
+        assert!(m.recovery_active);
+    }
+
+    /// Runs protocol steps to exhaustion without requiring all-running.
+    fn boot_partial(m: &mut AbstractVcl) {
+        let mut e = ev();
+        for _ in 0..64 {
+            let steps = m.protocol_steps();
+            if steps.is_empty() {
+                break;
+            }
+            for s in steps {
+                m.apply(s, &mut e);
+            }
+        }
+    }
+
+    #[test]
+    fn fixed_mode_relaunches_the_second_victim() {
+        let mut m = AbstractVcl::new(DispatcherMode::Fixed, 2, 3);
+        boot(&mut m);
+        let mut e = ev();
+        m.apply(AbstractStep::Fault(0), &mut e);
+        m.apply(AbstractStep::StopClosure(1), &mut e);
+        m.apply(AbstractStep::Spawn(1), &mut e);
+        m.apply(AbstractStep::Register(1), &mut e);
+        m.apply(AbstractStep::Fault(1), &mut e);
+        assert_eq!(m.ranks[1].phase, AbstractPhase::Launched);
+        assert_eq!(m.lost_rank(), None);
+        boot(&mut m);
+        assert!(!m.recovery_active);
+    }
+
+    #[test]
+    fn pre_registration_fault_is_benign() {
+        let mut m = AbstractVcl::new(DispatcherMode::Historical, 2, 3);
+        let mut e = ev();
+        m.apply(AbstractStep::Spawn(0), &mut e);
+        assert_eq!(m.ranks[0].phase, AbstractPhase::Booted);
+        let inc = m.ranks[0].incarnation;
+        m.apply(AbstractStep::Fault(0), &mut e);
+        assert_eq!(m.ranks[0].phase, AbstractPhase::Launched);
+        assert_eq!(m.ranks[0].incarnation, inc + 1);
+        // No failure detection: the dispatcher never had a stream.
+        assert!(!e
+            .iter()
+            .any(|x| matches!(x, AbstractEvent::FailureDetected { .. })));
+    }
+
+    #[test]
+    fn waves_commit_and_abort_on_failure() {
+        let mut m = AbstractVcl::new(DispatcherMode::Historical, 2, 3);
+        boot(&mut m);
+        let mut e = ev();
+        m.apply(AbstractStep::WaveStart, &mut e);
+        assert!(m.wave_active);
+        m.apply(AbstractStep::WaveCommit, &mut e);
+        assert_eq!(m.committed_waves, 1);
+        assert!(e.contains(&AbstractEvent::CommittedWave(1)));
+        m.apply(AbstractStep::WaveStart, &mut e);
+        m.apply(AbstractStep::Fault(0), &mut e);
+        assert!(!m.wave_active, "a failure aborts the open wave");
+    }
+
+    #[test]
+    fn incarnations_are_monotone() {
+        let mut m = AbstractVcl::new(DispatcherMode::Historical, 2, 3);
+        boot(&mut m);
+        let mut last = [0u8; 2];
+        let mut e = ev();
+        for _ in 0..4 {
+            m.apply(AbstractStep::Fault(0), &mut e);
+            boot(&mut m);
+            for (i, r) in m.ranks.iter().enumerate() {
+                assert!(r.incarnation >= last[i]);
+                last[i] = r.incarnation;
+            }
+        }
+    }
+}

@@ -13,7 +13,7 @@ use failmpi_sim::SimDuration;
 /// [`DispatcherMode::Historical`] reproduces that bug faithfully;
 /// [`DispatcherMode::Fixed`] applies the correction the authors made after
 /// the study (track failures per incarnation and relaunch the victim).
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum DispatcherMode {
     /// The original (buggy) wave bookkeeping, as strained in the paper.
     Historical,

@@ -34,6 +34,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod abstractmodel;
 mod cluster;
 mod config;
 mod ctx;
@@ -48,6 +49,7 @@ mod trace;
 mod vnode;
 mod wire;
 
+pub use abstractmodel::{AbstractEvent, AbstractPhase, AbstractRank, AbstractStep, AbstractVcl};
 pub use cluster::{run_standalone, Cluster, ClusterModel};
 pub use ctx::TrafficStats;
 pub use metrics::VclMetrics;
