@@ -6,17 +6,26 @@
 //! failck --builtin                      # lint every bundled artifact
 //! failck scenario.fail --strict         # warnings also fail the run
 //! failck scenario.fail --model-check    # also explore the Vcl product
+//! failck --findings findings.json       # gate a failmpi-fuzz findings file
 //! ```
 //!
 //! Exit status: 0 clean, 1 findings at the failing severity, 2 usage or
 //! I/O error. `--help` prints the usage and exits 0; only malformed
 //! invocations exit 2.
+//!
+//! `--findings` applies the same exit-code matrix to a `failmpi-fuzz`
+//! findings artifact (an array of reports carrying FZ-coded diagnostics):
+//! a malformed or empty-shaped file exits 2 rather than 0, so a CI gate
+//! grepping the output can never pass vacuously.
 
+use std::collections::BTreeMap;
 use std::process::ExitCode;
 
 use failmpi_analyze::{
     analyze_programs, builtin, check_source, model_check_source, ModelCheckConfig, Report,
 };
+use serde::Serialize;
+use serde_json::Value;
 
 struct Options {
     files: Vec<String>,
@@ -25,10 +34,11 @@ struct Options {
     strict: bool,
     model_check: bool,
     budget: Option<usize>,
+    findings: Option<String>,
 }
 
 const USAGE: &str = "usage: failck [FILES...] [--builtin] [--format human|json] [--strict] \
-     [--model-check] [--budget N]";
+     [--model-check] [--budget N] [--findings FILE]";
 
 fn usage_error() -> ExitCode {
     eprintln!("{USAGE}");
@@ -43,6 +53,7 @@ fn parse_args() -> Result<Options, ExitCode> {
         strict: false,
         model_check: false,
         budget: None,
+        findings: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -52,6 +63,10 @@ fn parse_args() -> Result<Options, ExitCode> {
             "--model-check" => opts.model_check = true,
             "--budget" => match args.next().and_then(|v| v.parse().ok()) {
                 Some(n) => opts.budget = Some(n),
+                None => return Err(usage_error()),
+            },
+            "--findings" => match args.next() {
+                Some(p) => opts.findings = Some(p),
                 None => return Err(usage_error()),
             },
             "--format" => match args.next().as_deref() {
@@ -67,7 +82,13 @@ fn parse_args() -> Result<Options, ExitCode> {
             _ => return Err(usage_error()),
         }
     }
-    if opts.files.is_empty() && !opts.builtin {
+    if opts.findings.is_some() {
+        // Findings gating is a standalone mode: mixing it with lint
+        // inputs would make one exit code answer two questions.
+        if !opts.files.is_empty() || opts.builtin || opts.model_check {
+            return Err(usage_error());
+        }
+    } else if opts.files.is_empty() && !opts.builtin {
         return Err(usage_error());
     }
     Ok(opts)
@@ -94,11 +115,124 @@ fn check_one(subject: String, src: &str, opts: &Options) -> Report {
     }
 }
 
+/// One `(code, severity)` bucket of the findings gate's JSON summary.
+#[derive(Serialize)]
+struct CodeCount {
+    code: String,
+    severity: String,
+    count: usize,
+}
+
+/// The findings gate's machine-readable summary (`--format json`): CI
+/// greps this — not the input file — so a diagnostic code only appears
+/// here after failck has actually validated the artifact's shape.
+#[derive(Serialize)]
+struct FindingsGate {
+    findings_file: String,
+    reports: usize,
+    errors: usize,
+    warnings: usize,
+    by_code: Vec<CodeCount>,
+}
+
+/// Gates a `failmpi-fuzz` findings artifact through the standard exit-code
+/// matrix. Exit 2 on unreadable/unparseable/misshapen input, 1 when any
+/// error-severity finding is present (or any finding at all under
+/// `--strict`), 0 when the well-formed file is clean.
+fn findings_mode(path: &str, json: bool, strict: bool) -> ExitCode {
+    fn shape_error(path: &str, what: &str) -> ExitCode {
+        eprintln!("failck: `{path}` is not a findings file: {what}");
+        ExitCode::from(2)
+    }
+
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("failck: cannot read `{path}`: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let doc = match serde_json::from_str(&text) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("failck: `{path}` is not valid JSON: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let Some(reports) = doc.as_array() else {
+        return shape_error(path, "expected a JSON array of reports");
+    };
+
+    let mut errors = 0usize;
+    let mut warnings = 0usize;
+    let mut by_code: BTreeMap<(String, String), usize> = BTreeMap::new();
+    let mut human = String::new();
+    for r in reports {
+        let Some(subject) = r.get("subject").and_then(Value::as_str) else {
+            return shape_error(path, "report without a string `subject`");
+        };
+        let Some(diags) = r.get("diagnostics").and_then(Value::as_array) else {
+            return shape_error(path, "report without a `diagnostics` array");
+        };
+        for d in diags {
+            let severity = d.get("severity").and_then(Value::as_str);
+            let code = d.get("code").and_then(Value::as_str);
+            let message = d.get("message").and_then(Value::as_str);
+            let (Some(severity), Some(code), Some(message)) = (severity, code, message) else {
+                return shape_error(path, "diagnostic missing severity/code/message");
+            };
+            match severity {
+                "error" => errors += 1,
+                "warning" => warnings += 1,
+                other => {
+                    return shape_error(path, &format!("unknown severity `{other}`"));
+                }
+            }
+            *by_code
+                .entry((code.to_string(), severity.to_string()))
+                .or_insert(0) += 1;
+            human.push_str(&format!("{subject}: {severity}[{code}]: {message}\n"));
+        }
+    }
+
+    if json {
+        let gate = FindingsGate {
+            findings_file: path.to_string(),
+            reports: reports.len(),
+            errors,
+            warnings,
+            by_code: by_code
+                .into_iter()
+                .map(|((code, severity), count)| CodeCount { code, severity, count })
+                .collect(),
+        };
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&gate).expect("gate serializes")
+        );
+    } else {
+        print!("{human}");
+        println!(
+            "failck: {} finding report(s), {errors} error(s), {warnings} warning(s)",
+            reports.len()
+        );
+    }
+
+    if errors > 0 || (strict && warnings > 0) {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
 fn main() -> ExitCode {
     let opts = match parse_args() {
         Ok(o) => o,
         Err(code) => return code,
     };
+    if let Some(path) = &opts.findings {
+        return findings_mode(path, opts.json, opts.strict);
+    }
 
     let mut reports: Vec<Report> = Vec::new();
     for path in &opts.files {

@@ -141,6 +141,29 @@ pub struct Witness {
     pub faults: usize,
 }
 
+/// 64-bit FNV-1a. `std::hash::DefaultHasher` is explicitly unstable
+/// across Rust releases, and [`ModelSummary::state_digest`] feeds the
+/// fuzzer's persisted coverage corpus, so the algorithm must be pinned.
+struct Fnv1a(u64);
+
+impl Fnv1a {
+    fn new() -> Self {
+        Fnv1a(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+impl std::hash::Hasher for Fnv1a {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+}
+
 /// Machine-readable exploration summary, attached to a
 /// [`crate::Report`] when `--model-check` runs.
 #[derive(Clone, Debug, PartialEq, Eq, Serialize)]
@@ -152,6 +175,13 @@ pub struct ModelSummary {
     /// Discovered-but-unexpanded states left when exploration stopped
     /// (nonzero only for [`StaticVerdict::Unknown`] and freeze stops).
     pub frontier: usize,
+    /// Order-sensitive FNV-1a digest over every interned product state,
+    /// in discovery order — a cheap behavioural signature of the explored
+    /// state space. Two scenarios whose products unfold identically share
+    /// a digest; the scenario fuzzer uses it as its static coverage
+    /// signal. Deterministic per build (same source, same config, same
+    /// digest), but not an across-release file format.
+    pub state_digest: u64,
     /// Minimal fault schedule, when the verdict is a freeze.
     pub witness: Option<Witness>,
 }
@@ -176,6 +206,7 @@ pub fn model_check_source(src: &str, cfg: &ModelCheckConfig) -> ModelCheckResult
                 verdict: StaticVerdict::NotApplicable,
                 explored: 0,
                 frontier: 0,
+                state_digest: 0,
                 witness: None,
             },
             diagnostics: Vec::new(),
@@ -205,6 +236,7 @@ pub fn model_check_with_programs(
                 verdict: StaticVerdict::NotApplicable,
                 explored: 0,
                 frontier: 0,
+                state_digest: 0,
                 witness: None,
             },
             diagnostics: Vec::new(),
@@ -1386,11 +1418,21 @@ impl<'a> Explorer<'a> {
             diagnostics.push(d);
         }
 
+        let state_digest = {
+            use std::hash::{Hash, Hasher};
+            let mut h = Fnv1a::new();
+            for st in &self.states {
+                st.hash(&mut h);
+            }
+            h.finish()
+        };
+
         ModelCheckResult {
             summary: ModelSummary {
                 verdict,
                 explored: self.n_expanded,
                 frontier,
+                state_digest,
                 witness: self.freeze.as_ref().map(|(id, _)| self.witness_to(*id)),
             },
             diagnostics,

@@ -101,6 +101,67 @@ fn model_check_surviving_scenario_exits_zero() {
 }
 
 #[test]
+fn findings_gate_applies_the_exit_code_matrix() {
+    // Clean (well-formed, zero diagnostics) passes in both formats.
+    let clean = fixture("findings_clean.json");
+    assert_eq!(failck(&["--findings", &clean]).0, Some(0));
+    assert_eq!(failck(&["--findings", &clean, "--format", "json"]).0, Some(0));
+
+    // An FZ error-severity finding fails, and the code shows up in the
+    // *validated* output of both formats — the CI grep target.
+    let fz = fixture("findings_fz.json");
+    let (code, stdout, _) = failck(&["--findings", &fz]);
+    assert_eq!(code, Some(1));
+    assert!(stdout.contains("error[FZ001]"));
+    let (code, stdout, _) = failck(&["--findings", &fz, "--format", "json"]);
+    assert_eq!(code, Some(1));
+    assert!(stdout.contains("\"FZ001\""));
+    assert!(stdout.contains("\"errors\": 1"));
+    assert!(stdout.contains("\"warnings\": 1"));
+
+    // Warning-only findings (e.g. a known-family rediscovery) fail only
+    // under --strict, like lint warnings.
+    let warn = fixture("findings_warning_only.json");
+    assert_eq!(failck(&["--findings", &warn]).0, Some(0));
+    assert_eq!(failck(&["--findings", &warn, "--strict"]).0, Some(1));
+}
+
+#[test]
+fn findings_gate_never_passes_vacuously() {
+    // Unreadable, unparseable, or misshapen findings are usage errors
+    // (exit 2), never a silent pass.
+    assert_eq!(failck(&["--findings", "/nonexistent/findings.json"]).0, Some(2));
+    assert_eq!(failck(&["--findings", &fixture("broken.fail")]).0, Some(2));
+    assert_eq!(failck(&["--findings", &fixture("findings_misshapen.json")]).0, Some(2));
+    // --findings is standalone: mixing it with lint inputs is a usage error.
+    assert_eq!(failck(&["--findings"]).0, Some(2));
+    assert_eq!(
+        failck(&["--findings", &fixture("findings_clean.json"), "--builtin"]).0,
+        Some(2)
+    );
+    assert_eq!(
+        failck(&[
+            &scenario("fig5_frequency.fail"),
+            "--findings",
+            &fixture("findings_clean.json"),
+        ])
+        .0,
+        Some(2)
+    );
+}
+
+#[test]
+fn model_check_json_carries_the_state_digest() {
+    // The fuzzer's static coverage signal rides the same JSON the CI
+    // artifact uses; a surviving scenario still reports a nonzero digest.
+    let fig5 = scenario("fig5_frequency.fail");
+    let (code, stdout, _) = failck(&[&fig5, "--model-check", "--format", "json"]);
+    assert_eq!(code, Some(0));
+    assert!(stdout.contains("\"state_digest\""));
+    assert!(!stdout.contains("\"state_digest\": 0"));
+}
+
+#[test]
 fn budget_starved_model_check_is_unknown_not_fatal() {
     let fig10 = scenario("fig10_state_sync.fail");
     let (code, stdout, _) =

@@ -19,6 +19,13 @@
 //! verdict: livelock (the paper's too-high fault frequency) is not a
 //! freeze, statically (FC004, a warning) or dynamically (green vs red
 //! bars in the figures).
+//!
+//! Both dispatcher variants are first-class: the historical mode carries
+//! the paper's stale-entry bug, the fixed mode is the repaired reference
+//! where any freeze — static or dynamic — is a genuinely unknown protocol
+//! bug. The scenario fuzzer (`failmpi-fuzz`) leans on exactly this
+//! two-mode contract as its oracle, so both modes are exercised end-to-end
+//! here.
 
 use failmpi_analyze::{model_check_source, ModelCheckConfig, StaticVerdict};
 use failmpi_mpichv::DispatcherMode;
@@ -33,6 +40,8 @@ use crate::robustness::outcome_class;
 pub struct CrosscheckRow {
     /// Scenario label (paper figure).
     pub name: &'static str,
+    /// Dispatcher variant both sides ran against.
+    pub mode: DispatcherMode,
     /// The model checker's pre-run verdict.
     pub static_verdict: StaticVerdict,
     /// Product states the exploration expanded.
@@ -62,9 +71,23 @@ const SCENARIOS: &[BuiltinScenario] = &[
     ("delay_injection", DELAY_SRC, "ADVnodes", &[("D", 1), ("N", 5)]),
 ];
 
-/// The smoke-scale spec `scenario_suite` uses for these scenarios.
-fn spec_for(src: &str, machine: &str, params: &[(&str, i64)], seed: u64) -> ExperimentSpec {
-    let mut cluster = figures::cluster_config(4, 6, 2, DispatcherMode::Historical);
+/// The runnable builtins as `(name, source, machine class, smoke params)`
+/// rows — the mutation seed pool of the scenario fuzzer.
+pub fn runnable_builtins() -> &'static [BuiltinScenario] {
+    SCENARIOS
+}
+
+/// The smoke-scale spec the crosscheck (and the scenario fuzzer) runs a
+/// scenario under: 4 ranks on 6 machines, class-S BT, miniaturized
+/// recovery constants, 90 s virtual timeout.
+pub fn smoke_spec_for(
+    src: &str,
+    machine: &str,
+    params: &[(&str, i64)],
+    seed: u64,
+    mode: DispatcherMode,
+) -> ExperimentSpec {
+    let mut cluster = figures::cluster_config(4, 6, 2, mode);
     figures::miniaturize(&mut cluster);
     let mut inj = InjectionSpec::new(src, "ADV1", machine);
     for (k, v) in params {
@@ -73,46 +96,73 @@ fn spec_for(src: &str, machine: &str, params: &[(&str, i64)], seed: u64) -> Expe
     figures::spec(cluster, BtClass::S, Some(inj), 90, seed)
 }
 
-/// Crosschecks every runnable builtin scenario over `seeds` dynamic runs.
+/// Whether a static verdict and a dynamic sweep satisfy the asymmetric
+/// agreement contract (see the module docs). Shared with the fuzzer's
+/// oracle so both sides flag disagreements identically.
+pub fn verdicts_agree(static_verdict: StaticVerdict, any_dynamic_buggy: bool) -> bool {
+    match static_verdict {
+        StaticVerdict::Freezes => any_dynamic_buggy,
+        StaticVerdict::Survives => !any_dynamic_buggy,
+        StaticVerdict::Unknown | StaticVerdict::NotApplicable => true,
+    }
+}
+
+/// Crosschecks one scenario source over `seeds` dynamic runs under the
+/// given dispatcher mode. `name` only labels the row.
+pub fn crosscheck_one(
+    name: &'static str,
+    src: &str,
+    machine: &str,
+    params: &[(&str, i64)],
+    seeds: &[u64],
+    mode: DispatcherMode,
+) -> CrosscheckRow {
+    let cfg = ModelCheckConfig {
+        params: params.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
+        mode,
+        ..ModelCheckConfig::default()
+    };
+    let st = model_check_source(src, &cfg);
+    let dynamic: Vec<(u64, &'static str)> = seeds
+        .iter()
+        .map(|&seed| {
+            let record = run_one(&smoke_spec_for(src, machine, params, seed, mode));
+            (seed, outcome_class(&record.outcome))
+        })
+        .collect();
+    let any_buggy = dynamic.iter().any(|(_, c)| *c == "buggy");
+    CrosscheckRow {
+        name,
+        mode,
+        static_verdict: st.summary.verdict,
+        explored: st.summary.explored,
+        dynamic,
+        agrees: verdicts_agree(st.summary.verdict, any_buggy),
+    }
+}
+
+/// Crosschecks every runnable builtin scenario over `seeds` dynamic runs
+/// under the historical (paper-bug) dispatcher.
 pub fn crosscheck_builtins(seeds: &[u64]) -> Vec<CrosscheckRow> {
+    crosscheck_builtins_mode(seeds, DispatcherMode::Historical)
+}
+
+/// Crosschecks every runnable builtin under one dispatcher variant. The
+/// fixed mode closes the fuzzer's main oracle blind spot: a freeze there
+/// (static or dynamic) is a surviving-protocol bug, not the known Fig. 10
+/// defect.
+pub fn crosscheck_builtins_mode(seeds: &[u64], mode: DispatcherMode) -> Vec<CrosscheckRow> {
     SCENARIOS
         .iter()
         .map(|(name, src, machine, params)| {
-            let cfg = ModelCheckConfig {
-                params: params
-                    .iter()
-                    .map(|(k, v)| (k.to_string(), *v))
-                    .collect(),
-                ..ModelCheckConfig::default()
-            };
-            let st = model_check_source(src, &cfg);
-            let dynamic: Vec<(u64, &'static str)> = seeds
-                .iter()
-                .map(|&seed| {
-                    let record = run_one(&spec_for(src, machine, params, seed));
-                    (seed, outcome_class(&record.outcome))
-                })
-                .collect();
-            let any_buggy = dynamic.iter().any(|(_, c)| *c == "buggy");
-            let agrees = match st.summary.verdict {
-                StaticVerdict::Freezes => any_buggy,
-                StaticVerdict::Survives => !any_buggy,
-                StaticVerdict::Unknown | StaticVerdict::NotApplicable => true,
-            };
-            CrosscheckRow {
-                name,
-                static_verdict: st.summary.verdict,
-                explored: st.summary.explored,
-                dynamic,
-                agrees,
-            }
+            crosscheck_one(name, src, machine, params, seeds, mode)
         })
         .collect()
 }
 
 /// Renders the crosscheck as an aligned table (the CI artifact).
 pub fn render(rows: &[CrosscheckRow]) -> String {
-    let mut out = String::from("scenario              static    dynamic\n");
+    let mut out = String::from("scenario              mode        static    dynamic\n");
     for r in rows {
         let dyns: Vec<String> = r
             .dynamic
@@ -120,8 +170,12 @@ pub fn render(rows: &[CrosscheckRow]) -> String {
             .map(|(s, c)| format!("{s}:{c}"))
             .collect();
         out.push_str(&format!(
-            "{:<21} {:<9} {}{}\n",
+            "{:<21} {:<11} {:<9} {}{}\n",
             r.name,
+            match r.mode {
+                DispatcherMode::Historical => "historical",
+                DispatcherMode::Fixed => "fixed",
+            },
             r.static_verdict.to_string(),
             dyns.join(" "),
             if r.agrees { "" } else { "  [DISAGREES]" }

@@ -37,7 +37,10 @@ pub mod sweep;
 pub mod tracesink;
 
 pub use classify::{classify_entries, Outcome};
-pub use crosscheck::{crosscheck_builtins, CrosscheckRow};
+pub use crosscheck::{
+    crosscheck_builtins, crosscheck_builtins_mode, crosscheck_one, runnable_builtins,
+    smoke_spec_for, verdicts_agree, CrosscheckRow,
+};
 pub use harness::{
     lint_injection, run_one, run_one_instrumented, run_one_keeping_cluster, run_one_profiled,
     run_one_traced, set_default_expect_freeze, try_run_one, ExperimentSpec, InjectionSpec,

@@ -1,0 +1,66 @@
+//! Behavioural coverage: a candidate earns a corpus slot only when the
+//! oracles observed something no earlier candidate produced.
+//!
+//! The novelty key reuses the repo's existing fingerprints instead of
+//! inventing instrumentation: the model checker's interned-state digest
+//! (static shape of the product under both dispatcher variants), the
+//! verdict pair, the per-seed dynamic outcome classes, and the schedule
+//! fingerprints of any frozen probe (the freeze family signal).
+
+use std::collections::BTreeSet;
+
+use crate::oracle::Evaluation;
+
+/// Canonical, order-stable novelty key of an evaluation.
+pub fn key_of(ev: &Evaluation) -> String {
+    let dyn_part = |runs: &[crate::oracle::DynRun]| {
+        runs.iter()
+            .map(|r| r.class)
+            .collect::<Vec<_>>()
+            .join(",")
+    };
+    let freeze = ev
+        .freeze_fingerprints()
+        .iter()
+        .map(|fp| format!("{fp:016x}"))
+        .collect::<Vec<_>>()
+        .join(",");
+    format!(
+        "{:016x}|{:016x}|{}|{}|{}|{}|{}",
+        ev.static_h.state_digest,
+        ev.static_f.state_digest,
+        ev.static_h.verdict,
+        ev.static_f.verdict,
+        dyn_part(&ev.dynamic_h),
+        dyn_part(&ev.dynamic_f),
+        freeze
+    )
+}
+
+/// The set of behaviours seen so far.
+#[derive(Debug, Default)]
+pub struct Coverage {
+    seen: BTreeSet<String>,
+}
+
+impl Coverage {
+    /// An empty coverage map.
+    pub fn new() -> Self {
+        Coverage::default()
+    }
+
+    /// Records `key`; returns `true` when it was novel.
+    pub fn observe(&mut self, key: &str) -> bool {
+        self.seen.insert(key.to_string())
+    }
+
+    /// Distinct behaviours observed.
+    pub fn len(&self) -> usize {
+        self.seen.len()
+    }
+
+    /// Whether nothing has been observed yet.
+    pub fn is_empty(&self) -> bool {
+        self.seen.is_empty()
+    }
+}

@@ -1,0 +1,117 @@
+//! Delta-debugging over FAIL automata: shrink a finding's scenario while
+//! it keeps reproducing the same FZ finding signature.
+//!
+//! The walk is purely structural and deterministic — try deleting every
+//! action, transition, node and unreferenced daemon in source order, keep
+//! any deletion under which the (re-pretty-printed) scenario still passes
+//! the generator's validity filter *and* the caller's `reproduces`
+//! predicate, and loop to a fixed point.
+
+use failmpi_core::lang::ast::ScenarioAst;
+use failmpi_core::lang::{parser, pretty};
+
+use crate::gen::passes_filter;
+
+/// One candidate deletion site.
+enum Cut {
+    Daemon(usize),
+    Node(usize, usize),
+    Transition(usize, usize, usize),
+    Action(usize, usize, usize, usize),
+}
+
+fn cuts_of(ast: &ScenarioAst) -> Vec<Cut> {
+    let mut cuts = Vec::new();
+    for (d, dm) in ast.daemons.iter().enumerate() {
+        let deployed = ast.instances.iter().any(|i| i.class == dm.name)
+            || ast.groups.iter().any(|g| g.class == dm.name);
+        if !deployed {
+            cuts.push(Cut::Daemon(d));
+        }
+        for (n, node) in dm.nodes.iter().enumerate() {
+            // The first node is the initial state; removing it rewires the
+            // automaton rather than shrinking it.
+            if n > 0 {
+                cuts.push(Cut::Node(d, n));
+            }
+            for (t, tr) in node.transitions.iter().enumerate() {
+                cuts.push(Cut::Transition(d, n, t));
+                for a in 0..tr.actions.len() {
+                    cuts.push(Cut::Action(d, n, t, a));
+                }
+            }
+        }
+    }
+    cuts
+}
+
+fn apply(ast: &ScenarioAst, cut: &Cut) -> ScenarioAst {
+    let mut out = ast.clone();
+    match *cut {
+        Cut::Daemon(d) => {
+            out.daemons.remove(d);
+        }
+        Cut::Node(d, n) => {
+            out.daemons[d].nodes.remove(n);
+        }
+        Cut::Transition(d, n, t) => {
+            out.daemons[d].nodes[n].transitions.remove(t);
+        }
+        Cut::Action(d, n, t, a) => {
+            out.daemons[d].nodes[n].transitions[t].actions.remove(a);
+        }
+    }
+    out
+}
+
+/// How much an AST weighs, for progress accounting.
+fn weight(ast: &ScenarioAst) -> usize {
+    ast.daemons
+        .iter()
+        .map(|dm| {
+            dm.nodes
+                .iter()
+                .map(|n| 1 + n.transitions.iter().map(|t| 1 + t.actions.len()).sum::<usize>())
+                .sum::<usize>()
+        })
+        .sum()
+}
+
+/// Shrinks `source` to a 1-minimal reproducer: no single remaining
+/// deletion keeps `reproduces` true. Returns the pretty-printed minimized
+/// source (the input itself when nothing could be cut). `reproduces` is
+/// called on candidate sources that already passed the validity filter.
+pub fn minimize(source: &str, mut reproduces: impl FnMut(&str) -> bool) -> String {
+    let Ok(mut ast) = parser::parse(source) else {
+        return source.to_string();
+    };
+    let mut best = pretty::scenario(&ast);
+    loop {
+        let before = weight(&ast);
+        // Deleting goto-heavy sites early invalidates later indices, so
+        // re-enumerate after every successful cut.
+        let mut progressed = false;
+        let mut i = 0;
+        loop {
+            let cuts = cuts_of(&ast);
+            if i >= cuts.len() {
+                break;
+            }
+            let trial = apply(&ast, &cuts[i]);
+            let printed = pretty::scenario(&trial);
+            if passes_filter(&printed) && reproduces(&printed) {
+                ast = trial;
+                best = printed;
+                progressed = true;
+                // Indices shifted: restart the site scan on the smaller AST.
+                i = 0;
+            } else {
+                i += 1;
+            }
+        }
+        if !progressed || weight(&ast) >= before {
+            break;
+        }
+    }
+    best
+}

@@ -1,0 +1,317 @@
+//! The differential oracle: every candidate runs through the static model
+//! checker *and* the dynamic harness, under both dispatcher variants, and
+//! the disagreements/novelties become FZ-coded findings.
+//!
+//! | code | severity | meaning |
+//! |------|----------|---------|
+//! | FZ001 | error | soundness gap: a probe froze but the model checker said survives |
+//! | FZ002 | error | novel freeze family (not the Fig. 10 pattern, or freezes the fixed dispatcher) |
+//! | FZ003 | warning | Fig. 10-family freeze rediscovered (the known defect) |
+//! | FZ004 | error | corpus replay drift (a pinned verdict changed) |
+//! | FZ007 | warning | a statically reachable freeze no probe seed realized (over-approximation) |
+//!
+//! The agreement contract is direction-aware. The checker explores *all*
+//! abstract schedules, so `freezes` is an over-approximation — a witness
+//! the probe seeds never realize (even after escalation) is FZ007, a
+//! warning. The converse can never be excused: a concrete frozen run
+//! under a `survives` verdict means the abstraction dropped a behaviour,
+//! and that is the FZ001 error.
+
+use std::collections::BTreeSet;
+
+use failmpi_analyze::{
+    model_check_source, Diagnostic, ModelCheckConfig, ModelSummary, Severity, StaticVerdict,
+};
+use failmpi_experiments::robustness::outcome_class;
+use failmpi_experiments::{
+    run_one, run_one_traced, smoke_spec_for, tracesink, verdicts_agree, LintMode,
+};
+use failmpi_mpichv::DispatcherMode;
+
+use crate::gen::Candidate;
+
+/// Oracle knobs.
+#[derive(Clone, Debug)]
+pub struct FuzzConfig {
+    /// Dynamic seeds each candidate is probed with, per dispatcher mode.
+    pub probe_seeds: Vec<u64>,
+    /// Model-checker exploration budget per candidate (smaller than the
+    /// failck default: mutants with unbounded counters go `unknown`, which
+    /// the agreement contract treats as vacuous).
+    pub model_budget: usize,
+    /// When a static freeze goes unrealized by the initial probes, keep
+    /// probing seeds up to this one before settling on FZ007.
+    pub escalate_to: u64,
+}
+
+impl Default for FuzzConfig {
+    fn default() -> Self {
+        FuzzConfig {
+            probe_seeds: vec![1, 2],
+            model_budget: 20_000,
+            escalate_to: 6,
+        }
+    }
+}
+
+/// One dynamic probe run.
+#[derive(Clone, Debug)]
+pub struct DynRun {
+    /// Experiment seed.
+    pub seed: u64,
+    /// Classifier outcome class (`completed`/`non-terminating`/`buggy`).
+    pub class: &'static str,
+    /// Schedule fingerprint of the run.
+    pub fingerprint: u64,
+}
+
+/// Everything both oracles observed about one candidate.
+#[derive(Clone, Debug)]
+pub struct Evaluation {
+    /// Model-check summary under the historical (paper-bug) dispatcher.
+    pub static_h: ModelSummary,
+    /// Model-check summary under the fixed dispatcher.
+    pub static_f: ModelSummary,
+    /// Dynamic probes under the historical dispatcher.
+    pub dynamic_h: Vec<DynRun>,
+    /// Dynamic probes under the fixed dispatcher.
+    pub dynamic_f: Vec<DynRun>,
+    /// Whether a frozen historical run matches the causal-trace
+    /// dispatcher-bug pattern (the Fig. 10 family classifier).
+    pub fig10_family: bool,
+    /// Causal narration of the first frozen historical run, when any.
+    pub narration: Option<String>,
+}
+
+impl Evaluation {
+    /// Whether any historical probe froze.
+    pub fn h_buggy(&self) -> bool {
+        self.dynamic_h.iter().any(|r| r.class == "buggy")
+    }
+
+    /// Whether any fixed-dispatcher probe froze.
+    pub fn f_buggy(&self) -> bool {
+        self.dynamic_f.iter().any(|r| r.class == "buggy")
+    }
+
+    /// Fingerprints of every frozen probe, both modes, sorted.
+    pub fn freeze_fingerprints(&self) -> Vec<u64> {
+        let mut fps: Vec<u64> = self
+            .dynamic_h
+            .iter()
+            .chain(&self.dynamic_f)
+            .filter(|r| r.class == "buggy")
+            .map(|r| r.fingerprint)
+            .collect();
+        fps.sort_unstable();
+        fps.dedup();
+        fps
+    }
+}
+
+fn probe(cand: &Candidate, seed: u64, mode: DispatcherMode) -> DynRun {
+    let params: Vec<(&str, i64)> = cand.params.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+    let mut spec = smoke_spec_for(&cand.source, &cand.machine_class, &params, seed, mode);
+    // The generator already FA-filtered the source; the gate would only
+    // re-lint it (and spam stderr once per distinct mutant).
+    if let Some(inj) = spec.injection.as_mut() {
+        inj.lint = LintMode::Off;
+    }
+    let record = run_one(&spec);
+    DynRun {
+        seed,
+        class: outcome_class(&record.outcome),
+        fingerprint: record.fingerprint,
+    }
+}
+
+/// Runs both oracles over `cand`.
+pub fn evaluate(cand: &Candidate, cfg: &FuzzConfig) -> Evaluation {
+    let static_of = |mode| {
+        let mc = ModelCheckConfig {
+            params: cand.params.clone(),
+            mode,
+            budget: cfg.model_budget,
+            ..ModelCheckConfig::default()
+        };
+        model_check_source(&cand.source, &mc).summary
+    };
+    let static_h = static_of(DispatcherMode::Historical);
+    let static_f = static_of(DispatcherMode::Fixed);
+
+    // A statically reachable freeze deserves a fair shot at concrete
+    // realization: escalate through additional seeds before the finding
+    // stage settles on "unrealized" (FZ007). Deterministic — the seed
+    // ladder depends only on the config.
+    let dynamic_of = |mode, static_freezes: bool| -> Vec<DynRun> {
+        let mut runs: Vec<DynRun> = cfg
+            .probe_seeds
+            .iter()
+            .map(|&seed| probe(cand, seed, mode))
+            .collect();
+        if static_freezes && !runs.iter().any(|r| r.class == "buggy") {
+            let from = runs.iter().map(|r| r.seed).max().unwrap_or(0) + 1;
+            for seed in from..=cfg.escalate_to {
+                let run = probe(cand, seed, mode);
+                let hit = run.class == "buggy";
+                runs.push(run);
+                if hit {
+                    break;
+                }
+            }
+        }
+        runs
+    };
+    let dynamic_h = dynamic_of(
+        DispatcherMode::Historical,
+        static_h.verdict == StaticVerdict::Freezes,
+    );
+    let dynamic_f = dynamic_of(
+        DispatcherMode::Fixed,
+        static_f.verdict == StaticVerdict::Freezes,
+    );
+
+    // Classify frozen historical runs against the paper's dispatcher-bug
+    // pattern via the causal trace — the family discriminator that keeps
+    // expected Fig. 10 rediscoveries out of the error findings.
+    let (fig10_family, narration) = match dynamic_h.iter().find(|r| r.class == "buggy") {
+        Some(run) => {
+            let params: Vec<(&str, i64)> =
+                cand.params.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+            let mut spec = smoke_spec_for(
+                &cand.source,
+                &cand.machine_class,
+                &params,
+                run.seed,
+                DispatcherMode::Historical,
+            );
+            if let Some(inj) = spec.injection.as_mut() {
+                inj.lint = LintMode::Off;
+            }
+            let traced = run_one_traced(&spec);
+            let trace = tracesink::trace_file_of(&cand.name, run.seed, &traced);
+            let ex = failmpi_trace::explain::explain(&trace);
+            (
+                ex.dispatcher_bug,
+                Some(failmpi_trace::explain::render(&trace)),
+            )
+        }
+        None => (false, None),
+    };
+
+    Evaluation {
+        static_h,
+        static_f,
+        dynamic_h,
+        dynamic_f,
+        fig10_family,
+        narration,
+    }
+}
+
+fn dyn_note(runs: &[DynRun]) -> String {
+    runs.iter()
+        .map(|r| format!("{}:{}", r.seed, r.class))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// Converts an evaluation into FZ diagnostics. `known_freeze_fps` holds
+/// the freeze fingerprints already pinned by the corpus: a freeze that
+/// replays a known fingerprint is corpus behaviour, not a finding.
+pub fn findings_for(ev: &Evaluation, known_freeze_fps: &BTreeSet<u64>) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+
+    for (mode, summary, buggy, runs) in [
+        ("historical", &ev.static_h, ev.h_buggy(), &ev.dynamic_h),
+        ("fixed", &ev.static_f, ev.f_buggy(), &ev.dynamic_f),
+    ] {
+        if verdicts_agree(summary.verdict, buggy) {
+            continue;
+        }
+        match summary.verdict {
+            // A concrete freeze under a `survives` verdict: the
+            // abstraction dropped a behaviour. Never excusable.
+            StaticVerdict::Survives => out.push(Diagnostic::new(
+                Severity::Error,
+                "FZ001",
+                0,
+                format!(
+                    "soundness gap under the {mode} dispatcher: model checker \
+                     says survives but the probes saw [{}]",
+                    dyn_note(runs)
+                ),
+                "the abstract Vcl model misses a schedule the simulator \
+                 realizes — walk the causal narration of the frozen probe",
+            )),
+            // A reachable freeze no probe realized, even after the seed
+            // escalation: the over-approximate direction, a warning.
+            _ => out.push(Diagnostic::new(
+                Severity::Warning,
+                "FZ007",
+                0,
+                format!(
+                    "statically reachable freeze unrealized under the {mode} \
+                     dispatcher: probes [{}] all survive the witness",
+                    dyn_note(runs)
+                ),
+                "the abstract witness schedule may need timing the smoke \
+                 spec cannot hit, or the abstraction over-approximates \
+                 here; raise --probe-seeds to keep hunting",
+            )),
+        }
+    }
+
+    // Any freeze that concretely survives the dispatcher fix is by
+    // construction not the paper's stale-entry defect: a novel bug.
+    if ev.f_buggy() {
+        out.push(Diagnostic::new(
+            Severity::Error,
+            "FZ002",
+            0,
+            format!(
+                "freeze survives the fixed dispatcher (static {}, probes [{}])",
+                ev.static_f.verdict,
+                dyn_note(&ev.dynamic_f)
+            ),
+            "not the known Fig. 10 stale-entry defect — the repaired \
+             recovery protocol itself wedges on this scenario",
+        ));
+    } else if ev.h_buggy() {
+        let fps = ev.freeze_fingerprints();
+        let all_known = fps.iter().all(|fp| known_freeze_fps.contains(fp));
+        if ev.fig10_family {
+            if !all_known {
+                out.push(Diagnostic::new(
+                    Severity::Warning,
+                    "FZ003",
+                    0,
+                    format!(
+                        "fig10-family freeze rediscovered under the historical \
+                         dispatcher (probes [{}])",
+                        dyn_note(&ev.dynamic_h)
+                    ),
+                    "the causal trace matches the paper's stale-dispatcher-entry \
+                     pattern and the fixed dispatcher survives it — the known \
+                     defect, not a new finding",
+                ));
+            }
+        } else {
+            out.push(Diagnostic::new(
+                Severity::Error,
+                "FZ002",
+                0,
+                format!(
+                    "novel freeze family under the historical dispatcher: the \
+                     causal trace does not match the stale-entry pattern \
+                     (probes [{}])",
+                    dyn_note(&ev.dynamic_h)
+                ),
+                "a freeze with a different root cause than the paper's \
+                 dispatcher bug — walk the causal narration",
+            ));
+        }
+    }
+
+    out
+}

@@ -1,0 +1,115 @@
+//! Exit-code contract of the `failmpi-fuzz` binary, driven through the
+//! compiled executable: 0 on a clean campaign or drift-free replay, 1 when
+//! error-severity findings (FZ001/FZ002/FZ004) surface, 2 on usage or I/O
+//! errors — and never a vacuous pass on malformed input.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn fuzz() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_failmpi-fuzz"))
+}
+
+fn code(out: &std::process::Output) -> i32 {
+    out.status.code().expect("exit code")
+}
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("failmpi-fuzz-test-{tag}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("tmpdir");
+    dir
+}
+
+#[test]
+fn help_exits_zero() {
+    let out = fuzz().arg("--help").output().expect("runs");
+    assert_eq!(code(&out), 0);
+    assert!(String::from_utf8_lossy(&out.stdout).contains("usage:"));
+}
+
+#[test]
+fn usage_errors_exit_two() {
+    // Unknown flag, flags missing their values, bad format, zero probe
+    // seeds, and the replay/corpus conflict all land on exit 2.
+    for args in [
+        vec!["--bogus"],
+        vec!["--seed"],
+        vec!["--budget", "many"],
+        vec!["--format", "xml"],
+        vec!["--probe-seeds", "0"],
+        vec!["--replay", "x", "--corpus", "y"],
+        vec!["--replay", "x", "--minimize-family"],
+    ] {
+        let out = fuzz().args(&args).output().expect("runs");
+        assert_eq!(code(&out), 2, "args {args:?}: {out:?}");
+    }
+}
+
+#[test]
+fn replay_of_a_missing_or_broken_corpus_exits_two() {
+    let out = fuzz()
+        .args(["--replay", "/nonexistent/fuzz-corpus"])
+        .output()
+        .expect("runs");
+    assert_eq!(code(&out), 2);
+
+    // A directory whose manifest is not JSON must refuse, not pass.
+    let dir = scratch("broken-manifest");
+    std::fs::write(dir.join("corpus.json"), "daemon A { node 1: }").expect("write");
+    let out = fuzz().arg("--replay").arg(&dir).output().expect("runs");
+    assert_eq!(code(&out), 2, "{out:?}");
+}
+
+#[test]
+fn clean_campaign_exits_zero_and_is_deterministic() {
+    let dir_a = scratch("campaign-a");
+    let dir_b = scratch("campaign-b");
+    let mut stdouts = Vec::new();
+    for dir in [&dir_a, &dir_b] {
+        let out = fuzz()
+            .args(["--seed", "1", "--budget", "3", "--format", "json"])
+            .arg("--corpus")
+            .arg(dir.join("corpus"))
+            .arg("--findings")
+            .arg(dir.join("findings.json"))
+            .output()
+            .expect("runs");
+        assert_eq!(code(&out), 0, "{out:?}");
+        stdouts.push(String::from_utf8(out.stdout).expect("utf8"));
+    }
+    assert!(stdouts[0].contains("\"fig10_family_rediscovered\""));
+    // Double-run determinism, down to the bytes of every artifact.
+    assert_eq!(stdouts[0], stdouts[1]);
+    assert_eq!(
+        std::fs::read(dir_a.join("findings.json")).expect("findings a"),
+        std::fs::read(dir_b.join("findings.json")).expect("findings b"),
+    );
+    let manifest_a = std::fs::read(dir_a.join("corpus/corpus.json")).expect("manifest a");
+    assert_eq!(
+        manifest_a,
+        std::fs::read(dir_b.join("corpus/corpus.json")).expect("manifest b"),
+    );
+
+    // The freshly written corpus replays with zero drift...
+    let out = fuzz()
+        .arg("--replay")
+        .arg(dir_a.join("corpus"))
+        .output()
+        .expect("runs");
+    assert_eq!(code(&out), 0, "{out:?}");
+
+    // ...and a corrupted pin is caught as FZ004 with exit 1 — the drift
+    // path is exercised, never vacuous.
+    let manifest = String::from_utf8(manifest_a).expect("utf8");
+    assert!(manifest.contains("\"freezes\""), "{manifest}");
+    let tampered = manifest.replacen("\"freezes\"", "\"survives\"", 1);
+    std::fs::write(dir_a.join("corpus/corpus.json"), tampered).expect("write");
+    let out = fuzz()
+        .arg("--replay")
+        .arg(dir_a.join("corpus"))
+        .output()
+        .expect("runs");
+    assert_eq!(code(&out), 1, "{out:?}");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("FZ004"));
+}

@@ -55,6 +55,7 @@
 pub use failmpi_analyze as analyze;
 pub use failmpi_core as core;
 pub use failmpi_experiments as experiments;
+pub use failmpi_fuzz as fuzz;
 pub use failmpi_mpi as mpi;
 pub use failmpi_mpichv as mpichv;
 pub use failmpi_net as net;
