@@ -6,6 +6,8 @@
 //! failck --builtin                      # lint every bundled artifact
 //! failck scenario.fail --strict         # warnings also fail the run
 //! failck scenario.fail --model-check    # also explore the Vcl product
+//! failck fig.fail --model-check --reduce --ranks 25 --threads 4
+//!                                       # paper-scale grid, reduced product
 //! failck --findings findings.json       # gate a failmpi-fuzz findings file
 //! ```
 //!
@@ -35,10 +37,15 @@ struct Options {
     model_check: bool,
     budget: Option<usize>,
     findings: Option<String>,
+    reduce: bool,
+    threads: Option<usize>,
+    ranks: Option<usize>,
+    hosts: Option<usize>,
 }
 
 const USAGE: &str = "usage: failck [FILES...] [--builtin] [--format human|json] [--strict] \
-     [--model-check] [--budget N] [--findings FILE]";
+     [--model-check] [--budget N] [--reduce] [--threads N] [--ranks N] [--hosts N] \
+     [--findings FILE]";
 
 fn usage_error() -> ExitCode {
     eprintln!("{USAGE}");
@@ -54,6 +61,10 @@ fn parse_args() -> Result<Options, ExitCode> {
         model_check: false,
         budget: None,
         findings: None,
+        reduce: false,
+        threads: None,
+        ranks: None,
+        hosts: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -61,9 +72,22 @@ fn parse_args() -> Result<Options, ExitCode> {
             "--builtin" => opts.builtin = true,
             "--strict" => opts.strict = true,
             "--model-check" => opts.model_check = true,
+            "--reduce" => opts.reduce = true,
             "--budget" => match args.next().and_then(|v| v.parse().ok()) {
                 Some(n) => opts.budget = Some(n),
                 None => return Err(usage_error()),
+            },
+            "--threads" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n >= 1 => opts.threads = Some(n),
+                _ => return Err(usage_error()),
+            },
+            "--ranks" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n >= 1 => opts.ranks = Some(n),
+                _ => return Err(usage_error()),
+            },
+            "--hosts" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n >= 1 => opts.hosts = Some(n),
+                _ => return Err(usage_error()),
             },
             "--findings" => match args.next() {
                 Some(p) => opts.findings = Some(p),
@@ -91,6 +115,12 @@ fn parse_args() -> Result<Options, ExitCode> {
     } else if opts.files.is_empty() && !opts.builtin {
         return Err(usage_error());
     }
+    if let (Some(r), Some(h)) = (opts.ranks, opts.hosts) {
+        // The deployment needs at least one machine per rank.
+        if h < r {
+            return Err(usage_error());
+        }
+    }
     Ok(opts)
 }
 
@@ -104,6 +134,16 @@ fn check_one(subject: String, src: &str, opts: &Options) -> Report {
         if let Some(b) = opts.budget {
             cfg.budget = b;
         }
+        if let Some(r) = opts.ranks {
+            cfg.n_ranks = r;
+            // Default deployment shape: one spare machine, like the
+            // 2-rank/3-host default, unless --hosts pins it.
+            cfg.n_hosts = opts.hosts.unwrap_or(r + 1);
+        } else if let Some(h) = opts.hosts {
+            cfg.n_hosts = h;
+        }
+        cfg.reduce = opts.reduce;
+        cfg.threads = opts.threads.unwrap_or(1);
         let r = model_check_source(src, &cfg);
         diags.extend(r.diagnostics);
         model = Some(r.summary);
@@ -184,6 +224,7 @@ fn findings_mode(path: &str, json: bool, strict: bool) -> ExitCode {
             match severity {
                 "error" => errors += 1,
                 "warning" => warnings += 1,
+                "info" => {}
                 other => {
                     return shape_error(path, &format!("unknown severity `{other}`"));
                 }
@@ -281,7 +322,8 @@ fn main() -> ExitCode {
     }
 
     let failing = reports.iter().any(|r| {
-        r.has_errors() || (opts.strict && !r.diagnostics.is_empty())
+        // Info-level findings (FC007 reduction stats) never gate.
+        r.has_errors() || (opts.strict && r.has_gating_findings())
     });
     if failing {
         ExitCode::from(1)

@@ -18,8 +18,13 @@ use crate::model::ModelSummary;
 /// written (dead guards, orphan sends, guaranteed deadlocks); strict-mode
 /// gating refuses to run them. `Warning` findings are suspicious but
 /// runnable (unreachable nodes, unused timers, write-only variables).
+/// `Info` findings are purely informational (reduction statistics) and
+/// never gate anything — declared first so the derived order keeps
+/// `Info < Warning < Error`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Severity {
+    /// Informational; never gates a run or an exit code.
+    Info,
     /// Suspicious but runnable.
     Warning,
     /// The artifact cannot behave as written.
@@ -29,6 +34,7 @@ pub enum Severity {
 impl fmt::Display for Severity {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(match self {
+            Severity::Info => "info",
             Severity::Warning => "warning",
             Severity::Error => "error",
         })
@@ -66,7 +72,7 @@ pub struct Span {
 /// message.
 #[derive(Clone, Debug, PartialEq, Eq, Serialize)]
 pub struct Diagnostic {
-    /// Error or warning.
+    /// Error, warning, or info.
     pub severity: Severity,
     /// Stable code: `FA…` for scenario passes, `FB…` for op-program
     /// passes, `FC…` for model-checking verdicts.
@@ -119,7 +125,9 @@ pub struct Report {
     pub diagnostics: Vec<Diagnostic>,
     /// Model-check exploration summary, present when the report came from
     /// a `--model-check` run (the FC findings live in `diagnostics`).
-    pub model: Option<ModelSummary>,
+    /// Boxed: the summary is large and most reports (plain lints) carry
+    /// none, so `Result<_, Report>` stays small.
+    pub model: Option<Box<ModelSummary>>,
 }
 
 impl Report {
@@ -135,7 +143,7 @@ impl Report {
 
     /// Attaches a model-check summary (builder style).
     pub fn with_model(mut self, model: ModelSummary) -> Self {
-        self.model = Some(model);
+        self.model = Some(Box::new(model));
         self
     }
 
@@ -156,7 +164,18 @@ impl Report {
 
     /// Number of `Warning`-level findings.
     pub fn warning_count(&self) -> usize {
-        self.diagnostics.len() - self.error_count()
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Warning)
+            .count()
+    }
+
+    /// Whether any finding is at least `Warning`-level — the strict-mode
+    /// gate (`Info` findings never fail a run).
+    pub fn has_gating_findings(&self) -> bool {
+        self.diagnostics
+            .iter()
+            .any(|d| d.severity >= Severity::Warning)
     }
 
     /// Renders the findings the way compilers do:

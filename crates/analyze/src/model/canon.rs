@@ -1,0 +1,458 @@
+//! Machine/rank symmetry: the orbit relation, the static symmetry
+//! profile, and the canonical-representative map used to intern one state
+//! per orbit.
+//!
+//! ## The orbit relation
+//!
+//! The deployment is one group member per machine plus the abstract Vcl's
+//! rank table, so a product state has two independent label spaces:
+//!
+//! * **machine ids** — a member's instance index encodes its machine
+//!   (`n_suggested + g * n_hosts + h`), the Vcl stores a host per rank and
+//!   a free-host list, and in-flight/inbox message endpoints name member
+//!   instances. Machines that no send expression can statically single
+//!   out are interchangeable: relabelling them commutes with every
+//!   firing rule (automata are per-class, the protocol treats hosts as
+//!   opaque — see `AbstractVcl::relabel`).
+//! * **rank ids** — ranks appear only in the Vcl table and in the
+//!   op-program communication skeleton. When the skeleton is empty or
+//!   complete, rank ids are interchangeable the same way.
+//!
+//! Two states are in the same orbit iff some [`Perm`] maps one onto the
+//! other. Interning only the canonical representative shrinks the
+//! reachable set by up to the orbit size (`(n_hosts - pinned)! × n_ranks!`
+//! in the fully symmetric case) without losing any verdict: a freeze is
+//! reachable from a state iff it is reachable from every orbit member, at
+//! identical (faults, steps) cost.
+//!
+//! ## Soundness gate: the symmetry profile
+//!
+//! [`profile_of`] decides, per scenario, which labels are actually
+//! opaque. A machine is **pinned** (excluded from permutation) when any
+//! `Send` to a group indexes it through an expression with a known
+//! constant range; if a group index is *sometimes* a runtime-known value
+//! that the range analysis cannot bound, machine symmetry is switched off
+//! entirely. The "never known" proof is a fixpoint over variable
+//! definitions (`maybe_known`): the builtins' `FAIL_RANDOM(0, N)` indices
+//! stay `Top` forever, so their fan-out is host-uniform and symmetric.
+//! Rank symmetry requires the comm skeleton to be empty or complete.
+//! Everything here over-approximates asymmetry: a wrongly-pinned host only
+//! costs reduction, never correctness.
+
+use failmpi_core::lang::compile::{Action, Class, Dest, Expr, Scenario};
+use failmpi_mpichv::AbstractPhase;
+
+use super::explore::{Ctx, InstState, MoveKind, ProdState, VarVal};
+use super::ModelCheckConfig;
+
+/// A product-state relabelling: `hosts[h]` is machine `h`'s new id,
+/// `ranks[r]` is rank `r`'s new id. Suggested (machine-less) instances
+/// are fixed points by construction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub(crate) struct Perm {
+    pub(crate) hosts: Vec<u8>,
+    pub(crate) ranks: Vec<u8>,
+}
+
+impl Perm {
+    pub(crate) fn identity(n_hosts: usize, n_ranks: usize) -> Perm {
+        Perm {
+            hosts: (0..n_hosts as u8).collect(),
+            ranks: (0..n_ranks as u8).collect(),
+        }
+    }
+
+    pub(crate) fn is_identity(&self) -> bool {
+        self.hosts.iter().enumerate().all(|(i, &v)| v as usize == i)
+            && self.ranks.iter().enumerate().all(|(i, &v)| v as usize == i)
+    }
+
+    pub(crate) fn invert(&self) -> Perm {
+        let mut hosts = vec![0u8; self.hosts.len()];
+        for (i, &v) in self.hosts.iter().enumerate() {
+            hosts[v as usize] = i as u8;
+        }
+        let mut ranks = vec![0u8; self.ranks.len()];
+        for (i, &v) in self.ranks.iter().enumerate() {
+            ranks[v as usize] = i as u8;
+        }
+        Perm { hosts, ranks }
+    }
+
+    /// `self` then `other`: `(self.then(other))[x] = other[self[x]]`.
+    pub(crate) fn then(&self, other: &Perm) -> Perm {
+        Perm {
+            hosts: self.hosts.iter().map(|&h| other.hosts[h as usize]).collect(),
+            ranks: self.ranks.iter().map(|&r| other.ranks[r as usize]).collect(),
+        }
+    }
+
+    /// Where instance `i` lands: suggested instances are fixed, a group
+    /// member follows its machine.
+    pub(crate) fn map_inst(&self, ctx: &Ctx, i: usize) -> usize {
+        if i < ctx.n_suggested {
+            return i;
+        }
+        let n_hosts = ctx.cfg.n_hosts;
+        let g = (i - ctx.n_suggested) / n_hosts;
+        let h = (i - ctx.n_suggested) % n_hosts;
+        ctx.n_suggested + g * n_hosts + self.hosts[h] as usize
+    }
+
+    /// The relabelled product state.
+    pub(crate) fn apply_state(&self, ctx: &Ctx, s: &ProdState) -> ProdState {
+        let mut insts: Vec<InstState> = s.insts.clone();
+        for (i, old) in s.insts.iter().enumerate() {
+            let mut st = old.clone();
+            for e in &mut st.inbox {
+                e.0 = self.map_inst(ctx, e.0 as usize) as u8;
+            }
+            insts[self.map_inst(ctx, i)] = st;
+        }
+        let mut msgs: Vec<(u8, u8, u8)> = s
+            .msgs
+            .iter()
+            .map(|&(f, t, m)| {
+                (
+                    self.map_inst(ctx, f as usize) as u8,
+                    self.map_inst(ctx, t as usize) as u8,
+                    m,
+                )
+            })
+            .collect();
+        msgs.sort_unstable();
+        ProdState { insts, msgs, vcl: s.vcl.relabel(&self.hosts, &self.ranks) }
+    }
+
+    /// The same structural move in the relabelled frame.
+    pub(crate) fn apply_move(&self, ctx: &Ctx, m: &MoveKind) -> MoveKind {
+        match m {
+            MoveKind::Deliver { from, to, msg } => MoveKind::Deliver {
+                from: self.map_inst(ctx, *from as usize) as u8,
+                to: self.map_inst(ctx, *to as usize) as u8,
+                msg: *msg,
+            },
+            MoveKind::Register(r) => MoveKind::Register(self.ranks[*r as usize]),
+            MoveKind::Ready(r) => MoveKind::Ready(self.ranks[*r as usize]),
+            MoveKind::Breakpoint { rank, holder } => MoveKind::Breakpoint {
+                rank: self.ranks[*rank as usize],
+                holder: self.map_inst(ctx, *holder),
+            },
+            MoveKind::Spawn(r) => MoveKind::Spawn(self.ranks[*r as usize]),
+            MoveKind::StopClosure(r) => MoveKind::StopClosure(self.ranks[*r as usize]),
+            MoveKind::Timer { inst, slot } => MoveKind::Timer {
+                inst: self.map_inst(ctx, *inst),
+                slot: *slot,
+            },
+            MoveKind::WaveStart => MoveKind::WaveStart,
+            MoveKind::WaveCommit => MoveKind::WaveCommit,
+        }
+    }
+}
+
+/// What the scenario's text allows the reducer to permute.
+#[derive(Clone, Debug)]
+pub(crate) struct SymmetryProfile {
+    /// Machines may be relabelled (modulo `pinned`).
+    pub(crate) host_sym: bool,
+    /// Machines some send can statically single out; fixed points of every
+    /// permutation. Indexed by host id.
+    pub(crate) pinned: Vec<bool>,
+    /// Rank ids may be relabelled.
+    pub(crate) rank_sym: bool,
+}
+
+/// Computes the symmetry a scenario (plus op-program skeleton) admits.
+pub(crate) fn profile_of(
+    sc: &Scenario,
+    params: &[i64],
+    cfg: &ModelCheckConfig,
+    comm_peers: &[Vec<u32>],
+) -> SymmetryProfile {
+    let n_hosts = cfg.n_hosts;
+    let mut pinned = vec![false; n_hosts];
+    let mut host_sym = true;
+    let mks: Vec<Vec<bool>> = sc.classes.iter().map(|c| class_maybe_known(c, params)).collect();
+    for (c, class) in sc.classes.iter().enumerate() {
+        for node in &class.nodes {
+            for tr in &node.transitions {
+                for a in &tr.actions {
+                    let Action::Send { dest: Dest::Group(_, idx), .. } = a else {
+                        continue;
+                    };
+                    match idx.const_range(params) {
+                        Some((l, h)) => {
+                            let lo = l.max(0);
+                            let hi = h.min(n_hosts as i64 - 1);
+                            if lo <= 0 && hi >= n_hosts as i64 - 1 {
+                                // Whole-group fan-out: host-uniform.
+                            } else {
+                                for p in lo..=hi.max(lo - 1) {
+                                    pinned[p as usize] = true;
+                                }
+                            }
+                        }
+                        None => {
+                            // Unbounded index: symmetric only if it can
+                            // never evaluate to a Known host id (then the
+                            // send always fans out to the whole group).
+                            if expr_maybe_known(idx, &mks[c], params) {
+                                host_sym = false;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    let rank_sym = cfg.n_ranks >= 2
+        && (comm_peers.is_empty()
+            || (comm_peers.len() >= cfg.n_ranks
+                && (0..cfg.n_ranks).all(|r| comm_peers[r].len() == cfg.n_ranks - 1)));
+
+    SymmetryProfile { host_sym, pinned, rank_sym }
+}
+
+/// Fixpoint over a class's variable definitions: `true` means the slot
+/// might ever hold a [`VarVal::Known`] value in some reachable state.
+fn class_maybe_known(class: &Class, params: &[i64]) -> Vec<bool> {
+    let n = class.var_names.len();
+    let mut mk = vec![false; n];
+    // Initial values: slots the class never initializes start Known(0);
+    // initialized slots start at their init expression's abstraction.
+    let mut covered = vec![false; n];
+    for (slot, _) in &class.var_init {
+        covered[*slot] = true;
+    }
+    if let Some(node0) = class.nodes.first() {
+        for (slot, _) in &node0.always {
+            covered[*slot] = true;
+        }
+    }
+    for (i, c) in covered.iter().enumerate() {
+        if !c {
+            mk[i] = true;
+        }
+    }
+    // Probes write Known values directly.
+    for (_, slot) in &class.probes {
+        mk[*slot] = true;
+    }
+    loop {
+        let mut changed = false;
+        let visit = |slot: usize, e: &Expr, mk: &mut Vec<bool>| {
+            if !mk[slot] && expr_maybe_known(e, mk, params) {
+                mk[slot] = true;
+                true
+            } else {
+                false
+            }
+        };
+        for (slot, e) in &class.var_init {
+            changed |= visit(*slot, e, &mut mk);
+        }
+        for node in &class.nodes {
+            for (slot, e) in &node.always {
+                changed |= visit(*slot, e, &mut mk);
+            }
+            for tr in &node.transitions {
+                for a in &tr.actions {
+                    if let Action::Assign(slot, e) = a {
+                        changed |= visit(*slot, e, &mut mk);
+                    }
+                }
+            }
+        }
+        if !changed {
+            return mk;
+        }
+    }
+}
+
+/// Whether `e` can evaluate to [`VarVal::Known`] under `mk`'s slot facts
+/// (mirrors [`Ctx::eval`]'s Known-propagation, over-approximated).
+fn expr_maybe_known(e: &Expr, mk: &[bool], params: &[i64]) -> bool {
+    if e.fold_const(params).is_some() {
+        return true;
+    }
+    match e {
+        Expr::Int(_) | Expr::Param(_) => true,
+        Expr::Var(i) => mk[*i],
+        Expr::Rand(..) => matches!(e.const_range(params), Some((l, h)) if l == h),
+        Expr::Bin(_, a, b) => {
+            expr_maybe_known(a, mk, params) && expr_maybe_known(b, mk, params)
+        }
+        Expr::Neg(a) => expr_maybe_known(a, mk, params),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Canonicalization
+// ---------------------------------------------------------------------------
+
+/// One group member's state inside a [`HostKey`]: (node, vars,
+/// abstracted inbox, armed, controlled, suspended). Inbox senders become
+/// (tag, id-or-group, same-machine) triples.
+type MemberKey = (u16, Vec<VarVal>, Vec<(u8, u8, u8, u8)>, Vec<bool>, bool, bool);
+
+/// Everything observable about one machine in one state, with other-machine
+/// identities abstracted away so the key is invariant under permutations of
+/// the *other* unpinned machines. Imperfect tie-breaking is sound — it only
+/// merges fewer orbits.
+#[derive(PartialEq, Eq, PartialOrd, Ord)]
+struct HostKey {
+    /// Per-group member state.
+    members: Vec<MemberKey>,
+    /// The Vcl's view: hosted (phase, incarnation) multiset + free-list slot.
+    vcl: (Vec<(AbstractPhase, u8)>, Option<usize>),
+    /// In-flight messages touching this machine, endpoints abstracted.
+    msgs: Vec<(u8, u8, u8, u8, u8)>,
+    /// Rank ids hosted here — only when ranks are NOT symmetric (when they
+    /// are, rank identity is erased by the rank pass instead).
+    ranks: Vec<u8>,
+}
+
+fn endpoint_code(ctx: &Ctx, i: usize, h: usize) -> (u8, u8) {
+    if i < ctx.n_suggested {
+        (0, i as u8)
+    } else {
+        let g = (i - ctx.n_suggested) / ctx.cfg.n_hosts;
+        let at = (i - ctx.n_suggested) % ctx.cfg.n_hosts;
+        if at == h {
+            (1, g as u8)
+        } else {
+            (2, g as u8)
+        }
+    }
+}
+
+fn host_key(ctx: &Ctx, s: &ProdState, h: usize, rank_sym: bool) -> HostKey {
+    let mut members = Vec::with_capacity(ctx.n_groups);
+    for g in 0..ctx.n_groups {
+        let i = ctx.n_suggested + g * ctx.cfg.n_hosts + h;
+        let st = &s.insts[i];
+        let inbox: Vec<(u8, u8, u8, u8)> = st
+            .inbox
+            .iter()
+            .map(|&(from, msg)| {
+                let (tag, idx) = endpoint_code(ctx, from as usize, h);
+                let same = u8::from(tag == 1);
+                (tag, idx, same, msg)
+            })
+            .collect();
+        members.push((
+            st.node,
+            st.vars.clone(),
+            inbox,
+            st.armed.clone(),
+            st.controlled,
+            st.suspended,
+        ));
+    }
+    let mut msgs: Vec<(u8, u8, u8, u8, u8)> = Vec::new();
+    for &(f, t, m) in &s.msgs {
+        let fc = endpoint_code(ctx, f as usize, h);
+        let tc = endpoint_code(ctx, t as usize, h);
+        if fc.0 == 1 || tc.0 == 1 {
+            msgs.push((fc.0, fc.1, tc.0, tc.1, m));
+        }
+    }
+    msgs.sort_unstable();
+    let ranks = if rank_sym {
+        Vec::new()
+    } else {
+        (0..s.vcl.ranks.len())
+            .filter(|&r| s.vcl.ranks[r].host as usize == h)
+            .map(|r| r as u8)
+            .collect()
+    };
+    HostKey { members, vcl: s.vcl.host_key(h as u8), msgs, ranks }
+}
+
+/// The canonical orbit representative of `s` and the permutation that maps
+/// `s` onto it. Unpinned machines are sorted by [`HostKey`] and renamed to
+/// the unpinned labels in ascending order; rank slots are then sorted by
+/// (phase, relabelled host, incarnation). Any deterministic sort yields a
+/// sound representative — it is some member of the orbit — and determinism
+/// makes the interned set canonical.
+pub(crate) fn canonicalize(ctx: &Ctx, s: &ProdState) -> (ProdState, Perm) {
+    let n_hosts = ctx.cfg.n_hosts;
+    let n_ranks = ctx.cfg.n_ranks;
+    let prof = &ctx.profile;
+
+    let mut host_map: Vec<u8> = (0..n_hosts as u8).collect();
+    if prof.host_sym {
+        let unpinned: Vec<usize> = (0..n_hosts).filter(|&h| !prof.pinned[h]).collect();
+        if unpinned.len() > 1 {
+            let mut keyed: Vec<(HostKey, usize)> = unpinned
+                .iter()
+                .map(|&h| (host_key(ctx, s, h, prof.rank_sym), h))
+                .collect();
+            keyed.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.cmp(&b.1)));
+            for (slot, (_, h)) in keyed.iter().enumerate() {
+                host_map[*h] = unpinned[slot] as u8;
+            }
+        }
+    }
+
+    let mut rank_map: Vec<u8> = (0..n_ranks as u8).collect();
+    if prof.rank_sym {
+        let mut keyed: Vec<((AbstractPhase, u8, u8), usize)> = (0..n_ranks)
+            .map(|r| {
+                let rk = &s.vcl.ranks[r];
+                ((rk.phase, host_map[rk.host as usize], rk.incarnation), r)
+            })
+            .collect();
+        keyed.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.cmp(&b.1)));
+        for (new_id, (_, r)) in keyed.iter().enumerate() {
+            rank_map[*r] = new_id as u8;
+        }
+    }
+
+    let perm = Perm { hosts: host_map, ranks: rank_map };
+    if perm.is_identity() {
+        (s.clone(), perm)
+    } else {
+        (perm.apply_state(ctx, s), perm)
+    }
+}
+
+/// Test hook behind [`ModelCheckConfig::permute_seed`]: a seeded shuffle of
+/// the symmetric label spaces. The result is a genuine orbit member of
+/// whatever state it is applied to, so with `--reduce` the verdict and the
+/// witness (faults, steps) cost must not change — the canonicalization
+/// property test's lever.
+pub(crate) fn seeded_perm(ctx: &Ctx, seed: u64) -> Perm {
+    let mut perm = Perm::identity(ctx.cfg.n_hosts, ctx.cfg.n_ranks);
+    let mut rng = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).max(1);
+    let mut next = move || {
+        rng ^= rng << 13;
+        rng ^= rng >> 7;
+        rng ^= rng << 17;
+        rng
+    };
+    if ctx.profile.host_sym {
+        let unpinned: Vec<usize> =
+            (0..ctx.cfg.n_hosts).filter(|&h| !ctx.profile.pinned[h]).collect();
+        if unpinned.len() > 1 {
+            let mut order = unpinned.clone();
+            for i in (1..order.len()).rev() {
+                order.swap(i, (next() as usize) % (i + 1));
+            }
+            for (slot, &h) in order.iter().enumerate() {
+                perm.hosts[h] = unpinned[slot] as u8;
+            }
+        }
+    }
+    if ctx.profile.rank_sym && ctx.cfg.n_ranks > 1 {
+        let mut order: Vec<usize> = (0..ctx.cfg.n_ranks).collect();
+        for i in (1..order.len()).rev() {
+            order.swap(i, (next() as usize) % (i + 1));
+        }
+        for (slot, &r) in order.iter().enumerate() {
+            perm.ranks[r] = slot as u8;
+        }
+    }
+    perm
+}

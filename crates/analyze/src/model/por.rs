@@ -1,0 +1,182 @@
+//! Partial-order reduction over commuting product moves.
+//!
+//! The product's state explosion at grid scale comes from interleavings
+//! of steps that do not interact: FAIL-plane message deliveries that only
+//! advance the receiving automaton's internal node, and per-rank protocol
+//! steps (register/ready) of *different* ranks racing each other. When
+//! one such step α provably commutes with every other enabled branch, any
+//! schedule from the state is a permutation of an α-first schedule
+//! reaching the same states, and expanding α alone (an ample set of size
+//! one) preserves:
+//!
+//! * **verdicts** — the freeze predicate is `AbstractVcl::lost_rank`;
+//!   ample candidates are required to leave it untouched (pure deliveries
+//!   never write the Vcl, rank steps must preserve `lost_rank`
+//!   exactly), so a pruned interleaving cannot hide a freeze that the
+//!   α-first reordering lacks;
+//! * **termination of the postponement** (the classic "ignoring problem")
+//!   — structurally: pure deliveries strictly shrink the in-flight
+//!   multiset, and register/ready steps strictly advance a rank's
+//!   monotone boot/recovery phase, so no cycle exists among pruned
+//!   states and a postponed move is taken within finitely many steps;
+//! * **minimal witness cost** — forcing the ample move first can insert
+//!   steps the unreduced minimal witness would have left pending at the
+//!   freeze, so a witness found through the reduced graph is replayed and
+//!   greedily stripped of removable zero-fault steps
+//!   (`Explorer::witness_replayed`); the stripped schedule is still a
+//!   valid full-graph path, so its (faults, steps) cost can never drop
+//!   below the true minimum.
+//!
+//! The conditions are deliberately conservative: the candidate must be
+//! deterministic (exactly one settled branch) and *invisible* — no
+//! faults, no notes, no change to the freeze predicate, no change to any
+//! instance's controlled/suspended flags or its armed breakpoint status
+//! (the two things rank-move enabledness reads) — and commutation with
+//! each other enabled kind (branching kinds included, branch by branch)
+//! is verified by actually firing the engine in both orders and
+//! comparing end states, with enabledness re-checked on the probe
+//! states. Known theoretical gap: pairwise commutation is checked against
+//! *enabled* moves only, not against moves a pruned path could enable
+//! later. The reduce-vs-full equivalence suite over all runnable builtins
+//! and FC fixtures (`tests/reduction.rs`) is the arbiter: if a future
+//! scenario shape exploits the gap, a case there fails and these
+//! conditions must be tightened until it passes again.
+
+use super::explore::{Ctx, MoveKind, ProdState, SiteLog, Succ};
+
+/// Returns the successor list to actually expand: either `succs`
+/// unchanged, or — when the ample conditions hold — only the single
+/// branch of the first qualifying candidate move.
+pub(crate) fn ample_filter(ctx: &Ctx, s: &ProdState, succs: Vec<Succ>) -> Vec<Succ> {
+    if succs.len() < 2 {
+        return succs;
+    }
+    // Group the menu by kind, in enumeration order. A kind with several
+    // branches (a breakpoint's halt/release race, a wave fault's victim
+    // choice) cannot anchor the ample set, but it does not forbid one:
+    // a deterministic candidate may still commute with it branchwise.
+    let mut groups: Vec<Vec<&Succ>> = Vec::new();
+    for sc in &succs {
+        match groups.iter_mut().find(|g| g[0].kind == sc.kind) {
+            Some(g) => g.push(sc),
+            None => groups.push(vec![sc]),
+        }
+    }
+    if groups.len() < 2 {
+        return succs;
+    }
+    // The first single-branch invisible candidate that commutes with
+    // every other enabled kind anchors the ample set. Forcing it first
+    // can insert steps a minimal freeze path would have left pending —
+    // the witness minimization replay in `Explorer::witness_replayed`
+    // strips those again, so the reported (faults, steps) cost still
+    // matches the unreduced exploration.
+    let ample = groups.iter().position(|g| {
+        g.len() == 1
+            && candidate(ctx, s, g[0])
+            && groups
+                .iter()
+                .filter(|g2| g2[0].kind != g[0].kind)
+                .all(|g2| commutes_kind(ctx, g[0], g2))
+    });
+    match ample {
+        Some(i) => {
+            let kind = groups[i][0].kind.clone();
+            succs.into_iter().filter(|sc| sc.kind == kind).collect()
+        }
+        None => succs,
+    }
+}
+
+/// Whether `succ` may anchor an ample set: an invisible move whose
+/// effects cannot influence the freeze predicate or any other move's
+/// enabledness.
+fn candidate(ctx: &Ctx, s: &ProdState, succ: &Succ) -> bool {
+    match succ.kind {
+        MoveKind::Deliver { from, to, msg } => {
+            // Exactly one in-flight message targets the receiver: a second
+            // one (now or later) could observe the receiver's node change.
+            s.msgs.iter().filter(|m| m.1 == to).count() == 1
+                && pure_delivery(s, succ, (from, to, msg))
+                && invisible(ctx, s, &succ.micro.st)
+        }
+        MoveKind::Register(r) | MoveKind::Ready(r) => {
+            let m = &succ.micro;
+            // The rank's own Vcl slot advances; everything the verdict or
+            // another move could read must stay put: no faults, no sends,
+            // no freeze-predicate change, no flag/breakpoint changes. A
+            // registration additionally must not walk straight into an
+            // armed breakpoint — that would put a kill branch in play
+            // that the pre-move state lacked.
+            m.faults == 0
+                && m.notes.is_empty()
+                && m.st.msgs == s.msgs
+                && m.st.vcl.lost_rank() == s.vcl.lost_rank()
+                && invisible(ctx, s, &m.st)
+                && ctx.breakpoint_holder(&m.st, r as usize).is_none()
+        }
+        _ => false,
+    }
+}
+
+/// A delivery branch that changed nothing but the receiving automaton's
+/// internal state: no faults, no notes, no sends, Vcl untouched.
+fn pure_delivery(s: &ProdState, succ: &Succ, triple: (u8, u8, u8)) -> bool {
+    let m = &succ.micro;
+    if m.faults != 0 || !m.notes.is_empty() || m.st.vcl != s.vcl {
+        return false;
+    }
+    // msgs must be exactly s.msgs minus the delivered triple (no sends).
+    let mut expect = s.msgs.clone();
+    let Some(i) = expect.iter().position(|x| *x == triple) else {
+        return false;
+    };
+    expect.remove(i);
+    m.st.msgs == expect
+}
+
+/// Whether the step from `s` to `s2` left every instance's
+/// process-visible surface alone: controlled/suspended flags (read by
+/// `rank_suspended`) and the armed-breakpoint status of its current node
+/// (read by `breakpoint_holder`). Internal node changes are fine.
+fn invisible(ctx: &Ctx, s: &ProdState, s2: &ProdState) -> bool {
+    s.insts.iter().zip(&s2.insts).enumerate().all(|(i, (a, b))| {
+        a.controlled == b.controlled
+            && a.suspended == b.suspended
+            && (a.node == b.node
+                || ctx.breakpoint_armed(i, a.node) == ctx.breakpoint_armed(i, b.node))
+    })
+}
+
+/// Branchwise commutation of the single-branch candidate `alpha` with
+/// the (possibly branching) kind whose menu branches are `betas`: the
+/// kind stays enabled after `alpha` with the same branch profile (count,
+/// faults, notes, in order), `alpha` stays enabled and pure from every
+/// branch, and both orders converge branch by branch.
+fn commutes_kind(ctx: &Ctx, alpha: &Succ, betas: &[&Succ]) -> bool {
+    // Enabledness must survive the other move — `apply_move` is only
+    // defined for enabled moves, so probe the menus first.
+    if !ctx.moves(&alpha.micro.st).contains(&betas[0].kind) {
+        return false;
+    }
+    // The probe states are never interned; their halt logs are discarded
+    // (the branches were already proven not to halt from `s`).
+    let mut scratch = SiteLog::new();
+    let after_alpha = ctx.apply_move(&alpha.micro.st, &betas[0].kind, &mut scratch);
+    if after_alpha.len() != betas.len() {
+        return false;
+    }
+    betas.iter().zip(&after_alpha).all(|(b, ab)| {
+        if ab.faults != b.micro.faults || ab.notes != b.micro.notes {
+            return false;
+        }
+        if !ctx.moves(&b.micro.st).contains(&alpha.kind) {
+            return false;
+        }
+        let ba = ctx.apply_move(&b.micro.st, &alpha.kind, &mut scratch);
+        let [y] = ba.as_slice() else {
+            return false;
+        };
+        y.faults == 0 && y.notes.is_empty() && y.st == ab.st
+    })
+}

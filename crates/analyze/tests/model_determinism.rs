@@ -31,6 +31,32 @@ fn repeated_runs_are_byte_identical() {
     }
 }
 
+#[test]
+fn thread_count_never_changes_the_rendering() {
+    // The parallel frontier merges per-layer results in insertion order,
+    // so any `--threads` value must render byte-identically — in both
+    // the default and the reduced exploration.
+    for src in SCENARIOS {
+        for reduce in [false, true] {
+            let cfg_of = |threads| ModelCheckConfig {
+                n_ranks: 4,
+                n_hosts: 5,
+                reduce,
+                threads,
+                ..ModelCheckConfig::default()
+            };
+            let one = render(src, &cfg_of(1));
+            for threads in [2, 4, 7] {
+                assert_eq!(
+                    one,
+                    render(src, &cfg_of(threads)),
+                    "threads={threads} reduce={reduce} changed the JSON"
+                );
+            }
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(Config { cases: 12, ..Config::default() })]
 

@@ -14,10 +14,13 @@
 //!   with the engine's happens-before tracing off and on
 //!   ([`failmpi_experiments::run_one_traced`]), so the cost of `--trace-out`
 //!   — and the zero-cost claim of the disabled path — stays measured;
+//! - the model checker's exploration throughput: the Fig. 10 grid checked
+//!   full vs reduced at 4 ranks (the reduction factor), plus the reduced
+//!   paper-scale 25-rank grids, reporting states expanded per second;
 //! - process totals (total wall time, peak RSS via `VmHWM`).
 //!
 //! ```text
-//! cargo run --release -p failmpi-bench --bin bench-report -- --out BENCH_pr4.json
+//! cargo run --release -p failmpi-bench --bin bench-report -- --out BENCH_pr7.json
 //! ```
 //!
 //! Wall-clock numbers are machine-dependent by nature and are kept strictly
@@ -29,15 +32,19 @@ use std::time::Instant;
 
 use serde::Serialize;
 
-use failmpi_experiments::figures::{ablation, delay, fig11, fig5, fig6, fig7, fig9, lbh04};
+use failmpi_analyze::{model_check_source, ModelCheckConfig};
+use failmpi_experiments::figures::{
+    ablation, delay, fig11, fig5, fig6, fig7, fig9, lbh04, FIG10_SRC, FIG5_SRC, FIG8_SRC,
+};
 use failmpi_experiments::robustness::{fault_free_smoke_spec, fig10_stress_spec, scenario_suite};
 use failmpi_experiments::{run_one, run_one_profiled, run_one_traced, ExperimentSpec};
 use failmpi_mpichv::DispatcherMode;
 use failmpi_obs::peak_rss_bytes;
 
 /// Schema version of the report document. v2 added the `tracing`
-/// (causal-tracing overhead) section.
-const SCHEMA_VERSION: u32 = 2;
+/// (causal-tracing overhead) section; v3 added `model_check` (reduced
+/// exploration throughput and reduction factors).
+const SCHEMA_VERSION: u32 = 3;
 
 #[derive(Serialize)]
 struct HandlerBin {
@@ -78,12 +85,32 @@ struct TracingBench {
 }
 
 #[derive(Serialize)]
+struct ModelCheckBench {
+    name: String,
+    n_ranks: usize,
+    reduce: bool,
+    verdict: String,
+    /// Canonical states the exploration expanded.
+    explored: u64,
+    wall_nanos: u64,
+    /// Exploration throughput: states expanded per second of wall time.
+    states_per_sec: f64,
+    /// `full.explored / reduced.explored` for the reduced half of a
+    /// full-vs-reduced pair; absent on full runs and on grids whose
+    /// unreduced exploration is not benched.
+    reduction_factor: Option<f64>,
+    /// Minimal witness length when the verdict is a freeze.
+    witness_steps: Option<u64>,
+}
+
+#[derive(Serialize)]
 struct BenchReport {
     schema_version: u32,
     seed: u64,
     scenarios: Vec<ScenarioBench>,
     figures: Vec<FigureBench>,
     tracing: Vec<TracingBench>,
+    model_check: Vec<ModelCheckBench>,
     total_wall_nanos: u64,
     peak_rss_bytes: Option<u64>,
 }
@@ -95,7 +122,7 @@ struct Options {
 
 fn parse(args: impl Iterator<Item = String>) -> Result<Options, String> {
     let mut o = Options {
-        out: "BENCH_pr4.json".to_string(),
+        out: "BENCH_pr7.json".to_string(),
         seed: 0xB_EAC4,
     };
     let mut args = args.peekable();
@@ -211,6 +238,57 @@ fn bench_tracing(seed: u64) -> Vec<TracingBench> {
     ]
 }
 
+fn mc_run(name: &str, src: &str, params: &[(&str, i64)], n_ranks: usize, reduce: bool) -> ModelCheckBench {
+    let cfg = ModelCheckConfig {
+        params: params.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
+        n_ranks,
+        n_hosts: n_ranks + 1,
+        reduce,
+        ..ModelCheckConfig::default()
+    };
+    let start = Instant::now();
+    let r = model_check_source(src, &cfg);
+    let wall = start.elapsed();
+    let secs = wall.as_secs_f64();
+    let explored = r.summary.explored as u64;
+    let states_per_sec = if secs > 0.0 { explored as f64 / secs } else { 0.0 };
+    println!(
+        "model    {name:<17} ranks {n_ranks:<3} reduce {reduce:<5} {explored:>7} states  \
+         {:>8.1} ms  {states_per_sec:>10.0} states/s",
+        secs * 1e3,
+    );
+    ModelCheckBench {
+        name: name.to_string(),
+        n_ranks,
+        reduce,
+        verdict: r.summary.verdict.to_string(),
+        explored,
+        wall_nanos: u64::try_from(wall.as_nanos()).unwrap_or(u64::MAX),
+        states_per_sec,
+        reduction_factor: None,
+        witness_steps: r.summary.witness.as_ref().map(|w| w.steps.len() as u64),
+    }
+}
+
+/// Fig. 10 full vs reduced at 4 ranks (the reduction factor on the
+/// headline scenario), plus the reduced paper-scale 25-rank grids the
+/// `failck --model-check` tentpole targets.
+fn bench_model_check() -> Vec<ModelCheckBench> {
+    let fig10_params: &[(&str, i64)] = &[("T", 2), ("N", 5)];
+    let full = mc_run("fig10_full", FIG10_SRC, fig10_params, 4, false);
+    let mut reduced = mc_run("fig10_reduced", FIG10_SRC, fig10_params, 4, true);
+    if reduced.explored > 0 {
+        reduced.reduction_factor = Some(full.explored as f64 / reduced.explored as f64);
+    }
+    vec![
+        full,
+        reduced,
+        mc_run("fig5_grid25", FIG5_SRC, &[("X", 4), ("N", 5)], 25, true),
+        mc_run("fig8_grid25", FIG8_SRC, &[("T", 2), ("N", 5)], 25, true),
+        mc_run("fig10_grid25", FIG10_SRC, fig10_params, 25, true),
+    ]
+}
+
 fn bench_figure(name: &str, run: impl FnOnce()) -> FigureBench {
     let start = Instant::now();
     run();
@@ -269,6 +347,7 @@ fn main() -> ExitCode {
     let scenarios = bench_scenarios(opts.seed);
     let figures = bench_figures();
     let tracing = bench_tracing(opts.seed);
+    let model_check = bench_model_check();
     let total = start.elapsed();
 
     let report = BenchReport {
@@ -277,6 +356,7 @@ fn main() -> ExitCode {
         scenarios,
         figures,
         tracing,
+        model_check,
         total_wall_nanos: u64::try_from(total.as_nanos()).unwrap_or(u64::MAX),
         peak_rss_bytes: peak_rss_bytes(),
     };
@@ -286,9 +366,10 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     println!(
-        "bench-report: {} scenarios, {} figures, {:.1} s total -> {}",
+        "bench-report: {} scenarios, {} figures, {} model checks, {:.1} s total -> {}",
         report.scenarios.len(),
         report.figures.len(),
+        report.model_check.len(),
         total.as_secs_f64(),
         opts.out,
     );

@@ -160,6 +160,94 @@ pub fn crosscheck_builtins_mode(seeds: &[u64], mode: DispatcherMode) -> Vec<Cros
         .collect()
 }
 
+/// One cell of the paper-scale figure matrix: a builtin figure scenario
+/// model-checked at grid scale under one dispatcher variant, with the
+/// reduced exploration.
+#[derive(Clone, Debug)]
+pub struct MatrixRow {
+    /// Scenario label (paper figure).
+    pub name: &'static str,
+    /// Dispatcher variant.
+    pub mode: DispatcherMode,
+    /// MPI ranks in the abstract deployment (hosts = ranks + 1).
+    pub n_ranks: usize,
+    /// The checker's verdict at this scale.
+    pub verdict: StaticVerdict,
+    /// Canonical states expanded.
+    pub explored: usize,
+    /// Canonical states interned (explored + frontier, deduplicated).
+    pub interned: usize,
+    /// Successors merged into an already-interned orbit representative.
+    pub orbit_hits: usize,
+    /// Commuting deliveries pruned by the ample-set filter.
+    pub por_pruned: usize,
+    /// Minimal witness cost when the verdict is `Freezes`.
+    pub witness_cost: Option<(usize, usize)>,
+}
+
+/// Model-checks every runnable builtin at `n_ranks` grid scale (hosts =
+/// ranks + 1, the one-spare shape), both dispatcher variants, with the
+/// reduced exploration — the paper's figure-by-figure verdict matrix.
+/// `budget` bounds each exploration; the 25-rank matrix completes well
+/// inside the `failck` default.
+pub fn figure_matrix(n_ranks: usize, budget: usize) -> Vec<MatrixRow> {
+    let mut out = Vec::new();
+    for (name, src, _machine, params) in SCENARIOS {
+        for mode in [DispatcherMode::Historical, DispatcherMode::Fixed] {
+            let cfg = ModelCheckConfig {
+                params: params.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
+                mode,
+                n_ranks,
+                n_hosts: n_ranks + 1,
+                budget,
+                reduce: true,
+                ..ModelCheckConfig::default()
+            };
+            let r = model_check_source(src, &cfg);
+            out.push(MatrixRow {
+                name,
+                mode,
+                n_ranks,
+                verdict: r.summary.verdict,
+                explored: r.summary.explored,
+                interned: r.summary.interned,
+                orbit_hits: r.summary.orbit_hits,
+                por_pruned: r.summary.por_pruned,
+                witness_cost: r.summary.witness.as_ref().map(|w| (w.faults, w.steps.len())),
+            });
+        }
+    }
+    out
+}
+
+/// Renders the figure matrix as an aligned table (the CI artifact).
+pub fn render_matrix(rows: &[MatrixRow]) -> String {
+    let mut out = String::from(
+        "scenario              mode        ranks  verdict   explored  orbit-hits  por-pruned  witness\n",
+    );
+    for r in rows {
+        let witness = match r.witness_cost {
+            Some((faults, steps)) => format!("{faults} fault(s) / {steps} step(s)"),
+            None => "-".to_string(),
+        };
+        out.push_str(&format!(
+            "{:<21} {:<11} {:<6} {:<9} {:<9} {:<11} {:<11} {}\n",
+            r.name,
+            match r.mode {
+                DispatcherMode::Historical => "historical",
+                DispatcherMode::Fixed => "fixed",
+            },
+            r.n_ranks,
+            r.verdict.to_string(),
+            r.explored,
+            r.orbit_hits,
+            r.por_pruned,
+            witness
+        ));
+    }
+    out
+}
+
 /// Renders the crosscheck as an aligned table (the CI artifact).
 pub fn render(rows: &[CrosscheckRow]) -> String {
     let mut out = String::from("scenario              mode        static    dynamic\n");

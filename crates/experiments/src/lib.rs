@@ -38,8 +38,8 @@ pub mod tracesink;
 
 pub use classify::{classify_entries, Outcome};
 pub use crosscheck::{
-    crosscheck_builtins, crosscheck_builtins_mode, crosscheck_one, runnable_builtins,
-    smoke_spec_for, verdicts_agree, CrosscheckRow,
+    crosscheck_builtins, crosscheck_builtins_mode, crosscheck_one, figure_matrix,
+    render_matrix, runnable_builtins, smoke_spec_for, verdicts_agree, CrosscheckRow, MatrixRow,
 };
 pub use harness::{
     lint_injection, run_one, run_one_instrumented, run_one_keeping_cluster, run_one_profiled,

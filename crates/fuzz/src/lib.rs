@@ -33,8 +33,9 @@
 //! * **FZ006** (warning) — the causal-trace narration of a frozen probe
 //!   (`failmpi_trace::explain`), attached alongside freeze findings.
 //! * **FZ007** (warning) — a statically reachable freeze no probe seed
-//!   realized even after escalation (the abstraction's over-approximate
-//!   direction; the converse is the FZ001 error).
+//!   realized even after escalation — one extra seed per step of the
+//!   minimal abstract witness, capped by `escalate_cap` (the abstraction's
+//!   over-approximate direction; the converse is the FZ001 error).
 //!
 //! Determinism contract: `failmpi-fuzz --seed S --budget N` twice produces
 //! byte-identical corpus and findings JSON — all randomness flows from one

@@ -39,9 +39,13 @@ pub struct FuzzConfig {
     /// failck default: mutants with unbounded counters go `unknown`, which
     /// the agreement contract treats as vacuous).
     pub model_budget: usize,
-    /// When a static freeze goes unrealized by the initial probes, keep
-    /// probing seeds up to this one before settling on FZ007.
-    pub escalate_to: u64,
+    /// Hard ceiling on the escalation seed ladder: when a static freeze
+    /// goes unrealized by the initial probes, extra seeds are probed — as
+    /// many as the model checker's witness schedule has steps (longer
+    /// abstract schedules need more timing luck to realize concretely) —
+    /// but never past this seed, so a mutant with a pathological witness
+    /// cannot stall the campaign.
+    pub escalate_cap: u64,
 }
 
 impl Default for FuzzConfig {
@@ -49,7 +53,7 @@ impl Default for FuzzConfig {
         FuzzConfig {
             probe_seeds: vec![1, 2],
             model_budget: 20_000,
-            escalate_to: 6,
+            escalate_cap: 12,
         }
     }
 }
@@ -141,35 +145,44 @@ pub fn evaluate(cand: &Candidate, cfg: &FuzzConfig) -> Evaluation {
 
     // A statically reachable freeze deserves a fair shot at concrete
     // realization: escalate through additional seeds before the finding
-    // stage settles on "unrealized" (FZ007). Deterministic — the seed
-    // ladder depends only on the config.
-    let dynamic_of = |mode, static_freezes: bool| -> Vec<DynRun> {
+    // stage settles on "unrealized" (FZ007). The ladder's length comes
+    // from the witness itself — one extra seed per step of the minimal
+    // abstract schedule, clamped by `escalate_cap` — so a shallow freeze
+    // gets a short ladder and a deep Fig. 10-shaped one gets the full
+    // budget. Deterministic: it depends only on the config and the
+    // (deterministic) static summary.
+    let ladder_of = |summary: &ModelSummary| -> Option<usize> {
+        if summary.verdict != StaticVerdict::Freezes {
+            return None;
+        }
+        // A freeze verdict always carries a witness; fall back to the old
+        // flat ladder length if a future change ever drops it.
+        Some(summary.witness.as_ref().map_or(4, |w| w.steps.len()))
+    };
+    let dynamic_of = |mode, ladder: Option<usize>| -> Vec<DynRun> {
         let mut runs: Vec<DynRun> = cfg
             .probe_seeds
             .iter()
             .map(|&seed| probe(cand, seed, mode))
             .collect();
-        if static_freezes && !runs.iter().any(|r| r.class == "buggy") {
-            let from = runs.iter().map(|r| r.seed).max().unwrap_or(0) + 1;
-            for seed in from..=cfg.escalate_to {
-                let run = probe(cand, seed, mode);
-                let hit = run.class == "buggy";
-                runs.push(run);
-                if hit {
-                    break;
+        if let Some(extra) = ladder {
+            if !runs.iter().any(|r| r.class == "buggy") {
+                let from = runs.iter().map(|r| r.seed).max().unwrap_or(0) + 1;
+                let to = (from + extra as u64).saturating_sub(1).min(cfg.escalate_cap);
+                for seed in from..=to {
+                    let run = probe(cand, seed, mode);
+                    let hit = run.class == "buggy";
+                    runs.push(run);
+                    if hit {
+                        break;
+                    }
                 }
             }
         }
         runs
     };
-    let dynamic_h = dynamic_of(
-        DispatcherMode::Historical,
-        static_h.verdict == StaticVerdict::Freezes,
-    );
-    let dynamic_f = dynamic_of(
-        DispatcherMode::Fixed,
-        static_f.verdict == StaticVerdict::Freezes,
-    );
+    let dynamic_h = dynamic_of(DispatcherMode::Historical, ladder_of(&static_h));
+    let dynamic_f = dynamic_of(DispatcherMode::Fixed, ladder_of(&static_f));
 
     // Classify frozen historical runs against the paper's dispatcher-bug
     // pattern via the causal trace — the family discriminator that keeps

@@ -227,6 +227,63 @@ impl AbstractVcl {
             .map(|r| r as u8)
     }
 
+    /// Orbit metadata for symmetry reduction: the protocol content visible
+    /// on machine `host`, independent of the host's numeric label — the
+    /// per-host sort key the model checker's canonicalization orders
+    /// machine labels by. Two hosts with equal keys carry interchangeable
+    /// protocol state (same assigned-rank phases/incarnations, same
+    /// position in the spare-machine FIFO).
+    ///
+    /// Rank identities are deliberately absent: whether rank slots are
+    /// interchangeable is the caller's question (`rank_map` in
+    /// [`AbstractVcl::relabel`]), not the protocol state's.
+    pub fn host_key(&self, host: u8) -> (Vec<(AbstractPhase, u8)>, Option<usize>) {
+        let mut content: Vec<(AbstractPhase, u8)> = self
+            .ranks
+            .iter()
+            .filter(|r| r.host == host)
+            .map(|r| (r.phase, r.incarnation))
+            .collect();
+        content.sort_unstable();
+        let free_pos = self.free_hosts.iter().position(|&h| h == host);
+        (content, free_pos)
+    }
+
+    /// Relabels machines and rank slots: `host_map[h]` is the new label of
+    /// host `h`, `rank_map[r]` the new slot of rank `r` (both must be
+    /// permutations). The spare-machine FIFO keeps its *order* — queue
+    /// position is dispatcher semantics (`reassign_machine` takes the
+    /// front) — while its *values* are relabeled.
+    ///
+    /// This is the orbit action of the model checker's symmetry reduction:
+    /// relabeling commutes with every [`AbstractVcl::apply`] step, because
+    /// the protocol treats host labels as opaque ids and rank slots
+    /// uniformly.
+    pub fn relabel(&self, host_map: &[u8], rank_map: &[u8]) -> AbstractVcl {
+        debug_assert_eq!(rank_map.len(), self.ranks.len());
+        let mut ranks = self.ranks.clone();
+        for (r, old) in self.ranks.iter().enumerate() {
+            ranks[rank_map[r] as usize] = AbstractRank {
+                phase: old.phase,
+                host: host_map[old.host as usize],
+                incarnation: old.incarnation,
+            };
+        }
+        AbstractVcl {
+            ranks,
+            free_hosts: self
+                .free_hosts
+                .iter()
+                .map(|&h| host_map[h as usize])
+                .collect(),
+            recovery_active: self.recovery_active,
+            epoch: self.epoch,
+            committed_waves: self.committed_waves,
+            wave_active: self.wave_active,
+            mode: self.mode,
+        }
+    }
+
     /// Every enabled protocol-internal step (spawn / register / ready /
     /// stop-closure), in canonical rank order. Wave steps and faults are
     /// the explorer's business: waves are quiescent-only and faults come
