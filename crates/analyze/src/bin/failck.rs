@@ -6,6 +6,8 @@
 //! failck --builtin                      # lint every bundled artifact
 //! failck scenario.fail --strict         # warnings also fail the run
 //! failck scenario.fail --model-check    # also explore the Vcl product
+//! failck fig.fail --model-check --backend ulfm
+//!                                       # swap in the ULFM shrink model
 //! failck fig.fail --model-check --reduce --ranks 25 --threads 4
 //!                                       # paper-scale grid, reduced product
 //! failck --findings findings.json       # gate a failmpi-fuzz findings file
@@ -24,7 +26,8 @@ use std::collections::BTreeMap;
 use std::process::ExitCode;
 
 use failmpi_analyze::{
-    analyze_programs, builtin, check_source, model_check_source, ModelCheckConfig, Report,
+    analyze_programs, builtin, check_source, model_check_source, BackendKind, ModelCheckConfig,
+    Report,
 };
 use serde::Serialize;
 use serde_json::Value;
@@ -41,11 +44,12 @@ struct Options {
     threads: Option<usize>,
     ranks: Option<usize>,
     hosts: Option<usize>,
+    backend: BackendKind,
 }
 
 const USAGE: &str = "usage: failck [FILES...] [--builtin] [--format human|json] [--strict] \
-     [--model-check] [--budget N] [--reduce] [--threads N] [--ranks N] [--hosts N] \
-     [--findings FILE]";
+     [--model-check] [--backend vcl|ulfm|replica] [--budget N] [--reduce] [--threads N] \
+     [--ranks N] [--hosts N] [--findings FILE]";
 
 fn usage_error() -> ExitCode {
     eprintln!("{USAGE}");
@@ -65,6 +69,7 @@ fn parse_args() -> Result<Options, ExitCode> {
         threads: None,
         ranks: None,
         hosts: None,
+        backend: BackendKind::Vcl,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -80,6 +85,10 @@ fn parse_args() -> Result<Options, ExitCode> {
             "--threads" => match args.next().and_then(|v| v.parse().ok()) {
                 Some(n) if n >= 1 => opts.threads = Some(n),
                 _ => return Err(usage_error()),
+            },
+            "--backend" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(k) => opts.backend = k,
+                None => return Err(usage_error()),
             },
             "--ranks" => match args.next().and_then(|v| v.parse().ok()) {
                 Some(n) if n >= 1 => opts.ranks = Some(n),
@@ -131,6 +140,7 @@ fn check_one(subject: String, src: &str, opts: &Options) -> Report {
     let mut model = None;
     if opts.model_check {
         let mut cfg = ModelCheckConfig::default();
+        cfg.backend = opts.backend;
         if let Some(b) = opts.budget {
             cfg.budget = b;
         }

@@ -23,6 +23,7 @@ pub mod ops;
 pub mod scenario;
 
 pub use diag::{Diagnostic, Report, Severity, Span};
+pub use failmpi_backend::BackendKind;
 pub use model::{
     model_check_scenario, model_check_source, model_check_with_programs, ModelCheckConfig,
     ModelCheckResult, ModelSummary, StaticVerdict, Witness,

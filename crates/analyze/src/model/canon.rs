@@ -39,6 +39,7 @@
 //! Everything here over-approximates asymmetry: a wrongly-pinned host only
 //! costs reduction, never correctness.
 
+use failmpi_backend::BackendKind;
 use failmpi_core::lang::compile::{Action, Class, Dest, Expr, Scenario};
 use failmpi_mpichv::AbstractPhase;
 
@@ -121,7 +122,7 @@ impl Perm {
             })
             .collect();
         msgs.sort_unstable();
-        ProdState { insts, msgs, vcl: s.vcl.relabel(&self.hosts, &self.ranks) }
+        ProdState { insts, msgs, proto: s.proto.relabel(&self.hosts, &self.ranks) }
     }
 
     /// The same structural move in the relabelled frame.
@@ -206,7 +207,11 @@ pub(crate) fn profile_of(
         }
     }
 
-    let rank_sym = cfg.n_ranks >= 2
+    // Replica slots are not interchangeable with primary slots (the unit
+    // space is heterogeneous), so rank symmetry only applies to the
+    // rank-per-unit backends.
+    let rank_sym = cfg.backend != BackendKind::Replica
+        && cfg.n_ranks >= 2
         && (comm_peers.is_empty()
             || (comm_peers.len() >= cfg.n_ranks
                 && (0..cfg.n_ranks).all(|r| comm_peers[r].len() == cfg.n_ranks - 1)));
@@ -305,7 +310,7 @@ struct HostKey {
     /// Per-group member state.
     members: Vec<MemberKey>,
     /// The Vcl's view: hosted (phase, incarnation) multiset + free-list slot.
-    vcl: (Vec<(AbstractPhase, u8)>, Option<usize>),
+    proto: (Vec<(AbstractPhase, u8)>, Option<usize>),
     /// In-flight messages touching this machine, endpoints abstracted.
     msgs: Vec<(u8, u8, u8, u8, u8)>,
     /// Rank ids hosted here — only when ranks are NOT symmetric (when they
@@ -362,12 +367,12 @@ fn host_key(ctx: &Ctx, s: &ProdState, h: usize, rank_sym: bool) -> HostKey {
     let ranks = if rank_sym {
         Vec::new()
     } else {
-        (0..s.vcl.ranks.len())
-            .filter(|&r| s.vcl.ranks[r].host as usize == h)
+        (0..s.proto.n_units())
+            .filter(|&r| s.proto.unit(r).host as usize == h)
             .map(|r| r as u8)
             .collect()
     };
-    HostKey { members, vcl: s.vcl.host_key(h as u8), msgs, ranks }
+    HostKey { members, proto: s.proto.host_key(h as u8), msgs, ranks }
 }
 
 /// The canonical orbit representative of `s` and the permutation that maps
@@ -378,7 +383,7 @@ fn host_key(ctx: &Ctx, s: &ProdState, h: usize, rank_sym: bool) -> HostKey {
 /// makes the interned set canonical.
 pub(crate) fn canonicalize(ctx: &Ctx, s: &ProdState) -> (ProdState, Perm) {
     let n_hosts = ctx.cfg.n_hosts;
-    let n_ranks = ctx.cfg.n_ranks;
+    let n_units = ctx.cfg.n_units();
     let prof = &ctx.profile;
 
     let mut host_map: Vec<u8> = (0..n_hosts as u8).collect();
@@ -396,11 +401,11 @@ pub(crate) fn canonicalize(ctx: &Ctx, s: &ProdState) -> (ProdState, Perm) {
         }
     }
 
-    let mut rank_map: Vec<u8> = (0..n_ranks as u8).collect();
+    let mut rank_map: Vec<u8> = (0..n_units as u8).collect();
     if prof.rank_sym {
-        let mut keyed: Vec<((AbstractPhase, u8, u8), usize)> = (0..n_ranks)
+        let mut keyed: Vec<((AbstractPhase, u8, u8), usize)> = (0..n_units)
             .map(|r| {
-                let rk = &s.vcl.ranks[r];
+                let rk = s.proto.unit(r);
                 ((rk.phase, host_map[rk.host as usize], rk.incarnation), r)
             })
             .collect();
@@ -424,7 +429,7 @@ pub(crate) fn canonicalize(ctx: &Ctx, s: &ProdState) -> (ProdState, Perm) {
 /// witness (faults, steps) cost must not change — the canonicalization
 /// property test's lever.
 pub(crate) fn seeded_perm(ctx: &Ctx, seed: u64) -> Perm {
-    let mut perm = Perm::identity(ctx.cfg.n_hosts, ctx.cfg.n_ranks);
+    let mut perm = Perm::identity(ctx.cfg.n_hosts, ctx.cfg.n_units());
     let mut rng = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).max(1);
     let mut next = move || {
         rng ^= rng << 13;
@@ -445,8 +450,8 @@ pub(crate) fn seeded_perm(ctx: &Ctx, seed: u64) -> Perm {
             }
         }
     }
-    if ctx.profile.rank_sym && ctx.cfg.n_ranks > 1 {
-        let mut order: Vec<usize> = (0..ctx.cfg.n_ranks).collect();
+    if ctx.profile.rank_sym && ctx.cfg.n_units() > 1 {
+        let mut order: Vec<usize> = (0..ctx.cfg.n_units()).collect();
         for i in (1..order.len()).rev() {
             order.swap(i, (next() as usize) % (i + 1));
         }

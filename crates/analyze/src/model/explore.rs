@@ -13,12 +13,12 @@ use std::sync::Arc;
 
 use failmpi_core::lang::compile::{Action, Dest, Expr, Guard, Scenario};
 use failmpi_mpi::{Op, Program};
-use failmpi_mpichv::abstractmodel::WAVE_CAP;
-use failmpi_mpichv::{AbstractEvent, AbstractStep, AbstractVcl};
+use failmpi_mpichv::{AbstractEvent, AbstractStep};
 
 use crate::diag::{Diagnostic, Severity};
 
 use super::canon::{self, Perm, SymmetryProfile};
+use super::world::AbstractWorld;
 use super::{frontier, por};
 use super::{Fnv1a, ModelCheckConfig, ModelCheckResult, ModelSummary, StaticVerdict, Witness};
 
@@ -69,7 +69,7 @@ pub(crate) struct ProdState {
     /// Sorted multiset of in-flight FAIL messages `(from, to, msg)` —
     /// deliveries race, so order is not part of the state.
     pub(crate) msgs: Vec<(u8, u8, u8)>,
-    pub(crate) vcl: AbstractVcl,
+    pub(crate) proto: AbstractWorld,
 }
 
 /// An automaton input, mirroring `FailInput` minus process identities.
@@ -614,26 +614,27 @@ impl<'a> Ctx<'a> {
             };
             match p {
                 Pend::Fault(r) => {
-                    if !s.vcl.ranks[r as usize].phase.process_alive() {
+                    if !s.proto.unit_live(r as usize) {
                         // The process died between the halt decision and
                         // this point (cascaded recovery) — nothing to kill.
                         work.push((s, q, f, notes));
                         continue;
                     }
                     let mut evs = Vec::new();
-                    let phase = s.vcl.ranks[r as usize].phase;
-                    let during = s.vcl.recovery_active;
-                    s.vcl.apply(AbstractStep::Fault(r), &mut evs);
+                    let phase = s.proto.unit(r as usize).phase;
+                    let during = s.proto.recovery_active();
+                    let desc = s.proto.unit_desc(r as usize);
+                    s.proto.apply(AbstractStep::Fault(r), &mut evs);
                     let mut notes = notes.clone();
                     notes.push(format!(
-                        "fault kills rank {r} ({}{})",
+                        "fault kills {desc} ({}{})",
                         phase_name(phase),
                         if during { ", during recovery" } else { "" }
                     ));
-                    if evs.iter().any(|e| matches!(e, AbstractEvent::RankLost { .. })) {
-                        notes.push(format!(
-                            "dispatcher files rank {r} as stopped with no relaunch — stale entry"
-                        ));
+                    for e in &evs {
+                        if let AbstractEvent::RankLost { rank } = e {
+                            notes.push(s.proto.lost_note(*rank));
+                        }
                     }
                     let mut q2 = q.clone();
                     self.enqueue_events(&mut q2, &evs);
@@ -651,7 +652,7 @@ impl<'a> Ctx<'a> {
                             insert_msg(&mut s2.msgs, (*from as u8, *to as u8, *msg as u8));
                         }
                         if eff.halted {
-                            match self.inst_host[inst].and_then(|h| s2.vcl.live_rank_on_host(h)) {
+                            match self.inst_host[inst].and_then(|h| s2.proto.live_rank_on_host(h)) {
                                 Some(r) => q2.push_back(Pend::Fault(r)),
                                 None => notes2.push(format!(
                                     "halt from {} found no live process",
@@ -712,7 +713,7 @@ impl<'a> Ctx<'a> {
     /// Whether any controller suspends the process of `rank` (a
     /// `stop`-suspended process neither registers nor acks commands).
     fn rank_suspended(&self, s: &ProdState, rank: usize) -> bool {
-        let h = s.vcl.ranks[rank].host as usize;
+        let h = s.proto.unit(rank).host as usize;
         self.controllers[h]
             .iter()
             .any(|&c| s.insts[c].controlled && s.insts[c].suspended)
@@ -722,7 +723,7 @@ impl<'a> Ctx<'a> {
     /// process (current node has a `before(...)` guard and the process is
     /// attached) — it intercepts the rank's ready step.
     pub(crate) fn breakpoint_holder(&self, s: &ProdState, rank: usize) -> Option<usize> {
-        let h = s.vcl.ranks[rank].host as usize;
+        let h = s.proto.unit(rank).host as usize;
         self.controllers[h].iter().copied().find(|&c| {
             if !s.insts[c].controlled {
                 return false;
@@ -762,7 +763,7 @@ impl<'a> Ctx<'a> {
         }
 
         // Fast: register / ready (they race the FAIL plane).
-        for step in s.vcl.protocol_steps() {
+        for step in s.proto.protocol_steps() {
             match step {
                 AbstractStep::Register(r) if !self.rank_suspended(s, r as usize) => {
                     out.push(MoveKind::Register(r));
@@ -782,7 +783,7 @@ impl<'a> Ctx<'a> {
 
         // Slow: spawns and stop-closures only run on a silent FAIL plane.
         if s.msgs.is_empty() {
-            for step in s.vcl.protocol_steps() {
+            for step in s.proto.protocol_steps() {
                 match step {
                     AbstractStep::Spawn(r) => out.push(MoveKind::Spawn(r)),
                     AbstractStep::StopClosure(r) => out.push(MoveKind::StopClosure(r)),
@@ -792,7 +793,7 @@ impl<'a> Ctx<'a> {
         }
 
         // Quiescent: scenario timers and checkpoint waves.
-        if s.msgs.is_empty() && s.vcl.all_running() {
+        if s.msgs.is_empty() && s.proto.all_running() {
             for (inst, ist) in s.insts.iter().enumerate() {
                 for (slot, armed) in ist.armed.iter().enumerate() {
                     if *armed {
@@ -800,10 +801,10 @@ impl<'a> Ctx<'a> {
                     }
                 }
             }
-            if !s.vcl.wave_active && s.vcl.committed_waves < WAVE_CAP {
+            if s.proto.wave_startable() {
                 out.push(MoveKind::WaveStart);
             }
-            if s.vcl.wave_active {
+            if s.proto.wave_committable() {
                 out.push(MoveKind::WaveCommit);
             }
         }
@@ -819,15 +820,18 @@ impl<'a> Ctx<'a> {
                 self.inst_names[*from as usize],
                 self.inst_names[*to as usize]
             ),
-            MoveKind::Register(r) => format!("register rank {r}"),
-            MoveKind::Ready(r) => format!("ready rank {r}"),
+            MoveKind::Register(r) => format!("register {}", s.proto.unit_desc(*r as usize)),
+            MoveKind::Ready(r) => format!("ready {}", s.proto.unit_desc(*r as usize)),
             MoveKind::Breakpoint { rank, holder } => format!(
-                "breakpoint before set-command: rank {rank} held by {}",
+                "breakpoint before set-command: {} held by {}",
+                s.proto.unit_desc(*rank as usize),
                 self.inst_names[*holder]
             ),
-            MoveKind::Spawn(r) => {
-                format!("spawn rank {r} on host {}", s.vcl.ranks[*r as usize].host)
-            }
+            MoveKind::Spawn(r) => format!(
+                "spawn {} on host {}",
+                s.proto.unit_desc(*r as usize),
+                s.proto.unit(*r as usize).host
+            ),
             MoveKind::StopClosure(r) => format!("stop-closure rank {r}"),
             MoveKind::Timer { inst, slot } => format!(
                 "timer {} at {}",
@@ -865,7 +869,7 @@ impl<'a> Ctx<'a> {
                 };
                 let mut s2 = s.clone();
                 let mut evs = Vec::new();
-                s2.vcl.apply(step, &mut evs);
+                s2.proto.apply(step, &mut evs);
                 let mut q = VecDeque::new();
                 self.enqueue_events(&mut q, &evs);
                 self.drive(s2, q, 0, Vec::new(), log)
@@ -892,7 +896,7 @@ impl<'a> Ctx<'a> {
                     } else {
                         // Released: the call completes.
                         let mut evs = Vec::new();
-                        s2.vcl.apply(AbstractStep::Ready(*r), &mut evs);
+                        s2.proto.apply(AbstractStep::Ready(*r), &mut evs);
                         self.enqueue_events(&mut q, &evs);
                         notes.push("released".to_string());
                     }
@@ -907,7 +911,7 @@ impl<'a> Ctx<'a> {
                 };
                 let mut s2 = s.clone();
                 let mut evs = Vec::new();
-                s2.vcl.apply(step, &mut evs);
+                s2.proto.apply(step, &mut evs);
                 let mut q = VecDeque::new();
                 self.enqueue_events(&mut q, &evs);
                 self.drive(s2, q, 0, Vec::new(), log)
@@ -919,13 +923,13 @@ impl<'a> Ctx<'a> {
             MoveKind::WaveStart => {
                 let mut s2 = s.clone();
                 let mut evs = Vec::new();
-                s2.vcl.apply(AbstractStep::WaveStart, &mut evs);
+                s2.proto.apply(AbstractStep::WaveStart, &mut evs);
                 vec![Micro { st: s2, faults: 0, notes: Vec::new() }]
             }
             MoveKind::WaveCommit => {
                 let mut s2 = s.clone();
                 let mut evs = Vec::new();
-                s2.vcl.apply(AbstractStep::WaveCommit, &mut evs);
+                s2.proto.apply(AbstractStep::WaveCommit, &mut evs);
                 let mut q = VecDeque::new();
                 self.enqueue_events(&mut q, &evs);
                 self.drive(s2, q, 0, Vec::new(), log)
@@ -1122,7 +1126,7 @@ impl<'a> Explorer<'a> {
             freeze: None,
             budget_hit: false,
             init_raw: None,
-            init_perm: Perm::identity(cfg.n_hosts, cfg.n_ranks),
+            init_perm: Perm::identity(cfg.n_hosts, cfg.n_units()),
             orbit_hits: 0,
             por_pruned: 0,
         }
@@ -1151,7 +1155,7 @@ impl<'a> Explorer<'a> {
         let mut s = ProdState {
             insts,
             msgs: Vec::new(),
-            vcl: AbstractVcl::new(ctx.cfg.mode, ctx.cfg.n_ranks, ctx.cfg.n_hosts),
+            proto: AbstractWorld::new(ctx.cfg),
         };
         // Node-0 entry (always vars, timers); builtins' initial nodes have
         // no consumable inbox, so this never branches.
@@ -1179,7 +1183,7 @@ impl<'a> Explorer<'a> {
             return id;
         }
         let id = self.states.len() as u32;
-        self.all_running.push(s.vcl.all_running());
+        self.all_running.push(s.proto.all_running());
         self.index.insert(s.clone(), id);
         self.states.push(s);
         self.dist.push((u32::MAX, u32::MAX));
@@ -1213,7 +1217,7 @@ impl<'a> Explorer<'a> {
         let (root, p0) = if self.ctx.cfg.reduce {
             canon::canonicalize(&self.ctx, &raw)
         } else {
-            (raw.clone(), Perm::identity(self.ctx.cfg.n_hosts, self.ctx.cfg.n_ranks))
+            (raw.clone(), Perm::identity(self.ctx.cfg.n_hosts, self.ctx.cfg.n_units()))
         };
         self.init_raw = Some(raw);
         self.init_perm = p0;
@@ -1245,10 +1249,11 @@ impl<'a> Explorer<'a> {
                 self.expanded[id as usize] = true;
                 self.n_expanded += 1;
 
-                if self.states[id as usize].vcl.lost_rank().is_some() {
+                if self.states[id as usize].proto.lost_rank().is_some() {
                     // Freeze found: stop before applying this state's halt
                     // log — its (speculative) successors are never taken.
-                    self.freeze = Some((id, "stale dispatcher entry".to_string()));
+                    let why = self.states[id as usize].proto.freeze_reason();
+                    self.freeze = Some((id, why.to_string()));
                     self.requeue(cost, &layer[k + 1..]);
                     return;
                 }
@@ -1260,7 +1265,7 @@ impl<'a> Explorer<'a> {
                 }
                 self.orbit_hits += exp.orbit_hits;
                 self.por_pruned += exp.por_pruned;
-                if exp.succs.is_empty() && !self.states[id as usize].vcl.all_running() {
+                if exp.succs.is_empty() && !self.states[id as usize].proto.all_running() {
                     self.freeze = Some((
                         id,
                         "no enabled step short of the all-running state".to_string(),
@@ -1313,8 +1318,8 @@ impl<'a> Explorer<'a> {
     /// stops on: a lost rank in the Vcl, or no enabled step short of the
     /// all-running state.
     fn frozen(&self, s: &ProdState) -> bool {
-        s.vcl.lost_rank().is_some()
-            || (self.ctx.moves(s).is_empty() && !s.vcl.all_running())
+        s.proto.lost_rank().is_some()
+            || (self.ctx.moves(s).is_empty() && !s.proto.all_running())
     }
 
     /// Replays `moves` — `(move, recorded faults, recorded branch
@@ -1497,7 +1502,9 @@ impl<'a> Explorer<'a> {
                 "FC003",
                 0,
                 format!(
-                    "reachable freeze state ({why}) after {} fault(s) in {} step(s){blocked}",
+                    "reachable freeze state ({why}) under the {} backend \
+                     after {} fault(s) in {} step(s){blocked}",
+                    self.ctx.cfg.backend.name(),
                     witness.faults,
                     witness.steps.len()
                 ),
@@ -1577,9 +1584,10 @@ impl<'a> Explorer<'a> {
                 "FC007",
                 0,
                 format!(
-                    "reduction: {} canonical state(s) interned, {} orbit \
-                     merge(s), {} commuting step(s) pruned; machine symmetry \
-                     {}, rank symmetry {}",
+                    "reduction ({} backend): {} canonical state(s) interned, \
+                     {} orbit merge(s), {} commuting step(s) pruned; machine \
+                     symmetry {}, rank symmetry {}",
+                    self.ctx.cfg.backend.name(),
                     self.states.len(),
                     self.orbit_hits,
                     self.por_pruned,
@@ -1649,7 +1657,7 @@ impl<'a> Explorer<'a> {
     /// For the FC003 message: which surviving ranks the op-program
     /// communication skeleton says will block on the lost rank.
     fn blocked_ranks_of(&self, s: &ProdState) -> String {
-        let Some(lost) = s.vcl.lost_rank() else {
+        let Some(lost) = s.proto.lost_rank() else {
             return String::new();
         };
         if self.ctx.comm_peers.is_empty() {

@@ -70,9 +70,11 @@ mod canon;
 mod explore;
 mod frontier;
 mod por;
+mod world;
 
 use std::sync::Arc;
 
+use failmpi_backend::BackendKind;
 use failmpi_core::compile;
 use failmpi_core::lang::compile::Scenario;
 use failmpi_mpi::Program;
@@ -86,6 +88,11 @@ use explore::Explorer;
 /// How the model checker scales and bounds the product exploration.
 #[derive(Clone, Debug)]
 pub struct ModelCheckConfig {
+    /// Protocol backend whose abstract model anchors the product (the
+    /// `--backend` flag of `failck --model-check`). The Vcl dispatcher is
+    /// the default; [`BackendKind::Ulfm`] and [`BackendKind::Replica`]
+    /// swap in the shrink-and-continue / replication-failover models.
+    pub backend: BackendKind,
     /// Abstract MPI ranks (compute processes).
     pub n_ranks: usize,
     /// Abstract machines; `n_hosts - n_ranks` are spares. Every suggested
@@ -120,9 +127,24 @@ pub struct ModelCheckConfig {
     pub permute_seed: Option<u64>,
 }
 
+impl ModelCheckConfig {
+    /// Number of process units the backend's abstract model tracks. Equal
+    /// to `n_ranks` except under replication, where each protected rank
+    /// adds a replica unit (see [`failmpi_replica::AbstractReplica`]).
+    pub(crate) fn n_units(&self) -> usize {
+        match self.backend {
+            BackendKind::Replica => {
+                self.n_ranks + self.n_hosts.saturating_sub(self.n_ranks).min(self.n_ranks)
+            }
+            _ => self.n_ranks,
+        }
+    }
+}
+
 impl Default for ModelCheckConfig {
     fn default() -> Self {
         ModelCheckConfig {
+            backend: BackendKind::Vcl,
             n_ranks: 2,
             n_hosts: 3,
             budget: 50_000,

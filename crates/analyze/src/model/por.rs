@@ -111,7 +111,7 @@ fn candidate(ctx: &Ctx, s: &ProdState, succ: &Succ) -> bool {
             m.faults == 0
                 && m.notes.is_empty()
                 && m.st.msgs == s.msgs
-                && m.st.vcl.lost_rank() == s.vcl.lost_rank()
+                && m.st.proto.lost_rank() == s.proto.lost_rank()
                 && invisible(ctx, s, &m.st)
                 && ctx.breakpoint_holder(&m.st, r as usize).is_none()
         }
@@ -123,7 +123,7 @@ fn candidate(ctx: &Ctx, s: &ProdState, succ: &Succ) -> bool {
 /// internal state: no faults, no notes, no sends, Vcl untouched.
 fn pure_delivery(s: &ProdState, succ: &Succ, triple: (u8, u8, u8)) -> bool {
     let m = &succ.micro;
-    if m.faults != 0 || !m.notes.is_empty() || m.st.vcl != s.vcl {
+    if m.faults != 0 || !m.notes.is_empty() || m.st.proto != s.proto {
         return false;
     }
     // msgs must be exactly s.msgs minus the delivered triple (no sends).

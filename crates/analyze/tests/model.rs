@@ -92,6 +92,92 @@ fn op_program_skeleton_names_blocked_ranks() {
     );
 }
 
+// -- alternate protocol backends -------------------------------------------
+
+#[test]
+fn ulfm_shrinks_past_the_dispatcher_bug() {
+    // The exact schedule that wedges the Vcl dispatcher (fig10's
+    // state-synchronized double fault) is harmless under shrink-and-
+    // continue: there is no relaunch window to corrupt, the victims are
+    // simply excluded and the survivors keep computing.
+    let cfg = ModelCheckConfig {
+        backend: failmpi_analyze::BackendKind::Ulfm,
+        ..ModelCheckConfig::default()
+    };
+    let r = model_check_source(include_str!("../../core/scenarios/fig10_state_sync.fail"), &cfg);
+    assert_eq!(r.summary.verdict, StaticVerdict::Survives, "{:?}", codes(&r));
+}
+
+#[test]
+fn ulfm_freeze_witness_names_the_backend() {
+    // ULFM's one freeze mode: enough faults shrink the job to nothing.
+    // fig5's random kills can eat both ranks of the default model, after
+    // which no step leads back to an all-running state. The FC003 report
+    // must say which backend predicted it.
+    let cfg = ModelCheckConfig {
+        backend: failmpi_analyze::BackendKind::Ulfm,
+        ..ModelCheckConfig::default()
+    };
+    let r = model_check_source(include_str!("../../core/scenarios/fig5_frequency.fail"), &cfg);
+    assert_eq!(r.summary.verdict, StaticVerdict::Freezes, "{:?}", codes(&r));
+    let fc003 = r.diagnostics.iter().find(|d| d.code == "FC003").expect("FC003");
+    assert!(
+        fc003.message.contains("under the ulfm backend")
+            && fc003.message.contains("no enabled step"),
+        "got: {}",
+        fc003.message
+    );
+    // ULFM never strands a survivor on a lost rank, so the witness must
+    // not narrate a stale dispatcher entry.
+    let w = r.summary.witness.expect("witness");
+    assert!(
+        w.steps.iter().all(|s| !s.contains("stale entry")),
+        "ULFM witness narrates a Vcl-only failure: {w:?}"
+    );
+}
+
+#[test]
+fn replica_exhaustion_witness_names_the_backend() {
+    // 2 ranks on 3 hosts leaves rank 1 unprotected (one spare = one
+    // replica, assigned to rank 0): a single fault on rank 1 exhausts
+    // replication immediately.
+    let cfg = ModelCheckConfig {
+        backend: failmpi_analyze::BackendKind::Replica,
+        ..ModelCheckConfig::default()
+    };
+    let r = model_check_source(include_str!("../../core/scenarios/fig8_synchronized.fail"), &cfg);
+    assert_eq!(r.summary.verdict, StaticVerdict::Freezes, "{:?}", codes(&r));
+    let w = r.summary.witness.expect("witness");
+    assert_eq!(w.faults, 1, "an unprotected primary dies in one fault: {w:?}");
+    let fc003 = r.diagnostics.iter().find(|d| d.code == "FC003").expect("FC003");
+    assert!(
+        fc003.message.contains("replication exhausted")
+            && fc003.message.contains("under the replica backend")
+            && fc003.message.contains("permanently lost"),
+        "got: {}",
+        fc003.message
+    );
+    let last = w.steps.last().expect("steps");
+    assert!(
+        last.contains("no usable replica remains"),
+        "witness does not narrate the exhausted pair: {last}"
+    );
+}
+
+#[test]
+fn replica_full_protection_masks_the_dispatcher_scenario() {
+    // With a replica behind every rank (2 ranks, 4 hosts) the fig10
+    // double fault is absorbed: each kill promotes a shadow atomically,
+    // and there is no recovery window for the second fault to race.
+    let cfg = ModelCheckConfig {
+        backend: failmpi_analyze::BackendKind::Replica,
+        n_hosts: 4,
+        ..ModelCheckConfig::default()
+    };
+    let r = model_check_source(include_str!("../../core/scenarios/fig10_state_sync.fail"), &cfg);
+    assert_eq!(r.summary.verdict, StaticVerdict::Survives, "{:?}", codes(&r));
+}
+
 // -- one fixture per FC code -----------------------------------------------
 
 #[test]

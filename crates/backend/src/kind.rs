@@ -1,0 +1,62 @@
+//! The closed set of implemented protocol backends.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// Which fault-tolerance protocol a run is strained against.
+///
+/// The discriminant order is stable (it keys golden tables and the
+/// model-check cache) — append new protocols at the end.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum BackendKind {
+    /// MPICH-Vcl: coordinated checkpointing with stop-the-world
+    /// rollback recovery (the paper's subject, `failmpi-mpichv`).
+    #[default]
+    Vcl,
+    /// ULFM-style shrink-and-continue: `MPIX_Comm_failure_ack /
+    /// get_acked / agree / shrink` with errhandler-driven
+    /// recursive-doubling recovery (`failmpi-ulfm`).
+    Ulfm,
+    /// Replication failover in the FTHP-MPI / PartRePer-MPI spirit:
+    /// replica ranks shadow primaries; a primary's death promotes its
+    /// replica instead of rolling back (`failmpi-replica`).
+    Replica,
+}
+
+impl BackendKind {
+    /// Every implemented backend, in stable order.
+    pub fn all() -> [BackendKind; 3] {
+        [BackendKind::Vcl, BackendKind::Ulfm, BackendKind::Replica]
+    }
+
+    /// The stable lowercase name (CLI flag value, metrics prefix,
+    /// witness/finding tag).
+    pub fn name(self) -> &'static str {
+        match self {
+            BackendKind::Vcl => "vcl",
+            BackendKind::Ulfm => "ulfm",
+            BackendKind::Replica => "replica",
+        }
+    }
+}
+
+impl fmt::Display for BackendKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for BackendKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "vcl" => Ok(BackendKind::Vcl),
+            "ulfm" => Ok(BackendKind::Ulfm),
+            "replica" => Ok(BackendKind::Replica),
+            other => Err(format!(
+                "unknown backend '{other}' (expected vcl, ulfm, or replica)"
+            )),
+        }
+    }
+}

@@ -1,0 +1,227 @@
+//! # failmpi-backend — the protocol-backend abstraction
+//!
+//! The paper strains *one* fault-tolerant MPI runtime (MPICH-Vcl). This
+//! crate factors out everything the experiment harness, classifier, and
+//! model checker actually depend on, so that *any* fault-tolerance
+//! protocol can be strained by the same FAIL scenarios:
+//!
+//! * [`ProtocolBackend`] — the runtime contract: world construction hands
+//!   the harness an event-driven deterministic machine; the harness feeds
+//!   events back via [`ProtocolBackend::dispatch`], injects faults through
+//!   the process-control surface (`fail_halt` / `fail_stop` /
+//!   `fail_continue` / breakpoints), and observes lifecycle [`Hook`]s,
+//!   the shared [`VclEvent`] trace vocabulary, probes, and metrics.
+//! * [`BackendKind`] — the closed set of implemented protocols:
+//!   rollback-recovery ([`BackendKind::Vcl`], `failmpi-mpichv`),
+//!   shrink-and-continue ([`BackendKind::Ulfm`], `failmpi-ulfm`), and
+//!   replication-failover ([`BackendKind::Replica`], `failmpi-replica`).
+//! * The shared **abstract-model vocabulary** ([`AbstractPhase`],
+//!   [`AbstractRank`], [`AbstractStep`], [`AbstractEvent`]) that every
+//!   backend's finite abstraction speaks, so `failck --model-check`
+//!   stays cross-layer and backend-tagged.
+//!
+//! The trace vocabulary keeps its historical name (`VclEvent`) because it
+//! was extracted from the reference Vcl runtime; each backend maps its own
+//! lifecycle onto these records (see DESIGN.md's phase table), which is
+//! exactly what lets one classifier and one freeze-window definition serve
+//! all protocols.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod kind;
+mod trace;
+mod traffic;
+mod vocab;
+
+pub use kind::BackendKind;
+pub use trace::{Hook, InstrumentedFn, VclEvent};
+pub use traffic::TrafficStats;
+pub use vocab::{
+    AbstractEvent, AbstractPhase, AbstractRank, AbstractStep, EPOCH_CAP, INCARNATION_CAP,
+    WAVE_CAP,
+};
+
+use failmpi_net::{HostId, ProcId};
+use failmpi_obs::MetricsSnapshot;
+use failmpi_sim::{EventId, FingerprintEvent, SimDuration, SimTime, TraceLog};
+
+/// Shared sizing and timing knobs for the non-Vcl backends (the Vcl
+/// runtime keeps its richer `VclConfig`). Constructed from the harness's
+/// cluster config so one spec drives every backend at the same scale.
+#[derive(Clone, Debug)]
+pub struct BackendConfig {
+    /// MPI ranks in the job.
+    pub n_ranks: u32,
+    /// Compute machines available (ranks land on the first `n_ranks`;
+    /// the surplus is spare capacity — replica hosts, idle spares).
+    pub n_compute_hosts: usize,
+    /// Process boot latency (launch → `onload`).
+    pub boot_delay: SimDuration,
+    /// Per-rank boot stagger (rank `i` launches at `i * stagger`).
+    pub boot_stagger: SimDuration,
+    /// Registration latency (`onload` → registered).
+    pub init_delay: SimDuration,
+    /// Failure-detection latency (process death → runtime notices).
+    pub detect_delay: SimDuration,
+    /// One round of the recovery exchange (an `agree`/`shrink`
+    /// recursive-doubling round, or a promotion handshake leg).
+    pub round_delay: SimDuration,
+    /// Base virtual time of one application op step.
+    pub op_delay: SimDuration,
+    /// Whether lifecycle trace records are kept (`false` = zero-cost).
+    pub record_trace: bool,
+}
+
+impl BackendConfig {
+    /// A smoke-scale config: `n_ranks` ranks over `n_hosts` machines.
+    pub fn small(n_ranks: u32, n_hosts: usize) -> BackendConfig {
+        BackendConfig {
+            n_ranks,
+            n_compute_hosts: n_hosts,
+            boot_delay: SimDuration::from_millis(400),
+            boot_stagger: SimDuration::from_millis(120),
+            init_delay: SimDuration::from_millis(250),
+            detect_delay: SimDuration::from_millis(600),
+            round_delay: SimDuration::from_millis(180),
+            op_delay: SimDuration::from_millis(900),
+            record_trace: true,
+        }
+    }
+
+    /// Validates the shape (at least one rank, enough hosts).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.n_ranks == 0 {
+            return Err("n_ranks must be >= 1".into());
+        }
+        if self.n_compute_hosts < self.n_ranks as usize {
+            return Err(format!(
+                "n_compute_hosts ({}) < n_ranks ({})",
+                self.n_compute_hosts, self.n_ranks
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// The runtime contract every fault-tolerance protocol implements to be
+/// strained by the FAIL harness.
+///
+/// A backend is a deterministic event machine: the harness's engine owns
+/// the clock and the event queue; the backend reacts to its own
+/// [`ProtocolBackend::Event`]s, emits follow-ups through
+/// [`ProtocolBackend::take_outputs`], and surfaces lifecycle transitions
+/// as [`Hook`]s (the FAIL-daemon interface of paper Sec. 4) plus
+/// [`VclEvent`] trace records (what the classifier reads).
+///
+/// Determinism is part of the contract — same config, same programs, same
+/// seed, same injected schedule ⇒ byte-identical fingerprint — and the
+/// backend-conformance suite double-runs every backend to prove it.
+pub trait ProtocolBackend {
+    /// The backend's internal event alphabet.
+    type Event: FingerprintEvent + std::fmt::Debug;
+
+    /// Which protocol this is (names metrics keys, witnesses, findings).
+    fn kind(&self) -> BackendKind;
+
+    /// Records the engine event causing the upcoming state change (causal
+    /// tracing); `None` clears it.
+    fn set_event_cause(&mut self, cause: Option<EventId>);
+
+    /// Handles one event at `now`.
+    fn dispatch(&mut self, now: SimTime, ev: Self::Event);
+
+    /// Drains events produced since the last call (feed to the engine).
+    fn take_outputs(&mut self) -> Vec<(SimTime, Self::Event)>;
+
+    /// Drains lifecycle/breakpoint hooks produced since the last call.
+    fn take_hooks(&mut self) -> Vec<Hook>;
+
+    /// Whether the job ran to completion.
+    fn is_complete(&self) -> bool;
+
+    /// Kills a controlled process (the FAIL `halt` action).
+    fn fail_halt(&mut self, now: SimTime, proc: ProcId);
+
+    /// Suspends a controlled process (`stop`, SIGSTOP semantics).
+    fn fail_stop(&mut self, now: SimTime, proc: ProcId);
+
+    /// Resumes a controlled process (`continue`).
+    fn fail_continue(&mut self, now: SimTime, proc: ProcId);
+
+    /// Arms a debugger breakpoint on `func` for `proc`.
+    fn arm_breakpoint(&mut self, proc: ProcId, func: InstrumentedFn);
+
+    /// Clears all breakpoints for `proc`.
+    fn clear_breakpoints(&mut self, proc: ProcId);
+
+    /// The `i`-th compute machine (FAIL daemons deploy per machine).
+    fn compute_host(&self, i: usize) -> HostId;
+
+    /// Number of compute machines.
+    fn n_compute_hosts(&self) -> usize;
+
+    /// The last committed checkpoint wave (`None` for protocols without
+    /// checkpoint waves — the probe then never fires).
+    fn committed_wave(&self) -> Option<u32>;
+
+    /// Current execution epoch (0 = initial, +1 per recovery).
+    fn epoch(&self) -> u32;
+
+    /// Timeline track of an event (for trace export).
+    fn event_track(&self, ev: &Self::Event) -> u32;
+
+    /// Number of timeline tracks.
+    fn n_tracks(&self) -> u32;
+
+    /// Track display names, indexed by [`ProtocolBackend::event_track`].
+    fn track_names(&self) -> Vec<String>;
+
+    /// One-line human description of an event.
+    fn describe_event(&self, ev: &Self::Event) -> String;
+
+    /// Short stable kind label of an event (profiling buckets).
+    fn event_kind(&self, ev: &Self::Event) -> &'static str;
+
+    /// The lifecycle trace the classifier reads.
+    fn trace(&self) -> &TraceLog<VclEvent>;
+
+    /// Recoveries started so far (shrinks, promotions, restart waves).
+    fn recoveries_started(&self) -> u64;
+
+    /// Checkpoint waves committed so far (0 for non-checkpointing
+    /// protocols).
+    fn waves_committed(&self) -> u64;
+
+    /// Highest application iteration any rank reported.
+    fn max_progress(&self) -> u32;
+
+    /// Byte counters by traffic class.
+    fn traffic(&self) -> TrafficStats;
+
+    /// Folds the backend's metrics into a snapshot.
+    fn contribute_metrics(&self, snap: &mut MetricsSnapshot);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backend_kind_roundtrips_through_names() {
+        for k in BackendKind::all() {
+            assert_eq!(k.name().parse::<BackendKind>().unwrap(), k);
+            assert_eq!(format!("{k}"), k.name());
+        }
+        assert!("vdummy".parse::<BackendKind>().is_err());
+    }
+
+    #[test]
+    fn small_config_validates() {
+        assert!(BackendConfig::small(4, 6).validate().is_ok());
+        assert!(BackendConfig::small(4, 3).validate().is_err());
+        let mut c = BackendConfig::small(1, 1);
+        c.n_ranks = 0;
+        assert!(c.validate().is_err());
+    }
+}

@@ -1,0 +1,21 @@
+//! Byte counters by traffic class, shared by every backend.
+
+/// Byte counters by traffic class, for protocol-overhead accounting.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TrafficStats {
+    /// Application payload bytes (MPI messages, incl. V2 replays).
+    pub app_bytes: u64,
+    /// Checkpoint / redundancy bytes (images, logged channel state,
+    /// restores, replica synchronization).
+    pub ckpt_bytes: u64,
+    /// Everything else (registration, markers, acks, orders, agreement
+    /// rounds).
+    pub control_bytes: u64,
+}
+
+impl TrafficStats {
+    /// Total bytes across all classes.
+    pub fn total(&self) -> u64 {
+        self.app_bytes + self.ckpt_bytes + self.control_bytes
+    }
+}

@@ -1,0 +1,151 @@
+//! Shared vocabulary of the backends' finite abstract models.
+//!
+//! `failck --model-check` explores the synchronous product of compiled
+//! FAIL automata with a backend's abstract protocol model. Every backend's
+//! model (`AbstractVcl` in `failmpi-mpichv`, `AbstractUlfm` in
+//! `failmpi-ulfm`, `AbstractReplica` in `failmpi-replica`) speaks the same
+//! phase/step/event vocabulary defined here, so the explorer, symmetry
+//! canonicalization, and partial-order reduction stay protocol-agnostic.
+//!
+//! Every type derives `Hash`/`Ord` so product states can be interned
+//! canonically.
+
+/// Saturation cap for the abstract epoch counter (recoveries so far).
+pub const EPOCH_CAP: u8 = 8;
+/// Saturation cap for committed checkpoint waves tracked by the models.
+pub const WAVE_CAP: u8 = 2;
+/// Saturation cap for per-rank process incarnations.
+pub const INCARNATION_CAP: u8 = 8;
+
+/// Abstract lifecycle phase of one rank slot (or replica unit).
+///
+/// This refines the Vcl dispatcher's `RankState` with the daemon-side
+/// distinction the fault-vs-registration race needs: `Starting` splits into
+/// [`AbstractPhase::Launched`] (ssh issued, nothing to kill yet) and
+/// [`AbstractPhase::Booted`] (process up and `onload` fired, but not yet
+/// registered — a fault here is the benign launch-retry path of paper
+/// Fig. 9). `Stopped` without a pending relaunch is [`AbstractPhase::Lost`]:
+/// a rank slot nobody will ever run again — Vcl's stale dispatcher entry,
+/// or a replica-backend rank whose primary and replica both died.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum AbstractPhase {
+    /// ssh launch issued; no process exists yet.
+    Launched,
+    /// The daemon process is up (`onload` fired) but has not registered
+    /// with the runtime. Its death is detected as a launch failure and
+    /// retried — the benign pre-registration window.
+    Booted,
+    /// Registered with the runtime; the control stream exists, so its
+    /// closure now counts as a failure.
+    Registered,
+    /// Init acked; waiting for the rest of the fleet.
+    Ready,
+    /// The run broadcast went out; the rank is computing.
+    Running,
+    /// Told to terminate during failure handling; closure pending, process
+    /// still alive (the straggler window of the current recovery).
+    Stopping,
+    /// A rank slot nobody will ever start again: Vcl's stale dispatcher
+    /// entry, or an unprotected/unreplaceable death under replication —
+    /// the frozen-job phase.
+    Lost,
+    /// The rank's process finished for good: `MPI_Finalize`, a shrunk-away
+    /// ULFM victim, or a spent replica unit.
+    Done,
+}
+
+impl AbstractPhase {
+    /// Whether a live daemon process exists in this phase (something a
+    /// fault injection can actually kill).
+    pub fn process_alive(self) -> bool {
+        matches!(
+            self,
+            AbstractPhase::Booted
+                | AbstractPhase::Registered
+                | AbstractPhase::Ready
+                | AbstractPhase::Running
+                | AbstractPhase::Stopping
+                | AbstractPhase::Done
+        )
+    }
+}
+
+/// Abstract state of one rank slot.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AbstractRank {
+    /// Lifecycle phase.
+    pub phase: AbstractPhase,
+    /// Machine (host index) currently assigned to the rank.
+    pub host: u8,
+    /// Process incarnation, bumped on every relaunch (saturating at
+    /// [`INCARNATION_CAP`]). Monotone by construction — the model checker
+    /// uses it to name fault targets and to detect scenarios that aim at a
+    /// superseded incarnation.
+    pub incarnation: u8,
+}
+
+/// A protocol-internal or environment step of an abstract backend model.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum AbstractStep {
+    /// The pending launch of a rank completes: its daemon process starts
+    /// on the assigned host (fires `onload` there).
+    Spawn(u8),
+    /// A booted daemon dials the runtime and registers.
+    Register(u8),
+    /// A registered daemon acks init; when the whole fleet is ready the
+    /// run (re)starts and the recovery completes.
+    Ready(u8),
+    /// A terminate-ordered daemon finishes stopping: its closure is
+    /// observed and the rank is relaunched in place.
+    StopClosure(u8),
+    /// Environment: a fault kills the daemon process of this rank (the
+    /// FAIL `halt` action, routed through the rank's controller).
+    Fault(u8),
+    /// The checkpoint scheduler opens a wave (quiescent states only;
+    /// never enabled for protocols without checkpoint waves).
+    WaveStart,
+    /// The open wave commits on its last ack.
+    WaveCommit,
+}
+
+/// Observable side effect of applying an [`AbstractStep`] — the hooks and
+/// probe updates the FAIL side of the product reacts to.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AbstractEvent {
+    /// A process registered with the FAIL daemon on `host` (`onload`).
+    OnLoad {
+        /// Host the process started on.
+        host: u8,
+    },
+    /// The process on `host` exited normally (`onexit`).
+    OnExit {
+        /// Host whose process exited.
+        host: u8,
+    },
+    /// The process on `host` died abnormally (`onerror`).
+    OnError {
+        /// Host whose process died.
+        host: u8,
+    },
+    /// A checkpoint wave committed; carries the new count (the
+    /// `committed_wave` probe value).
+    CommittedWave(u8),
+    /// A recovery started; carries the new epoch (the `epoch` probe
+    /// value).
+    EpochBumped(u8),
+    /// A failure was detected on a registered rank — the runtime's
+    /// `FailureDetected` trace point, used for witness extraction.
+    FailureDetected {
+        /// The victim rank.
+        rank: u8,
+        /// Whether a recovery was already in flight (the bug window).
+        during_recovery: bool,
+    },
+    /// The rank became permanently unrunnable: Vcl's Historical
+    /// bookkeeping absorbed the closure, or a replication pair was
+    /// exhausted.
+    RankLost {
+        /// The forgotten rank.
+        rank: u8,
+    },
+}

@@ -99,6 +99,7 @@ fn main() {
         freeze_window: SimDuration::from_secs(timeout / 10),
         seed,
         tie_break: failmpi_sim::TieBreak::Fifo,
+        backend: failmpi_backend::BackendKind::Vcl,
     };
     let traced = run_one_traced(&spec);
     print!(

@@ -1,6 +1,8 @@
 //! Minimal argument handling shared by the figure binaries.
 
-use crate::harness::{set_default_expect_freeze, set_default_lint_mode, LintMode};
+use failmpi_backend::BackendKind;
+
+use crate::harness::{set_default_backend, set_default_expect_freeze, set_default_lint_mode, LintMode};
 
 /// Options common to every figure binary.
 #[derive(Clone, Debug, Default)]
@@ -29,6 +31,10 @@ pub struct Options {
     /// instead of refusing them. Also installed as the process-wide
     /// default (see [`crate::harness::set_default_expect_freeze`]).
     pub expect_freeze: bool,
+    /// Protocol backend under test (`--backend vcl|ulfm|replica`); also
+    /// installed as the process-wide default so every spec the binary
+    /// builds picks it up (see [`crate::harness::set_default_backend`]).
+    pub backend: Option<BackendKind>,
 }
 
 impl Options {
@@ -74,10 +80,19 @@ impl Options {
                     set_default_expect_freeze(true);
                     o.expect_freeze = true;
                 }
+                "--backend" => {
+                    let kind: BackendKind = args
+                        .next()
+                        .ok_or("--backend needs vcl|ulfm|replica")?
+                        .parse()
+                        .map_err(|_| "--backend needs vcl|ulfm|replica")?;
+                    set_default_backend(kind);
+                    o.backend = Some(kind);
+                }
                 "--help" | "-h" => {
                     return Err("usage: [--smoke] [--runs N] [--threads N] [--json PATH] \
                                 [--metrics PATH] [--trace-out PATH] [--lint off|warn|strict] \
-                                [--expect-freeze]"
+                                [--expect-freeze] [--backend vcl|ulfm|replica]"
                         .to_string())
                 }
                 other => return Err(format!("unknown flag `{other}`")),
@@ -185,6 +200,19 @@ mod tests {
         crate::harness::set_default_lint_mode(before);
         assert!(parse(&["--lint", "bogus"]).is_err());
         assert!(parse(&["--lint"]).is_err());
+    }
+
+    #[test]
+    fn backend_flag_sets_process_default() {
+        use crate::harness::default_backend;
+        let before = default_backend();
+        assert_eq!(parse(&[]).unwrap().backend, None);
+        let o = parse(&["--backend", "ulfm"]).unwrap();
+        assert_eq!(o.backend, Some(BackendKind::Ulfm));
+        assert_eq!(default_backend(), BackendKind::Ulfm);
+        crate::harness::set_default_backend(before);
+        assert!(parse(&["--backend", "bogus"]).is_err());
+        assert!(parse(&["--backend"]).is_err());
     }
 
     #[test]

@@ -28,6 +28,7 @@
 //! here.
 
 use failmpi_analyze::{model_check_source, ModelCheckConfig, StaticVerdict};
+use failmpi_backend::BackendKind;
 use failmpi_mpichv::DispatcherMode;
 use failmpi_workloads::BtClass;
 
@@ -216,6 +217,145 @@ pub fn figure_matrix(n_ranks: usize, budget: usize) -> Vec<MatrixRow> {
                 witness_cost: r.summary.witness.as_ref().map(|w| (w.faults, w.steps.len())),
             });
         }
+    }
+    out
+}
+
+/// One cell of the cross-backend differential matrix: a builtin figure
+/// scenario checked statically *and* swept dynamically under one protocol
+/// backend, both sides at the same smoke deployment scale (4 ranks on 6
+/// machines), historical dispatcher.
+#[derive(Clone, Debug)]
+pub struct BackendMatrixRow {
+    /// Scenario label (paper figure).
+    pub name: &'static str,
+    /// Protocol backend both sides ran against.
+    pub backend: BackendKind,
+    /// The model checker's pre-run verdict for this backend's abstract
+    /// model at the smoke scale.
+    pub static_verdict: StaticVerdict,
+    /// Product states the exploration expanded.
+    pub explored: usize,
+    /// `(seed, outcome class)` per dynamic run under this backend's
+    /// runtime.
+    pub dynamic: Vec<(u64, &'static str)>,
+    /// Whether the two sides satisfy the same asymmetric agreement
+    /// contract the Vcl crosscheck uses ([`verdicts_agree`]).
+    pub agrees: bool,
+}
+
+/// Crosschecks one builtin under one protocol backend: static verdict at
+/// the smoke deployment scale next to the dynamic seed sweep through that
+/// backend's runtime.
+pub fn backend_crosscheck_one(
+    name: &'static str,
+    src: &str,
+    machine: &str,
+    params: &[(&str, i64)],
+    seeds: &[u64],
+    backend: BackendKind,
+) -> BackendMatrixRow {
+    let cfg = ModelCheckConfig {
+        backend,
+        n_ranks: 4,
+        n_hosts: 6,
+        params: params.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
+        mode: DispatcherMode::Historical,
+        // The 4-rank product needs the orbit quotient to stay definitive
+        // inside the default budget (the 2-rank Vcl crosscheck does not).
+        reduce: true,
+        ..ModelCheckConfig::default()
+    };
+    let st = model_check_source(src, &cfg);
+    let dynamic: Vec<(u64, &'static str)> = seeds
+        .iter()
+        .map(|&seed| {
+            let spec = smoke_spec_for(src, machine, params, seed, DispatcherMode::Historical)
+                .with_backend(backend);
+            let record = run_one(&spec);
+            (seed, outcome_class(&record.outcome))
+        })
+        .collect();
+    let any_buggy = dynamic.iter().any(|(_, c)| *c == "buggy");
+    BackendMatrixRow {
+        name,
+        backend,
+        static_verdict: st.summary.verdict,
+        explored: st.summary.explored,
+        dynamic,
+        agrees: verdicts_agree(st.summary.verdict, any_buggy),
+    }
+}
+
+/// The full cross-backend differential matrix: every runnable builtin ×
+/// every protocol backend × the given seeds. The interesting rows are the
+/// ones where backends *disagree* for protocol reasons — the Fig. 10
+/// dispatcher bug is Vcl-specific (ULFM shrinks past it), random kills
+/// freeze ULFM only by eating the whole job, and replication converts
+/// any fault on an unprotected primary into an immediate loss.
+pub fn backend_matrix(seeds: &[u64]) -> Vec<BackendMatrixRow> {
+    let mut out = Vec::new();
+    for (name, src, machine, params) in SCENARIOS {
+        for backend in BackendKind::all() {
+            out.push(backend_crosscheck_one(name, src, machine, params, seeds, backend));
+        }
+    }
+    out
+}
+
+/// Model-checks every runnable builtin at `n_ranks` grid scale under one
+/// backend (hosts = ranks + 1, reduced exploration) — the per-backend
+/// analogue of [`figure_matrix`], historical dispatcher only since the
+/// dispatcher variant is a Vcl concept.
+pub fn backend_figure_matrix(
+    backend: BackendKind,
+    n_ranks: usize,
+    budget: usize,
+) -> Vec<MatrixRow> {
+    SCENARIOS
+        .iter()
+        .map(|(name, src, _machine, params)| {
+            let cfg = ModelCheckConfig {
+                backend,
+                params: params.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
+                mode: DispatcherMode::Historical,
+                n_ranks,
+                n_hosts: n_ranks + 1,
+                budget,
+                reduce: true,
+                ..ModelCheckConfig::default()
+            };
+            let r = model_check_source(src, &cfg);
+            MatrixRow {
+                name,
+                mode: DispatcherMode::Historical,
+                n_ranks,
+                verdict: r.summary.verdict,
+                explored: r.summary.explored,
+                interned: r.summary.interned,
+                orbit_hits: r.summary.orbit_hits,
+                por_pruned: r.summary.por_pruned,
+                witness_cost: r.summary.witness.as_ref().map(|w| (w.faults, w.steps.len())),
+            }
+        })
+        .collect()
+}
+
+/// Renders the cross-backend matrix as an aligned table (the CI artifact).
+pub fn render_backend_matrix(rows: &[BackendMatrixRow]) -> String {
+    let mut out =
+        String::from("scenario              backend  static    explored  dynamic\n");
+    for r in rows {
+        let dyns: Vec<String> = r.dynamic.iter().map(|(s, c)| format!("{s}:{c}")).collect();
+        out.push_str(&format!(
+            "{:<21} {:<8} {:<9} {:<9} {}{}\n",
+            r.name,
+            r.backend.name(),
+            r.static_verdict.to_string(),
+            r.explored,
+            dyns.join(" "),
+            if r.agrees { "" } else { "  [DISAGREES]" }
+        ));
     }
     out
 }

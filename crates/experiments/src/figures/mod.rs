@@ -138,6 +138,7 @@ pub(crate) fn spec(
         freeze_window: SimDuration::from_secs(timeout_s / 10),
         seed,
         tie_break: failmpi_sim::TieBreak::Fifo,
+        backend: crate::harness::default_backend(),
     }
 }
 

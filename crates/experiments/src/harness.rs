@@ -9,15 +9,18 @@ use std::sync::Arc;
 use std::sync::{Mutex, OnceLock};
 
 use failmpi_analyze::{ModelCheckConfig, Report, StaticVerdict};
+use failmpi_backend::{BackendConfig, BackendKind, ProtocolBackend};
 use failmpi_core::{compile, Deployment, FailAction, FailInput, FailRuntime};
+use failmpi_replica::ReplicaCluster;
+use failmpi_ulfm::UlfmCluster;
 use failmpi_net::{HostId, ProcId};
 use failmpi_obs::{MetricsSnapshot, WallProfile};
 use failmpi_sim::{
     CausalLog, Engine, Fingerprint, FingerprintEvent, JournalEntry, Model, RunOutcome, Scheduler,
-    SimDuration, SimRng, SimTime, TieBreak,
+    SimDuration, SimRng, SimTime, TieBreak, TraceEntry,
 };
 use failmpi_mpi::Program;
-use failmpi_mpichv::{Cluster, Ev, Hook, InstrumentedFn, TrafficStats, VclConfig};
+use failmpi_mpichv::{Cluster, Hook, InstrumentedFn, TrafficStats, VclConfig, VclEvent};
 use failmpi_workloads::{bt_programs_noisy, BtClass};
 
 /// What the cluster computes. FAIL-MPI is application-agnostic (its whole
@@ -41,7 +44,7 @@ impl Workload {
     }
 }
 
-use crate::classify::{classify, Outcome};
+use crate::classify::{classify, classify_entries, Outcome};
 
 /// How the harness treats static-analysis findings on a spec's scenario
 /// (see `failmpi-analyze`): ignore them, print them once per distinct
@@ -110,6 +113,30 @@ pub fn default_expect_freeze() -> bool {
     DEFAULT_EXPECT_FREEZE.load(Ordering::Relaxed)
 }
 
+/// Process-wide default protocol backend, set by the `--backend` CLI flag
+/// (see [`crate::cli::Options`]) before any spec is built, so every figure
+/// binary inherits it without plumbing.
+static DEFAULT_BACKEND: AtomicU8 = AtomicU8::new(0); // BackendKind::Vcl
+
+/// Sets the process-wide default [`BackendKind`] for new specs.
+pub fn set_default_backend(kind: BackendKind) {
+    let v = match kind {
+        BackendKind::Vcl => 0,
+        BackendKind::Ulfm => 1,
+        BackendKind::Replica => 2,
+    };
+    DEFAULT_BACKEND.store(v, Ordering::Relaxed);
+}
+
+/// The current process-wide default [`BackendKind`].
+pub fn default_backend() -> BackendKind {
+    match DEFAULT_BACKEND.load(Ordering::Relaxed) {
+        1 => BackendKind::Ulfm,
+        2 => BackendKind::Replica,
+        _ => BackendKind::Vcl,
+    }
+}
+
 /// How a FAIL scenario is attached to the cluster.
 #[derive(Clone, Debug)]
 pub struct InjectionSpec {
@@ -135,6 +162,10 @@ pub struct InjectionSpec {
     /// this is set — a sweep that can only ever time out burns its whole
     /// budget confirming the prediction.
     pub expect_freeze: bool,
+    /// Protocol backend the scenario's pre-run model check runs against
+    /// (the runtime backend is [`ExperimentSpec::backend`]; the two are
+    /// stamped from the same process-wide default).
+    pub backend: BackendKind,
 }
 
 impl InjectionSpec {
@@ -149,6 +180,7 @@ impl InjectionSpec {
             fail_jitter_max: SimDuration::from_millis(7),
             lint: default_lint_mode(),
             expect_freeze: default_expect_freeze(),
+            backend: default_backend(),
         }
     }
 
@@ -212,6 +244,7 @@ fn cached_model_check(inj: &InjectionSpec) -> failmpi_analyze::ModelCheckResult 
     let mut h = DefaultHasher::new();
     inj.scenario_src.hash(&mut h);
     inj.params.hash(&mut h);
+    inj.backend.name().hash(&mut h);
     let key = h.finish();
     let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
     {
@@ -223,6 +256,7 @@ fn cached_model_check(inj: &InjectionSpec) -> failmpi_analyze::ModelCheckResult 
     // Compute outside the lock: explorations can take tens of ms.
     let cfg = ModelCheckConfig {
         params: inj.params.clone(),
+        backend: inj.backend,
         ..ModelCheckConfig::default()
     };
     let r = failmpi_analyze::model_check_source(&inj.scenario_src, &cfg);
@@ -268,6 +302,11 @@ pub struct ExperimentSpec {
     /// the canonical schedule; [`TieBreak::Seeded`] perturbs it for the
     /// schedule-robustness sweeps (see `failmpi-testkit`).
     pub tie_break: TieBreak,
+    /// Which protocol backend executes the workload. [`BackendKind::Vcl`]
+    /// is the paper's MPICH-V runtime; the others run the same workload,
+    /// scenario, timeout and classification against the ULFM
+    /// shrink-and-continue or replication-failover runtimes.
+    pub backend: BackendKind,
 }
 
 impl ExperimentSpec {
@@ -286,12 +325,23 @@ impl ExperimentSpec {
             freeze_window: crate::classify::FREEZE_WINDOW,
             seed,
             tie_break: TieBreak::Fifo,
+            backend: default_backend(),
         }
     }
 
     /// The same experiment under a perturbed same-instant event order.
     pub fn with_tie_break(mut self, tie_break: TieBreak) -> Self {
         self.tie_break = tie_break;
+        self
+    }
+
+    /// The same experiment on a different protocol backend (also re-tags
+    /// the injection spec so its pre-run model check matches).
+    pub fn with_backend(mut self, backend: BackendKind) -> Self {
+        self.backend = backend;
+        if let Some(inj) = self.injection.as_mut() {
+            inj.backend = backend;
+        }
         self
     }
 }
@@ -327,8 +377,8 @@ pub struct RunRecord {
     pub metrics: MetricsSnapshot,
 }
 
-enum WEv {
-    C(Ev),
+enum WEv<E> {
+    C(E),
     FailTimer { instance: usize, timer: usize, gen: u64 },
     FailMsg { from: usize, to: usize, msg: usize },
 }
@@ -367,8 +417,12 @@ struct FailSide {
     probes: Vec<(usize, usize, ProbeKind, i64)>,
 }
 
-struct World {
-    cluster: Cluster,
+/// One simulation world: any [`ProtocolBackend`] under an optional FAIL
+/// deployment. The harness's binding logic — action application, hook and
+/// probe pumping, fingerprinting — is backend-generic; only construction
+/// and the Vcl-specific instrumentation paths below are concrete.
+struct World<C: ProtocolBackend> {
+    cluster: C,
     fail: Option<FailSide>,
 }
 
@@ -385,12 +439,12 @@ fn func_of_name(name: &str) -> Option<InstrumentedFn> {
     }
 }
 
-impl World {
+impl<C: ProtocolBackend> World<C> {
     fn apply(
         &mut self,
         now: SimTime,
         actions: Vec<FailAction>,
-        sched: &mut Scheduler<WEv>,
+        sched: &mut Scheduler<WEv<C::Event>>,
     ) {
         let Some(fail) = self.fail.as_mut() else {
             return;
@@ -438,7 +492,7 @@ impl World {
 
     /// Pushes application-state probes into the FAIL runtime when the
     /// observed values changed.
-    fn pump_probes(&mut self, now: SimTime, sched: &mut Scheduler<WEv>) {
+    fn pump_probes(&mut self, now: SimTime, sched: &mut Scheduler<WEv<C::Event>>) {
         let Some(fail) = self.fail.as_mut() else {
             return;
         };
@@ -470,7 +524,7 @@ impl World {
     }
 
     /// Converts cluster hooks into FAIL inputs until quiescent.
-    fn pump_hooks(&mut self, now: SimTime, sched: &mut Scheduler<WEv>) {
+    fn pump_hooks(&mut self, now: SimTime, sched: &mut Scheduler<WEv<C::Event>>) {
         loop {
             let hooks = self.cluster.take_hooks();
             if hooks.is_empty() {
@@ -520,10 +574,15 @@ impl World {
     }
 }
 
-impl Model for World {
-    type Event = WEv;
+impl<C: ProtocolBackend> Model for World<C> {
+    type Event = WEv<C::Event>;
 
-    fn handle(&mut self, now: SimTime, ev: WEv, sched: &mut Scheduler<WEv>) {
+    fn handle(
+        &mut self,
+        now: SimTime,
+        ev: WEv<C::Event>,
+        sched: &mut Scheduler<WEv<C::Event>>,
+    ) {
         self.cluster.set_event_cause(sched.current_event());
         match ev {
             WEv::C(e) => self.cluster.dispatch(now, e),
@@ -562,7 +621,7 @@ impl Model for World {
         self.cluster.is_complete()
     }
 
-    fn fingerprint_event(&self, event: &WEv, fp: &mut Fingerprint) {
+    fn fingerprint_event(&self, event: &WEv<C::Event>, fp: &mut Fingerprint) {
         match event {
             WEv::C(e) => {
                 fp.write_u8(1);
@@ -587,9 +646,9 @@ impl Model for World {
         }
     }
 
-    fn describe_event(&self, event: &WEv) -> String {
+    fn describe_event(&self, event: &WEv<C::Event>) -> String {
         match event {
-            WEv::C(e) => e.label(),
+            WEv::C(e) => self.cluster.describe_event(e),
             WEv::FailTimer {
                 instance, timer, ..
             } => format!("fail-timer i{instance} t{timer}"),
@@ -597,17 +656,17 @@ impl Model for World {
         }
     }
 
-    fn event_kind(&self, event: &WEv) -> &'static str {
+    fn event_kind(&self, event: &WEv<C::Event>) -> &'static str {
         match event {
-            WEv::C(e) => e.kind_str(),
+            WEv::C(e) => self.cluster.event_kind(e),
             WEv::FailTimer { .. } => "fail_timer",
             WEv::FailMsg { .. } => "fail_msg",
         }
     }
 
-    fn event_track(&self, event: &WEv) -> u32 {
+    fn event_track(&self, event: &WEv<C::Event>) -> u32 {
         match event {
-            WEv::C(e) => self.cluster.track_of(e),
+            WEv::C(e) => self.cluster.event_track(e),
             // The FAIL-MPI injection side gets its own lane, after every
             // cluster lane.
             WEv::FailTimer { .. } | WEv::FailMsg { .. } => self.cluster.n_tracks(),
@@ -615,9 +674,9 @@ impl Model for World {
     }
 }
 
-/// Track names for the harness world: the cluster lanes plus the FAIL-MPI
-/// injection lane (matching [`Model::event_track`] on the world).
-pub fn world_track_names(cluster: &Cluster) -> Vec<String> {
+/// Track names for the harness world: the backend's lanes plus the
+/// FAIL-MPI injection lane (matching [`Model::event_track`] on the world).
+pub fn world_track_names<C: ProtocolBackend>(cluster: &C) -> Vec<String> {
     let mut names = cluster.track_names();
     names.push("fail-mpi".to_string());
     names
@@ -638,12 +697,171 @@ pub fn programs_for(spec: &ExperimentSpec) -> Vec<Arc<Program>> {
     }
 }
 
-/// Runs one experiment to completion or timeout and classifies it.
+/// Runs one experiment to completion or timeout and classifies it,
+/// dispatching on [`ExperimentSpec::backend`].
 ///
 /// Panics when the spec's scenario fails its [`LintMode::Strict`] gate;
 /// use [`try_run_one`] for a non-panicking strict check.
 pub fn run_one(spec: &ExperimentSpec) -> RunRecord {
-    run_one_keeping_cluster(spec).0
+    run_one_with_trace(spec).0
+}
+
+/// Like [`run_one`], additionally returning the run's lifecycle trace in
+/// the shared [`VclEvent`] vocabulary — the classifier's input, available
+/// for every backend (empty when `record_trace` is off). The conformance
+/// suite recounts metrics from it without needing the backend-specific
+/// cluster back.
+pub fn run_one_with_trace(spec: &ExperimentSpec) -> (RunRecord, Vec<TraceEntry<VclEvent>>) {
+    match spec.backend {
+        BackendKind::Vcl => {
+            let (record, cluster) = run_one_keeping_cluster(spec);
+            let entries = cluster.trace().entries().to_vec();
+            (record, entries)
+        }
+        BackendKind::Ulfm => {
+            let (cfg, ops) = backend_runtime_inputs(spec);
+            run_backend(spec, UlfmCluster::new(cfg, ops, spec.seed))
+        }
+        BackendKind::Replica => {
+            let (cfg, ops) = backend_runtime_inputs(spec);
+            run_backend(spec, ReplicaCluster::new(cfg, ops, spec.seed))
+        }
+    }
+}
+
+/// Derives the generic backends' runtime inputs from a spec. The
+/// [`BackendConfig`] timing surface maps the Vcl deployment constants
+/// (ssh spawn/stagger, init handshake, closure detection); each rank's op
+/// count is its program's progress-marker count — the same iterations the
+/// Vcl interpreter reports as `AppProgress` — and the per-op duration is
+/// the fleet-wide mean compute time between markers, so faults and probes
+/// land mid-run at the same virtual scale as under Vcl. Communication
+/// time is not replayed op-by-op (see DESIGN.md, "Protocol backends").
+fn backend_runtime_inputs(spec: &ExperimentSpec) -> (BackendConfig, Vec<u32>) {
+    let programs = programs_for(spec);
+    let ops: Vec<u32> = programs
+        .iter()
+        .map(|p| {
+            let marks = p
+                .ops()
+                .iter()
+                .filter(|o| matches!(o, failmpi_mpi::Op::Progress(_)))
+                .count();
+            marks.max(1) as u32
+        })
+        .collect();
+    let total_ops: u64 = ops.iter().map(|&o| u64::from(o)).sum();
+    let compute_micros: u64 = programs
+        .iter()
+        .flat_map(|p| p.ops().iter())
+        .filter_map(|o| match o {
+            failmpi_mpi::Op::Compute(d) => Some(d.as_micros()),
+            _ => None,
+        })
+        .sum();
+    let op_delay = if compute_micros == 0 {
+        SimDuration::from_millis(500)
+    } else {
+        SimDuration::from_micros((compute_micros / total_ops.max(1)).max(1_000))
+    };
+    let c = &spec.cluster;
+    let cfg = BackendConfig {
+        n_ranks: c.n_ranks,
+        n_compute_hosts: c.n_compute_hosts,
+        boot_delay: c.ssh_spawn_delay,
+        boot_stagger: c.ssh_stagger,
+        init_delay: c.init_delay_max,
+        detect_delay: c.terminate_delay,
+        round_delay: c.terminate_delay,
+        op_delay,
+        record_trace: c.record_trace,
+    };
+    (cfg, ops)
+}
+
+/// Runs a constructed non-Vcl backend under the spec's scenario, timeout
+/// and classification, producing the same [`RunRecord`] surface as the
+/// Vcl path. The Vcl-only instrumentation modes (trace sink, fingerprint
+/// journal, wall profile, causal export) do not apply here.
+fn run_backend<C: ProtocolBackend>(
+    spec: &ExperimentSpec,
+    cluster: C,
+) -> (RunRecord, Vec<TraceEntry<VclEvent>>) {
+    let fail = spec.injection.as_ref().map(|inj| {
+        let hosts: Vec<HostId> = (0..cluster.n_compute_hosts())
+            .map(|i| cluster.compute_host(i))
+            .collect();
+        build_fail_side(inj, spec.seed, &hosts)
+    });
+    let mut engine = Engine::with_tie_break(World { cluster, fail }, spec.tie_break);
+    for (t, e) in engine.model_mut().cluster.take_outputs() {
+        engine.schedule(t, WEv::C(e));
+    }
+    if engine.model().fail.is_some() {
+        let start_actions = {
+            let fail = engine.model_mut().fail.as_mut().expect("checked");
+            fail.rt.start(&mut fail.rng)
+        };
+        for a in start_actions {
+            match a {
+                FailAction::ArmTimer {
+                    instance,
+                    timer,
+                    gen,
+                    delay,
+                } => engine.schedule(
+                    SimTime::ZERO + delay,
+                    WEv::FailTimer {
+                        instance,
+                        timer,
+                        gen,
+                    },
+                ),
+                FailAction::SendMsg { from, to, msg } => {
+                    engine.schedule(SimTime::ZERO, WEv::FailMsg { from, to, msg })
+                }
+                other => panic!("unexpected start action {other:?}"),
+            }
+        }
+    }
+
+    let engine_outcome = engine.run(spec.timeout);
+    let end = engine.now();
+    let fingerprint = engine.fingerprint();
+    let events = engine.events_handled();
+    let queue_hwm = engine.queue_depth_hwm();
+    let world = engine.into_model();
+    let outcome = classify_entries(
+        world.cluster.trace().entries(),
+        world.cluster.is_complete(),
+        engine_outcome,
+        end,
+        spec.timeout,
+        spec.freeze_window,
+    );
+    let faults_injected = world.fail.as_ref().map_or(0, |f| f.halts);
+
+    let mut metrics = MetricsSnapshot::new();
+    world.cluster.contribute_metrics(&mut metrics);
+    metrics.set_counter("sim.events_handled", events);
+    metrics.set_counter("sim.queue_depth_hwm", queue_hwm as u64);
+    metrics.set_counter("sim.end_micros", end.as_micros());
+    metrics.set_counter("harness.faults_injected", u64::from(faults_injected));
+    crate::metrics::submit(&metrics);
+
+    let record = RunRecord {
+        outcome,
+        end,
+        faults_injected,
+        recoveries: world.cluster.recoveries_started() as usize,
+        waves_committed: world.cluster.waves_committed() as usize,
+        max_progress: world.cluster.max_progress(),
+        traffic: world.cluster.traffic(),
+        fingerprint,
+        events,
+        metrics,
+    };
+    (record, world.cluster.trace().entries().to_vec())
 }
 
 /// Like [`run_one`], but lints the scenario at strict severity first
@@ -715,6 +933,56 @@ pub fn run_one_traced(spec: &ExperimentSpec) -> TracedRun {
     }
 }
 
+/// Builds the FAIL deployment of Fig. 3 — the coordinator `P1` plus one
+/// controller per compute machine (`G1`) — against any backend's host
+/// roster, and wires up every declared probe the harness knows how to
+/// feed. Panics when the scenario fails its lint gate or does not deploy.
+fn build_fail_side(inj: &InjectionSpec, seed: u64, compute_hosts: &[HostId]) -> FailSide {
+    if let Err(report) = lint_injection(inj) {
+        panic!(
+            "refusing to run: scenario fails the strict lint gate \
+             (see failmpi-analyze):\n{}",
+            report.render_human()
+        );
+    }
+    let scenario = compile(&inj.scenario_src).expect("scenario in spec must compile");
+    let mut deployment = Deployment::new();
+    deployment
+        .add_instance("P1", &inj.adversary_class)
+        .expect("fresh deployment");
+    let mut members = Vec::new();
+    let mut host_instance = HashMap::new();
+    for (i, host) in compute_hosts.iter().enumerate() {
+        let idx = deployment
+            .add_instance(&format!("G1[{i}]"), &inj.machine_class)
+            .expect("fresh deployment");
+        members.push(idx);
+        host_instance.insert(*host, idx);
+    }
+    deployment.add_group("G1", members).expect("fresh group");
+    let params: Vec<(&str, i64)> =
+        inj.params.iter().map(|(n, v)| (n.as_str(), *v)).collect();
+    let rt = FailRuntime::new(&scenario, deployment, &params).expect("scenario deploys");
+    let mut probes = Vec::new();
+    for instance in 0..rt.len() {
+        for kind_name in ["committed_wave", "epoch"] {
+            if let Some(slot) = rt.probe_slot(instance, kind_name) {
+                let kind = ProbeKind::of_name(kind_name).expect("known name");
+                probes.push((instance, slot, kind, 0i64));
+            }
+        }
+    }
+    FailSide {
+        rt,
+        rng: SimRng::new(seed).derive(0xFA11),
+        latency: inj.fail_latency,
+        jitter_max: inj.fail_jitter_max,
+        host_instance,
+        halts: 0,
+        probes,
+    }
+}
+
 struct InnerRun {
     record: RunRecord,
     cluster: Cluster,
@@ -724,6 +992,12 @@ struct InnerRun {
 }
 
 fn run_inner(spec: &ExperimentSpec, capture_journal: bool, profile: bool, causal: bool) -> InnerRun {
+    assert_eq!(
+        spec.backend,
+        BackendKind::Vcl,
+        "the instrumented run paths (keeping-cluster/journal/profile/causal) \
+         are Vcl-only; route other backends through run_one"
+    );
     // The `--trace-out` sink claims exactly one run per invocation; the
     // claimed run pays for causal tracing, every other run keeps the
     // zero-overhead disabled path (see `crate::tracesink`).
@@ -733,52 +1007,10 @@ fn run_inner(spec: &ExperimentSpec, capture_journal: bool, profile: bool, causal
     let cluster = Cluster::new(spec.cluster.clone(), programs, spec.seed);
 
     let fail = spec.injection.as_ref().map(|inj| {
-        if let Err(report) = lint_injection(inj) {
-            panic!(
-                "refusing to run: scenario fails the strict lint gate \
-                 (see failmpi-analyze):\n{}",
-                report.render_human()
-            );
-        }
-        let scenario =
-            compile(&inj.scenario_src).expect("scenario in spec must compile");
-        let mut deployment = Deployment::new();
-        deployment
-            .add_instance("P1", &inj.adversary_class)
-            .expect("fresh deployment");
-        let mut members = Vec::new();
-        let mut host_instance = HashMap::new();
-        for i in 0..cluster.n_compute_hosts() {
-            let idx = deployment
-                .add_instance(&format!("G1[{i}]"), &inj.machine_class)
-                .expect("fresh deployment");
-            members.push(idx);
-            host_instance.insert(cluster.compute_host(i), idx);
-        }
-        deployment.add_group("G1", members).expect("fresh group");
-        let params: Vec<(&str, i64)> =
-            inj.params.iter().map(|(n, v)| (n.as_str(), *v)).collect();
-        let rt = FailRuntime::new(&scenario, deployment, &params)
-            .expect("scenario deploys");
-        // Wire up every declared probe the harness knows how to feed.
-        let mut probes = Vec::new();
-        for instance in 0..rt.len() {
-            for kind_name in ["committed_wave", "epoch"] {
-                if let Some(slot) = rt.probe_slot(instance, kind_name) {
-                    let kind = ProbeKind::of_name(kind_name).expect("known name");
-                    probes.push((instance, slot, kind, 0i64));
-                }
-            }
-        }
-        FailSide {
-            rt,
-            rng: SimRng::new(spec.seed).derive(0xFA11),
-            latency: inj.fail_latency,
-            jitter_max: inj.fail_jitter_max,
-            host_instance,
-            halts: 0,
-            probes,
-        }
+        let hosts: Vec<HostId> = (0..cluster.n_compute_hosts())
+            .map(|i| cluster.compute_host(i))
+            .collect();
+        build_fail_side(inj, spec.seed, &hosts)
     });
 
     let mut engine = Engine::with_tie_break(World { cluster, fail }, spec.tie_break);

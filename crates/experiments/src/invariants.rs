@@ -155,6 +155,7 @@ mod tests {
             freeze_window: SimDuration::from_secs(9),
             seed,
             tie_break: failmpi_sim::TieBreak::Fifo,
+            backend: failmpi_backend::BackendKind::Vcl,
         }
     }
 

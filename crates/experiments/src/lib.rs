@@ -37,13 +37,16 @@ pub mod sweep;
 pub mod tracesink;
 
 pub use classify::{classify_entries, Outcome};
+pub use failmpi_backend::{BackendConfig, BackendKind, ProtocolBackend};
 pub use crosscheck::{
-    crosscheck_builtins, crosscheck_builtins_mode, crosscheck_one, figure_matrix,
-    render_matrix, runnable_builtins, smoke_spec_for, verdicts_agree, CrosscheckRow, MatrixRow,
+    backend_crosscheck_one, backend_figure_matrix, backend_matrix, crosscheck_builtins,
+    crosscheck_builtins_mode, crosscheck_one, figure_matrix, render_backend_matrix,
+    render_matrix, runnable_builtins, smoke_spec_for, verdicts_agree, BackendMatrixRow,
+    CrosscheckRow, MatrixRow,
 };
 pub use harness::{
-    lint_injection, run_one, run_one_instrumented, run_one_keeping_cluster, run_one_profiled,
-    run_one_traced, set_default_expect_freeze, try_run_one, ExperimentSpec, InjectionSpec,
-    LintMode, RunRecord, TracedRun, Workload,
+    default_backend, lint_injection, run_one, run_one_instrumented, run_one_keeping_cluster,
+    run_one_profiled, run_one_traced, run_one_with_trace, set_default_backend, set_default_expect_freeze, try_run_one,
+    ExperimentSpec, InjectionSpec, LintMode, RunRecord, TracedRun, Workload,
 };
 pub use invariants::{validate_entries, validate_trace};

@@ -36,12 +36,26 @@ pub fn outcome_class(outcome: &Outcome) -> &'static str {
 /// trace invariants on the way out.
 pub fn perturbed_outcome(spec: &ExperimentSpec, tie_seed: u64) -> PerturbationOutcome {
     let perturbed = spec.clone().with_tie_break(TieBreak::Seeded(tie_seed));
-    let (record, cluster) = run_one_keeping_cluster(&perturbed);
-    PerturbationOutcome {
-        seed: tie_seed,
-        classification: outcome_class(&record.outcome).to_string(),
-        fingerprint: record.fingerprint,
-        invariant_violation: validate_trace(&cluster).err(),
+    // The Vcl path keeps the cluster back for the trace invariants; the
+    // generic backends run through the plain harness (their lifecycle
+    // traces carry no wave/incarnation structure for `validate_trace`
+    // to check).
+    if perturbed.backend == failmpi_backend::BackendKind::Vcl {
+        let (record, cluster) = run_one_keeping_cluster(&perturbed);
+        PerturbationOutcome {
+            seed: tie_seed,
+            classification: outcome_class(&record.outcome).to_string(),
+            fingerprint: record.fingerprint,
+            invariant_violation: validate_trace(&cluster).err(),
+        }
+    } else {
+        let record = crate::harness::run_one(&perturbed);
+        PerturbationOutcome {
+            seed: tie_seed,
+            classification: outcome_class(&record.outcome).to_string(),
+            fingerprint: record.fingerprint,
+            invariant_violation: None,
+        }
     }
 }
 

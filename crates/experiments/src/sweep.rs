@@ -82,6 +82,7 @@ mod tests {
             freeze_window: SimDuration::from_secs(15),
             seed,
             tie_break: failmpi_sim::TieBreak::Fifo,
+            backend: failmpi_backend::BackendKind::Vcl,
         }
     }
 

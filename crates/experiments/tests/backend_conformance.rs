@@ -1,0 +1,177 @@
+//! Backend conformance: every protocol backend behind [`run_one`] must
+//! honor the harness' cross-cutting contracts — determinism, metrics
+//! integrity, the lint gate, and classified outcomes — not just produce
+//! *a* run. The `for_each_backend!` macro stamps each contract out as one
+//! `#[test]` per backend, so a regression names the offending protocol
+//! directly (`determinism_double_run::ulfm`, …).
+
+use failmpi_backend::BackendKind;
+use failmpi_experiments::robustness::outcome_class;
+use failmpi_experiments::{
+    run_one, run_one_with_trace, smoke_spec_for, try_run_one, ExperimentSpec,
+};
+use failmpi_mpichv::{DispatcherMode, VclEvent};
+
+/// Expands each `fn body(backend: BackendKind)` into a module with one
+/// `#[test]` per protocol backend.
+macro_rules! for_each_backend {
+    ($(fn $name:ident($backend:ident: BackendKind) $body:block)*) => {
+        $(mod $name {
+            use super::*;
+
+            fn body($backend: BackendKind) $body
+
+            #[test]
+            fn vcl() {
+                body(BackendKind::Vcl);
+            }
+
+            #[test]
+            fn ulfm() {
+                body(BackendKind::Ulfm);
+            }
+
+            #[test]
+            fn replica() {
+                body(BackendKind::Replica);
+            }
+        })*
+    };
+}
+
+/// The conformance campaign: the Fig. 10 state-synchronized scenario at
+/// the crosscheck's smoke scale. It exercises every contract at once —
+/// faults land, recoveries start, and the backends *classify it
+/// differently* (Vcl freezes, ULFM completes), which is exactly why the
+/// contracts below must hold uniformly anyway.
+fn campaign(backend: BackendKind, seed: u64) -> ExperimentSpec {
+    let src = include_str!("../../core/scenarios/fig10_state_sync.fail");
+    smoke_spec_for(src, "ADVG1", &[("T", 2), ("N", 5)], seed, DispatcherMode::Historical)
+        .with_backend(backend)
+}
+
+/// A scenario with guaranteed `Error`-level lint findings: `ping` goes to
+/// a class that never receives it (FA008) and `?ack` can never be
+/// satisfied (FA009).
+const BROKEN_SRC: &str = "daemon ADV1 {\n  node 1:\n    onload -> !ping(G1[0]), goto 2;\n  node 2:\n    ?ack -> goto 1;\n}\ndaemon ADVnodes {\n  node 1:\n    onload -> continue, goto 1;\n}\ninstance P1 = ADV1;\ngroup G1[4] = ADVnodes;\n";
+
+for_each_backend! {
+    fn determinism_double_run(backend: BackendKind) {
+        // Same spec, two fresh processes' worth of state: the schedule
+        // fingerprint, event count, classified outcome, and the entire
+        // metrics snapshot must reproduce byte-for-byte.
+        for seed in [1u64, 2] {
+            let spec = campaign(backend, seed);
+            let a = run_one(&spec);
+            let b = run_one(&spec);
+            assert_eq!(a.fingerprint, b.fingerprint, "{backend}/seed{seed}");
+            assert_ne!(a.fingerprint, 0, "{backend}/seed{seed}: degenerate fingerprint");
+            assert_eq!(a.events, b.events, "{backend}/seed{seed}");
+            assert_eq!(
+                outcome_class(&a.outcome),
+                outcome_class(&b.outcome),
+                "{backend}/seed{seed}"
+            );
+            assert_eq!(
+                a.metrics.to_json(),
+                b.metrics.to_json(),
+                "{backend}/seed{seed}: metrics snapshot not reproducible"
+            );
+        }
+    }
+
+    fn fingerprint_ignores_trace_recording(backend: BackendKind) {
+        // The fingerprint folds the *engine's* event stream and the
+        // metrics observe events before the log stores them, so turning
+        // the lifecycle trace off must change neither.
+        let spec = campaign(backend, 1);
+        let mut untraced = spec.clone();
+        untraced.cluster.record_trace = false;
+        let traced = run_one(&spec);
+        let blind = run_one(&untraced);
+        assert_eq!(traced.fingerprint, blind.fingerprint, "{backend}");
+        assert_eq!(
+            traced.metrics.to_json(),
+            blind.metrics.to_json(),
+            "{backend}: disabling the trace changed the metrics"
+        );
+    }
+
+    fn lint_gate_refuses_broken_scenarios(backend: BackendKind) {
+        // The strict pre-run gate is protocol-independent: no backend may
+        // run a scenario with Error-level findings.
+        let mut spec = campaign(backend, 1);
+        spec.injection = Some(
+            failmpi_experiments::InjectionSpec::new(BROKEN_SRC, "ADV1", "ADVnodes"),
+        );
+        let report = try_run_one(&spec).expect_err("strict gate must refuse");
+        assert!(report.has_errors(), "{backend}: gate passed a broken scenario");
+        let codes: Vec<_> = report.diagnostics.iter().map(|d| d.code).collect();
+        assert!(codes.contains(&"FA008"), "{backend}: got {codes:?}");
+    }
+
+    fn metrics_agree_with_trace_recount(backend: BackendKind) {
+        // Every backend narrates its lifecycle in the shared `VclEvent`
+        // vocabulary (the classifier's input). The counters it contributes
+        // must equal the counts recomputed from that trace — the
+        // cross-layer consistency the Vcl-only property test checks in
+        // depth, here held to uniformly.
+        let (faults_key, progress_key) = match backend {
+            BackendKind::Vcl => ("mpichv.failures_detected", "mpichv.max_progress"),
+            BackendKind::Ulfm => ("ulfm.faults_detected", "ulfm.max_progress"),
+            BackendKind::Replica => ("replica.faults_detected", "replica.max_progress"),
+        };
+        for seed in [1u64, 2, 3] {
+            let spec = campaign(backend, seed);
+            let (record, entries) = run_one_with_trace(&spec);
+            let mut detected = 0u64;
+            let mut recoveries = 0u64;
+            let mut committed = 0u64;
+            let mut max_progress = 0u64;
+            for e in &entries {
+                match &e.kind {
+                    VclEvent::FailureDetected { .. } => detected += 1,
+                    VclEvent::RecoveryStarted { .. } => recoveries += 1,
+                    VclEvent::WaveCommitted { .. } => committed += 1,
+                    VclEvent::AppProgress { iter, .. } => {
+                        max_progress = max_progress.max(u64::from(*iter));
+                    }
+                    _ => {}
+                }
+            }
+            let tag = format!("{backend}/seed{seed}");
+            assert_eq!(record.metrics.counter(faults_key), detected, "{tag}");
+            assert_eq!(record.recoveries as u64, recoveries, "{tag}");
+            assert_eq!(record.waves_committed as u64, committed, "{tag}");
+            assert_eq!(record.metrics.counter(progress_key), max_progress, "{tag}");
+            assert_eq!(u64::from(record.max_progress), max_progress, "{tag}");
+            assert_eq!(
+                record.metrics.counter("harness.faults_injected"),
+                u64::from(record.faults_injected),
+                "{tag}"
+            );
+            assert_eq!(
+                record.metrics.counter("sim.events_handled"),
+                record.events,
+                "{tag}"
+            );
+        }
+    }
+
+    fn every_builtin_reaches_a_classified_outcome(backend: BackendKind) {
+        // The acceptance floor: each backend runs every runnable builtin
+        // to a classification — no panics, no unclassifiable outcomes.
+        for (name, src, machine, params) in failmpi_experiments::runnable_builtins() {
+            let spec =
+                smoke_spec_for(src, machine, params, 1, DispatcherMode::Historical)
+                    .with_backend(backend);
+            let record = run_one(&spec);
+            let class = outcome_class(&record.outcome);
+            assert!(
+                ["completed", "buggy", "non-terminating"].contains(&class),
+                "{backend}/{name}: unclassified outcome {:?}",
+                record.outcome
+            );
+        }
+    }
+}

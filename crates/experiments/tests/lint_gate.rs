@@ -26,6 +26,7 @@ fn miniature(seed: u64) -> ExperimentSpec {
         freeze_window: SimDuration::from_secs(9),
         seed,
         tie_break: failmpi_sim::TieBreak::Fifo,
+        backend: failmpi_backend::BackendKind::Vcl,
     }
 }
 

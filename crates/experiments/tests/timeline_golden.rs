@@ -34,6 +34,7 @@ fn spec(seed: u64) -> ExperimentSpec {
         freeze_window: SimDuration::from_secs(9),
         seed,
         tie_break: failmpi_sim::TieBreak::Fifo,
+        backend: failmpi_backend::BackendKind::Vcl,
     }
 }
 

@@ -41,6 +41,7 @@ fn tiny_spec() -> ExperimentSpec {
         freeze_window: SimDuration::from_secs(3),
         seed: 11,
         tie_break: failmpi_sim::TieBreak::Fifo,
+        backend: failmpi_backend::BackendKind::Vcl,
     }
 }
 

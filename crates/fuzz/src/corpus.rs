@@ -41,6 +41,18 @@ pub struct CorpusEntry {
     pub dynamic_historical: Vec<(u64, String)>,
     /// Pinned `(seed, outcome class)` probes, fixed dispatcher.
     pub dynamic_fixed: Vec<(u64, String)>,
+    /// Pinned static verdict of the ULFM abstract model. Empty in
+    /// manifests written before the backend axis existed; replay skips
+    /// empty pins.
+    pub static_ulfm: String,
+    /// Pinned `(seed, outcome class)` probes through the ULFM runtime.
+    pub dynamic_ulfm: Vec<(u64, String)>,
+    /// Pinned static verdict of the replication abstract model (empty =
+    /// unpinned, as for `static_ulfm`).
+    pub static_replica: String,
+    /// Pinned `(seed, outcome class)` probes through the replication
+    /// runtime.
+    pub dynamic_replica: Vec<(u64, String)>,
     /// The behavioural novelty key that earned the slot (documentation;
     /// digests inside are build-specific and not re-checked on replay).
     pub coverage_key: String,
@@ -51,11 +63,20 @@ pub const MANIFEST: &str = "corpus.json";
 
 /// Builds a manifest entry from a candidate and its evaluation.
 pub fn entry_of(cand: &Candidate, ev: &Evaluation, coverage_key: &str) -> CorpusEntry {
-    let dyn_pin = |runs: &[crate::oracle::DynRun]| {
+    let dyn_pin = |runs: &[crate::oracle::DynRun]| -> Vec<(u64, String)> {
         runs.iter()
             .map(|r| (r.seed, r.class.to_string()))
             .collect()
     };
+    let backend = |kind: failmpi_backend::BackendKind| {
+        ev.backends
+            .iter()
+            .find(|b| b.backend == kind)
+            .map(|b| (b.summary.verdict.to_string(), dyn_pin(&b.dynamic)))
+            .unwrap_or_default()
+    };
+    let (static_ulfm, dynamic_ulfm) = backend(failmpi_backend::BackendKind::Ulfm);
+    let (static_replica, dynamic_replica) = backend(failmpi_backend::BackendKind::Replica);
     CorpusEntry {
         name: cand.name.clone(),
         file: format!("{}.fail", cand.name),
@@ -66,6 +87,10 @@ pub fn entry_of(cand: &Candidate, ev: &Evaluation, coverage_key: &str) -> Corpus
         static_fixed: ev.static_f.verdict.to_string(),
         dynamic_historical: dyn_pin(&ev.dynamic_h),
         dynamic_fixed: dyn_pin(&ev.dynamic_f),
+        static_ulfm,
+        dynamic_ulfm,
+        static_replica,
+        dynamic_replica,
         coverage_key: coverage_key.to_string(),
     }
 }
@@ -89,6 +114,26 @@ fn str_field(v: &Value, key: &str, ctx: &str) -> Result<String, String> {
         .and_then(Value::as_str)
         .map(str::to_string)
         .ok_or_else(|| format!("{ctx}: missing string field `{key}`"))
+}
+
+/// Like [`str_field`] but tolerant of the field being absent — manifests
+/// written before the backend axis carry no per-backend pins.
+fn opt_str_field(v: &Value, key: &str, ctx: &str) -> Result<String, String> {
+    match v.get(key) {
+        None => Ok(String::new()),
+        Some(f) => f
+            .as_str()
+            .map(str::to_string)
+            .ok_or_else(|| format!("{ctx}: non-string field `{key}`")),
+    }
+}
+
+/// Like [`pin_list`] but tolerant of the field being absent.
+fn opt_pin_list(v: &Value, key: &str, ctx: &str) -> Result<Vec<(u64, String)>, String> {
+    if v.get(key).is_none() {
+        return Ok(Vec::new());
+    }
+    pin_list(v, key, ctx)
 }
 
 fn pin_list(v: &Value, key: &str, ctx: &str) -> Result<Vec<(u64, String)>, String> {
@@ -148,6 +193,10 @@ pub fn load_corpus(dir: &Path) -> Result<Vec<(CorpusEntry, String)>, String> {
             static_fixed: str_field(row, "static_fixed", &ctx)?,
             dynamic_historical: pin_list(row, "dynamic_historical", &ctx)?,
             dynamic_fixed: pin_list(row, "dynamic_fixed", &ctx)?,
+            static_ulfm: opt_str_field(row, "static_ulfm", &ctx)?,
+            dynamic_ulfm: opt_pin_list(row, "dynamic_ulfm", &ctx)?,
+            static_replica: opt_str_field(row, "static_replica", &ctx)?,
+            dynamic_replica: opt_pin_list(row, "dynamic_replica", &ctx)?,
             coverage_key: str_field(row, "coverage_key", &ctx)?,
         };
         let src_path = dir.join(&file);
@@ -212,6 +261,34 @@ pub fn replay_entry(entry: &CorpusEntry, source: &str, cfg: &FuzzConfig) -> Vec<
             if *pinned != run.class {
                 drift(format!(
                     "dynamic class ({mode}, seed {seed}) is {}, pinned {pinned}",
+                    run.class
+                ));
+            }
+        }
+    }
+
+    // The per-backend pins, when the manifest carries them (empty pins
+    // mean a pre-backend manifest; nothing to check).
+    for be in &ev.backends {
+        let (static_pin, dyn_pins) = match be.backend {
+            failmpi_backend::BackendKind::Ulfm => (&entry.static_ulfm, &entry.dynamic_ulfm),
+            failmpi_backend::BackendKind::Replica => {
+                (&entry.static_replica, &entry.dynamic_replica)
+            }
+            failmpi_backend::BackendKind::Vcl => continue,
+        };
+        if !static_pin.is_empty() && be.summary.verdict.to_string() != *static_pin {
+            drift(format!(
+                "static verdict ({}) is {}, pinned {static_pin}",
+                be.backend.name(),
+                be.summary.verdict
+            ));
+        }
+        for ((seed, pinned), run) in dyn_pins.iter().zip(&be.dynamic) {
+            if *pinned != run.class {
+                drift(format!(
+                    "dynamic class ({}, seed {seed}) is {}, pinned {pinned}",
+                    be.backend.name(),
                     run.class
                 ));
             }

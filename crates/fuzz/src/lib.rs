@@ -57,7 +57,7 @@ use std::path::PathBuf;
 use failmpi_analyze::Report;
 use serde::Serialize;
 
-pub use corpus::{entry_of, load_corpus, replay_entry, write_corpus, CorpusEntry};
+pub use corpus::{candidate_of, entry_of, load_corpus, replay_entry, write_corpus, CorpusEntry};
 pub use coverage::{key_of, Coverage};
 pub use gen::{passes_filter, Candidate, Generator};
 pub use minimize::minimize;

@@ -9,6 +9,7 @@
 //! | FZ003 | warning | Fig. 10-family freeze rediscovered (the known defect) |
 //! | FZ004 | error | corpus replay drift (a pinned verdict changed) |
 //! | FZ007 | warning | a statically reachable freeze no probe seed realized (over-approximation) |
+//! | FZ008 | info | backend divergence: the scenario separates protocol backends |
 //!
 //! The agreement contract is direction-aware. The checker explores *all*
 //! abstract schedules, so `freezes` is an over-approximation — a witness
@@ -22,6 +23,7 @@ use std::collections::BTreeSet;
 use failmpi_analyze::{
     model_check_source, Diagnostic, ModelCheckConfig, ModelSummary, Severity, StaticVerdict,
 };
+use failmpi_backend::BackendKind;
 use failmpi_experiments::robustness::outcome_class;
 use failmpi_experiments::{
     run_one, run_one_traced, smoke_spec_for, tracesink, verdicts_agree, LintMode,
@@ -69,6 +71,27 @@ pub struct DynRun {
     pub fingerprint: u64,
 }
 
+/// One alternate protocol backend's view of a candidate: the static
+/// verdict of its abstract model next to the same probe seeds run through
+/// its runtime. The Vcl view lives in the historical/fixed fields of
+/// [`Evaluation`]; these rows cover the non-Vcl backends.
+#[derive(Clone, Debug)]
+pub struct BackendEval {
+    /// The protocol backend probed.
+    pub backend: BackendKind,
+    /// Model-check summary of this backend's abstract model.
+    pub summary: ModelSummary,
+    /// Dynamic probes through this backend's runtime.
+    pub dynamic: Vec<DynRun>,
+}
+
+impl BackendEval {
+    /// Whether any probe froze under this backend.
+    pub fn buggy(&self) -> bool {
+        self.dynamic.iter().any(|r| r.class == "buggy")
+    }
+}
+
 /// Everything both oracles observed about one candidate.
 #[derive(Clone, Debug)]
 pub struct Evaluation {
@@ -85,6 +108,9 @@ pub struct Evaluation {
     pub fig10_family: bool,
     /// Causal narration of the first frozen historical run, when any.
     pub narration: Option<String>,
+    /// The alternate protocol backends' views (ULFM, replication) — the
+    /// differential oracle's third axis next to the dispatcher modes.
+    pub backends: Vec<BackendEval>,
 }
 
 impl Evaluation {
@@ -113,9 +139,10 @@ impl Evaluation {
     }
 }
 
-fn probe(cand: &Candidate, seed: u64, mode: DispatcherMode) -> DynRun {
+fn probe(cand: &Candidate, seed: u64, mode: DispatcherMode, backend: BackendKind) -> DynRun {
     let params: Vec<(&str, i64)> = cand.params.iter().map(|(k, v)| (k.as_str(), *v)).collect();
-    let mut spec = smoke_spec_for(&cand.source, &cand.machine_class, &params, seed, mode);
+    let mut spec = smoke_spec_for(&cand.source, &cand.machine_class, &params, seed, mode)
+        .with_backend(backend);
     // The generator already FA-filtered the source; the gate would only
     // re-lint it (and spam stderr once per distinct mutant).
     if let Some(inj) = spec.injection.as_mut() {
@@ -163,14 +190,14 @@ pub fn evaluate(cand: &Candidate, cfg: &FuzzConfig) -> Evaluation {
         let mut runs: Vec<DynRun> = cfg
             .probe_seeds
             .iter()
-            .map(|&seed| probe(cand, seed, mode))
+            .map(|&seed| probe(cand, seed, mode, BackendKind::Vcl))
             .collect();
         if let Some(extra) = ladder {
             if !runs.iter().any(|r| r.class == "buggy") {
                 let from = runs.iter().map(|r| r.seed).max().unwrap_or(0) + 1;
                 let to = (from + extra as u64).saturating_sub(1).min(cfg.escalate_cap);
                 for seed in from..=to {
-                    let run = probe(cand, seed, mode);
+                    let run = probe(cand, seed, mode, BackendKind::Vcl);
                     let hit = run.class == "buggy";
                     runs.push(run);
                     if hit {
@@ -212,6 +239,32 @@ pub fn evaluate(cand: &Candidate, cfg: &FuzzConfig) -> Evaluation {
         None => (false, None),
     };
 
+    // The non-Vcl backends: one static check of each backend's abstract
+    // model plus the base probe seeds through its runtime. No escalation
+    // ladder — the backend axis hunts divergence, not realization, and
+    // the corpus pins exactly these seeds.
+    let backends = [BackendKind::Ulfm, BackendKind::Replica]
+        .into_iter()
+        .map(|backend| {
+            let mc = ModelCheckConfig {
+                backend,
+                params: cand.params.clone(),
+                mode: DispatcherMode::Historical,
+                budget: cfg.model_budget,
+                ..ModelCheckConfig::default()
+            };
+            BackendEval {
+                backend,
+                summary: model_check_source(&cand.source, &mc).summary,
+                dynamic: cfg
+                    .probe_seeds
+                    .iter()
+                    .map(|&seed| probe(cand, seed, DispatcherMode::Historical, backend))
+                    .collect(),
+            }
+        })
+        .collect();
+
     Evaluation {
         static_h,
         static_f,
@@ -219,6 +272,7 @@ pub fn evaluate(cand: &Candidate, cfg: &FuzzConfig) -> Evaluation {
         dynamic_f,
         fig10_family,
         narration,
+        backends,
     }
 }
 
@@ -322,6 +376,36 @@ pub fn findings_for(ev: &Evaluation, known_freeze_fps: &BTreeSet<u64>) -> Vec<Di
                 ),
                 "a freeze with a different root cause than the paper's \
                  dispatcher bug — walk the causal narration",
+            ));
+        }
+    }
+
+    // Backend divergence: the scenario separates the protocol backends'
+    // concrete behaviour. Informational — divergence is the differential
+    // suite's raw material (a Vcl-only freeze localizes the dispatcher
+    // bug; a backend-only freeze exposes that protocol's own failure
+    // mode), not a defect in itself.
+    for be in &ev.backends {
+        if be.buggy() != ev.h_buggy() {
+            let (frozen, surviving) = if ev.h_buggy() {
+                ("vcl".to_string(), be.backend.name().to_string())
+            } else {
+                (be.backend.name().to_string(), "vcl".to_string())
+            };
+            out.push(Diagnostic::new(
+                Severity::Info,
+                "FZ008",
+                0,
+                format!(
+                    "backend divergence: freezes under {frozen} but survives \
+                     under {surviving} (static {}, probes [{}])",
+                    be.summary.verdict,
+                    dyn_note(&be.dynamic)
+                ),
+                "the scenario separates the recovery protocols — a vcl-only \
+                 freeze localizes the dispatcher bug, a backend-only freeze \
+                 is that protocol's own failure mode (see the cross-backend \
+                 matrix in failmpi-experiments)",
             ));
         }
     }

@@ -18,143 +18,13 @@
 
 use crate::config::DispatcherMode;
 
-/// Saturation cap for the abstract epoch counter (recoveries so far).
-pub const EPOCH_CAP: u8 = 8;
-/// Saturation cap for committed checkpoint waves tracked by the model.
-pub const WAVE_CAP: u8 = 2;
-/// Saturation cap for per-rank process incarnations.
-pub const INCARNATION_CAP: u8 = 8;
-
-/// Abstract lifecycle phase of one rank slot.
-///
-/// This refines [`crate::dispatcher`]'s `RankState` with the daemon-side
-/// distinction the fault-vs-registration race needs: `Starting` splits into
-/// [`AbstractPhase::Launched`] (ssh issued, nothing to kill yet) and
-/// [`AbstractPhase::Booted`] (process up and `onload` fired, but not yet
-/// registered — a fault here is the benign launch-retry path of paper
-/// Fig. 9). `Stopped` without a pending relaunch is [`AbstractPhase::Lost`]:
-/// the stale dispatcher entry of the paper's headline bug.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub enum AbstractPhase {
-    /// ssh launch issued; no process exists yet.
-    Launched,
-    /// The daemon process is up (`onload` fired) but has not registered
-    /// with the dispatcher. Its death is detected as a launch failure and
-    /// retried — the benign pre-registration window.
-    Booted,
-    /// Registered with the dispatcher; the control stream exists, so its
-    /// closure now counts as a failure.
-    Registered,
-    /// `localMPI_setCommand` acked; waiting for the rest of the fleet.
-    Ready,
-    /// The run broadcast went out; the rank is computing.
-    Running,
-    /// Told to terminate during failure handling; closure pending, process
-    /// still alive (the straggler window of the current recovery).
-    Stopping,
-    /// The stale dispatcher entry: filed as stopped by the Historical
-    /// bookkeeping while its relaunch was already consumed — nobody will
-    /// ever start it again, and the all-ready barrier can never complete.
-    Lost,
-    /// The rank's MPI process finalized. (Unreachable in the bounded
-    /// model — completion is abstracted away — but kept so the phase set
-    /// matches the dispatcher's `RankState`.)
-    Done,
-}
-
-impl AbstractPhase {
-    /// Whether a live daemon process exists in this phase (something a
-    /// fault injection can actually kill).
-    pub fn process_alive(self) -> bool {
-        matches!(
-            self,
-            AbstractPhase::Booted
-                | AbstractPhase::Registered
-                | AbstractPhase::Ready
-                | AbstractPhase::Running
-                | AbstractPhase::Stopping
-                | AbstractPhase::Done
-        )
-    }
-}
-
-/// Abstract state of one rank slot.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct AbstractRank {
-    /// Lifecycle phase.
-    pub phase: AbstractPhase,
-    /// Machine (host index) currently assigned to the rank.
-    pub host: u8,
-    /// Process incarnation, bumped on every relaunch (saturating at
-    /// [`INCARNATION_CAP`]). Monotone by construction — the model checker
-    /// uses it to name fault targets and to detect scenarios that aim at a
-    /// superseded incarnation.
-    pub incarnation: u8,
-}
-
-/// A protocol-internal or environment step of the abstract model.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub enum AbstractStep {
-    /// The pending ssh launch of a rank completes: its daemon process
-    /// starts on the assigned host (fires `onload` there).
-    Spawn(u8),
-    /// A booted daemon dials the dispatcher and registers.
-    Register(u8),
-    /// A registered daemon acks `SetCommand`; when the whole fleet is
-    /// ready the run (re)starts and the recovery completes.
-    Ready(u8),
-    /// A terminate-ordered daemon finishes stopping: its closure is
-    /// observed and the rank is relaunched in place.
-    StopClosure(u8),
-    /// Environment: a fault kills the daemon process of this rank (the
-    /// FAIL `halt` action, routed through the rank's controller).
-    Fault(u8),
-    /// The checkpoint scheduler opens a wave (quiescent states only).
-    WaveStart,
-    /// The open wave commits on its last ack.
-    WaveCommit,
-}
-
-/// Observable side effect of applying an [`AbstractStep`] — the hooks and
-/// probe updates the FAIL side of the product reacts to.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub enum AbstractEvent {
-    /// A process registered with the FAIL daemon on `host` (`onload`).
-    OnLoad {
-        /// Host the process started on.
-        host: u8,
-    },
-    /// The process on `host` exited normally (`onexit`).
-    OnExit {
-        /// Host whose process exited.
-        host: u8,
-    },
-    /// The process on `host` died abnormally (`onerror`).
-    OnError {
-        /// Host whose process died.
-        host: u8,
-    },
-    /// A checkpoint wave committed; carries the new count (the
-    /// `committed_wave` probe value).
-    CommittedWave(u8),
-    /// A recovery started; carries the new epoch (the `epoch` probe
-    /// value).
-    EpochBumped(u8),
-    /// A failure was detected on a registered rank — the dispatcher's
-    /// `FailureDetected` trace point, used for witness extraction.
-    FailureDetected {
-        /// The victim rank.
-        rank: u8,
-        /// Whether a recovery was already in flight (the bug window).
-        during_recovery: bool,
-    },
-    /// The Historical bookkeeping absorbed the closure: the rank becomes a
-    /// stale dispatcher entry and will never be relaunched.
-    RankLost {
-        /// The forgotten rank.
-        rank: u8,
-    },
-}
+// The phase/step/event vocabulary (and its saturation caps) is shared by
+// every protocol backend's abstract model; it lives in `failmpi-backend`
+// and is re-exported here so existing paths keep working.
+pub use failmpi_backend::{
+    AbstractEvent, AbstractPhase, AbstractRank, AbstractStep, EPOCH_CAP, INCARNATION_CAP,
+    WAVE_CAP,
+};
 
 /// The abstract Vcl protocol state: dispatcher bookkeeping plus a coarse
 /// checkpoint-wave counter.

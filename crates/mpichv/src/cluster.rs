@@ -767,6 +767,114 @@ impl Cluster {
     }
 }
 
+impl failmpi_backend::ProtocolBackend for Cluster {
+    type Event = Ev;
+
+    fn kind(&self) -> failmpi_backend::BackendKind {
+        failmpi_backend::BackendKind::Vcl
+    }
+
+    fn set_event_cause(&mut self, cause: Option<failmpi_sim::EventId>) {
+        Cluster::set_event_cause(self, cause);
+    }
+
+    fn dispatch(&mut self, now: SimTime, ev: Ev) {
+        Cluster::dispatch(self, now, ev);
+    }
+
+    fn take_outputs(&mut self) -> Vec<(SimTime, Ev)> {
+        Cluster::take_outputs(self)
+    }
+
+    fn take_hooks(&mut self) -> Vec<Hook> {
+        Cluster::take_hooks(self)
+    }
+
+    fn is_complete(&self) -> bool {
+        Cluster::is_complete(self)
+    }
+
+    fn fail_halt(&mut self, now: SimTime, proc: ProcId) {
+        Cluster::fail_halt(self, now, proc);
+    }
+
+    fn fail_stop(&mut self, now: SimTime, proc: ProcId) {
+        Cluster::fail_stop(self, now, proc);
+    }
+
+    fn fail_continue(&mut self, now: SimTime, proc: ProcId) {
+        Cluster::fail_continue(self, now, proc);
+    }
+
+    fn arm_breakpoint(&mut self, proc: ProcId, func: InstrumentedFn) {
+        Cluster::arm_breakpoint(self, proc, func);
+    }
+
+    fn clear_breakpoints(&mut self, proc: ProcId) {
+        Cluster::clear_breakpoints(self, proc);
+    }
+
+    fn compute_host(&self, i: usize) -> HostId {
+        Cluster::compute_host(self, i)
+    }
+
+    fn n_compute_hosts(&self) -> usize {
+        Cluster::n_compute_hosts(self)
+    }
+
+    fn committed_wave(&self) -> Option<u32> {
+        Cluster::committed_wave(self)
+    }
+
+    fn epoch(&self) -> u32 {
+        Cluster::epoch(self)
+    }
+
+    fn event_track(&self, ev: &Ev) -> u32 {
+        self.track_of(ev)
+    }
+
+    fn n_tracks(&self) -> u32 {
+        Cluster::n_tracks(self)
+    }
+
+    fn track_names(&self) -> Vec<String> {
+        Cluster::track_names(self)
+    }
+
+    fn describe_event(&self, ev: &Ev) -> String {
+        ev.label()
+    }
+
+    fn event_kind(&self, ev: &Ev) -> &'static str {
+        ev.kind_str()
+    }
+
+    fn trace(&self) -> &TraceLog<VclEvent> {
+        Cluster::trace(self)
+    }
+
+    fn recoveries_started(&self) -> u64 {
+        self.metrics().recoveries_started.get()
+    }
+
+    fn waves_committed(&self) -> u64 {
+        self.metrics().waves_committed.get()
+    }
+
+    fn max_progress(&self) -> u32 {
+        self.metrics().max_progress
+    }
+
+    fn traffic(&self) -> TrafficStats {
+        Cluster::traffic(self)
+    }
+
+    fn contribute_metrics(&self, snap: &mut failmpi_obs::MetricsSnapshot) {
+        Cluster::contribute_metrics(self, snap);
+    }
+}
+
 /// [`Model`] wrapper running a cluster without fault injection.
 pub struct ClusterModel {
     /// The wrapped deployment.

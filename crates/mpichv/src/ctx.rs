@@ -43,23 +43,7 @@ pub(crate) enum Cmd {
     ExitProcess { proc: ProcId, normal: bool },
 }
 
-/// Byte counters by traffic class, for protocol-overhead accounting.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub struct TrafficStats {
-    /// Application payload bytes (MPI messages, incl. V2 replays).
-    pub app_bytes: u64,
-    /// Checkpoint bytes (images, logged channel state, restores).
-    pub ckpt_bytes: u64,
-    /// Everything else (registration, markers, acks, orders).
-    pub control_bytes: u64,
-}
-
-impl TrafficStats {
-    /// Total bytes across all classes.
-    pub fn total(&self) -> u64 {
-        self.app_bytes + self.ckpt_bytes + self.control_bytes
-    }
-}
+pub use failmpi_backend::TrafficStats;
 
 /// Mutable cluster facilities handed to a component for one event.
 pub(crate) struct Ctx<'a> {

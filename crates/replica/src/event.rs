@@ -1,0 +1,95 @@
+//! The replication runtime's event alphabet.
+
+use failmpi_sim::{Fingerprint, FingerprintEvent};
+
+/// One scheduled event of the replication runtime. `unit` indexes the
+/// process table: units `0..n_ranks` are primaries, the rest replicas.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ReplEv {
+    /// Unit `unit`'s process comes up (`onload` fires, init begins).
+    Boot {
+        /// The booting unit.
+        unit: u32,
+    },
+    /// Unit `unit` completes its init handshake.
+    Init {
+        /// The initializing unit.
+        unit: u32,
+    },
+    /// Rank `rank`'s executor finished one application op of op-stream
+    /// generation `gen`.
+    OpDone {
+        /// The computing rank.
+        rank: u32,
+        /// Op-stream generation the op belongs to.
+        gen: u32,
+    },
+    /// The failure detector notices that unit `unit` died.
+    Detect {
+        /// The dead unit.
+        unit: u32,
+    },
+    /// The promotion handshake for rank `rank` completes (stale
+    /// generations — a superseding death — are ignored).
+    PromoteDone {
+        /// The rank being failed over.
+        rank: u32,
+        /// Promotion generation.
+        gen: u32,
+    },
+}
+
+impl ReplEv {
+    /// Short stable kind label (profiling buckets).
+    pub fn kind_str(&self) -> &'static str {
+        match self {
+            ReplEv::Boot { .. } => "repl.boot",
+            ReplEv::Init { .. } => "repl.init",
+            ReplEv::OpDone { .. } => "repl.op_done",
+            ReplEv::Detect { .. } => "repl.detect",
+            ReplEv::PromoteDone { .. } => "repl.promote_done",
+        }
+    }
+
+    /// One-line human description.
+    pub fn label(&self) -> String {
+        match self {
+            ReplEv::Boot { unit } => format!("boot unit {unit}"),
+            ReplEv::Init { unit } => format!("init unit {unit}"),
+            ReplEv::OpDone { rank, gen } => format!("op done rank {rank} (gen {gen})"),
+            ReplEv::Detect { unit } => format!("detect failure of unit {unit}"),
+            ReplEv::PromoteDone { rank, gen } => {
+                format!("promotion of rank {rank} complete (gen {gen})")
+            }
+        }
+    }
+}
+
+impl FingerprintEvent for ReplEv {
+    fn fold(&self, fp: &mut Fingerprint) {
+        match self {
+            ReplEv::Boot { unit } => {
+                fp.write_u8(1);
+                fp.write_u32(*unit);
+            }
+            ReplEv::Init { unit } => {
+                fp.write_u8(2);
+                fp.write_u32(*unit);
+            }
+            ReplEv::OpDone { rank, gen } => {
+                fp.write_u8(3);
+                fp.write_u32(*rank);
+                fp.write_u32(*gen);
+            }
+            ReplEv::Detect { unit } => {
+                fp.write_u8(4);
+                fp.write_u32(*unit);
+            }
+            ReplEv::PromoteDone { rank, gen } => {
+                fp.write_u8(5);
+                fp.write_u32(*rank);
+                fp.write_u32(*gen);
+            }
+        }
+    }
+}

@@ -1,0 +1,308 @@
+//! An abstract, finite model of the ULFM shrink-and-continue protocol,
+//! for the cross-layer static model checker (`failck --model-check
+//! --backend ulfm`).
+//!
+//! Speaks the shared vocabulary of [`failmpi_backend`]: the boot ladder
+//! (`Spawn` → `Register` → `Ready` → all-ready barrier) is identical to
+//! Vcl's, but recovery is the protocol's dual — there is no relaunch, no
+//! spare-machine FIFO, and no checkpoint wave. A fault moves the victim to
+//! [`AbstractPhase::Done`] (shrunk out) and demotes every computing
+//! survivor to [`AbstractPhase::Registered`]: the errhandler fired and the
+//! survivor must contribute its `agree`/`shrink` ack (its `Ready` step)
+//! before the shrunken communicator resumes. The job freezes only when
+//! zero live ranks remain — [`AbstractPhase::Lost`] is unreachable,
+//! which is exactly why Fig. 10's stale-dispatcher freeze cannot occur
+//! here.
+
+use failmpi_backend::{AbstractEvent, AbstractPhase, AbstractRank, AbstractStep, EPOCH_CAP};
+
+/// The abstract ULFM protocol state.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AbstractUlfm {
+    /// Per-rank slots (host assignments never change — no relaunch).
+    pub ranks: Vec<AbstractRank>,
+    /// Whether an `agree`/`shrink` exchange is in flight.
+    pub recovery_active: bool,
+    /// Completed shrinks, saturating at [`EPOCH_CAP`].
+    pub epoch: u8,
+}
+
+impl AbstractUlfm {
+    /// Initial state: `n_ranks` ranks launching on hosts `0..n_ranks`.
+    /// Hosts `n_ranks..n_hosts` exist but host nothing, ever.
+    pub fn new(n_ranks: usize, n_hosts: usize) -> AbstractUlfm {
+        assert!(n_ranks >= 1 && n_hosts >= n_ranks && n_hosts <= 255);
+        AbstractUlfm {
+            ranks: (0..n_ranks)
+                .map(|r| AbstractRank {
+                    phase: AbstractPhase::Launched,
+                    host: r as u8,
+                    incarnation: 0,
+                })
+                .collect(),
+            recovery_active: false,
+            epoch: 0,
+        }
+    }
+
+    /// Number of rank slots.
+    pub fn n_ranks(&self) -> usize {
+        self.ranks.len()
+    }
+
+    /// Whether rank `r` still has a live process ([`AbstractPhase::Done`]
+    /// means shrunk away here — dead, unlike Vcl's finalized-but-alive).
+    pub fn rank_live(&self, r: usize) -> bool {
+        self.ranks[r].phase.process_alive() && self.ranks[r].phase != AbstractPhase::Done
+    }
+
+    /// The rank whose live process runs on `host`, if any.
+    pub fn live_rank_on_host(&self, host: u8) -> Option<u8> {
+        (0..self.ranks.len())
+            .find(|&r| self.ranks[r].host == host && self.rank_live(r))
+            .map(|r| r as u8)
+    }
+
+    /// The steady computing state: every rank is either computing or
+    /// shrunk away, at least one computes, and no agreement is pending.
+    pub fn all_running(&self) -> bool {
+        !self.recovery_active
+            && self
+                .ranks
+                .iter()
+                .all(|r| matches!(r.phase, AbstractPhase::Running | AbstractPhase::Done))
+            && self.ranks.iter().any(|r| r.phase == AbstractPhase::Running)
+    }
+
+    /// ULFM has no stale dispatcher entry: a rank is shrunk (`Done`) or
+    /// live, never `Lost`.
+    pub fn lost_rank(&self) -> Option<u8> {
+        None
+    }
+
+    /// Orbit metadata for symmetry reduction (see `AbstractVcl::host_key`):
+    /// the protocol content visible on machine `host`.
+    pub fn host_key(&self, host: u8) -> (Vec<(AbstractPhase, u8)>, Option<usize>) {
+        let mut content: Vec<(AbstractPhase, u8)> = self
+            .ranks
+            .iter()
+            .filter(|r| r.host == host)
+            .map(|r| (r.phase, r.incarnation))
+            .collect();
+        content.sort_unstable();
+        (content, None)
+    }
+
+    /// Relabels machines and rank slots (the orbit action; commutes with
+    /// [`AbstractUlfm::apply`] because the protocol treats both labels as
+    /// opaque).
+    pub fn relabel(&self, host_map: &[u8], rank_map: &[u8]) -> AbstractUlfm {
+        debug_assert_eq!(rank_map.len(), self.ranks.len());
+        let mut ranks = self.ranks.clone();
+        for (r, old) in self.ranks.iter().enumerate() {
+            ranks[rank_map[r] as usize] = AbstractRank {
+                phase: old.phase,
+                host: host_map[old.host as usize],
+                incarnation: old.incarnation,
+            };
+        }
+        AbstractUlfm {
+            ranks,
+            recovery_active: self.recovery_active,
+            epoch: self.epoch,
+        }
+    }
+
+    /// Every enabled protocol-internal step, in canonical rank order.
+    /// There is no `StopClosure` — nothing is ever terminated on purpose.
+    pub fn protocol_steps(&self) -> Vec<AbstractStep> {
+        let mut out = Vec::new();
+        for (i, r) in self.ranks.iter().enumerate() {
+            let i = i as u8;
+            match r.phase {
+                AbstractPhase::Launched => out.push(AbstractStep::Spawn(i)),
+                AbstractPhase::Booted => out.push(AbstractStep::Register(i)),
+                AbstractPhase::Registered => out.push(AbstractStep::Ready(i)),
+                _ => {}
+            }
+        }
+        out
+    }
+
+    /// Applies `step`, appending the observable [`AbstractEvent`]s. Panics
+    /// if the step is not enabled (wave steps never are — there is no
+    /// checkpoint scheduler).
+    pub fn apply(&mut self, step: AbstractStep, events: &mut Vec<AbstractEvent>) {
+        match step {
+            AbstractStep::Spawn(r) => {
+                let r = r as usize;
+                assert_eq!(self.ranks[r].phase, AbstractPhase::Launched);
+                self.ranks[r].phase = AbstractPhase::Booted;
+                events.push(AbstractEvent::OnLoad {
+                    host: self.ranks[r].host,
+                });
+            }
+            AbstractStep::Register(r) => {
+                let r = r as usize;
+                assert_eq!(self.ranks[r].phase, AbstractPhase::Booted);
+                self.ranks[r].phase = AbstractPhase::Registered;
+            }
+            AbstractStep::Ready(r) => {
+                let r = r as usize;
+                assert_eq!(self.ranks[r].phase, AbstractPhase::Registered);
+                self.ranks[r].phase = AbstractPhase::Ready;
+                let live_ready = self
+                    .ranks
+                    .iter()
+                    .filter(|k| k.phase != AbstractPhase::Done)
+                    .all(|k| k.phase == AbstractPhase::Ready);
+                if live_ready {
+                    // The shrunken communicator (re)starts.
+                    for k in &mut self.ranks {
+                        if k.phase != AbstractPhase::Done {
+                            k.phase = AbstractPhase::Running;
+                        }
+                    }
+                    self.recovery_active = false;
+                }
+            }
+            AbstractStep::Fault(r) => self.fault(r as usize, events),
+            AbstractStep::StopClosure(_)
+            | AbstractStep::WaveStart
+            | AbstractStep::WaveCommit => {
+                panic!("step {step:?} is never enabled under the ULFM backend")
+            }
+        }
+    }
+
+    /// A fault kills the live process of `rank`: the survivors' errhandler
+    /// fires and every computing/acked survivor re-enters the agreement
+    /// (demoted to `Registered`, owing a fresh `Ready` ack).
+    fn fault(&mut self, r: usize, events: &mut Vec<AbstractEvent>) {
+        if !self.rank_live(r) {
+            return;
+        }
+        let host = self.ranks[r].host;
+        events.push(AbstractEvent::OnError { host });
+        events.push(AbstractEvent::FailureDetected {
+            rank: r as u8,
+            during_recovery: self.recovery_active,
+        });
+        self.ranks[r].phase = AbstractPhase::Done;
+        if !self.recovery_active {
+            self.recovery_active = true;
+            self.epoch = (self.epoch + 1).min(EPOCH_CAP);
+            events.push(AbstractEvent::EpochBumped(self.epoch));
+        }
+        for k in &mut self.ranks {
+            if matches!(k.phase, AbstractPhase::Running | AbstractPhase::Ready) {
+                k.phase = AbstractPhase::Registered;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn boot(m: &mut AbstractUlfm) {
+        let mut e = Vec::new();
+        for _ in 0..64 {
+            let steps = m.protocol_steps();
+            if steps.is_empty() {
+                break;
+            }
+            for s in steps {
+                m.apply(s, &mut e);
+            }
+            if m.all_running() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn initial_launch_reaches_running() {
+        let mut m = AbstractUlfm::new(3, 4);
+        boot(&mut m);
+        assert!(m.all_running());
+        assert_eq!(m.epoch, 0);
+    }
+
+    #[test]
+    fn single_fault_shrinks_and_reagrees() {
+        let mut m = AbstractUlfm::new(3, 4);
+        boot(&mut m);
+        let mut e = Vec::new();
+        m.apply(AbstractStep::Fault(1), &mut e);
+        assert!(m.recovery_active);
+        assert_eq!(m.ranks[1].phase, AbstractPhase::Done);
+        assert_eq!(m.ranks[0].phase, AbstractPhase::Registered);
+        assert!(e.contains(&AbstractEvent::EpochBumped(1)));
+        boot(&mut m);
+        assert!(m.all_running(), "survivors re-agree and continue");
+        assert_eq!(m.lost_rank(), None);
+    }
+
+    #[test]
+    fn overlapping_faults_still_recover() {
+        let mut m = AbstractUlfm::new(3, 4);
+        boot(&mut m);
+        let mut e = Vec::new();
+        m.apply(AbstractStep::Fault(0), &mut e);
+        // Second fault lands while the agreement is in flight — the round
+        // restarts, no rank is ever Lost (the anti-Fig.10 property).
+        m.apply(AbstractStep::Fault(1), &mut e);
+        assert!(e.iter().any(|x| matches!(
+            x,
+            AbstractEvent::FailureDetected { rank: 1, during_recovery: true }
+        )));
+        assert_eq!(m.lost_rank(), None);
+        boot(&mut m);
+        assert!(m.all_running());
+    }
+
+    #[test]
+    fn killing_everyone_freezes_with_no_steps() {
+        let mut m = AbstractUlfm::new(2, 3);
+        boot(&mut m);
+        let mut e = Vec::new();
+        m.apply(AbstractStep::Fault(0), &mut e);
+        m.apply(AbstractStep::Fault(1), &mut e);
+        assert!(m.protocol_steps().is_empty());
+        assert!(!m.all_running());
+        assert_eq!(m.live_rank_on_host(0), None);
+    }
+
+    #[test]
+    fn fault_on_booted_rank_is_shrunk_too() {
+        let mut m = AbstractUlfm::new(2, 3);
+        let mut e = Vec::new();
+        m.apply(AbstractStep::Spawn(0), &mut e);
+        m.apply(AbstractStep::Fault(0), &mut e);
+        assert_eq!(m.ranks[0].phase, AbstractPhase::Done);
+        // The survivor still boots and runs alone.
+        boot(&mut m);
+        assert!(m.all_running());
+    }
+
+    #[test]
+    fn relabel_commutes_with_fault() {
+        let mut m = AbstractUlfm::new(3, 4);
+        boot(&mut m);
+        let host_map = [2u8, 0, 1, 3];
+        let rank_map = [1u8, 2, 0];
+        let relabeled_then_fault = {
+            let mut x = m.relabel(&host_map, &rank_map);
+            x.apply(AbstractStep::Fault(rank_map[1]), &mut Vec::new());
+            x
+        };
+        let fault_then_relabel = {
+            let mut x = m.clone();
+            x.apply(AbstractStep::Fault(1), &mut Vec::new());
+            x.relabel(&host_map, &rank_map)
+        };
+        assert_eq!(relabeled_then_fault, fault_then_relabel);
+    }
+}

@@ -1,0 +1,91 @@
+//! The ULFM runtime's event alphabet.
+
+use failmpi_sim::{Fingerprint, FingerprintEvent};
+
+/// One scheduled event of the ULFM virtual runtime.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum UlfmEv {
+    /// Rank `rank`'s process comes up (`onload` fires, init begins).
+    Boot {
+        /// The booting rank.
+        rank: u32,
+    },
+    /// Rank `rank` completes its init handshake (the breakpointable
+    /// `localMPI_setCommand` analogue).
+    Init {
+        /// The initializing rank.
+        rank: u32,
+    },
+    /// Rank `rank` finished one application op of op-stream generation
+    /// `gen` (stale generations are ignored).
+    OpDone {
+        /// The computing rank.
+        rank: u32,
+        /// Op-stream generation the op belongs to.
+        gen: u32,
+    },
+    /// The failure detector notices that rank `victim` died.
+    Detect {
+        /// The dead rank.
+        victim: u32,
+    },
+    /// The `agree`/`shrink` exchange of agreement round `round`
+    /// completes (stale rounds — superseded by a further death — are
+    /// ignored).
+    ShrinkDone {
+        /// Agreement round this completion belongs to.
+        round: u32,
+    },
+}
+
+impl UlfmEv {
+    /// Short stable kind label (profiling buckets).
+    pub fn kind_str(&self) -> &'static str {
+        match self {
+            UlfmEv::Boot { .. } => "ulfm.boot",
+            UlfmEv::Init { .. } => "ulfm.init",
+            UlfmEv::OpDone { .. } => "ulfm.op_done",
+            UlfmEv::Detect { .. } => "ulfm.detect",
+            UlfmEv::ShrinkDone { .. } => "ulfm.shrink_done",
+        }
+    }
+
+    /// One-line human description.
+    pub fn label(&self) -> String {
+        match self {
+            UlfmEv::Boot { rank } => format!("boot rank {rank}"),
+            UlfmEv::Init { rank } => format!("init rank {rank}"),
+            UlfmEv::OpDone { rank, gen } => format!("op done rank {rank} (gen {gen})"),
+            UlfmEv::Detect { victim } => format!("detect failure of rank {victim}"),
+            UlfmEv::ShrinkDone { round } => format!("shrink round {round} agreed"),
+        }
+    }
+}
+
+impl FingerprintEvent for UlfmEv {
+    fn fold(&self, fp: &mut Fingerprint) {
+        match self {
+            UlfmEv::Boot { rank } => {
+                fp.write_u8(1);
+                fp.write_u32(*rank);
+            }
+            UlfmEv::Init { rank } => {
+                fp.write_u8(2);
+                fp.write_u32(*rank);
+            }
+            UlfmEv::OpDone { rank, gen } => {
+                fp.write_u8(3);
+                fp.write_u32(*rank);
+                fp.write_u32(*gen);
+            }
+            UlfmEv::Detect { victim } => {
+                fp.write_u8(4);
+                fp.write_u32(*victim);
+            }
+            UlfmEv::ShrinkDone { round } => {
+                fp.write_u8(5);
+                fp.write_u32(*round);
+            }
+        }
+    }
+}

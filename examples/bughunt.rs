@@ -45,6 +45,7 @@ fn run_batch(
             freeze_window: SimDuration::from_secs(9),
             seed,
             tie_break: TieBreak::Fifo,
+            backend: BackendKind::Vcl,
         };
         if run_one(&spec).outcome.is_buggy() {
             frozen += 1;

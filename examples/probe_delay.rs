@@ -27,6 +27,7 @@ fn main() {
         freeze_window: SimDuration::from_secs(9),
         seed: 3,
         tie_break: TieBreak::Fifo,
+        backend: BackendKind::Vcl,
     };
     let clean = run_one(&base);
     let t0 = clean.outcome.time().expect("baseline completes").as_secs_f64();

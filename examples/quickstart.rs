@@ -34,6 +34,7 @@ fn main() {
         freeze_window: SimDuration::from_secs(9),
         seed: 42,
         tie_break: TieBreak::Fifo,
+        backend: BackendKind::Vcl,
     };
 
     // 3. A fault-free baseline…

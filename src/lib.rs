@@ -39,6 +39,7 @@
 //!     freeze_window: SimDuration::from_secs(9),
 //!     seed: 1,
 //!     tie_break: TieBreak::Fifo,
+//!     backend: BackendKind::Vcl,
 //! };
 //! let record = run_one(&spec);
 //! assert!(record.faults_injected >= 1);
@@ -67,7 +68,8 @@ pub mod prelude {
     pub use failmpi_analyze::{analyze_programs, analyze_scenario, check_source, Report, Severity};
     pub use failmpi_core::{compile, Deployment, FailAction, FailInput, FailRuntime};
     pub use failmpi_experiments::{
-        run_one, ExperimentSpec, InjectionSpec, LintMode, Outcome, RunRecord, Workload,
+        run_one, BackendKind, ExperimentSpec, InjectionSpec, LintMode, Outcome, RunRecord,
+        Workload,
     };
     pub use failmpi_mpi::{Interp, Op, Program, ProgramBuilder, Rank, Tag};
     pub use failmpi_mpichv::{

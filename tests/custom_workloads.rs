@@ -21,6 +21,7 @@ fn mini_spec(n: u32, programs: Vec<Arc<Program>>, seed: u64) -> ExperimentSpec {
         freeze_window: SimDuration::from_secs(12),
         seed,
         tie_break: TieBreak::Fifo,
+        backend: failmpi_backend::BackendKind::Vcl,
     }
 }
 

@@ -21,6 +21,7 @@ fn mini_spec(n: u32, seed: u64) -> ExperimentSpec {
         freeze_window: SimDuration::from_secs(9),
         seed,
         tie_break: failmpi::prelude::TieBreak::Fifo,
+        backend: failmpi::prelude::BackendKind::Vcl,
     }
 }
 

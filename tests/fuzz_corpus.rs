@@ -2,8 +2,9 @@
 //! re-evaluated against its pinned verdicts on every test run.
 //!
 //! The seed corpus under `tests/fixtures/fuzz/` pins, per scenario, the
-//! static model-check verdict under both dispatcher modes and the dynamic
-//! outcome class per probe seed. Any drift (an FZ004 diagnostic) means
+//! static model-check verdict under both dispatcher modes, the dynamic
+//! outcome class per probe seed, and the per-backend (ULFM, replication)
+//! static and dynamic views. Any drift (an FZ004 diagnostic) means
 //! either a behavioural regression in the simulator/model checker or an
 //! intentional change that requires regenerating the corpus with
 //! `failmpi-fuzz --seed 1 --budget 30 --corpus tests/fixtures/fuzz`.
@@ -71,6 +72,39 @@ fn corpus_replay_sees_no_drift() {
         "corpus replay drift ({} finding(s)):\n{}",
         drift.len(),
         drift.join("\n")
+    );
+}
+
+#[test]
+fn corpus_pins_the_backend_axis() {
+    // Every entry carries the per-backend pins (the manifest was
+    // regenerated when the backend axis landed), and the corpus preserves
+    // the cross-backend differential: at least one entry must freeze
+    // under the historical Vcl dispatcher while ULFM's abstract model
+    // proves the same scenario survivable — the FZ008 divergence the
+    // fuzzer's oracle hunts, pinned as data.
+    let entries = load_corpus(&corpus_dir()).expect("seed corpus loads");
+    for (entry, _) in &entries {
+        assert!(
+            !entry.static_ulfm.is_empty() && !entry.static_replica.is_empty(),
+            "{}: entry pins no backend verdicts",
+            entry.name
+        );
+        assert!(
+            !entry.dynamic_ulfm.is_empty() && !entry.dynamic_replica.is_empty(),
+            "{}: entry pins no backend probes",
+            entry.name
+        );
+    }
+    let divergent = entries
+        .iter()
+        .filter(|(e, _)| {
+            e.dynamic_historical.iter().any(|(_, c)| c == "buggy") && e.static_ulfm == "survives"
+        })
+        .count();
+    assert!(
+        divergent >= 1,
+        "no pinned Vcl-freezes/ULFM-survives divergence in the corpus"
     );
 }
 

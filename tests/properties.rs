@@ -61,6 +61,7 @@ fn spec_with(faults: &[(u8, u8)], mode: DispatcherMode, seed: u64) -> Experiment
         freeze_window: SimDuration::from_secs(20),
         seed,
         tie_break: failmpi::prelude::TieBreak::Fifo,
+        backend: failmpi::prelude::BackendKind::Vcl,
     }
 }
 
