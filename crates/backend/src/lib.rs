@@ -117,6 +117,18 @@ impl BackendConfig {
 /// Determinism is part of the contract — same config, same programs, same
 /// seed, same injected schedule ⇒ byte-identical fingerprint — and the
 /// backend-conformance suite double-runs every backend to prove it.
+///
+/// **Profiling contract.** When a `failmpi_obs::prof` context is active
+/// on the run's thread, a backend charges its layer costs into it:
+/// payload bytes handed across an internal boundary go to the copy
+/// ledger (`failmpi_obs::prof::copy`, hop names prefixed with the
+/// backend's layer, e.g. `mpichv.dispatch`, `ulfm.agree`), and
+/// sub-handler structure worth attributing opens spans
+/// (`failmpi_obs::prof::span`). Every charge must be derived from the
+/// simulated schedule alone — never wall clock — so profiles inherit the
+/// determinism contract above, and profiling must not alter behaviour:
+/// the schedule-transparency property test pins that fingerprints are
+/// byte-identical with profiling on and off.
 pub trait ProtocolBackend {
     /// The backend's internal event alphabet.
     type Event: FingerprintEvent + std::fmt::Debug;

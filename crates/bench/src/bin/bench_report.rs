@@ -17,15 +17,26 @@
 //! - the model checker's exploration throughput: the Fig. 10 grid checked
 //!   full vs reduced at 4 ranks (the reduction factor), plus the reduced
 //!   paper-scale 25-rank grids, reporting states expanded per second;
+//! - a per-backend throughput row (`backends`): the fault-free smoke
+//!   scenario timed under vcl, ulfm and replica;
+//! - a per-backend deterministic profile section (`profile`): allocs per
+//!   event, bytes copied per event and same-instant burst percentiles,
+//!   from a `failmpi_obs::prof` context wrapped around one run per
+//!   backend (allocation counts need a `--features alloc-profile`
+//!   build);
 //! - process totals (total wall time, peak RSS via `VmHWM`).
 //!
 //! ```text
-//! cargo run --release -p failmpi-bench --bin bench-report -- --out BENCH_pr7.json
+//! cargo run --release -p failmpi-bench --bin bench-report -- --out BENCH_pr9.json
 //! ```
 //!
 //! Wall-clock numbers are machine-dependent by nature and are kept strictly
 //! out of the deterministic metrics snapshots (`--metrics` on the figure
-//! binaries); this report is the one place they belong.
+//! binaries); this report is the one place they belong. The `profile`
+//! section is the inverse: fully deterministic, so CI can pin it.
+//! `--profile PATH` additionally writes the merged raw [`RunProfile`]
+//! JSON of the profile-section runs for `failmpi-prof` (merged across
+//! backends, so its tag reads `mixed`).
 
 use std::process::ExitCode;
 use std::time::Instant;
@@ -37,14 +48,20 @@ use failmpi_experiments::figures::{
     ablation, delay, fig11, fig5, fig6, fig7, fig9, lbh04, FIG10_SRC, FIG5_SRC, FIG8_SRC,
 };
 use failmpi_experiments::robustness::{fault_free_smoke_spec, fig10_stress_spec, scenario_suite};
-use failmpi_experiments::{run_one, run_one_profiled, run_one_traced, ExperimentSpec};
+use failmpi_experiments::{
+    run_one, run_one_profiled, run_one_traced, BackendKind, ExperimentSpec,
+};
 use failmpi_mpichv::DispatcherMode;
-use failmpi_obs::peak_rss_bytes;
+use failmpi_obs::{peak_rss_bytes, RunProfile};
+
+failmpi_experiments::install_alloc_profiler!();
 
 /// Schema version of the report document. v2 added the `tracing`
 /// (causal-tracing overhead) section; v3 added `model_check` (reduced
-/// exploration throughput and reduction factors).
-const SCHEMA_VERSION: u32 = 3;
+/// exploration throughput and reduction factors); v4 added `backends`
+/// (per-backend events/sec) and `profile` (deterministic per-backend
+/// allocation/copy/queue attribution).
+const SCHEMA_VERSION: u32 = 4;
 
 #[derive(Serialize)]
 struct HandlerBin {
@@ -103,6 +120,33 @@ struct ModelCheckBench {
     witness_steps: Option<u64>,
 }
 
+/// One backend timed on the shared fault-free smoke scenario, so the
+/// three protocol runtimes stay comparable run over run.
+#[derive(Serialize)]
+struct BackendBench {
+    backend: String,
+    outcome: String,
+    events: u64,
+    wall_nanos: u64,
+    events_per_sec: f64,
+}
+
+/// Deterministic per-backend profile summary: the headline ratios CI
+/// tracks, distilled from one [`RunProfile`] per backend. Allocation
+/// ratios are zero unless built with `--features alloc-profile`.
+#[derive(Serialize)]
+struct ProfileBench {
+    backend: String,
+    events: u64,
+    allocs_per_event: f64,
+    alloc_bytes_per_event: f64,
+    copied_bytes_per_event: f64,
+    /// Same-instant pop-burst length percentiles (upper bucket bounds).
+    burst_p50: u64,
+    burst_p99: u64,
+    queue_depth_max: u64,
+}
+
 #[derive(Serialize)]
 struct BenchReport {
     schema_version: u32,
@@ -111,6 +155,8 @@ struct BenchReport {
     figures: Vec<FigureBench>,
     tracing: Vec<TracingBench>,
     model_check: Vec<ModelCheckBench>,
+    backends: Vec<BackendBench>,
+    profile: Vec<ProfileBench>,
     total_wall_nanos: u64,
     peak_rss_bytes: Option<u64>,
 }
@@ -118,12 +164,14 @@ struct BenchReport {
 struct Options {
     out: String,
     seed: u64,
+    profile_out: Option<String>,
 }
 
 fn parse(args: impl Iterator<Item = String>) -> Result<Options, String> {
     let mut o = Options {
-        out: "BENCH_pr7.json".to_string(),
+        out: "BENCH_pr9.json".to_string(),
         seed: 0xB_EAC4,
+        profile_out: None,
     };
     let mut args = args.peekable();
     while let Some(a) = args.next() {
@@ -135,8 +183,11 @@ fn parse(args: impl Iterator<Item = String>) -> Result<Options, String> {
                     .and_then(|v| v.parse().ok())
                     .ok_or("--seed needs a number")?
             }
+            "--profile" => o.profile_out = Some(args.next().ok_or("--profile needs a path")?),
             "--help" | "-h" => {
-                return Err("usage: bench-report [--out PATH] [--seed S]".to_string())
+                return Err(
+                    "usage: bench-report [--out PATH] [--seed S] [--profile PATH]".to_string(),
+                )
             }
             other => return Err(format!("unknown flag `{other}`")),
         }
@@ -289,6 +340,88 @@ fn bench_model_check() -> Vec<ModelCheckBench> {
     ]
 }
 
+/// The shared spec every backend is timed and profiled on: the
+/// fault-free smoke scenario, retargeted at each protocol runtime.
+fn backend_spec(kind: BackendKind, seed: u64) -> ExperimentSpec {
+    let mut spec = fault_free_smoke_spec(seed);
+    spec.backend = kind;
+    spec
+}
+
+fn bench_backends(seed: u64) -> Vec<BackendBench> {
+    BackendKind::all()
+        .into_iter()
+        .map(|kind| {
+            let spec = backend_spec(kind, seed);
+            let start = Instant::now();
+            let record = run_one(&spec);
+            let wall = start.elapsed();
+            let secs = wall.as_secs_f64();
+            let events_per_sec = if secs > 0.0 {
+                record.events as f64 / secs
+            } else {
+                0.0
+            };
+            println!(
+                "backend  {:<24} {:>9} events  {:>8.1} ms  {:>12.0} events/s",
+                kind.name(),
+                record.events,
+                secs * 1e3,
+                events_per_sec,
+            );
+            BackendBench {
+                backend: kind.name().to_string(),
+                outcome: format!("{:?}", record.outcome),
+                events: record.events,
+                wall_nanos: u64::try_from(wall.as_nanos()).unwrap_or(u64::MAX),
+                events_per_sec,
+            }
+        })
+        .collect()
+}
+
+/// One deep-profiled run per backend. `run_one` executes the engine on
+/// the calling thread, so wrapping it in a thread-local prof context
+/// captures exactly that run; the experiments profile sink stays
+/// unarmed here, so the harness does not open a competing context.
+fn bench_profiles(seed: u64) -> (Vec<ProfileBench>, RunProfile) {
+    let mut merged = RunProfile::new();
+    let rows = BackendKind::all()
+        .into_iter()
+        .map(|kind| {
+            let spec = backend_spec(kind, seed);
+            failmpi_obs::prof::start_run(kind.name());
+            run_one(&spec);
+            let p = failmpi_obs::prof::finish_run().expect("profiling context active");
+            let per_event = |n: u64| {
+                if p.events > 0 {
+                    n as f64 / p.events as f64
+                } else {
+                    0.0
+                }
+            };
+            let row = ProfileBench {
+                backend: kind.name().to_string(),
+                events: p.events,
+                allocs_per_event: per_event(p.total_allocs()),
+                alloc_bytes_per_event: per_event(p.total_alloc_bytes()),
+                copied_bytes_per_event: per_event(p.total_copied_bytes()),
+                burst_p50: p.queue.burst.quantile_upper_bound(0.50),
+                burst_p99: p.queue.burst.quantile_upper_bound(0.99),
+                queue_depth_max: p.queue.depth.max,
+            };
+            println!(
+                "profile  {:<24} {:>9} events  {:>6.2} allocs/ev  {:>8.1} copied B/ev  burst p99 {}",
+                row.backend, row.events, row.allocs_per_event, row.copied_bytes_per_event,
+                row.burst_p99,
+            );
+            merged.merge(&p);
+            row
+        })
+        .collect();
+    (rows, merged)
+}
+
 fn bench_figure(name: &str, run: impl FnOnce()) -> FigureBench {
     let start = Instant::now();
     run();
@@ -348,6 +481,8 @@ fn main() -> ExitCode {
     let figures = bench_figures();
     let tracing = bench_tracing(opts.seed);
     let model_check = bench_model_check();
+    let backends = bench_backends(opts.seed);
+    let (profile, merged_profile) = bench_profiles(opts.seed);
     let total = start.elapsed();
 
     let report = BenchReport {
@@ -357,6 +492,8 @@ fn main() -> ExitCode {
         figures,
         tracing,
         model_check,
+        backends,
+        profile,
         total_wall_nanos: u64::try_from(total.as_nanos()).unwrap_or(u64::MAX),
         peak_rss_bytes: peak_rss_bytes(),
     };
@@ -365,11 +502,19 @@ fn main() -> ExitCode {
         eprintln!("cannot write {}: {e}", opts.out);
         return ExitCode::FAILURE;
     }
+    if let Some(path) = &opts.profile_out {
+        if let Err(e) = std::fs::write(path, merged_profile.to_pretty_json()) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("bench-report: wrote merged run profile to {path}");
+    }
     println!(
-        "bench-report: {} scenarios, {} figures, {} model checks, {:.1} s total -> {}",
+        "bench-report: {} scenarios, {} figures, {} model checks, {} backends, {:.1} s total -> {}",
         report.scenarios.len(),
         report.figures.len(),
         report.model_check.len(),
+        report.backends.len(),
         total.as_secs_f64(),
         opts.out,
     );

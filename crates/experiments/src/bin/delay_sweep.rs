@@ -3,6 +3,8 @@
 
 use failmpi_experiments::figures::{delay, run_figure_main};
 
+failmpi_experiments::install_alloc_profiler!();
+
 fn main() {
     run_figure_main(
         |smoke| {

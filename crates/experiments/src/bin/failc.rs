@@ -8,6 +8,8 @@
 use failmpi_core::lang::codegen;
 use failmpi_core::{compile, Deployment};
 
+failmpi_experiments::install_alloc_profiler!();
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let (path, emit_rust) = match args.as_slice() {

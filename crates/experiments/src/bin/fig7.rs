@@ -2,6 +2,8 @@
 
 use failmpi_experiments::figures::{fig7, run_figure_main};
 
+failmpi_experiments::install_alloc_profiler!();
+
 fn main() {
     run_figure_main(
         |smoke| {

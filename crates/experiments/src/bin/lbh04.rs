@@ -4,6 +4,8 @@
 
 use failmpi_experiments::figures::{lbh04, run_figure_main};
 
+failmpi_experiments::install_alloc_profiler!();
+
 fn main() {
     run_figure_main(
         |smoke| {

@@ -27,6 +27,8 @@ use failmpi_experiments::robustness::{
 use failmpi_experiments::{run_one, ExperimentSpec};
 use failmpi_mpichv::DispatcherMode;
 
+failmpi_experiments::install_alloc_profiler!();
+
 /// What every perturbed run of one scenario must classify as, if pinned.
 enum Expect {
     /// Every run must land in this class.
@@ -71,6 +73,7 @@ struct Options {
     json: Option<String>,
     metrics: Option<String>,
     trace_out: Option<String>,
+    profile: Option<String>,
 }
 
 fn parse(args: impl Iterator<Item = String>) -> Result<Options, String> {
@@ -81,6 +84,7 @@ fn parse(args: impl Iterator<Item = String>) -> Result<Options, String> {
         json: None,
         metrics: None,
         trace_out: None,
+        profile: None,
     };
     let mut args = args.peekable();
     while let Some(a) = args.next() {
@@ -110,10 +114,13 @@ fn parse(args: impl Iterator<Item = String>) -> Result<Options, String> {
             "--trace-out" => {
                 o.trace_out = Some(args.next().ok_or("--trace-out needs a path")?)
             }
+            "--profile" => {
+                o.profile = Some(args.next().ok_or("--profile needs a path")?)
+            }
             "--help" | "-h" => {
                 return Err(
                     "usage: soak [--runs N] [--seed S] [--backend vcl|ulfm|replica] \
-                     [--json PATH] [--metrics PATH] [--trace-out PATH]"
+                     [--json PATH] [--metrics PATH] [--trace-out PATH] [--profile PATH]"
                         .to_string(),
                 )
             }
@@ -146,6 +153,9 @@ fn main() -> ExitCode {
     // sweep, so the captured trace is deterministic.
     if opts.trace_out.is_some() {
         failmpi_experiments::tracesink::install_sink();
+    }
+    if opts.profile.is_some() {
+        failmpi_experiments::profsink::install_sink();
     }
 
     // The classification pins are protocol-specific: the Fig. 10 stress
@@ -252,6 +262,16 @@ fn main() -> ExitCode {
         match failmpi_experiments::tracesink::write_sink(path) {
             Ok(true) => eprintln!("trace: wrote causal trace to {path}"),
             Ok(false) => eprintln!("trace: no run executed, {path} not written"),
+            Err(e) => {
+                eprintln!("cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if let Some(path) = &opts.profile {
+        match failmpi_experiments::profsink::write_sink(path) {
+            Ok(true) => eprintln!("profile: wrote merged run profile to {path}"),
+            Ok(false) => eprintln!("profile: no run executed, {path} not written"),
             Err(e) => {
                 eprintln!("cannot write {path}: {e}");
                 return ExitCode::FAILURE;

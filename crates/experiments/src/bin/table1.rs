@@ -2,6 +2,8 @@
 
 use failmpi_experiments::criteria;
 
+failmpi_experiments::install_alloc_profiler!();
+
 fn main() {
     print!("{}", criteria::render());
 }

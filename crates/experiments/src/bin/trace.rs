@@ -20,6 +20,8 @@ use failmpi_experiments::harness::{run_one_traced, ExperimentSpec, InjectionSpec
 use failmpi_experiments::timeline::{render_caused, TimelineOptions};
 use failmpi_experiments::tracesink::trace_file_of;
 
+failmpi_experiments::install_alloc_profiler!();
+
 fn die(msg: &str) -> ! {
     eprintln!("trace: {msg}");
     std::process::exit(2);

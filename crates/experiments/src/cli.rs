@@ -26,6 +26,10 @@ pub struct Options {
     /// happens-before trace as `failmpi-trace` JSON to this path (see
     /// [`crate::tracesink`]).
     pub trace_out: Option<String>,
+    /// Profile every run and write the merged deterministic
+    /// [`failmpi_obs::RunProfile`] JSON to this path (see
+    /// [`crate::profsink`]; inspect with `failmpi-prof`).
+    pub profile: Option<String>,
     /// Declare that the sweep hunts freezes: with `--lint strict`, run
     /// scenarios the model checker statically classifies as freezing
     /// instead of refusing them. Also installed as the process-wide
@@ -67,6 +71,9 @@ impl Options {
                 "--trace-out" => {
                     o.trace_out = Some(args.next().ok_or("--trace-out needs a path")?)
                 }
+                "--profile" => {
+                    o.profile = Some(args.next().ok_or("--profile needs a path")?)
+                }
                 "--lint" => {
                     let mode = args
                         .next()
@@ -91,8 +98,9 @@ impl Options {
                 }
                 "--help" | "-h" => {
                     return Err("usage: [--smoke] [--runs N] [--threads N] [--json PATH] \
-                                [--metrics PATH] [--trace-out PATH] [--lint off|warn|strict] \
-                                [--expect-freeze] [--backend vcl|ulfm|replica]"
+                                [--metrics PATH] [--trace-out PATH] [--profile PATH] \
+                                [--lint off|warn|strict] [--expect-freeze] \
+                                [--backend vcl|ulfm|replica]"
                         .to_string())
                 }
                 other => return Err(format!("unknown flag `{other}`")),
@@ -124,6 +132,27 @@ impl Options {
         if let Some(path) = &self.metrics {
             let n = crate::metrics::write_sink(path)?;
             eprintln!("metrics: wrote {n} run snapshots to {path}");
+        }
+        Ok(())
+    }
+
+    /// Arms the process-wide run-profile sink if `--profile` was given.
+    /// Call before running any experiment.
+    pub fn install_profile_sink(&self) {
+        if self.profile.is_some() {
+            crate::profsink::install_sink();
+        }
+    }
+
+    /// Writes the merged run profile if `--profile` was given. Call after
+    /// the last experiment finished.
+    pub fn maybe_write_profile(&self) -> std::io::Result<()> {
+        if let Some(path) = &self.profile {
+            if crate::profsink::write_sink(path)? {
+                eprintln!("profile: wrote merged run profile to {path} (inspect with failmpi-prof)");
+            } else {
+                eprintln!("profile: no run executed, {path} not written");
+            }
         }
         Ok(())
     }
@@ -162,7 +191,7 @@ mod tests {
     fn parses_flags() {
         let o = parse(&[
             "--smoke", "--runs", "3", "--threads", "2", "--json", "x.json", "--metrics",
-            "m.json", "--trace-out", "t.json",
+            "m.json", "--trace-out", "t.json", "--profile", "p.json",
         ])
         .unwrap();
         assert!(o.smoke);
@@ -171,6 +200,7 @@ mod tests {
         assert_eq!(o.json.as_deref(), Some("x.json"));
         assert_eq!(o.metrics.as_deref(), Some("m.json"));
         assert_eq!(o.trace_out.as_deref(), Some("t.json"));
+        assert_eq!(o.profile.as_deref(), Some("p.json"));
     }
 
     #[test]
@@ -180,6 +210,7 @@ mod tests {
         assert!(parse(&["--runs", "abc"]).is_err());
         assert!(parse(&["--metrics"]).is_err());
         assert!(parse(&["--trace-out"]).is_err());
+        assert!(parse(&["--profile"]).is_err());
     }
 
     #[test]

@@ -75,11 +75,13 @@ pub fn run_figure_main<C: FigureConfig, D: serde::Serialize>(
     }
     opts.install_metrics_sink();
     opts.install_trace_sink();
+    opts.install_profile_sink();
     let data = run(&cfg);
     print!("{}", render(&data));
     opts.maybe_write_json(&data).expect("write json");
     opts.maybe_write_metrics().expect("write metrics");
     opts.maybe_write_trace().expect("write trace");
+    opts.maybe_write_profile().expect("write profile");
 }
 
 /// The Fig. 5(a) fault-frequency scenario source.

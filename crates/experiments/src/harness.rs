@@ -794,6 +794,12 @@ fn run_backend<C: ProtocolBackend>(
         build_fail_side(inj, spec.seed, &hosts)
     });
     let mut engine = Engine::with_tie_break(World { cluster, fail }, spec.tie_break);
+    // Deep profiling covers the whole schedule, including the boot
+    // events pushed below, so the context opens before the first push.
+    let deep_profile = crate::profsink::armed();
+    if deep_profile {
+        failmpi_obs::prof::start_run(spec.backend.name());
+    }
     for (t, e) in engine.model_mut().cluster.take_outputs() {
         engine.schedule(t, WEv::C(e));
     }
@@ -826,6 +832,11 @@ fn run_backend<C: ProtocolBackend>(
     }
 
     let engine_outcome = engine.run(spec.timeout);
+    if deep_profile {
+        if let Some(p) = failmpi_obs::prof::finish_run() {
+            crate::profsink::submit(p);
+        }
+    }
     let end = engine.now();
     let fingerprint = engine.fingerprint();
     let events = engine.events_handled();
@@ -842,6 +853,7 @@ fn run_backend<C: ProtocolBackend>(
     let faults_injected = world.fail.as_ref().map_or(0, |f| f.halts);
 
     let mut metrics = MetricsSnapshot::new();
+    metrics.set_backend(spec.backend.name());
     world.cluster.contribute_metrics(&mut metrics);
     metrics.set_counter("sim.events_handled", events);
     metrics.set_counter("sim.queue_depth_hwm", queue_hwm as u64);
@@ -1023,6 +1035,12 @@ fn run_inner(spec: &ExperimentSpec, capture_journal: bool, profile: bool, causal
     if causal {
         engine.enable_causal_trace();
     }
+    // Deep profiling covers the whole schedule, including the boot
+    // events pushed below, so the context opens before the first push.
+    let deep_profile = crate::profsink::armed();
+    if deep_profile {
+        failmpi_obs::prof::start_run(spec.backend.name());
+    }
     // Initial cluster events.
     for (t, e) in engine.model_mut().cluster.take_outputs() {
         engine.schedule(t, WEv::C(e));
@@ -1057,6 +1075,11 @@ fn run_inner(spec: &ExperimentSpec, capture_journal: bool, profile: bool, causal
     }
 
     let engine_outcome = engine.run(spec.timeout);
+    if deep_profile {
+        if let Some(p) = failmpi_obs::prof::finish_run() {
+            crate::profsink::submit(p);
+        }
+    }
     let end = engine.now();
     let fingerprint = engine.fingerprint();
     let events = engine.events_handled();
@@ -1081,6 +1104,7 @@ fn run_inner(spec: &ExperimentSpec, capture_journal: bool, profile: bool, causal
     let faults_injected = world.fail.as_ref().map_or(0, |f| f.halts);
 
     let mut metrics = MetricsSnapshot::new();
+    metrics.set_backend(spec.backend.name());
     world.cluster.contribute_metrics(&mut metrics);
     metrics.set_counter("sim.events_handled", events);
     metrics.set_counter("sim.queue_depth_hwm", queue_hwm as u64);

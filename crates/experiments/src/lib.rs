@@ -30,11 +30,36 @@ pub mod figures;
 pub mod harness;
 pub mod invariants;
 pub mod metrics;
+pub mod profsink;
 pub mod robustness;
 pub mod timeline;
 pub mod stats;
 pub mod sweep;
 pub mod tracesink;
+
+/// Re-export for [`install_alloc_profiler`] expansions (feature
+/// `alloc-profile`).
+#[cfg(feature = "alloc-profile")]
+pub use failmpi_obs::CountingAlloc;
+
+/// Installs the counting global allocator in the calling binary when it
+/// is built with the `alloc-profile` feature, and expands to nothing
+/// otherwise. Every figure/driver binary calls this once at top level so
+/// that `--features alloc-profile` turns `--profile` output from
+/// copy/queue/span telemetry into full allocation attribution:
+///
+/// ```text
+/// cargo run --release -p failmpi-experiments --features alloc-profile \
+///     --bin fig5 -- --smoke --profile fig5-profile.json
+/// ```
+#[macro_export]
+macro_rules! install_alloc_profiler {
+    () => {
+        #[cfg(feature = "alloc-profile")]
+        #[global_allocator]
+        static FAILMPI_COUNTING_ALLOC: $crate::CountingAlloc = $crate::CountingAlloc;
+    };
+}
 
 pub use classify::{classify_entries, Outcome};
 pub use failmpi_backend::{BackendConfig, BackendKind, ProtocolBackend};

@@ -1,0 +1,115 @@
+//! The `--profile` sink: aggregates per-run [`RunProfile`]s process-wide
+//! and writes one merged, deterministic JSON document per invocation.
+//!
+//! When armed (a binary saw `--profile <path>`), the harness wraps every
+//! run in a `failmpi_obs::prof` context on its worker thread and submits
+//! the resulting profile here. Profiles merge commutatively
+//! ([`RunProfile::merge`]), so the aggregate — unlike raw arrival order —
+//! is independent of worker-thread interleaving, and the written file is
+//! byte-identical across same-seed re-runs of the same binary.
+//!
+//! The merged document keeps the backend tag of its runs; a binary that
+//! somehow mixes backends under one sink produces `"backend": "mixed"`,
+//! which `failmpi-prof` surfaces rather than hides.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+use failmpi_obs::RunProfile;
+
+static ARMED: AtomicBool = AtomicBool::new(false);
+static MERGED: Mutex<Option<RunProfile>> = Mutex::new(None);
+
+/// Arms the sink (clearing anything collected earlier). Called once by a
+/// binary when `--profile <path>` is given, before any experiment runs.
+pub fn install_sink() {
+    *MERGED.lock().expect("profile sink lock") = None;
+    ARMED.store(true, Ordering::Release);
+}
+
+/// Disarms the sink and drops the aggregate. Tests that compare
+/// profiled vs unprofiled runs in one process use this to restore the
+/// default (zero-overhead) path; binaries never need it.
+pub fn disarm_sink() {
+    ARMED.store(false, Ordering::Release);
+    *MERGED.lock().expect("profile sink lock") = None;
+}
+
+/// Whether the harness should profile runs. One atomic load per run.
+pub(crate) fn armed() -> bool {
+    ARMED.load(Ordering::Acquire)
+}
+
+/// Folds one run's profile into the process aggregate; no-op unless the
+/// sink is armed.
+pub(crate) fn submit(profile: RunProfile) {
+    if !armed() {
+        return;
+    }
+    let mut merged = MERGED.lock().expect("profile sink lock");
+    match merged.as_mut() {
+        Some(agg) => agg.merge(&profile),
+        None => *merged = Some(profile),
+    }
+}
+
+/// Renders the aggregate as pretty JSON, or `None` when no run was
+/// profiled.
+pub fn render_sink() -> Option<String> {
+    MERGED
+        .lock()
+        .expect("profile sink lock")
+        .as_ref()
+        .map(RunProfile::to_pretty_json)
+}
+
+/// Writes the aggregate profile to `path`. Returns `Ok(false)` (writing
+/// nothing) when no run was profiled.
+pub fn write_sink(path: &str) -> std::io::Result<bool> {
+    match render_sink() {
+        Some(json) => {
+            std::fs::write(path, json)?;
+            Ok(true)
+        }
+        None => Ok(false),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // One test only: the sink is process-global state and cargo runs
+    // tests of a binary concurrently, so everything exercises it in one
+    // place.
+    #[test]
+    fn sink_merges_runs_commutatively() {
+        assert!(!armed());
+        let mut a = RunProfile::new();
+        a.backend = "vcl".to_string();
+        a.runs = 1;
+        a.events = 10;
+        submit(a.clone()); // not armed: dropped
+        assert!(render_sink().is_none());
+
+        install_sink();
+        let mut b = a.clone();
+        b.events = 32;
+        submit(a.clone());
+        submit(b.clone());
+        let doc = render_sink().expect("aggregate");
+        // Reversed submission order yields the identical document.
+        install_sink();
+        submit(b);
+        submit(a);
+        assert_eq!(render_sink().expect("aggregate"), doc);
+
+        let parsed = RunProfile::from_json(&doc).expect("parses");
+        assert_eq!(parsed.runs, 2);
+        assert_eq!(parsed.events, 42);
+        assert_eq!(parsed.backend, "vcl");
+        // Reset for any future in-process use.
+        *MERGED.lock().unwrap() = None;
+        ARMED.store(false, Ordering::Release);
+    }
+}

@@ -108,6 +108,10 @@ impl Interp {
     /// Queues a message delivered by the local daemon. The process may or
     /// may not be blocked on it; matching happens inside [`Interp::step`].
     pub fn deliver(&mut self, from: Rank, tag: Tag, bytes: u64) {
+        // Payload-copy ledger: the message body lands in the rank's
+        // inbox here (one copy per delivery, including v2 reorder-buffer
+        // replays).
+        failmpi_obs::prof::copy("mpi.recv", bytes);
         self.inbox.push_back(Envelope { from, tag, bytes });
     }
 

@@ -296,6 +296,19 @@ impl Cluster {
         let Some(&role) = self.role_of.get(&recipient) else {
             return; // stale event for a dead incarnation
         };
+        // Payload-copy ledger + role span: a delivered wire message is
+        // handed (by value) to the recipient's handler here.
+        if failmpi_obs::prof::is_enabled() {
+            if let NetEvent::Delivered { payload, .. } = &nev {
+                failmpi_obs::prof::copy("mpichv.dispatch", payload.wire_bytes());
+            }
+        }
+        let _role_span = failmpi_obs::prof::span(match role {
+            Role::Dispatcher => "dispatcher",
+            Role::Scheduler => "scheduler",
+            Role::Server(_) => "ckpt_server",
+            Role::Daemon(_) => "daemon",
+        });
         match role {
             Role::Dispatcher => match nev {
                 NetEvent::Delivered { conn, payload, .. } => {

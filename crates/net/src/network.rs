@@ -254,6 +254,10 @@ impl<P> Network<P> {
         }
         self.stats.msgs_sent.inc();
         self.stats.bytes_sent.add(bytes);
+        // Payload-copy ledger: the payload is cloned into the in-flight
+        // Delivered event here — the first hop of the copy chain the
+        // zero-copy refactor targets.
+        failmpi_obs::prof::copy("net.enqueue", bytes);
         let src_host = self.host_of(from);
         let dst_host = self.host_of(to);
         let arrive = if src_host == dst_host {

@@ -1,0 +1,113 @@
+//! Thread-local allocation accounting.
+//!
+//! Two pieces with different compile-time footprints:
+//!
+//! * [`alloc_counters`] — always compiled, safe code. Reads this thread's
+//!   monotonic `(allocations, bytes requested)` counters. With no counting
+//!   allocator installed both stay `0`, so everything downstream (profiles,
+//!   goldens, CI baselines) is well-defined in a default build.
+//! * [`CountingAlloc`] — only under the `alloc-profile` feature. A
+//!   `GlobalAlloc` wrapper around [`std::alloc::System`] that bumps the
+//!   thread-local counters on every allocation. Binaries opt in with
+//!   `#[global_allocator]`; library and test builds never pay for it.
+//!
+//! The counters are plain thread-local `Cell`s: the simulator runs one
+//! experiment per thread, so per-thread counts are exactly per-run counts
+//! and need no synchronization. Accesses go through `LocalKey::try_with`
+//! because a global allocator can be called during TLS teardown, where
+//! the key is gone — we drop the charge instead of aborting.
+//!
+//! Determinism contract: allocation *counts* for a fixed binary are
+//! schedule-deterministic (same seed → same counts), but they shift with
+//! toolchain and dependency versions, so CI gates them only via same-binary
+//! double runs, never across builds (see `failmpi-prof diff --skip-alloc`).
+
+use std::cell::Cell;
+
+thread_local! {
+    static ALLOCS: Cell<u64> = const { Cell::new(0) };
+    static BYTES: Cell<u64> = const { Cell::new(0) };
+}
+
+/// This thread's monotonic allocation counters as
+/// `(allocations, bytes requested)`. Both are `0` unless the binary
+/// installed [`CountingAlloc`] (feature `alloc-profile`).
+#[inline]
+pub fn alloc_counters() -> (u64, u64) {
+    (
+        ALLOCS.try_with(Cell::get).unwrap_or(0),
+        BYTES.try_with(Cell::get).unwrap_or(0),
+    )
+}
+
+/// Test-only hook: charge the counters without a real allocator, so the
+/// attribution plumbing (event guards, span deltas) is testable in safe,
+/// default-feature builds.
+#[cfg(test)]
+pub(crate) fn charge_for_test(allocs: u64, bytes: u64) {
+    let _ = ALLOCS.try_with(|c| c.set(c.get().wrapping_add(allocs)));
+    let _ = BYTES.try_with(|c| c.set(c.get().wrapping_add(bytes)));
+}
+
+#[cfg(feature = "alloc-profile")]
+mod counting {
+    use std::alloc::{GlobalAlloc, Layout, System};
+
+    /// A counting global allocator: forwards everything to
+    /// [`System`] and bumps the thread-local counters read by
+    /// [`super::alloc_counters`]. Install per binary:
+    ///
+    /// ```ignore
+    /// #[global_allocator]
+    /// static ALLOC: failmpi_obs::CountingAlloc = failmpi_obs::CountingAlloc;
+    /// ```
+    pub struct CountingAlloc;
+
+    #[inline]
+    fn charge(bytes: usize) {
+        // `try_with`, not `with`: the allocator runs during TLS teardown
+        // too, where touching a dead key would abort the process.
+        let _ = super::ALLOCS.try_with(|c| c.set(c.get().wrapping_add(1)));
+        let _ = super::BYTES.try_with(|c| c.set(c.get().wrapping_add(bytes as u64)));
+    }
+
+    // SAFETY: pure pass-through to `System`; the only extra work is
+    // updating `Cell`s, which never allocates or unwinds.
+    unsafe impl GlobalAlloc for CountingAlloc {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            charge(layout.size());
+            unsafe { System.alloc(layout) }
+        }
+
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            unsafe { System.dealloc(ptr, layout) }
+        }
+
+        unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+            charge(layout.size());
+            unsafe { System.alloc_zeroed(layout) }
+        }
+
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            charge(new_size);
+            unsafe { System.realloc(ptr, layout, new_size) }
+        }
+    }
+}
+
+#[cfg(feature = "alloc-profile")]
+pub use counting::CountingAlloc;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_start_at_zero_and_charge_monotonically() {
+        let (a0, b0) = alloc_counters();
+        charge_for_test(3, 100);
+        let (a1, b1) = alloc_counters();
+        assert_eq!(a1 - a0, 3);
+        assert_eq!(b1 - b0, 100);
+    }
+}

@@ -141,6 +141,31 @@ pub struct HistogramSnapshot {
 }
 
 impl HistogramSnapshot {
+    /// Upper bound of the bucket holding the `q`-quantile sample
+    /// (`0.0 <= q <= 1.0`), or `0` when empty. Because buckets are log₂
+    /// ranges this is a conservative bound, not an interpolation: bucket
+    /// `i ≥ 1` reports `2^i - 1`, bucket `0` reports `0`, and bucket `64`
+    /// saturates at `u64::MAX`. Deterministic (pure integer walk over the
+    /// bucket list), so safe for CI gates.
+    pub fn quantile_upper_bound(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for &(idx, c) in &self.buckets {
+            seen += c;
+            if seen >= rank {
+                return match idx {
+                    0 => 0,
+                    64 => u64::MAX,
+                    i => (1u64 << i) - 1,
+                };
+            }
+        }
+        self.max
+    }
+
     /// Folds another snapshot in (sum counters, min/max envelope, merge
     /// bucket counts by index).
     pub fn merge(&mut self, other: &HistogramSnapshot) {
@@ -217,6 +242,24 @@ mod tests {
         snap.merge(&c.snapshot());
         snap.merge(&b.snapshot());
         assert_eq!(snap, all.snapshot());
+    }
+
+    #[test]
+    fn quantile_upper_bound_walks_buckets() {
+        let mut h = Histogram::new();
+        for _ in 0..90 {
+            h.record(1);
+        }
+        for _ in 0..10 {
+            h.record(1000);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.quantile_upper_bound(0.5), 1);
+        assert_eq!(s.quantile_upper_bound(0.99), 1023);
+        assert_eq!(HistogramSnapshot::default().quantile_upper_bound(0.5), 0);
+        let mut z = Histogram::new();
+        z.record(0);
+        assert_eq!(z.snapshot().quantile_upper_bound(0.5), 0);
     }
 
     #[test]

@@ -23,21 +23,42 @@
 //!
 //! Everything is zero-cost-when-disabled in the only place cost matters:
 //! counters and histogram records are branch-free integer arithmetic on
-//! the hot path, and wall-clock timing is gated behind
+//! the hot path, wall-clock timing is gated behind
 //! [`WallProfile::is_enabled`] so a disabled profile never calls
-//! `Instant::now`.
+//! `Instant::now`, and the deep-profiling context ([`prof`]) is one
+//! thread-local flag check per instrumented call site when no run is
+//! being profiled.
+//!
+//! The profiling subsystem ([`alloc`], [`prof`], [`RunProfile`]) sits on
+//! the *deterministic* side of the fence despite measuring the simulator
+//! itself: it records schedule-derived quantities (event kinds, payload
+//! bytes, queue depths, span counts) plus allocation counts, which are
+//! deterministic for a fixed binary. Wall time stays out of
+//! [`RunProfile`] entirely.
 
-#![forbid(unsafe_code)]
+// The counting global allocator (feature `alloc-profile`) is the one
+// piece of unsafe code in this crate; without it the whole crate is
+// forbid(unsafe_code) as before.
+#![cfg_attr(not(feature = "alloc-profile"), forbid(unsafe_code))]
 #![warn(missing_docs)]
 
+pub mod alloc;
 mod counter;
 mod histogram;
+pub mod prof;
+mod profile;
 mod rss;
 mod snapshot;
 mod wall;
 
+pub use alloc::alloc_counters;
+#[cfg(feature = "alloc-profile")]
+pub use alloc::CountingAlloc;
 pub use counter::Counter;
 pub use histogram::{Histogram, HistogramSnapshot};
+pub use profile::{
+    AllocBin, CopyBin, QueueTelemetry, RunProfile, SpanBin, PROFILE_SCHEMA_VERSION,
+};
 pub use rss::peak_rss_bytes;
 pub use snapshot::{MetricsSnapshot, SCHEMA_VERSION};
 pub use wall::{WallBin, WallProfile};

@@ -8,7 +8,10 @@ use crate::histogram::{Histogram, HistogramSnapshot};
 
 /// Version of the snapshot JSON schema. Bump when renaming or removing
 /// keys; adding keys is backwards-compatible and needs no bump.
-pub const SCHEMA_VERSION: u32 = 1;
+///
+/// v2: snapshots carry the active protocol `backend` tag, and merging
+/// snapshots from two different backends is rejected.
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// One run's deterministic metrics: named counters and named virtual-time
 /// histograms.
@@ -23,6 +26,10 @@ pub const SCHEMA_VERSION: u32 = 1;
 pub struct MetricsSnapshot {
     /// The snapshot schema version ([`SCHEMA_VERSION`]).
     pub schema_version: u32,
+    /// Protocol backend the run executed under (`""` when untagged).
+    /// Guards sweep aggregation: snapshots from different backends
+    /// measure different protocols and must not be silently merged.
+    pub backend: String,
     /// Monotonic counters by dotted name (`layer.metric`).
     pub counters: BTreeMap<String, u64>,
     /// Histograms by dotted name.
@@ -40,9 +47,15 @@ impl MetricsSnapshot {
     pub fn new() -> MetricsSnapshot {
         MetricsSnapshot {
             schema_version: SCHEMA_VERSION,
+            backend: String::new(),
             counters: BTreeMap::new(),
             histograms: BTreeMap::new(),
         }
+    }
+
+    /// Tags the snapshot with the protocol backend it measures.
+    pub fn set_backend(&mut self, backend: &str) {
+        self.backend = backend.to_string();
     }
 
     /// Sets counter `name` to `value` (zeros are kept: a schema's key set
@@ -74,7 +87,34 @@ impl MetricsSnapshot {
     /// Folds another snapshot in: counters add, histograms merge. The
     /// operation is commutative and associative, so a sweep aggregate is
     /// independent of worker-thread completion order.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the two snapshots carry different non-empty backend
+    /// tags — aggregating across protocols is a measurement bug, never a
+    /// thing to paper over. Use [`MetricsSnapshot::try_merge`] to handle
+    /// the mismatch instead.
     pub fn merge(&mut self, other: &MetricsSnapshot) {
+        self.try_merge(other).expect("mixed-backend metrics merge");
+    }
+
+    /// [`MetricsSnapshot::merge`] that reports a mixed-backend pair as
+    /// `Err` instead of panicking; `self` is unchanged on error. An empty
+    /// tag (untagged snapshot) merges with anything and adopts the other
+    /// side's tag.
+    pub fn try_merge(&mut self, other: &MetricsSnapshot) -> Result<(), String> {
+        if !self.backend.is_empty()
+            && !other.backend.is_empty()
+            && self.backend != other.backend
+        {
+            return Err(format!(
+                "refusing to merge metrics from backend `{}` into aggregate for `{}`",
+                other.backend, self.backend
+            ));
+        }
+        if self.backend.is_empty() {
+            self.backend = other.backend.clone();
+        }
         for (name, value) in &other.counters {
             *self.counters.entry(name.clone()).or_insert(0) += value;
         }
@@ -84,6 +124,7 @@ impl MetricsSnapshot {
                 .or_default()
                 .merge(h);
         }
+        Ok(())
     }
 
     /// Compact JSON encoding (canonical: `BTreeMap` ordering, no
@@ -106,7 +147,30 @@ mod tests {
         b.set_counter("a.y", 2);
         b.set_counter("b.x", 1);
         assert_eq!(a.to_json(), b.to_json());
-        assert!(a.to_json().contains("\"schema_version\":1"));
+        assert!(a.to_json().contains("\"schema_version\":2"));
+        assert!(a.to_json().contains("\"backend\":\"\""));
+    }
+
+    #[test]
+    fn backend_tags_gate_merging() {
+        let mut vcl = MetricsSnapshot::new();
+        vcl.set_backend("vcl");
+        vcl.set_counter("n", 1);
+        let mut ulfm = MetricsSnapshot::new();
+        ulfm.set_backend("ulfm");
+        ulfm.set_counter("n", 10);
+
+        // Untagged absorbs a tag; same tag merges.
+        let mut agg = MetricsSnapshot::new();
+        agg.try_merge(&vcl).unwrap();
+        assert_eq!(agg.backend, "vcl");
+        agg.try_merge(&vcl).unwrap();
+        assert_eq!(agg.counter("n"), 2);
+
+        // Cross-backend is rejected and leaves the aggregate unchanged.
+        let err = agg.try_merge(&ulfm).unwrap_err();
+        assert!(err.contains("ulfm"), "{err}");
+        assert_eq!(agg.counter("n"), 2);
     }
 
     #[test]

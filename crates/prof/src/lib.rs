@@ -1,0 +1,460 @@
+//! Analysis library behind the `failmpi-prof` binary.
+//!
+//! Consumes the deterministic [`RunProfile`] JSON written by `--profile
+//! PATH` (figure binaries, soak, bench-report) and renders it for
+//! humans and CI gates:
+//!
+//! * [`report`] — top-N attribution tables (allocations per event kind,
+//!   payload copies per hop, queue telemetry, span tree) with per-layer
+//!   rollups. Every event kind maps to a named layer
+//!   ([`layer_of_kind`]), so attribution coverage is explicit.
+//! * [`diff`] — two profiles → regression table. Counters are
+//!   schedule-deterministic, so CI pins them exactly
+//!   (`--fail-on-regression`); allocation counters can be excluded when
+//!   comparing across toolchains (`--skip-alloc`).
+//! * [`top`] — per-backend comparison of normalized rates
+//!   (allocs/event, bytes-copied/event, burst percentiles) across
+//!   vcl/ulfm/replica profiles.
+//! * [`RunProfile::to_collapsed`] (re-exported) — collapsed-stack lines
+//!   for standard flamegraph tooling.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+
+pub use failmpi_obs::RunProfile;
+
+/// The named layer an engine event kind belongs to. Dotted kinds take
+/// their prefix (`net.delivered` → `net`), FAIL-side injection events go
+/// to `fail`, and everything else is a protocol-backend lifecycle event
+/// (`cluster`). Total by construction: every kind lands in a named
+/// layer, which is what makes the report's attribution percentage
+/// meaningful rather than vacuous.
+pub fn layer_of_kind(kind: &str) -> &str {
+    if let Some((prefix, _)) = kind.split_once('.') {
+        return prefix;
+    }
+    if kind.starts_with("fail") {
+        return "fail";
+    }
+    "cluster"
+}
+
+/// Sort key for attribution tables.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SortBy {
+    /// Allocation count (needs an `alloc-profile` build to be non-zero).
+    Allocs,
+    /// Allocated bytes.
+    Bytes,
+    /// Event count — the deterministic stand-in for time (wall-clock
+    /// timings deliberately live in bench-report, not in profiles).
+    Events,
+}
+
+impl SortBy {
+    /// Parses `allocs|bytes|events` (plus `time` as an alias for
+    /// `events`, since virtual-time cost per kind is proportional to its
+    /// event count in the profile's model).
+    pub fn parse(s: &str) -> Option<SortBy> {
+        match s {
+            "allocs" => Some(SortBy::Allocs),
+            "bytes" => Some(SortBy::Bytes),
+            "events" | "time" => Some(SortBy::Events),
+            _ => None,
+        }
+    }
+}
+
+fn per_event(total: u64, events: u64) -> String {
+    if events == 0 {
+        "-".to_string()
+    } else {
+        format!("{:.1}", total as f64 / events as f64)
+    }
+}
+
+/// Renders the human-readable attribution report: totals, the top-`top_n`
+/// event kinds by `by`, per-layer rollups for allocations and copies,
+/// queue telemetry, and the heaviest span paths.
+pub fn report(p: &RunProfile, top_n: usize, by: SortBy) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "profile: backend={} runs={} events={}",
+        p.backend, p.runs, p.events
+    );
+    let _ = writeln!(
+        out,
+        "totals:  allocs={} alloc_bytes={} copied_bytes={}",
+        p.total_allocs(),
+        p.total_alloc_bytes(),
+        p.total_copied_bytes()
+    );
+    if p.total_allocs() == 0 {
+        let _ = writeln!(
+            out,
+            "note: allocation counters are zero — rebuild the profiled binary \
+             with --features alloc-profile for allocation attribution"
+        );
+    }
+
+    // Per-kind allocation attribution.
+    let mut kinds: Vec<_> = p.alloc.iter().collect();
+    kinds.sort_by_key(|(name, b)| {
+        let key = match by {
+            SortBy::Allocs => b.allocs,
+            SortBy::Bytes => b.bytes,
+            SortBy::Events => b.events,
+        };
+        (std::cmp::Reverse(key), (*name).clone())
+    });
+    let _ = writeln!(out, "\nevent kinds (top {top_n}):");
+    let _ = writeln!(
+        out,
+        "  {:<24} {:>8} {:>10} {:>12} {:>12} {:<8}",
+        "kind", "events", "allocs", "bytes", "allocs/ev", "layer"
+    );
+    for (name, b) in kinds.iter().take(top_n) {
+        let _ = writeln!(
+            out,
+            "  {:<24} {:>8} {:>10} {:>12} {:>12} {:<8}",
+            name,
+            b.events,
+            b.allocs,
+            b.bytes,
+            per_event(b.allocs, b.events),
+            layer_of_kind(name)
+        );
+    }
+
+    // Layer rollup over allocations; attribution is total by
+    // construction, but compute it honestly from the bins.
+    let mut layers: std::collections::BTreeMap<&str, (u64, u64, u64)> = Default::default();
+    for (name, b) in &p.alloc {
+        let e = layers.entry(layer_of_kind(name)).or_default();
+        e.0 += b.events;
+        e.1 += b.allocs;
+        e.2 += b.bytes;
+    }
+    let attributed_allocs: u64 = layers.values().map(|v| v.1).sum();
+    let attributed_bytes: u64 = layers.values().map(|v| v.2).sum();
+    let pct = |part: u64, whole: u64| {
+        if whole == 0 {
+            100.0
+        } else {
+            100.0 * part as f64 / whole as f64
+        }
+    };
+    let _ = writeln!(out, "\nallocation by layer:");
+    for (layer, (events, allocs, bytes)) in &layers {
+        let _ = writeln!(
+            out,
+            "  {:<10} events={:<9} allocs={:<11} bytes={}",
+            layer, events, allocs, bytes
+        );
+    }
+    let _ = writeln!(
+        out,
+        "  attributed: {:.1}% of allocs, {:.1}% of alloc bytes",
+        pct(attributed_allocs, p.total_allocs()),
+        pct(attributed_bytes, p.total_alloc_bytes())
+    );
+
+    // Copy ledger with per-layer rollup.
+    let _ = writeln!(out, "\npayload copies by hop:");
+    let mut copy_layers: std::collections::BTreeMap<&str, u64> = Default::default();
+    for (hop, b) in &p.copies {
+        let _ = writeln!(out, "  {:<18} count={:<9} bytes={}", hop, b.count, b.bytes);
+        *copy_layers.entry(layer_of_kind(hop)).or_default() += b.bytes;
+    }
+    let attributed_copy: u64 = copy_layers.values().sum();
+    let _ = writeln!(out, "copied bytes by layer:");
+    for (layer, bytes) in &copy_layers {
+        let _ = writeln!(out, "  {:<10} bytes={}", layer, bytes);
+    }
+    let _ = writeln!(
+        out,
+        "  attributed: {:.1}% of copied bytes",
+        pct(attributed_copy, p.total_copied_bytes())
+    );
+
+    // Queue telemetry.
+    let q = &p.queue;
+    let _ = writeln!(out, "\nqueue: pushes={} pops={}", q.pushes, q.pops);
+    let _ = writeln!(
+        out,
+        "  same-instant bursts: count={} p50<={} p99<={} max={}",
+        q.burst.count,
+        q.burst.quantile_upper_bound(0.5),
+        q.burst.quantile_upper_bound(0.99),
+        q.burst.max
+    );
+    let _ = writeln!(
+        out,
+        "  depth after push:    p50<={} p99<={} max={}",
+        q.depth.quantile_upper_bound(0.5),
+        q.depth.quantile_upper_bound(0.99),
+        q.depth.max
+    );
+    if !q.depth_series.is_empty() {
+        let _ = writeln!(out, "  max depth by virtual-time bucket (log2 µs):");
+        for (bucket, depth) in &q.depth_series {
+            let _ = writeln!(out, "    t<2^{:<2} depth={}", bucket, depth);
+        }
+    }
+
+    // Heaviest span paths.
+    let mut spans: Vec<_> = p.spans.iter().collect();
+    spans.sort_by_key(|(path, b)| (std::cmp::Reverse(b.count), (*path).clone()));
+    if !spans.is_empty() {
+        let _ = writeln!(out, "\nspans (top {top_n} by count):");
+        for (path, b) in spans.iter().take(top_n) {
+            let _ = writeln!(
+                out,
+                "  {:<40} count={:<9} allocs={:<9} bytes={}",
+                path, b.count, b.allocs, b.bytes
+            );
+        }
+    }
+    out
+}
+
+/// Options for [`diff`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DiffOptions {
+    /// Allowed relative growth in percent before a counter counts as a
+    /// regression (`0.0` = exact pin, the CI default for same-binary
+    /// runs).
+    pub tolerance_pct: f64,
+    /// Skip allocation counters (they are deterministic per binary but
+    /// shift across toolchains; copy/queue/span counters never do).
+    pub skip_alloc: bool,
+}
+
+/// Outcome of [`diff`].
+#[derive(Clone, Debug)]
+pub struct DiffReport {
+    /// Rendered regression table.
+    pub rendered: String,
+    /// Counters where `b` exceeded `a` beyond the tolerance.
+    pub regressions: usize,
+}
+
+fn diff_row(
+    out: &mut String,
+    regressions: &mut usize,
+    name: &str,
+    a: u64,
+    b: u64,
+    tolerance_pct: f64,
+) {
+    if a == b {
+        return;
+    }
+    let limit = a as f64 * (1.0 + tolerance_pct / 100.0);
+    let regressed = b as f64 > limit;
+    if regressed {
+        *regressions += 1;
+    }
+    let pct = if a == 0 {
+        "inf".to_string()
+    } else {
+        format!("{:+.2}%", 100.0 * (b as f64 - a as f64) / a as f64)
+    };
+    let _ = writeln!(
+        out,
+        "  {:<40} {:>14} -> {:<14} {:>9} {}",
+        name,
+        a,
+        b,
+        pct,
+        if regressed { "REGRESSION" } else { "improved" }
+    );
+}
+
+/// Compares profile `b` (candidate) against `a` (baseline) counter by
+/// counter. Deterministic counters (events, copies, queue, spans) plus —
+/// unless skipped — allocation counters. Any counter of `b` above the
+/// tolerance envelope of `a` is a regression; counters that shrank are
+/// listed as improvements.
+pub fn diff(a: &RunProfile, b: &RunProfile, opts: DiffOptions) -> DiffReport {
+    let mut out = String::new();
+    let mut regressions = 0usize;
+    if a.backend != b.backend {
+        let _ = writeln!(
+            out,
+            "  warning: comparing backend `{}` against `{}`",
+            a.backend, b.backend
+        );
+    }
+    let tol = opts.tolerance_pct;
+    diff_row(&mut out, &mut regressions, "events", a.events, b.events, tol);
+    diff_row(&mut out, &mut regressions, "queue.pushes", a.queue.pushes, b.queue.pushes, tol);
+    diff_row(&mut out, &mut regressions, "queue.pops", a.queue.pops, b.queue.pops, tol);
+    diff_row(
+        &mut out,
+        &mut regressions,
+        "queue.burst.p99",
+        a.queue.burst.quantile_upper_bound(0.99),
+        b.queue.burst.quantile_upper_bound(0.99),
+        tol,
+    );
+    diff_row(
+        &mut out,
+        &mut regressions,
+        "queue.depth.max",
+        a.queue.depth.max,
+        b.queue.depth.max,
+        tol,
+    );
+    for hop in a.copies.keys().chain(b.copies.keys()).collect::<std::collections::BTreeSet<_>>() {
+        let av = a.copies.get(hop).cloned().unwrap_or_default();
+        let bv = b.copies.get(hop).cloned().unwrap_or_default();
+        diff_row(&mut out, &mut regressions, &format!("copies.{hop}.count"), av.count, bv.count, tol);
+        diff_row(&mut out, &mut regressions, &format!("copies.{hop}.bytes"), av.bytes, bv.bytes, tol);
+    }
+    if !opts.skip_alloc {
+        for kind in a.alloc.keys().chain(b.alloc.keys()).collect::<std::collections::BTreeSet<_>>() {
+            let av = a.alloc.get(kind).cloned().unwrap_or_default();
+            let bv = b.alloc.get(kind).cloned().unwrap_or_default();
+            diff_row(&mut out, &mut regressions, &format!("alloc.{kind}.events"), av.events, bv.events, tol);
+            diff_row(&mut out, &mut regressions, &format!("alloc.{kind}.allocs"), av.allocs, bv.allocs, tol);
+            diff_row(&mut out, &mut regressions, &format!("alloc.{kind}.bytes"), av.bytes, bv.bytes, tol);
+        }
+    }
+    for path in a.spans.keys().chain(b.spans.keys()).collect::<std::collections::BTreeSet<_>>() {
+        let av = a.spans.get(path).cloned().unwrap_or_default();
+        let bv = b.spans.get(path).cloned().unwrap_or_default();
+        diff_row(&mut out, &mut regressions, &format!("spans.{path}.count"), av.count, bv.count, tol);
+    }
+    if out.is_empty() {
+        out.push_str("  no differences\n");
+    }
+    let header = format!(
+        "diff: {} counter(s) changed, {} regression(s)\n",
+        out.lines().filter(|l| l.contains("->")).count(),
+        regressions
+    );
+    DiffReport { rendered: header + &out, regressions }
+}
+
+/// Renders the per-backend comparison table across several profiles
+/// (typically one per backend: vcl, ulfm, replica).
+pub fn top(profiles: &[(String, RunProfile)]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<24} {:<8} {:>6} {:>10} {:>11} {:>13} {:>14} {:>10} {:>10}",
+        "file", "backend", "runs", "events", "allocs/ev", "bytes/ev", "copied/ev", "burst p50", "burst p99"
+    );
+    for (name, p) in profiles {
+        let _ = writeln!(
+            out,
+            "{:<24} {:<8} {:>6} {:>10} {:>11} {:>13} {:>14} {:>10} {:>10}",
+            name,
+            p.backend,
+            p.runs,
+            p.events,
+            per_event(p.total_allocs(), p.events),
+            per_event(p.total_alloc_bytes(), p.events),
+            per_event(p.total_copied_bytes(), p.events),
+            p.queue.burst.quantile_upper_bound(0.5),
+            p.queue.burst.quantile_upper_bound(0.99),
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use failmpi_obs::{AllocBin, CopyBin, SpanBin};
+
+    fn sample() -> RunProfile {
+        let mut p = RunProfile::new();
+        p.backend = "vcl".to_string();
+        p.runs = 1;
+        p.events = 100;
+        p.alloc.insert("net.delivered".into(), AllocBin { events: 60, allocs: 120, bytes: 4800 });
+        p.alloc.insert("compute_done".into(), AllocBin { events: 30, allocs: 30, bytes: 960 });
+        p.alloc.insert("fail_timer".into(), AllocBin { events: 10, allocs: 5, bytes: 80 });
+        p.copies.insert("net.enqueue".into(), CopyBin { count: 50, bytes: 200_000 });
+        p.copies.insert("mpi.recv".into(), CopyBin { count: 40, bytes: 160_000 });
+        p.queue.pushes = 101;
+        p.queue.pops = 100;
+        p.spans.insert("net.delivered;daemon".into(), SpanBin { count: 40, allocs: 0, bytes: 0 });
+        p
+    }
+
+    #[test]
+    fn layers_are_total() {
+        assert_eq!(layer_of_kind("net.delivered"), "net");
+        assert_eq!(layer_of_kind("mpichv.dispatch"), "mpichv");
+        assert_eq!(layer_of_kind("fail_timer"), "fail");
+        assert_eq!(layer_of_kind("fail_msg"), "fail");
+        assert_eq!(layer_of_kind("compute_done"), "cluster");
+        assert_eq!(layer_of_kind("ulfm.agree"), "ulfm");
+    }
+
+    #[test]
+    fn report_attributes_everything() {
+        let r = report(&sample(), 10, SortBy::Allocs);
+        assert!(r.contains("backend=vcl"), "{r}");
+        assert!(r.contains("attributed: 100.0% of allocs"), "{r}");
+        assert!(r.contains("attributed: 100.0% of copied bytes"), "{r}");
+        assert!(r.contains("net.delivered"), "{r}");
+        // Sorted by allocs: net.delivered (120) first.
+        let net = r.find("net.delivered").unwrap();
+        let compute = r.find("compute_done").unwrap();
+        assert!(net < compute, "{r}");
+    }
+
+    #[test]
+    fn sort_by_parses_time_alias() {
+        assert_eq!(SortBy::parse("time"), Some(SortBy::Events));
+        assert_eq!(SortBy::parse("allocs"), Some(SortBy::Allocs));
+        assert_eq!(SortBy::parse("bogus"), None);
+    }
+
+    #[test]
+    fn diff_of_identical_profiles_is_clean() {
+        let p = sample();
+        let d = diff(&p, &p, DiffOptions::default());
+        assert_eq!(d.regressions, 0);
+        assert!(d.rendered.contains("no differences"), "{}", d.rendered);
+    }
+
+    #[test]
+    fn diff_flags_growth_and_respects_tolerance_and_skip_alloc() {
+        let a = sample();
+        let mut b = sample();
+        b.copies.get_mut("net.enqueue").unwrap().bytes = 210_000; // +5%
+        b.alloc.get_mut("net.delivered").unwrap().allocs = 240;
+        let strict = diff(&a, &b, DiffOptions::default());
+        assert_eq!(strict.regressions, 2, "{}", strict.rendered);
+        assert!(strict.rendered.contains("REGRESSION"));
+        let tolerant = diff(
+            &a,
+            &b,
+            DiffOptions { tolerance_pct: 10.0, skip_alloc: true },
+        );
+        assert_eq!(tolerant.regressions, 0, "{}", tolerant.rendered);
+        // Shrinkage is an improvement, not a regression.
+        let shrunk = diff(&b, &a, DiffOptions::default());
+        assert_eq!(shrunk.regressions, 0, "{}", shrunk.rendered);
+        assert!(shrunk.rendered.contains("improved"));
+    }
+
+    #[test]
+    fn top_normalizes_per_event() {
+        let mut ulfm = sample();
+        ulfm.backend = "ulfm".to_string();
+        let t = top(&[("a.json".to_string(), sample()), ("b.json".to_string(), ulfm)]);
+        assert!(t.contains("vcl"), "{t}");
+        assert!(t.contains("ulfm"), "{t}");
+        // copied/ev for the sample: 360000/100 = 3600.0
+        assert!(t.contains("3600.0"), "{t}");
+    }
+}

@@ -220,6 +220,7 @@ impl ReplicaCluster {
         }
         self.units[u].registered = true;
         self.traffic.control_bytes += INIT_CONTROL_BYTES;
+        failmpi_obs::prof::copy("replica.control", INIT_CONTROL_BYTES);
         // Replicas register under the rank they shadow.
         let rank = if (u as u32) < self.n_ranks() {
             u as u32
@@ -299,6 +300,7 @@ impl ReplicaCluster {
         self.epoch += 1;
         self.promotions.inc();
         self.traffic.control_bytes += PROMOTE_CONTROL_BYTES;
+        failmpi_obs::prof::copy("replica.promote", PROMOTE_CONTROL_BYTES);
         self.trace.record(now, VclEvent::RecoveryStarted { epoch: self.epoch });
         let gen = self.ranks[r].promote_gen;
         self.out.push((
@@ -481,10 +483,12 @@ impl ProtocolBackend for ReplicaCluster {
                 let iter = self.ranks[r].ops_done;
                 self.max_progress = self.max_progress.max(iter);
                 self.traffic.app_bytes += OP_APP_BYTES;
+                failmpi_obs::prof::copy("replica.op", OP_APP_BYTES);
                 if self.rank_protected(rank) {
                     // State shadowing: the primary streams its post-op
                     // state to the replica.
                     self.traffic.ckpt_bytes += OP_SYNC_BYTES;
+                    failmpi_obs::prof::copy("replica.sync", OP_SYNC_BYTES);
                 }
                 self.trace
                     .record(now, VclEvent::AppProgress { rank: Rank(rank), iter });

@@ -335,16 +335,22 @@ impl<M: Model> Engine<M> {
             pending: Vec::new(),
         };
         let started = self.profile.maybe_start();
-        let kind = if started.is_some() {
+        let deep = failmpi_obs::prof::is_enabled();
+        let kind = if started.is_some() || deep {
             self.model.event_kind(&ev)
         } else {
             ""
         };
+        // Deep-profiling scope: attributes the allocation delta of the
+        // handler *and* the scheduling it triggers (queue push-back) to
+        // this event kind, and roots the span tree at the kind.
+        let scope = if deep { failmpi_obs::prof::event(kind) } else { None };
         self.model.handle(at, ev, &mut sched);
         self.profile.record(kind, started);
         for (t, e) in sched.pending {
             self.queue.push_caused(t, e, Some(id));
         }
+        drop(scope);
         self.queue_hwm = self.queue_hwm.max(self.queue.len());
         true
     }

@@ -149,6 +149,7 @@ impl<E> EventQueue<E> {
             cause,
             event,
         });
+        failmpi_obs::prof::queue_push(self.heap.len() as u64);
     }
 
     /// Removes and returns the earliest entry, if any.
@@ -160,7 +161,10 @@ impl<E> EventQueue<E> {
     /// sequence number (its push order — the engine folds it into the run
     /// fingerprint) and the cause recorded at push time.
     pub fn pop_entry(&mut self) -> Option<(SimTime, u64, Option<EventId>, E)> {
-        self.heap.pop().map(|s| (s.at, s.seq, s.cause, s.event))
+        self.heap.pop().map(|s| {
+            failmpi_obs::prof::queue_pop(s.at.as_micros(), self.heap.len() as u64);
+            (s.at, s.seq, s.cause, s.event)
+        })
     }
 
     /// The instant of the earliest pending entry, if any.

@@ -194,6 +194,7 @@ impl UlfmCluster {
         }
         r.registered = true;
         self.traffic.control_bytes += INIT_CONTROL_BYTES;
+        failmpi_obs::prof::copy("ulfm.control", INIT_CONTROL_BYTES);
         self.trace
             .record(now, VclEvent::DaemonRegistered { rank: Rank(i as u32), epoch });
         self.maybe_start(now);
@@ -268,6 +269,7 @@ impl UlfmCluster {
         let rounds = (64 - (n - 1).leading_zeros() as u64).max(1); // ceil(log2 n), >= 1
         self.agree_rounds.add(rounds);
         self.traffic.control_bytes += AGREE_CONTROL_BYTES * n * rounds;
+        failmpi_obs::prof::copy("ulfm.agree", AGREE_CONTROL_BYTES * n * rounds);
         let round = self.agree_round;
         self.out
             .push((now + self.cfg.round_delay * rounds, UlfmEv::ShrinkDone { round }));
@@ -435,6 +437,7 @@ impl ProtocolBackend for UlfmCluster {
                 let iter = self.ranks[i].ops_done;
                 self.max_progress = self.max_progress.max(iter);
                 self.traffic.app_bytes += OP_APP_BYTES;
+                failmpi_obs::prof::copy("ulfm.op", OP_APP_BYTES);
                 self.trace
                     .record(now, VclEvent::AppProgress { rank: Rank(rank), iter });
                 if self.ranks[i].ops_done >= self.ranks[i].ops_total {
