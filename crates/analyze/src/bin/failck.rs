@@ -1,33 +1,30 @@
-//! failck: lint FAIL scenarios and built-in op-programs from the shell.
+//! failck: one static-analysis gate, four input surfaces — FAIL
+//! scenarios (FA codes), MPI op-programs (FB), the cross-layer model
+//! checker (FC), fuzz findings artifacts (FZ), and the workspace's own
+//! Rust source (SD/SU determinism & unsafe-discipline lints).
 //!
-//! ```text
-//! failck scenario.fail other.fail       # human-readable findings
-//! failck scenario.fail --format json    # machine-readable (CI artifact)
-//! failck --builtin                      # lint every bundled artifact
-//! failck scenario.fail --strict         # warnings also fail the run
-//! failck scenario.fail --model-check    # also explore the Vcl product
-//! failck fig.fail --model-check --backend ulfm
-//!                                       # swap in the ULFM shrink model
-//! failck fig.fail --model-check --reduce --ranks 25 --threads 4
-//!                                       # paper-scale grid, reduced product
-//! failck --findings findings.json       # gate a failmpi-fuzz findings file
-//! ```
-//!
-//! Exit status: 0 clean, 1 findings at the failing severity, 2 usage or
-//! I/O error. `--help` prints the usage and exits 0; only malformed
-//! invocations exit 2.
+//! Exit status is one matrix across every mode: 0 clean, 1 findings at
+//! the failing severity, 2 usage or I/O error. `--help` prints the
+//! usage and exits 0; only malformed invocations exit 2.
 //!
 //! `--findings` applies the same exit-code matrix to a `failmpi-fuzz`
 //! findings artifact (an array of reports carrying FZ-coded diagnostics):
 //! a malformed or empty-shaped file exits 2 rather than 0, so a CI gate
 //! grepping the output can never pass vacuously.
+//!
+//! `--src` runs the `failmpi-srclint` determinism/unsafe rules over
+//! `.rs` files or directories (default: the current directory), one
+//! report per file, skipping `target/`, `vendor/`, fixtures, goldens
+//! and corpora. Findings are suppressible only by an inline
+//! `// srclint: allow(CODE): <reason>` pragma; a reasonless allow is
+//! itself a finding (SP001).
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
 
 use failmpi_analyze::{
-    analyze_programs, builtin, check_source, model_check_source, BackendKind, ModelCheckConfig,
-    Report,
+    analyze_programs, builtin, check_source, check_src_paths, model_check_source, BackendKind,
+    ModelCheckConfig, Report, SrcLintConfig,
 };
 use serde::Serialize;
 use serde_json::Value;
@@ -40,6 +37,7 @@ struct Options {
     model_check: bool,
     budget: Option<usize>,
     findings: Option<String>,
+    src: bool,
     reduce: bool,
     threads: Option<usize>,
     ranks: Option<usize>,
@@ -47,9 +45,28 @@ struct Options {
     backend: BackendKind,
 }
 
-const USAGE: &str = "usage: failck [FILES...] [--builtin] [--format human|json] [--strict] \
-     [--model-check] [--backend vcl|ulfm|replica] [--budget N] [--reduce] [--threads N] \
-     [--ranks N] [--hosts N] [--findings FILE]";
+const USAGE: &str = "usage: failck [FILES...] [--builtin] [--format human|json] [--strict]
+              [--model-check] [--backend vcl|ulfm|replica] [--budget N]
+              [--reduce] [--threads N] [--ranks N] [--hosts N]
+              [--findings FILE] [--src [PATH...]]
+
+modes (one exit-code matrix: 0 clean, 1 findings, 2 usage/I-O error):
+  FILES...            lint FAIL scenario sources (FA codes)
+  --builtin           lint every bundled scenario and op-program (FA/FB)
+  --model-check       also explore the scenario x protocol product (FC)
+  --findings FILE     gate a failmpi-fuzz findings artifact (FZ)
+  --src [PATH...]     lint the workspace's own Rust source (SD/SU);
+                      PATHs are .rs files or directories, default `.`
+
+examples:
+  failck scenario.fail other.fail        # human-readable findings
+  failck scenario.fail --format json     # machine-readable (CI artifact)
+  failck --builtin --strict              # warnings also fail the run
+  failck fig.fail --model-check --backend ulfm
+  failck fig.fail --model-check --reduce --ranks 25 --threads 4
+  failck --findings findings.json        # gate a fuzz findings file
+  failck --src .                         # determinism lints, whole tree
+  failck --src crates/mpichv --strict --format json";
 
 fn usage_error() -> ExitCode {
     eprintln!("{USAGE}");
@@ -65,6 +82,7 @@ fn parse_args() -> Result<Options, ExitCode> {
         model_check: false,
         budget: None,
         findings: None,
+        src: false,
         reduce: false,
         threads: None,
         ranks: None,
@@ -75,6 +93,7 @@ fn parse_args() -> Result<Options, ExitCode> {
     while let Some(a) = args.next() {
         match a.as_str() {
             "--builtin" => opts.builtin = true,
+            "--src" => opts.src = true,
             "--strict" => opts.strict = true,
             "--model-check" => opts.model_check = true,
             "--reduce" => opts.reduce = true,
@@ -118,8 +137,18 @@ fn parse_args() -> Result<Options, ExitCode> {
     if opts.findings.is_some() {
         // Findings gating is a standalone mode: mixing it with lint
         // inputs would make one exit code answer two questions.
-        if !opts.files.is_empty() || opts.builtin || opts.model_check {
+        if !opts.files.is_empty() || opts.builtin || opts.model_check || opts.src {
             return Err(usage_error());
+        }
+    } else if opts.src {
+        // Source lints are standalone too: the positional arguments are
+        // .rs files/directories, not scenarios, and the scenario-specific
+        // flags have no meaning over Rust source.
+        if opts.builtin || opts.model_check {
+            return Err(usage_error());
+        }
+        if opts.files.is_empty() {
+            opts.files.push(".".to_string());
         }
     } else if opts.files.is_empty() && !opts.builtin {
         return Err(usage_error());
@@ -139,8 +168,10 @@ fn check_one(subject: String, src: &str, opts: &Options) -> Report {
     let mut diags = check_source(src);
     let mut model = None;
     if opts.model_check {
-        let mut cfg = ModelCheckConfig::default();
-        cfg.backend = opts.backend;
+        let mut cfg = ModelCheckConfig {
+            backend: opts.backend,
+            ..Default::default()
+        };
         if let Some(b) = opts.budget {
             cfg.budget = b;
         }
@@ -286,15 +317,26 @@ fn main() -> ExitCode {
     }
 
     let mut reports: Vec<Report> = Vec::new();
-    for path in &opts.files {
-        let src = match std::fs::read_to_string(path) {
-            Ok(s) => s,
+    if opts.src {
+        match check_src_paths(&opts.files, &SrcLintConfig::default()) {
+            Ok(r) => reports = r,
             Err(e) => {
-                eprintln!("failck: cannot read `{path}`: {e}");
+                eprintln!("failck: {e}");
                 return ExitCode::from(2);
             }
-        };
-        reports.push(check_one(path.clone(), &src, &opts));
+        }
+    }
+    if !opts.src {
+        for path in &opts.files {
+            let src = match std::fs::read_to_string(path) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("failck: cannot read `{path}`: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            reports.push(check_one(path.clone(), &src, &opts));
+        }
     }
     if opts.builtin {
         for (name, src) in builtin::BUILTIN_SCENARIOS {

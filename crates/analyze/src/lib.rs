@@ -14,15 +14,21 @@
 //! * the pre-run lint gate in `failmpi-experiments`' harness,
 //! * the CI step that lints every built-in scenario and figure workload.
 //!
-//! See [`scenario`] for the FA-codes and [`ops`] for the FB-codes.
+//! See [`scenario`] for the FA-codes, [`ops`] for the FB-codes, and
+//! [`src_lints`] for the SD/SU source-level determinism codes that
+//! `failck --src` runs over the workspace's own Rust code.
+
+#![forbid(unsafe_code)]
 
 pub mod builtin;
 pub mod diag;
 pub mod model;
 pub mod ops;
 pub mod scenario;
+pub mod src_lints;
 
 pub use diag::{Diagnostic, Report, Severity, Span};
+pub use failmpi_srclint::Config as SrcLintConfig;
 pub use failmpi_backend::BackendKind;
 pub use model::{
     model_check_scenario, model_check_source, model_check_with_programs, ModelCheckConfig,
@@ -30,3 +36,4 @@ pub use model::{
 };
 pub use ops::analyze_programs;
 pub use scenario::{analyze_scenario, check_source, compile_error_diag};
+pub use src_lints::{check_src_paths, check_src_text};

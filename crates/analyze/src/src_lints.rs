@@ -1,0 +1,110 @@
+//! `failck --src`: source-level determinism & unsafe-discipline lints
+//! over the workspace's own Rust code.
+//!
+//! The heavy lifting — a comments/strings-aware lexer and the SD/SU/SP
+//! token-stream rules — lives in the dependency-free `failmpi-srclint`
+//! crate; this module is the adapter that turns its raw findings into
+//! the workspace-standard [`Diagnostic`]/[`Report`] values so the
+//! `failck` binary, CI greps, and the JSON artifact all see one
+//! diagnostic surface across FA/FB/FC/SD/SU codes.
+//!
+//! Report order is the walker's deterministic path order and each
+//! report's diagnostics are (line, code)-sorted, so `--format json`
+//! output is byte-identical across repeated runs — the same contract
+//! the lints themselves enforce.
+
+use std::path::Path;
+
+use failmpi_srclint::{check_file, collect_rs_files, Config, RuleCode};
+
+use crate::diag::{Diagnostic, Report, Severity};
+
+/// Maps a srclint rule code onto the shared diagnostic surface.
+fn code_str(code: RuleCode) -> &'static str {
+    match code {
+        RuleCode::Sd001 => "SD001",
+        RuleCode::Sd002 => "SD002",
+        RuleCode::Sd003 => "SD003",
+        RuleCode::Sd004 => "SD004",
+        RuleCode::Su001 => "SU001",
+        RuleCode::Su002 => "SU002",
+        RuleCode::Su003 => "SU003",
+        RuleCode::Sp001 => "SP001",
+        RuleCode::Sp002 => "SP002",
+    }
+}
+
+fn severity(code: RuleCode) -> Severity {
+    if code.is_error() {
+        Severity::Error
+    } else {
+        Severity::Warning
+    }
+}
+
+/// Lints one source file that is already in memory. `path_label` is the
+/// subject string reports carry and the string the whitelists match.
+pub fn check_src_text(path_label: &str, src: &str, cfg: &Config) -> Report {
+    let diagnostics = check_file(path_label, src, cfg)
+        .into_iter()
+        .map(|f| Diagnostic::new(severity(f.code), code_str(f.code), f.line, f.message, f.help))
+        .collect();
+    Report::new(path_label, diagnostics)
+}
+
+/// Lints every `.rs` file under each of `paths` (files or directories),
+/// one report per file, in deterministic path order. Files that are
+/// completely clean still get an (empty) report, so the JSON artifact
+/// names everything the gate covered — a lint that silently skipped a
+/// file would be indistinguishable from one that passed it.
+///
+/// Returns `Err` with a human-readable message when a path does not
+/// exist or cannot be read: the caller maps that to the usage/I-O exit
+/// code (2), never to a vacuous pass.
+pub fn check_src_paths(paths: &[String], cfg: &Config) -> Result<Vec<Report>, String> {
+    let mut reports = Vec::new();
+    for root in paths {
+        let files = collect_rs_files(Path::new(root), cfg)
+            .map_err(|e| format!("cannot scan `{root}`: {e}"))?;
+        for file in files {
+            let label = file.to_string_lossy().replace('\\', "/");
+            let src = std::fs::read_to_string(&file)
+                .map_err(|e| format!("cannot read `{label}`: {e}"))?;
+            reports.push(check_src_text(&label, &src, cfg));
+        }
+    }
+    Ok(reports)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn findings_ride_the_standard_diagnostic_machinery() {
+        let src = "pub fn t() -> u64 { let _x = std::time::Instant::now(); 0 }\n";
+        let report = check_src_text("crates/x/src/t.rs", src, &Config::default());
+        assert_eq!(report.diagnostics.len(), 1);
+        let d = &report.diagnostics[0];
+        assert_eq!(d.code, "SD002");
+        assert_eq!(d.severity, Severity::Error);
+        assert_eq!(d.line, 1);
+        assert!(report.render_human().contains("error[SD002]"));
+        assert!(report.to_json().contains("\"SD002\""));
+    }
+
+    #[test]
+    fn warning_codes_map_to_warning_severity() {
+        let src = "pub fn p(x: *const u8) -> u8 { unsafe { *x } }\n";
+        let report = check_src_text("crates/obs/src/alloc.rs", src, &Config::default());
+        assert_eq!(report.diagnostics.len(), 1);
+        assert_eq!(report.diagnostics[0].code, "SU002");
+        assert_eq!(report.diagnostics[0].severity, Severity::Warning);
+    }
+
+    #[test]
+    fn missing_path_is_an_error() {
+        let err = check_src_paths(&["/nonexistent/nope".to_string()], &Config::default());
+        assert!(err.is_err());
+    }
+}

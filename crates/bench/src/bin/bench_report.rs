@@ -199,6 +199,7 @@ fn bench_scenarios(seed: u64) -> Vec<ScenarioBench> {
     scenario_suite(seed)
         .into_iter()
         .map(|(name, spec)| {
+            // srclint: allow(SD002): bench-report times the smoke suite on the wall clock by design
             let start = Instant::now();
             let (record, profile) = run_one_profiled(&spec);
             let wall = start.elapsed();
@@ -241,6 +242,7 @@ const TRACING_REPS: u32 = 3;
 fn best_events_per_sec(events: u64, run: impl Fn()) -> f64 {
     let mut best = f64::MAX;
     for _ in 0..TRACING_REPS {
+        // srclint: allow(SD002): bench-report times the smoke suite on the wall clock by design
         let start = Instant::now();
         run();
         best = best.min(start.elapsed().as_secs_f64());
@@ -297,6 +299,7 @@ fn mc_run(name: &str, src: &str, params: &[(&str, i64)], n_ranks: usize, reduce:
         reduce,
         ..ModelCheckConfig::default()
     };
+    // srclint: allow(SD002): bench-report times the smoke suite on the wall clock by design
     let start = Instant::now();
     let r = model_check_source(src, &cfg);
     let wall = start.elapsed();
@@ -353,6 +356,7 @@ fn bench_backends(seed: u64) -> Vec<BackendBench> {
         .into_iter()
         .map(|kind| {
             let spec = backend_spec(kind, seed);
+            // srclint: allow(SD002): bench-report times the smoke suite on the wall clock by design
             let start = Instant::now();
             let record = run_one(&spec);
             let wall = start.elapsed();
@@ -423,6 +427,7 @@ fn bench_profiles(seed: u64) -> (Vec<ProfileBench>, RunProfile) {
 }
 
 fn bench_figure(name: &str, run: impl FnOnce()) -> FigureBench {
+    // srclint: allow(SD002): bench-report times the smoke suite on the wall clock by design
     let start = Instant::now();
     run();
     let wall = start.elapsed();
@@ -476,6 +481,7 @@ fn main() -> ExitCode {
         }
     };
 
+    // srclint: allow(SD002): bench-report times the smoke suite on the wall clock by design
     let start = Instant::now();
     let scenarios = bench_scenarios(opts.seed);
     let figures = bench_figures();

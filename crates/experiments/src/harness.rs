@@ -2,7 +2,7 @@
 //! cluster under a FAIL scenario, exactly as Fig. 3 of the paper deploys
 //! one FAIL-MPI daemon per machine plus a coordinator (`P1`).
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::hash::{DefaultHasher, Hash, Hasher};
 use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
 use std::sync::Arc;
@@ -411,7 +411,7 @@ struct FailSide {
     rng: SimRng,
     latency: SimDuration,
     jitter_max: SimDuration,
-    host_instance: HashMap<HostId, usize>,
+    host_instance: BTreeMap<HostId, usize>,
     halts: u32,
     /// `(instance, var slot, kind, last pushed value)` per declared probe.
     probes: Vec<(usize, usize, ProbeKind, i64)>,
@@ -963,7 +963,7 @@ fn build_fail_side(inj: &InjectionSpec, seed: u64, compute_hosts: &[HostId]) -> 
         .add_instance("P1", &inj.adversary_class)
         .expect("fresh deployment");
     let mut members = Vec::new();
-    let mut host_instance = HashMap::new();
+    let mut host_instance = BTreeMap::new();
     for (i, host) in compute_hosts.iter().enumerate() {
         let idx = deployment
             .add_instance(&format!("G1[{i}]"), &inj.machine_class)

@@ -7,7 +7,7 @@
 //! alternately). On restart they serve images (and channel state) back to
 //! daemons that lack a local copy.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use failmpi_net::{ConnId, ProcId};
 use failmpi_sim::{SimDuration, SimTime};
@@ -36,7 +36,7 @@ pub(crate) struct CkptServer {
     committed: Option<u32>,
     /// Staged images by `(rank, wave)`; at most two waves alive at a time
     /// (the in-progress one and the committed one) — the two-file scheme.
-    staged: HashMap<(Rank, u32), Staged>,
+    staged: BTreeMap<(Rank, u32), Staged>,
     /// When the server disk finishes its current write queue.
     disk_free: SimTime,
 }
@@ -47,7 +47,7 @@ impl CkptServer {
             proc,
             index,
             committed: None,
-            staged: HashMap::new(),
+            staged: BTreeMap::new(),
             disk_free: SimTime::ZERO,
         }
     }

@@ -34,7 +34,7 @@
 //! The blocking variant ([`CheckpointStyle::Blocking`]) instead freezes the
 //! application until the wave completes and logs nothing.
 
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
 use failmpi_net::{ConnId, HostId, ProcId};
@@ -66,7 +66,7 @@ struct Ckpt {
     wave: u32,
     /// Peers whose marker for this wave is still pending (messages from
     /// them are channel state and get logged).
-    awaiting: HashSet<Rank>,
+    awaiting: BTreeSet<Rank>,
     /// The checkpoint server acked the image transfer.
     image_acked: bool,
 }
@@ -97,7 +97,7 @@ pub(crate) struct VNode {
     scheduler_conn: Option<ConnId>,
     server_conn: Option<ConnId>,
     peer_conn: BTreeMap<Rank, ConnId>,
-    conn_peer: HashMap<ConnId, Rank>,
+    conn_peer: BTreeMap<ConnId, Rank>,
     /// Rank → machine table from the last `StartRun`.
     hosts: Vec<HostId>,
 
@@ -139,7 +139,7 @@ pub(crate) struct VNode {
     pending_wave: Option<u32>,
     /// Markers already received per wave, so a marker that beats our own
     /// checkpoint trigger is not waited for again.
-    markers_seen: HashMap<u32, HashSet<Rank>>,
+    markers_seen: BTreeMap<u32, BTreeSet<Rank>>,
     /// Blocking-checkpoint freeze.
     frozen: bool,
     restore: Option<Restore>,
@@ -176,7 +176,7 @@ impl VNode {
             scheduler_conn: None,
             server_conn: None,
             peer_conn: BTreeMap::new(),
-            conn_peer: HashMap::new(),
+            conn_peer: BTreeMap::new(),
             hosts: Vec::new(),
             interp: None,
             busy_gen: 0,
@@ -195,7 +195,7 @@ impl VNode {
             solo: false,
             pending_replay: Vec::new(),
             pending_wave: None,
-            markers_seen: HashMap::new(),
+            markers_seen: BTreeMap::new(),
             frozen: false,
             restore: None,
             pending_install: None,
@@ -750,7 +750,7 @@ impl VNode {
 
         let seen = self.markers_seen.remove(&wave).unwrap_or_default();
         self.markers_seen.retain(|&w, _| w > wave);
-        let awaiting: HashSet<Rank> = (0..self.n_ranks)
+        let awaiting: BTreeSet<Rank> = (0..self.n_ranks)
             .map(Rank)
             .filter(|&r| r != self.rank && !seen.contains(&r))
             .collect();

@@ -1,6 +1,6 @@
 //! The network state machine.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::mem;
 
 use failmpi_sim::SimTime;
@@ -50,7 +50,7 @@ pub struct Network<P> {
     cfg: NetConfig,
     hosts: Vec<HostNic>,
     procs: Vec<ProcState<P>>,
-    listeners: HashMap<(HostId, Port), ProcId>,
+    listeners: BTreeMap<(HostId, Port), ProcId>,
     conns: Vec<ConnState>,
     out: Vec<(SimTime, NetEvent<P>)>,
     stats: NetStats,
@@ -63,7 +63,7 @@ impl<P> Network<P> {
             cfg,
             hosts: Vec::new(),
             procs: Vec::new(),
-            listeners: HashMap::new(),
+            listeners: BTreeMap::new(),
             conns: Vec::new(),
             out: Vec::new(),
             stats: NetStats::default(),

@@ -72,24 +72,37 @@ mod counting {
     }
 
     // SAFETY: pure pass-through to `System`; the only extra work is
-    // updating `Cell`s, which never allocates or unwinds.
+    // updating `Cell`s, which never allocates or unwinds, so every
+    // `GlobalAlloc` contract obligation is discharged by `System`'s own
+    // implementation.
     unsafe impl GlobalAlloc for CountingAlloc {
         unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
             charge(layout.size());
+            // SAFETY: `layout` is the caller's, forwarded unmodified;
+            // `System::alloc` upholds the same contract we were called
+            // under.
             unsafe { System.alloc(layout) }
         }
 
         unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            // SAFETY: `ptr` was returned by this allocator, which only
+            // ever hands out `System` pointers, and `layout` is the one
+            // it was allocated with (caller contract).
             unsafe { System.dealloc(ptr, layout) }
         }
 
         unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
             charge(layout.size());
+            // SAFETY: as for `alloc` — the caller's `layout` is forwarded
+            // unmodified to the system allocator.
             unsafe { System.alloc_zeroed(layout) }
         }
 
         unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
             charge(new_size);
+            // SAFETY: `ptr`/`layout` satisfy the caller's realloc
+            // contract and originate from `System` (see `dealloc`);
+            // `new_size` is forwarded unchecked exactly as received.
             unsafe { System.realloc(ptr, layout, new_size) }
         }
     }

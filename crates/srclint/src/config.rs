@@ -1,0 +1,89 @@
+//! The determinism contract, spelled out as configuration.
+//!
+//! Every whitelist and identifier set the rules consult lives here, so
+//! the contract is one auditable value rather than constants scattered
+//! through rule bodies. The defaults describe *this* workspace; tests
+//! construct narrower configs to exercise single rules.
+
+/// Configuration for one lint run.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Path suffixes (unix-style) where wall clocks are legal (SD002).
+    /// Default: only `obs::wall`, the one sanctioned wall-clock shim.
+    pub wall_clock_whitelist: Vec<String>,
+    /// Path suffixes where ambient entropy is legal (SD003). Default:
+    /// the `SimRng` implementation itself (which is seeded, but owns the
+    /// only sanctioned randomness surface).
+    pub entropy_whitelist: Vec<String>,
+    /// Path suffixes where `unsafe` is legal (SU001). Default: the
+    /// feature-gated counting allocator.
+    pub unsafe_whitelist: Vec<String>,
+    /// Crate names allowed to carry a *conditional*
+    /// `cfg_attr(..., forbid(unsafe_code))` instead of an unconditional
+    /// one (SU003). Default: `obs`, whose `alloc-profile` feature is the
+    /// single sanctioned unsafe surface.
+    pub conditional_forbid_whitelist: Vec<String>,
+    /// Identifiers that mark a serialization/fingerprint sink (SD001).
+    pub sink_idents: Vec<String>,
+    /// Identifiers that mark an ordering fix (SD001/SD004): explicit
+    /// sorts or ordered collections.
+    pub sort_idents: Vec<String>,
+    /// Identifiers that mark ambient entropy (SD003).
+    pub entropy_idents: Vec<String>,
+    /// Directory names the workspace walker skips: build output,
+    /// vendored stand-ins, seeded-defect fixtures, goldens and corpora
+    /// (data, not product source).
+    pub skip_dirs: Vec<String>,
+}
+
+fn strings(v: &[&str]) -> Vec<String> {
+    v.iter().map(|s| s.to_string()).collect()
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            wall_clock_whitelist: strings(&["obs/src/wall.rs"]),
+            entropy_whitelist: strings(&["sim/src/rng.rs"]),
+            unsafe_whitelist: strings(&["obs/src/alloc.rs"]),
+            conditional_forbid_whitelist: strings(&["obs"]),
+            sink_idents: strings(&[
+                "serialize",
+                "serialize_json",
+                "to_json",
+                "to_string_pretty",
+                "write_json",
+                "fingerprint",
+                "observe",
+                "render_human",
+                "snapshot",
+            ]),
+            sort_idents: strings(&[
+                "sort",
+                "sort_by",
+                "sort_by_key",
+                "sort_unstable",
+                "sort_unstable_by",
+                "sort_unstable_by_key",
+                "sorted",
+                "BTreeMap",
+                "BTreeSet",
+            ]),
+            entropy_idents: strings(&[
+                "thread_rng",
+                "RandomState",
+                "from_entropy",
+                "OsRng",
+                "getrandom",
+            ]),
+            skip_dirs: strings(&["target", "vendor", ".git", "fixtures", "golden", "corpus"]),
+        }
+    }
+}
+
+impl Config {
+    /// Whether `path` (unix-separated) ends with any whitelist suffix.
+    pub fn path_in(path: &str, whitelist: &[String]) -> bool {
+        whitelist.iter().any(|w| path.ends_with(w.as_str()))
+    }
+}

@@ -1,0 +1,109 @@
+//! Raw findings, before they become `failmpi-analyze` diagnostics.
+//!
+//! This crate stays dependency-free (so `failmpi-analyze` can depend on
+//! it without a cycle), so findings are plain values here; the adapter in
+//! `failmpi-analyze::src_lints` converts them into the workspace-standard
+//! `Diagnostic`/`Report` machinery that `failck` and CI already render.
+
+use std::fmt;
+
+/// Stable rule codes. `SD` = source determinism, `SU` = source unsafe
+/// discipline, `SP` = suppression-pragma hygiene.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum RuleCode {
+    /// `HashMap`/`HashSet` iteration feeding a serialization/fingerprint
+    /// sink without an intervening sort in the same fn.
+    Sd001,
+    /// Wall clock (`Instant::now`/`SystemTime`) outside the whitelisted
+    /// `obs::wall` module.
+    Sd002,
+    /// Ambient entropy (`thread_rng`, `RandomState`, `from_entropy`, …)
+    /// outside `SimRng`.
+    Sd003,
+    /// Cross-thread result consumption (`mpsc` recv / thread join) in a
+    /// fn that also writes output files, with no intervening sort.
+    Sd004,
+    /// `unsafe` outside the feature-gated whitelisted modules.
+    Su001,
+    /// `unsafe` block or impl without a `// SAFETY:` comment.
+    Su002,
+    /// Crate root missing `#![forbid(unsafe_code)]` and not on the
+    /// conditional whitelist.
+    Su003,
+    /// `srclint: allow(...)` pragma without a reason.
+    Sp001,
+    /// Malformed pragma or unknown rule code in a pragma.
+    Sp002,
+}
+
+impl RuleCode {
+    /// The stable textual code, as rendered in reports and pragmas.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RuleCode::Sd001 => "SD001",
+            RuleCode::Sd002 => "SD002",
+            RuleCode::Sd003 => "SD003",
+            RuleCode::Sd004 => "SD004",
+            RuleCode::Su001 => "SU001",
+            RuleCode::Su002 => "SU002",
+            RuleCode::Su003 => "SU003",
+            RuleCode::Sp001 => "SP001",
+            RuleCode::Sp002 => "SP002",
+        }
+    }
+
+    /// Parses a textual code (as written in an allow pragma).
+    pub fn parse(s: &str) -> Option<RuleCode> {
+        Some(match s {
+            "SD001" => RuleCode::Sd001,
+            "SD002" => RuleCode::Sd002,
+            "SD003" => RuleCode::Sd003,
+            "SD004" => RuleCode::Sd004,
+            "SU001" => RuleCode::Su001,
+            "SU002" => RuleCode::Su002,
+            "SU003" => RuleCode::Su003,
+            _ => return None,
+        })
+    }
+
+    /// Whether the finding gates a default (non-strict) run. Mirrors the
+    /// FA/FB convention: contract violations are errors, heuristic
+    /// discipline findings are warnings.
+    pub fn is_error(self) -> bool {
+        !matches!(self, RuleCode::Sd004 | RuleCode::Su002 | RuleCode::Sp002)
+    }
+}
+
+impl fmt::Display for RuleCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One raw finding in one file.
+#[derive(Clone, Debug)]
+pub struct Finding {
+    pub code: RuleCode,
+    /// 1-based source line.
+    pub line: u32,
+    /// What is wrong.
+    pub message: String,
+    /// How to fix it.
+    pub help: String,
+}
+
+impl Finding {
+    pub fn new(
+        code: RuleCode,
+        line: u32,
+        message: impl Into<String>,
+        help: impl Into<String>,
+    ) -> Self {
+        Finding {
+            code,
+            line,
+            message: message.into(),
+            help: help.into(),
+        }
+    }
+}

@@ -1,0 +1,461 @@
+//! A comments/strings-aware Rust lexer, hand-rolled on purpose.
+//!
+//! The workspace must keep building offline against `vendor/`, so this
+//! crate cannot lean on `syn` or `proc-macro2`. The lints in
+//! [`crate::rules`] only need a faithful *token stream* — identifiers,
+//! punctuation, literals — with source lines attached, plus the comment
+//! text kept separately (for `// SAFETY:` discipline and
+//! `// srclint: allow(...)` pragmas). Everything a rule must never
+//! false-positive on — `Instant::now` in a doc comment, `"HashMap"` in a
+//! string literal, a nested `/* unsafe */` — is therefore removed from
+//! the code-token stream by construction.
+//!
+//! Handled: line & nested block comments, string/char/byte literals with
+//! escapes, raw (byte) strings with arbitrary `#` fences, raw
+//! identifiers, lifetimes vs. char literals, numeric literals (including
+//! the `0..n` range ambiguity).
+
+/// What kind of code token this is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `unsafe`, `HashMap`, …).
+    Ident,
+    /// Lifetime (`'a`, `'static`); kept distinct so `'a` never reads as
+    /// the identifier `a`.
+    Lifetime,
+    /// Numeric literal.
+    Num,
+    /// String/char/byte literal (content intentionally not analyzed).
+    Lit,
+    /// Single punctuation character (`:`, `.`, `{`, …). Multi-character
+    /// operators appear as adjacent tokens; rules match sequences.
+    Punct(char),
+}
+
+/// One code token with its 1-based source line.
+#[derive(Clone, Debug)]
+pub struct Tok {
+    pub kind: TokKind,
+    /// Token text for identifiers; empty for everything else (rules only
+    /// ever match identifier spellings and punct chars).
+    pub text: String,
+    pub line: u32,
+}
+
+impl Tok {
+    /// Whether this is the identifier `name`.
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == name
+    }
+
+    /// Whether this is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct(c)
+    }
+}
+
+/// One comment, with the lines it spans and whether any code token
+/// precedes it on its starting line (a *trailing* comment).
+#[derive(Clone, Debug)]
+pub struct Comment {
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// 1-based line the comment ends on (same as `line` for `//`).
+    pub end_line: u32,
+    /// Full comment text including the `//` or `/* */` markers.
+    pub text: String,
+    /// True when a code token appears before the comment on `line`.
+    pub trailing: bool,
+}
+
+/// Lexer output: the code-token stream and the comments, both in source
+/// order.
+#[derive(Clone, Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Tok>,
+    pub comments: Vec<Comment>,
+}
+
+fn is_ident_start(c: u8) -> bool {
+    c.is_ascii_alphabetic() || c == b'_'
+}
+
+fn is_ident_cont(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_'
+}
+
+/// Tokenizes `src`. Never fails: unterminated constructs are closed at
+/// end of input (a lint must degrade gracefully on code that rustc would
+/// reject — the build gate owns syntax errors, not us).
+pub fn lex(src: &str) -> Lexed {
+    let b = src.as_bytes();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    // Tracks whether a code token was emitted on the current line, so a
+    // comment knows if it is trailing code (SU002/pragma placement care).
+    let mut code_on_line = false;
+
+    macro_rules! newline {
+        () => {{
+            line += 1;
+            code_on_line = false;
+        }};
+    }
+
+    while i < b.len() {
+        let c = b[i];
+        // Whitespace.
+        if c == b'\n' {
+            newline!();
+            i += 1;
+            continue;
+        }
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Comments.
+        if c == b'/' && i + 1 < b.len() && b[i + 1] == b'/' {
+            let start = i;
+            while i < b.len() && b[i] != b'\n' {
+                i += 1;
+            }
+            out.comments.push(Comment {
+                line,
+                end_line: line,
+                text: src[start..i].to_string(),
+                trailing: code_on_line,
+            });
+            continue;
+        }
+        if c == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+            let start = i;
+            let start_line = line;
+            let trailing = code_on_line;
+            let mut depth = 1u32;
+            i += 2;
+            while i < b.len() && depth > 0 {
+                if b[i] == b'\n' {
+                    newline!();
+                    i += 1;
+                } else if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+                    depth += 1;
+                    i += 2;
+                } else if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            out.comments.push(Comment {
+                line: start_line,
+                end_line: line,
+                text: src[start..i].to_string(),
+                trailing,
+            });
+            continue;
+        }
+        // Raw strings / byte strings / raw identifiers: r"…", r#"…"#,
+        // br#"…"#, b"…", and r#ident.
+        if is_ident_start(c) {
+            let start = i;
+            while i < b.len() && is_ident_cont(b[i]) {
+                i += 1;
+            }
+            let word = &src[start..i];
+            // A string prefix directly attached to a quote/fence?
+            let attached = |w: &str| matches!(w, "r" | "b" | "br" | "rb");
+            if attached(word) && i < b.len() && (b[i] == b'"' || b[i] == b'#') {
+                if word.starts_with('r') && b[i] == b'#' && i + 1 < b.len() && is_ident_start(b[i + 1])
+                {
+                    // Raw identifier r#fn — emit the identifier itself.
+                    i += 1;
+                    let id_start = i;
+                    while i < b.len() && is_ident_cont(b[i]) {
+                        i += 1;
+                    }
+                    out.tokens.push(Tok {
+                        kind: TokKind::Ident,
+                        text: src[id_start..i].to_string(),
+                        line,
+                    });
+                    code_on_line = true;
+                    continue;
+                }
+                if word.contains('r') {
+                    // Raw string: count the fence, scan to the close.
+                    let mut hashes = 0usize;
+                    while i < b.len() && b[i] == b'#' {
+                        hashes += 1;
+                        i += 1;
+                    }
+                    if i < b.len() && b[i] == b'"' {
+                        i += 1;
+                        let tok_line = line;
+                        'raw: while i < b.len() {
+                            if b[i] == b'\n' {
+                                line += 1;
+                                i += 1;
+                                continue;
+                            }
+                            if b[i] == b'"' {
+                                let mut j = i + 1;
+                                let mut seen = 0usize;
+                                while j < b.len() && b[j] == b'#' && seen < hashes {
+                                    seen += 1;
+                                    j += 1;
+                                }
+                                if seen == hashes {
+                                    i = j;
+                                    break 'raw;
+                                }
+                            }
+                            i += 1;
+                        }
+                        out.tokens.push(Tok {
+                            kind: TokKind::Lit,
+                            text: String::new(),
+                            line: tok_line,
+                        });
+                        code_on_line = true;
+                        continue;
+                    }
+                    // `r#` not followed by a quote fence: fall through as
+                    // ident + puncts on the next loop turns.
+                    i = start + word.len();
+                } else {
+                    // b"…" — ordinary escaped string below.
+                    let tok_line = line;
+                    i += 1; // the opening quote
+                    while i < b.len() {
+                        match b[i] {
+                            b'\\' => i += 2,
+                            b'"' => {
+                                i += 1;
+                                break;
+                            }
+                            b'\n' => {
+                                line += 1;
+                                i += 1;
+                            }
+                            _ => i += 1,
+                        }
+                    }
+                    out.tokens.push(Tok {
+                        kind: TokKind::Lit,
+                        text: String::new(),
+                        line: tok_line,
+                    });
+                    code_on_line = true;
+                    continue;
+                }
+            }
+            out.tokens.push(Tok {
+                kind: TokKind::Ident,
+                text: word.to_string(),
+                line,
+            });
+            code_on_line = true;
+            continue;
+        }
+        // String literal.
+        if c == b'"' {
+            let tok_line = line;
+            i += 1;
+            while i < b.len() {
+                match b[i] {
+                    b'\\' => i += 2,
+                    b'"' => {
+                        i += 1;
+                        break;
+                    }
+                    b'\n' => {
+                        line += 1;
+                        i += 1;
+                    }
+                    _ => i += 1,
+                }
+            }
+            out.tokens.push(Tok {
+                kind: TokKind::Lit,
+                text: String::new(),
+                line: tok_line,
+            });
+            code_on_line = true;
+            continue;
+        }
+        // Char literal vs lifetime.
+        if c == b'\'' {
+            if i + 1 < b.len() && b[i + 1] == b'\\' {
+                // Escaped char literal '\n', '\'', '\u{…}'.
+                i += 2;
+                while i < b.len() && b[i] != b'\'' {
+                    i += 1;
+                }
+                i += 1;
+                out.tokens.push(Tok {
+                    kind: TokKind::Lit,
+                    text: String::new(),
+                    line,
+                });
+                code_on_line = true;
+                continue;
+            }
+            if i + 1 < b.len() && is_ident_start(b[i + 1]) {
+                let mut j = i + 1;
+                while j < b.len() && is_ident_cont(b[j]) {
+                    j += 1;
+                }
+                if j < b.len() && b[j] == b'\'' && j == i + 2 {
+                    // 'a' — single-char literal.
+                    i = j + 1;
+                    out.tokens.push(Tok {
+                        kind: TokKind::Lit,
+                        text: String::new(),
+                        line,
+                    });
+                } else {
+                    // 'lifetime
+                    out.tokens.push(Tok {
+                        kind: TokKind::Lifetime,
+                        text: src[i + 1..j].to_string(),
+                        line,
+                    });
+                    i = j;
+                }
+                code_on_line = true;
+                continue;
+            }
+            if i + 2 < b.len() && b[i + 2] == b'\'' {
+                // Non-alphabetic char literal like ' ' or '.'.
+                i += 3;
+                out.tokens.push(Tok {
+                    kind: TokKind::Lit,
+                    text: String::new(),
+                    line,
+                });
+                code_on_line = true;
+                continue;
+            }
+            // Bare quote (macro edge) — treat as punctuation.
+            out.tokens.push(Tok {
+                kind: TokKind::Punct('\''),
+                text: String::new(),
+                line,
+            });
+            code_on_line = true;
+            i += 1;
+            continue;
+        }
+        // Numeric literal. Stop before `..` so ranges stay punctuation.
+        if c.is_ascii_digit() {
+            let tok_line = line;
+            i += 1;
+            while i < b.len() {
+                let d = b[i];
+                let continues = d.is_ascii_alphanumeric()
+                    || d == b'_'
+                    || (d == b'.' && i + 1 < b.len() && b[i + 1] != b'.');
+                if !continues {
+                    break;
+                }
+                i += 1;
+            }
+            out.tokens.push(Tok {
+                kind: TokKind::Num,
+                text: String::new(),
+                line: tok_line,
+            });
+            code_on_line = true;
+            continue;
+        }
+        // Everything else: one punct char.
+        out.tokens.push(Tok {
+            kind: TokKind::Punct(c as char),
+            text: String::new(),
+            line,
+        });
+        code_on_line = true;
+        i += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.clone())
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_hide_identifiers() {
+        let src = r##"
+// Instant::now in a comment
+/* HashMap in /* a nested */ block */
+let s = "thread_rng inside a string";
+let r = r#"unsafe "raw" SystemTime"#;
+fn real() {}
+"##;
+        let ids = idents(src);
+        assert!(ids.contains(&"fn".to_string()));
+        assert!(ids.contains(&"real".to_string()));
+        for hidden in ["Instant", "HashMap", "thread_rng", "SystemTime"] {
+            assert!(!ids.contains(&hidden.to_string()), "leaked {hidden}");
+        }
+        let lx = lex(src);
+        assert_eq!(lx.comments.len(), 2);
+        assert!(lx.comments[0].text.contains("Instant::now"));
+        assert!(lx.comments[1].text.contains("nested"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let lx = lex("fn f<'a>(x: &'a str) -> char { 'x' }");
+        let lifetimes: Vec<_> = lx
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        assert!(lx.tokens.iter().any(|t| t.kind == TokKind::Lit));
+    }
+
+    #[test]
+    fn lines_are_tracked_through_multiline_constructs() {
+        let src = "let a = \"x\ny\";\n/* one\ntwo */\nfn g() {}\n";
+        let lx = lex(src);
+        let g = lx.tokens.iter().find(|t| t.is_ident("g")).unwrap();
+        assert_eq!(g.line, 5);
+        assert_eq!(lx.comments[0].line, 3);
+        assert_eq!(lx.comments[0].end_line, 4);
+    }
+
+    #[test]
+    fn trailing_comment_flag() {
+        let lx = lex("let x = 1; // trailing\n// own line\n");
+        assert!(lx.comments[0].trailing);
+        assert!(!lx.comments[1].trailing);
+    }
+
+    #[test]
+    fn range_literals_do_not_eat_dots() {
+        let lx = lex("for i in 0..10 { }");
+        let dots = lx.tokens.iter().filter(|t| t.is_punct('.')).count();
+        assert_eq!(dots, 2);
+    }
+
+    #[test]
+    fn raw_identifiers_surface_their_name() {
+        let ids = idents("let r#fn = 1;");
+        assert!(ids.contains(&"fn".to_string()));
+    }
+}

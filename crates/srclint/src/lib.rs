@@ -1,0 +1,38 @@
+//! failmpi-srclint: the workspace's determinism contract, enforced on
+//! its own source.
+//!
+//! Every verdict this reproduction ships — schedule fingerprints,
+//! byte-identical `--metrics`/`--profile` JSON, the freeze/survive
+//! classifier — rests on an unwritten contract in the simulator's Rust
+//! source: no wall clocks in virtual-time paths, no hash-iteration
+//! order leaking into serialized output, one `SimRng`, unsafe code only
+//! behind the `alloc-profile` feature. FAIL-MPI's premise is that
+//! fault-tolerance claims must be checked, not trusted; the same applies
+//! to our determinism claims. This crate makes the contract written and
+//! machine-checked: a hand-rolled comments/strings-aware lexer
+//! ([`lexer`]) feeds per-file token-stream rules ([`rules`]) whose
+//! findings `failck --src` renders through the standard
+//! `Diagnostic`/`Report` machinery.
+//!
+//! Suppression is possible but never silent: only an inline
+//! `// srclint: allow(CODE): <reason>` pragma ([`pragma`]) quiets a
+//! finding, and a reasonless allow is itself a finding, so the
+//! workspace-clean gate stays auditable.
+//!
+//! The crate is dependency-free on purpose: `failmpi-analyze` depends on
+//! it (not vice versa), and the workspace must keep building offline
+//! against `vendor/`.
+
+#![forbid(unsafe_code)]
+
+pub mod config;
+pub mod finding;
+pub mod lexer;
+pub mod pragma;
+pub mod rules;
+pub mod walk;
+
+pub use config::Config;
+pub use finding::{Finding, RuleCode};
+pub use rules::check_file;
+pub use walk::collect_rs_files;

@@ -1,0 +1,157 @@
+//! Inline suppression pragmas.
+//!
+//! A finding is suppressible only by an inline comment of the form
+//! `srclint: allow(SD001): <reason>` placed on the flagged line (after
+//! the code) or on the line directly above it. The reason is mandatory:
+//! a reasonless allow is itself a finding (SP001), so the
+//! workspace-clean gate stays auditable — every suppression in the tree
+//! names why the contract is not actually violated there. An allow
+//! naming an unknown code, or a comment that name-drops `srclint:`
+//! without parsing as an allow, draws SP002 so typos cannot silently
+//! disable a rule.
+
+use crate::finding::{Finding, RuleCode};
+use crate::lexer::Comment;
+
+/// One parsed, well-formed allow pragma.
+#[derive(Clone, Debug)]
+pub struct Allow {
+    pub code: RuleCode,
+    /// First line the allow applies to (the pragma's own start line).
+    pub line: u32,
+    /// Last line the allow applies to: one past the pragma's end, so an
+    /// own-line pragma covers the statement beneath it and a trailing
+    /// pragma covers its own line.
+    pub until_line: u32,
+}
+
+impl Allow {
+    /// Whether this allow suppresses a finding of `code` at `line`.
+    pub fn suppresses(&self, code: RuleCode, line: u32) -> bool {
+        self.code == code && line >= self.line && line <= self.until_line
+    }
+}
+
+/// Extracts allow pragmas from `comments`. Malformed or reasonless
+/// pragmas come back as findings, not allows — they suppress nothing.
+pub fn parse_pragmas(comments: &[Comment]) -> (Vec<Allow>, Vec<Finding>) {
+    let mut allows = Vec::new();
+    let mut findings = Vec::new();
+    for c in comments {
+        // A pragma is a *directive*, not a mention: the comment body must
+        // begin with `srclint:` once the comment markers are stripped.
+        // Prose and doc examples (`` `// srclint: allow(...)` ``) start
+        // with other characters and stay inert.
+        let body = c
+            .text
+            .trim_start_matches('/')
+            .trim_start_matches(['*', '!'])
+            .trim_start();
+        let Some(rest) = body.strip_prefix("srclint:") else {
+            continue;
+        };
+        let rest = rest.trim_start();
+        let Some(args) = rest.strip_prefix("allow(") else {
+            findings.push(Finding::new(
+                RuleCode::Sp002,
+                c.line,
+                "comment invokes `srclint:` but is not a well-formed allow pragma",
+                "write `srclint: allow(CODE): <reason>`",
+            ));
+            continue;
+        };
+        let Some(close) = args.find(')') else {
+            findings.push(Finding::new(
+                RuleCode::Sp002,
+                c.line,
+                "unterminated `srclint: allow(` pragma",
+                "write `srclint: allow(CODE): <reason>`",
+            ));
+            continue;
+        };
+        let code_text = args[..close].trim();
+        let Some(code) = RuleCode::parse(code_text) else {
+            findings.push(Finding::new(
+                RuleCode::Sp002,
+                c.line,
+                format!("allow pragma names unknown rule code `{code_text}`"),
+                "use one of SD001-SD004, SU001-SU003",
+            ));
+            continue;
+        };
+        // Everything after `)` must be `: <non-empty reason>`; trailing
+        // block-comment markers don't count as a reason.
+        let mut reason = args[close + 1..].trim();
+        if let Some(r) = reason.strip_suffix("*/") {
+            reason = r.trim();
+        }
+        let reason = reason.strip_prefix(':').map(str::trim).unwrap_or("");
+        if reason.is_empty() {
+            findings.push(Finding::new(
+                RuleCode::Sp001,
+                c.line,
+                format!("allow pragma for {code} carries no reason"),
+                "a suppression must say why the contract holds: \
+                 `srclint: allow(CODE): <reason>`",
+            ));
+            continue;
+        }
+        allows.push(Allow {
+            code,
+            line: c.line,
+            until_line: c.end_line + 1,
+        });
+    }
+    (allows, findings)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse(src: &str) -> (Vec<Allow>, Vec<Finding>) {
+        parse_pragmas(&lex(src).comments)
+    }
+
+    #[test]
+    fn well_formed_allow_covers_its_line_and_the_next() {
+        let (allows, findings) =
+            parse("// srclint: allow(SD002): bench wall clocks are by design\nlet x = 1;\n");
+        assert!(findings.is_empty());
+        assert_eq!(allows.len(), 1);
+        assert!(allows[0].suppresses(RuleCode::Sd002, 1));
+        assert!(allows[0].suppresses(RuleCode::Sd002, 2));
+        assert!(!allows[0].suppresses(RuleCode::Sd002, 3));
+        assert!(!allows[0].suppresses(RuleCode::Sd003, 2));
+    }
+
+    #[test]
+    fn reasonless_allow_is_sp001_and_suppresses_nothing() {
+        for src in [
+            "// srclint: allow(SD001)\n",
+            "// srclint: allow(SD001):\n",
+            "// srclint: allow(SD001):   \n",
+        ] {
+            let (allows, findings) = parse(src);
+            assert!(allows.is_empty(), "{src:?}");
+            assert_eq!(findings.len(), 1, "{src:?}");
+            assert_eq!(findings[0].code, RuleCode::Sp001);
+        }
+    }
+
+    #[test]
+    fn unknown_code_and_malformed_pragmas_are_sp002() {
+        let (_, f) = parse("// srclint: allow(SD999): nope\n");
+        assert_eq!(f[0].code, RuleCode::Sp002);
+        let (_, f) = parse("// srclint: disable everything\n");
+        assert_eq!(f[0].code, RuleCode::Sp002);
+    }
+
+    #[test]
+    fn block_comment_pragma_strips_its_closer() {
+        let (allows, findings) = parse("/* srclint: allow(SU002): trusted shim */\n");
+        assert!(findings.is_empty());
+        assert_eq!(allows.len(), 1);
+    }
+}

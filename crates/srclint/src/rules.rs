@@ -1,0 +1,487 @@
+//! The rule families, as token-stream passes.
+//!
+//! These are deliberately *lexical* heuristics, not type analysis: the
+//! engine must run offline with no `syn`, and the contract it guards is
+//! coarse enough — "no hash-order, wall clocks, or ambient entropy
+//! anywhere near deterministic output" — that identifier-level evidence
+//! plus a mandatory-reason suppression pragma beats a precise-but-heavy
+//! analysis. A rule that cannot see through a type alias is fine; a
+//! determinism bug that survives because nobody looked is not.
+//!
+//! Rule index (severity in parentheses):
+//!
+//! * **SD001** (error): `HashMap`/`HashSet` iteration in a fn that also
+//!   touches a serialization/fingerprint sink, with no sort and no
+//!   ordered collection in sight.
+//! * **SD002** (error): `Instant::now`/`SystemTime` outside `obs::wall`.
+//! * **SD003** (error): ambient entropy (`thread_rng`, `RandomState`,
+//!   `from_entropy`, …) outside the `SimRng` module.
+//! * **SD004** (warning): `mpsc` receive / thread-join consumption in a
+//!   fn that also writes output files, with no intervening sort.
+//! * **SU001** (error): `unsafe` outside the whitelisted feature-gated
+//!   modules.
+//! * **SU002** (warning): an `unsafe` block or `unsafe impl` without a
+//!   `// SAFETY:` comment on or directly above it.
+//! * **SU003** (error): a crate root (`src/lib.rs`) missing
+//!   `#![forbid(unsafe_code)]`; a `cfg_attr`-conditional forbid is legal
+//!   only for whitelisted crates.
+
+use crate::config::Config;
+use crate::finding::{Finding, RuleCode};
+use crate::lexer::{lex, Comment, Lexed, Tok, TokKind};
+use crate::pragma::parse_pragmas;
+use std::collections::BTreeSet;
+
+/// Lints one file. `path` should be unix-separated and is matched
+/// against the config's whitelist suffixes; `src` is the file text.
+pub fn check_file(path: &str, src: &str, cfg: &Config) -> Vec<Finding> {
+    let lx = lex(src);
+    let (allows, mut findings) = parse_pragmas(&lx.comments);
+
+    let mut raw = Vec::new();
+    sd001(&lx, cfg, &mut raw);
+    sd002(path, &lx, cfg, &mut raw);
+    sd003(path, &lx, cfg, &mut raw);
+    sd004(&lx, cfg, &mut raw);
+    su001(path, &lx, cfg, &mut raw);
+    su002(&lx, &mut raw);
+    su003(path, &lx, cfg, &mut raw);
+
+    // Pragma findings (SP001/SP002) are not themselves suppressible —
+    // otherwise an allow could launder another allow.
+    findings.extend(
+        raw.into_iter()
+            .filter(|f| !allows.iter().any(|a| a.suppresses(f.code, f.line))),
+    );
+
+    // Dedup (a nested fn is scanned once per enclosing span) and order
+    // deterministically.
+    findings.sort_by_key(|f| (f.line, f.code));
+    findings.dedup_by(|a, b| a.line == b.line && a.code == b.code && a.message == b.message);
+    findings
+}
+
+/// Matches `toks[i..]` against a spelling sequence where each element is
+/// either an identifier name or a single punct character.
+fn seq(toks: &[Tok], i: usize, pat: &[&str]) -> bool {
+    if i + pat.len() > toks.len() {
+        return false;
+    }
+    pat.iter().enumerate().all(|(k, p)| {
+        let t = &toks[i + k];
+        if p.len() == 1 && !p.chars().next().unwrap().is_ascii_alphanumeric() && *p != "_" {
+            t.is_punct(p.chars().next().unwrap())
+        } else {
+            t.is_ident(p)
+        }
+    })
+}
+
+/// One `fn` body: token-index extent plus the signature start, so rules
+/// can treat the fn name/signature as part of its context.
+struct FnSpan {
+    /// Index of the `fn` keyword.
+    sig_start: usize,
+    /// Index of the body `{`.
+    body_start: usize,
+    /// Index one past the matching `}`.
+    end: usize,
+}
+
+/// Finds every fn body (including nested fns; callers that need
+/// innermost-only assignment filter by containment).
+fn fn_spans(toks: &[Tok]) -> Vec<FnSpan> {
+    let mut spans = Vec::new();
+    for i in 0..toks.len() {
+        if !toks[i].is_ident("fn") {
+            continue;
+        }
+        // Scan for the body `{` or a bodyless `;` (trait method decl).
+        let mut j = i + 1;
+        let mut body = None;
+        while j < toks.len() {
+            match toks[j].kind {
+                TokKind::Punct('{') => {
+                    body = Some(j);
+                    break;
+                }
+                TokKind::Punct(';') => break,
+                _ => j += 1,
+            }
+        }
+        let Some(body_start) = body else { continue };
+        let mut depth = 0i32;
+        let mut end = body_start;
+        for (k, t) in toks.iter().enumerate().skip(body_start) {
+            match t.kind {
+                TokKind::Punct('{') => depth += 1,
+                TokKind::Punct('}') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        end = k + 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        spans.push(FnSpan {
+            sig_start: i,
+            body_start,
+            end,
+        });
+    }
+    spans
+}
+
+/// Identifiers bound to a hash-ordered collection: file-wide
+/// `name: HashMap<…>` declarations (struct fields, fn params) plus
+/// `let [mut] name = …HashMap…;` bindings.
+fn hash_bound_names(toks: &[Tok]) -> BTreeSet<String> {
+    let mut names = BTreeSet::new();
+    let is_hash = |t: &Tok| t.is_ident("HashMap") || t.is_ident("HashSet");
+    for i in 0..toks.len() {
+        // `name : [&] ['a] [mut] [std::collections::] Hash{Map,Set}`
+        if toks[i].kind == TokKind::Ident && seq(toks, i + 1, &[":"]) && !seq(toks, i + 2, &[":"])
+        {
+            let mut j = i + 2;
+            let mut hops = 0;
+            while j < toks.len() && hops < 8 {
+                let t = &toks[j];
+                if is_hash(t) {
+                    names.insert(toks[i].text.clone());
+                    break;
+                }
+                let skippable = t.is_punct('&')
+                    || t.kind == TokKind::Lifetime
+                    || t.is_ident("mut")
+                    || t.is_ident("std")
+                    || t.is_ident("collections")
+                    || t.is_punct(':');
+                if !skippable {
+                    break;
+                }
+                j += 1;
+                hops += 1;
+            }
+        }
+        // `let [mut] name …HashMap…;`
+        if toks[i].is_ident("let") {
+            let mut j = i + 1;
+            if j < toks.len() && toks[j].is_ident("mut") {
+                j += 1;
+            }
+            if j >= toks.len() || toks[j].kind != TokKind::Ident {
+                continue;
+            }
+            let name = &toks[j].text;
+            let mut k = j + 1;
+            let mut hops = 0;
+            while k < toks.len() && hops < 50 && !toks[k].is_punct(';') {
+                if is_hash(&toks[k]) {
+                    names.insert(name.clone());
+                    break;
+                }
+                k += 1;
+                hops += 1;
+            }
+        }
+    }
+    names
+}
+
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "into_iter",
+    "into_keys",
+    "into_values",
+];
+
+/// SD001: hash iteration + sink − sort, per fn.
+fn sd001(lx: &Lexed, cfg: &Config, out: &mut Vec<Finding>) {
+    let toks = &lx.tokens;
+    let binds = hash_bound_names(toks);
+    if binds.is_empty() {
+        return;
+    }
+    for span in fn_spans(toks) {
+        let range = span.sig_start..span.end;
+        let window = &toks[range.clone()];
+        let has_sink = window
+            .iter()
+            .any(|t| t.kind == TokKind::Ident && cfg.sink_idents.contains(&t.text));
+        if !has_sink {
+            continue;
+        }
+        let has_sort = window
+            .iter()
+            .any(|t| t.kind == TokKind::Ident && cfg.sort_idents.contains(&t.text));
+        if has_sort {
+            continue;
+        }
+        // Find an iteration over a hash-bound name.
+        let mut hit: Option<(u32, String)> = None;
+        for i in span.body_start..span.end.min(toks.len()) {
+            let t = &toks[i];
+            if t.kind != TokKind::Ident || !binds.contains(&t.text) {
+                continue;
+            }
+            // `name . iter_method (`
+            if seq(toks, i + 1, &["."])
+                && toks
+                    .get(i + 2)
+                    .is_some_and(|m| ITER_METHODS.iter().any(|im| m.is_ident(im)))
+                && seq(toks, i + 3, &["("])
+            {
+                hit = Some((t.line, t.text.clone()));
+                break;
+            }
+        }
+        if hit.is_none() {
+            // `for pat in … name …{`
+            'fors: for i in span.body_start..span.end.min(toks.len()) {
+                if !toks[i].is_ident("for") {
+                    continue;
+                }
+                let mut j = i + 1;
+                while j < span.end && j < i + 40 && !toks[j].is_ident("in") {
+                    j += 1;
+                }
+                let mut k = j + 1;
+                while k < span.end && !toks[k].is_punct('{') {
+                    let t = &toks[k];
+                    if t.kind == TokKind::Ident && binds.contains(&t.text) {
+                        hit = Some((t.line, t.text.clone()));
+                        break 'fors;
+                    }
+                    k += 1;
+                }
+            }
+        }
+        if let Some((line, name)) = hit {
+            out.push(Finding::new(
+                RuleCode::Sd001,
+                line,
+                format!(
+                    "iteration over hash-ordered `{name}` in a fn that feeds a \
+                     serialization/fingerprint sink, with no intervening sort"
+                ),
+                "use a BTreeMap/BTreeSet, or sort the items before they reach \
+                 the sink; if the order provably cannot reach the output, add \
+                 `// srclint: allow(SD001): <why>`",
+            ));
+        }
+    }
+}
+
+/// SD002: wall clocks outside `obs::wall`.
+fn sd002(path: &str, lx: &Lexed, cfg: &Config, out: &mut Vec<Finding>) {
+    if Config::path_in(path, &cfg.wall_clock_whitelist) {
+        return;
+    }
+    let toks = &lx.tokens;
+    for i in 0..toks.len() {
+        let hit = if seq(toks, i, &["Instant", ":", ":", "now"]) {
+            Some("Instant::now")
+        } else if toks[i].is_ident("SystemTime") {
+            Some("SystemTime")
+        } else {
+            None
+        };
+        if let Some(what) = hit {
+            out.push(Finding::new(
+                RuleCode::Sd002,
+                toks[i].line,
+                format!("wall clock `{what}` outside the whitelisted obs::wall module"),
+                "virtual-time paths must not read host time; route wall-clock \
+                 needs through failmpi_obs::wall, or add \
+                 `// srclint: allow(SD002): <why>` for sanctioned \
+                 benchmarking code",
+            ));
+        }
+    }
+}
+
+/// SD003: ambient entropy outside `SimRng`.
+fn sd003(path: &str, lx: &Lexed, cfg: &Config, out: &mut Vec<Finding>) {
+    if Config::path_in(path, &cfg.entropy_whitelist) {
+        return;
+    }
+    for t in &lx.tokens {
+        if t.kind == TokKind::Ident && cfg.entropy_idents.contains(&t.text) {
+            out.push(Finding::new(
+                RuleCode::Sd003,
+                t.line,
+                format!("ambient entropy source `{}` outside SimRng", t.text),
+                "all randomness must flow from one seeded SimRng so runs \
+                 replay byte-identically",
+            ));
+        }
+    }
+}
+
+/// SD004: cross-thread result consumption + file output − sort, per fn.
+fn sd004(lx: &Lexed, cfg: &Config, out: &mut Vec<Finding>) {
+    let toks = &lx.tokens;
+    for span in fn_spans(toks) {
+        let window = &toks[span.sig_start..span.end];
+        let has_sort = window
+            .iter()
+            .any(|t| t.kind == TokKind::Ident && cfg.sort_idents.contains(&t.text));
+        if has_sort {
+            continue;
+        }
+        let writes = (span.sig_start..span.end.min(toks.len())).any(|i| {
+            seq(toks, i, &["File", ":", ":", "create"])
+                || seq(toks, i, &["fs", ":", ":", "write"])
+                || toks[i].is_ident("write_all")
+                || toks[i].is_ident("BufWriter")
+        });
+        if !writes {
+            continue;
+        }
+        let mut hit = None;
+        for i in span.sig_start..span.end.min(toks.len()) {
+            if toks[i].is_ident("mpsc")
+                || seq(toks, i, &[".", "join", "(", ")"])
+                || seq(toks, i, &[".", "recv", "(", ")"])
+                || seq(toks, i, &[".", "try_recv", "(", ")"])
+            {
+                hit = Some(toks[i].line);
+                break;
+            }
+        }
+        if let Some(line) = hit {
+            out.push(Finding::new(
+                RuleCode::Sd004,
+                line,
+                "fn consumes cross-thread results (mpsc/join) and writes output \
+                 files without sorting the merged results",
+                "worker completion order is nondeterministic: sort or re-index \
+                 results before writing, or add \
+                 `// srclint: allow(SD004): <why>`",
+            ));
+        }
+    }
+}
+
+/// SU001: `unsafe` outside the whitelisted modules.
+fn su001(path: &str, lx: &Lexed, cfg: &Config, out: &mut Vec<Finding>) {
+    if Config::path_in(path, &cfg.unsafe_whitelist) {
+        return;
+    }
+    for t in &lx.tokens {
+        if t.is_ident("unsafe") {
+            out.push(Finding::new(
+                RuleCode::Su001,
+                t.line,
+                "`unsafe` outside the feature-gated whitelisted modules",
+                "the only sanctioned unsafe surface is the alloc-profile \
+                 counting allocator (crates/obs/src/alloc.rs); move the code \
+                 there or redesign it in safe Rust",
+            ));
+        }
+    }
+}
+
+/// Whether a `SAFETY:` comment sits on `line` or within three lines
+/// above it. A multi-line `//` run counts as one comment: when the line
+/// carrying `SAFETY:` is followed by further comment lines with no code
+/// between them, the run's last line is what must sit near the unsafe.
+fn has_safety_comment(comments: &[Comment], line: u32) -> bool {
+    comments.iter().enumerate().any(|(idx, c)| {
+        if !c.text.contains("SAFETY:") {
+            return false;
+        }
+        let mut end = c.end_line;
+        for later in &comments[idx + 1..] {
+            if later.line == end + 1 && !later.trailing {
+                end = later.end_line;
+            } else if later.line > end + 1 {
+                break;
+            }
+        }
+        end <= line && end + 3 >= line
+    })
+}
+
+/// SU002: every `unsafe {` block and `unsafe impl` carries a `SAFETY:`
+/// comment. `unsafe fn` signatures are exempt — their obligations are
+/// discharged at the call sites and block bodies.
+fn su002(lx: &Lexed, out: &mut Vec<Finding>) {
+    let toks = &lx.tokens;
+    for i in 0..toks.len() {
+        if !toks[i].is_ident("unsafe") {
+            continue;
+        }
+        let Some(next) = toks.get(i + 1) else { continue };
+        let is_block = next.is_punct('{');
+        let is_impl = next.is_ident("impl");
+        if !(is_block || is_impl) {
+            continue;
+        }
+        if !has_safety_comment(&lx.comments, toks[i].line) {
+            let what = if is_block { "block" } else { "impl" };
+            out.push(Finding::new(
+                RuleCode::Su002,
+                toks[i].line,
+                format!("unsafe {what} without a `// SAFETY:` comment"),
+                "state the invariant that makes this sound, on or directly \
+                 above the unsafe keyword",
+            ));
+        }
+    }
+}
+
+/// SU003: crate roots must `#![forbid(unsafe_code)]`.
+fn su003(path: &str, lx: &Lexed, cfg: &Config, out: &mut Vec<Finding>) {
+    if !path.ends_with("src/lib.rs") {
+        return;
+    }
+    // `crates/obs/src/lib.rs` → crate dir name `obs`.
+    let crate_name = path
+        .trim_end_matches("src/lib.rs")
+        .trim_end_matches('/')
+        .rsplit('/')
+        .next()
+        .unwrap_or("")
+        .to_string();
+    let toks = &lx.tokens;
+    let mut found = None;
+    for i in 0..toks.len() {
+        if seq(toks, i, &["forbid", "(", "unsafe_code", ")"]) {
+            found = Some(i);
+            break;
+        }
+    }
+    let Some(at) = found else {
+        out.push(Finding::new(
+            RuleCode::Su003,
+            1,
+            format!("crate `{crate_name}` does not `#![forbid(unsafe_code)]`"),
+            "add the attribute to src/lib.rs; crates with a sanctioned unsafe \
+             feature gate it with cfg_attr and join the whitelist",
+        ));
+        return;
+    };
+    // Conditional (cfg_attr) forbid: legal only for whitelisted crates.
+    let back = at.saturating_sub(12);
+    let conditional = toks[back..at].iter().any(|t| t.is_ident("cfg_attr"));
+    if conditional && !cfg.conditional_forbid_whitelist.contains(&crate_name) {
+        out.push(Finding::new(
+            RuleCode::Su003,
+            toks[at].line,
+            format!(
+                "crate `{crate_name}` only conditionally forbids unsafe code \
+                 but is not on the conditional-forbid whitelist"
+            ),
+            "make the forbid unconditional, or whitelist the crate's \
+             feature-gated unsafe surface",
+        ));
+    }
+}

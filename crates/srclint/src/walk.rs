@@ -1,0 +1,80 @@
+//! Deterministic workspace file discovery.
+//!
+//! `failck --src` must emit byte-identical JSON across repeated runs, so
+//! the walk order is defined: lexicographic by full path at every
+//! directory level, depth-first. Build output (`target/`), the vendored
+//! offline stand-ins (`vendor/` — third-party API surface, not product
+//! source), seeded-defect fixtures, goldens and corpora are skipped; the
+//! skip list lives in [`Config::skip_dirs`] so the contract's scope is
+//! auditable alongside its rules.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::config::Config;
+
+/// Collects every `.rs` file under `root` (or `root` itself if it is a
+/// file), in deterministic order.
+pub fn collect_rs_files(root: &Path, cfg: &Config) -> io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    if root.is_file() {
+        out.push(root.to_path_buf());
+        return Ok(out);
+    }
+    if !root.is_dir() {
+        return Err(io::Error::new(
+            io::ErrorKind::NotFound,
+            format!("no such file or directory: {}", root.display()),
+        ));
+    }
+    descend(root, cfg, &mut out)?;
+    out.sort_by(|a, b| a.as_os_str().cmp(b.as_os_str()));
+    Ok(out)
+}
+
+fn descend(dir: &Path, cfg: &Config, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .map(|e| e.map(|e| e.path()))
+        .collect::<io::Result<_>>()?;
+    entries.sort_by(|a, b| a.as_os_str().cmp(b.as_os_str()));
+    for path in entries {
+        let name = path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        if path.is_dir() {
+            if name.starts_with('.') || cfg.skip_dirs.contains(&name.to_string()) {
+                continue;
+            }
+            descend(&path, cfg, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn walks_this_crate_deterministically_and_skips_fixtures() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+        let cfg = Config::default();
+        let a = collect_rs_files(root, &cfg).unwrap();
+        let b = collect_rs_files(root, &cfg).unwrap();
+        assert_eq!(a, b);
+        assert!(a.iter().any(|p| p.ends_with("src/rules.rs")));
+        assert!(
+            !a.iter().any(|p| p.to_string_lossy().contains("fixtures")),
+            "seeded-defect fixtures must not reach the workspace scan"
+        );
+    }
+
+    #[test]
+    fn missing_path_is_an_error_not_a_silent_pass() {
+        let cfg = Config::default();
+        assert!(collect_rs_files(Path::new("/nonexistent/nope"), &cfg).is_err());
+    }
+}

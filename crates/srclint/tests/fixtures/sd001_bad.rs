@@ -1,0 +1,11 @@
+//! Seeded defect: hash-ordered iteration feeds a serialization sink.
+use std::collections::HashMap;
+
+pub fn emit_metrics(map: &HashMap<String, u64>, out: &mut String) {
+    for (k, _v) in map.iter() {
+        out.push_str(k);
+    }
+    serialize_json(out);
+}
+
+fn serialize_json(_out: &mut String) {}

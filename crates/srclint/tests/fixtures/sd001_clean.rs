@@ -1,0 +1,12 @@
+//! Clean twin: the same fn routes the iteration through a BTreeMap.
+use std::collections::{BTreeMap, HashMap};
+
+pub fn emit_metrics(map: &HashMap<String, u64>, out: &mut String) {
+    let ordered: BTreeMap<&String, &u64> = map.iter().collect();
+    for (k, _v) in ordered {
+        out.push_str(k);
+    }
+    serialize_json(out);
+}
+
+fn serialize_json(_out: &mut String) {}

@@ -1,0 +1,6 @@
+//! Seeded defect: wall clocks in what should be a virtual-time path.
+pub fn stamp() -> u64 {
+    let _t = std::time::Instant::now();
+    let _wall = std::time::SystemTime::now();
+    0
+}

@@ -1,0 +1,5 @@
+//! Seeded defect: ambient entropy outside SimRng.
+pub fn jitter() -> u64 {
+    let mut rng = thread_rng();
+    rng.gen()
+}

@@ -1,0 +1,4 @@
+//! Clean twin: randomness flows from the one seeded SimRng.
+pub fn jitter(rng: &mut SimRng) -> u64 {
+    rng.next_u64()
+}

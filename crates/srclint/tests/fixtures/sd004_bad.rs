@@ -1,0 +1,11 @@
+//! Seeded defect: worker results written to a file in arrival order.
+use std::fs::File;
+use std::io::Write;
+use std::sync::mpsc::Receiver;
+
+pub fn collect_and_write(rx: Receiver<u64>) {
+    let mut f = File::create("out.json").unwrap();
+    while let Ok(v) = rx.recv() {
+        f.write_all(&v.to_le_bytes()).unwrap();
+    }
+}

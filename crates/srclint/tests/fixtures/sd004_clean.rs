@@ -1,0 +1,17 @@
+//! Clean twin: results are gathered and sorted before anything is
+//! written, so worker arrival order cannot reach the file.
+use std::fs::File;
+use std::io::Write;
+use std::sync::mpsc::Receiver;
+
+pub fn collect_and_write(rx: Receiver<u64>) {
+    let mut results: Vec<u64> = Vec::new();
+    while let Ok(v) = rx.recv() {
+        results.push(v);
+    }
+    results.sort_unstable();
+    let mut f = File::create("out.json").unwrap();
+    for v in results {
+        f.write_all(&v.to_le_bytes()).unwrap();
+    }
+}

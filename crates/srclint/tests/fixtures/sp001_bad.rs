@@ -1,0 +1,6 @@
+//! Seeded defect: a reasonless allow — it suppresses nothing and is
+//! itself a finding, so the underlying SD002 still fires too.
+pub fn stamp() -> std::time::Instant {
+    // srclint: allow(SD002)
+    std::time::Instant::now()
+}

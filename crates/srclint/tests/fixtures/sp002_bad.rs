@@ -1,0 +1,4 @@
+//! Seeded defect: an allow naming a rule code that does not exist.
+pub fn noop() {
+    // srclint: allow(SD999): typo'd code must not silently disable anything
+}

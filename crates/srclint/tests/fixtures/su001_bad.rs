@@ -1,0 +1,6 @@
+//! Seeded defect: unsafe outside the whitelisted modules (the SAFETY
+//! comment is present, so only SU001 fires).
+pub fn peek(p: *const u8) -> u8 {
+    // SAFETY: fixture — the caller guarantees validity.
+    unsafe { *p }
+}

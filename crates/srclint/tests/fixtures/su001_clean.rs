@@ -1,0 +1,5 @@
+//! Clean twin: the word "unsafe" in comments and strings is invisible
+//! to the rule; only real unsafe code counts.
+pub fn describe() -> &'static str {
+    "nothing unsafe here"
+}

@@ -1,0 +1,5 @@
+//! Seeded defect: an unsafe block with no SAFETY justification.
+//! (Linted under a whitelisted path so SU002 fires alone.)
+pub fn peek(p: *const u8) -> u8 {
+    unsafe { *p }
+}

@@ -1,0 +1,6 @@
+//! Clean twin: every unsafe block states its invariant.
+pub fn peek(p: *const u8) -> u8 {
+    // SAFETY: caller contract — p is valid for reads, checked at the
+    // only call site.
+    unsafe { *p }
+}

@@ -1,0 +1,2 @@
+//! Seeded defect: a crate root that never forbids unsafe code.
+pub fn noop() {}

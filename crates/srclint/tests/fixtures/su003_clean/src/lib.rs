@@ -1,0 +1,3 @@
+//! Clean twin: the unconditional forbid every crate root must carry.
+#![forbid(unsafe_code)]
+pub fn noop() {}

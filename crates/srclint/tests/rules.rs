@@ -1,0 +1,143 @@
+//! Fixture-per-rule seeded-defect tests: every SD/SU code is provably
+//! triggerable by its committed bad fixture, and provably quiet on the
+//! clean twin. Fixtures live under `tests/fixtures/`, which the
+//! workspace walker skips — the defects are data, not product source.
+
+use failmpi_srclint::{check_file, Config, RuleCode};
+
+fn codes(path_label: &str, src: &str) -> Vec<RuleCode> {
+    check_file(path_label, src, &Config::default())
+        .iter()
+        .map(|f| f.code)
+        .collect()
+}
+
+/// A non-whitelisted path label for fixtures.
+const PLAIN: &str = "crates/example/src/thing.rs";
+/// A label inside the SU001 unsafe whitelist, for isolating SU002.
+const UNSAFE_OK: &str = "crates/obs/src/alloc.rs";
+
+#[test]
+fn sd001_hash_iteration_into_sink() {
+    let bad = codes(PLAIN, include_str!("fixtures/sd001_bad.rs"));
+    assert!(bad.contains(&RuleCode::Sd001), "{bad:?}");
+    let clean = codes(PLAIN, include_str!("fixtures/sd001_clean.rs"));
+    assert!(clean.is_empty(), "{clean:?}");
+}
+
+#[test]
+fn sd002_wall_clock() {
+    let bad = codes(PLAIN, include_str!("fixtures/sd002_bad.rs"));
+    assert_eq!(
+        bad.iter().filter(|c| **c == RuleCode::Sd002).count(),
+        2,
+        "one finding per wall-clock site: {bad:?}"
+    );
+    let clean = codes(PLAIN, include_str!("fixtures/sd002_clean.rs"));
+    assert!(clean.is_empty(), "{clean:?}");
+    // The whitelisted obs::wall module is exempt.
+    let wall = codes(
+        "crates/obs/src/wall.rs",
+        include_str!("fixtures/sd002_bad.rs"),
+    );
+    assert!(wall.is_empty(), "{wall:?}");
+}
+
+#[test]
+fn sd003_ambient_entropy() {
+    let bad = codes(PLAIN, include_str!("fixtures/sd003_bad.rs"));
+    assert!(bad.contains(&RuleCode::Sd003), "{bad:?}");
+    let clean = codes(PLAIN, include_str!("fixtures/sd003_clean.rs"));
+    assert!(clean.is_empty(), "{clean:?}");
+}
+
+#[test]
+fn sd004_unsorted_cross_thread_results() {
+    let bad = codes(PLAIN, include_str!("fixtures/sd004_bad.rs"));
+    assert!(bad.contains(&RuleCode::Sd004), "{bad:?}");
+    let clean = codes(PLAIN, include_str!("fixtures/sd004_clean.rs"));
+    assert!(clean.is_empty(), "{clean:?}");
+}
+
+#[test]
+fn su001_unsafe_outside_whitelist() {
+    let bad = codes(PLAIN, include_str!("fixtures/su001_bad.rs"));
+    assert!(bad.contains(&RuleCode::Su001), "{bad:?}");
+    assert!(!bad.contains(&RuleCode::Su002), "SAFETY is present: {bad:?}");
+    let clean = codes(PLAIN, include_str!("fixtures/su001_clean.rs"));
+    assert!(clean.is_empty(), "{clean:?}");
+    // The same defect under the whitelisted module draws no SU001.
+    let wl = codes(UNSAFE_OK, include_str!("fixtures/su001_bad.rs"));
+    assert!(!wl.contains(&RuleCode::Su001), "{wl:?}");
+}
+
+#[test]
+fn su002_unsafe_without_safety_comment() {
+    let bad = codes(UNSAFE_OK, include_str!("fixtures/su002_bad.rs"));
+    assert_eq!(bad, vec![RuleCode::Su002], "{bad:?}");
+    let clean = codes(UNSAFE_OK, include_str!("fixtures/su002_clean.rs"));
+    assert!(clean.is_empty(), "{clean:?}");
+}
+
+#[test]
+fn su003_crate_root_forbid_coverage() {
+    let bad = codes(
+        "crates/badcrate/src/lib.rs",
+        include_str!("fixtures/su003_bad/src/lib.rs"),
+    );
+    assert_eq!(bad, vec![RuleCode::Su003], "{bad:?}");
+    let clean = codes(
+        "crates/goodcrate/src/lib.rs",
+        include_str!("fixtures/su003_clean/src/lib.rs"),
+    );
+    assert!(clean.is_empty(), "{clean:?}");
+    // Conditional forbid: legal for the whitelisted obs crate, a finding
+    // anywhere else.
+    let cond = include_str!("fixtures/su003_conditional/src/lib.rs");
+    assert!(codes("crates/obs/src/lib.rs", cond).is_empty());
+    let elsewhere = codes("crates/net/src/lib.rs", cond);
+    assert_eq!(elsewhere, vec![RuleCode::Su003], "{elsewhere:?}");
+    // Non-crate-root files are out of SU003's scope entirely.
+    assert!(codes(PLAIN, include_str!("fixtures/su003_bad/src/lib.rs")).is_empty());
+}
+
+#[test]
+fn sp001_reasonless_allow_is_a_finding_and_suppresses_nothing() {
+    let bad = codes(PLAIN, include_str!("fixtures/sp001_bad.rs"));
+    assert!(bad.contains(&RuleCode::Sp001), "{bad:?}");
+    assert!(
+        bad.contains(&RuleCode::Sd002),
+        "the reasonless allow must not suppress the SD002: {bad:?}"
+    );
+}
+
+#[test]
+fn sp002_unknown_code_in_pragma() {
+    let bad = codes(PLAIN, include_str!("fixtures/sp002_bad.rs"));
+    assert_eq!(bad, vec![RuleCode::Sp002], "{bad:?}");
+}
+
+#[test]
+fn reasoned_allow_suppresses_exactly_its_site() {
+    let clean = codes(PLAIN, include_str!("fixtures/allow_clean.rs"));
+    assert!(clean.is_empty(), "{clean:?}");
+}
+
+#[test]
+fn severity_split_matches_the_exit_code_matrix() {
+    // Contract violations gate by default; heuristic discipline findings
+    // gate only under --strict.
+    for err in [
+        RuleCode::Sd001,
+        RuleCode::Sd002,
+        RuleCode::Sd003,
+        RuleCode::Su001,
+        RuleCode::Su003,
+        RuleCode::Sp001,
+    ] {
+        assert!(err.is_error(), "{err} should be error-severity");
+    }
+    for warn in [RuleCode::Sd004, RuleCode::Su002, RuleCode::Sp002] {
+        assert!(!warn.is_error(), "{warn} should be warning-severity");
+    }
+}
